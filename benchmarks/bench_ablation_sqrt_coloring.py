@@ -1,0 +1,73 @@
+"""Ablations of the Theorem 15 algorithm's design choices.
+
+DESIGN.md calls out three tunables of the Section 5 pipeline:
+
+* the LP relaxation vs a plain greedy sweep,
+* the number of randomized-rounding trials,
+* (implicitly) the processing granularity — distance classes group
+  links within a factor 4.
+
+Each ablation times the variant and records the colors it produced in
+``benchmarks/results/ablation_sqrt_coloring.md``.
+"""
+
+import pytest
+
+from repro.instances.random_instances import clustered_instance
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.util.tables import Table
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return clustered_instance(40, beta=0.8, rng=123)
+
+
+@pytest.fixture(scope="module")
+def ablation_table():
+    return Table(
+        title="Ablation: Theorem 15 design choices (n=40 clustered)",
+        columns=["variant", "colors"],
+    )
+
+
+def test_ablation_lp(benchmark, instance, ablation_table, save_table):
+    schedule, _ = benchmark.pedantic(
+        sqrt_coloring,
+        args=(instance,),
+        kwargs=dict(rng=1, use_lp=True),
+        rounds=1,
+        iterations=1,
+    )
+    schedule.validate(instance)
+    ablation_table.add_row(variant="lp", colors=schedule.num_colors)
+    save_table("ablation_sqrt_coloring", ablation_table)
+
+
+def test_ablation_greedy(benchmark, instance, ablation_table, save_table):
+    schedule, _ = benchmark.pedantic(
+        sqrt_coloring,
+        args=(instance,),
+        kwargs=dict(rng=1, use_lp=False),
+        rounds=1,
+        iterations=1,
+    )
+    schedule.validate(instance)
+    ablation_table.add_row(variant="greedy-sweep", colors=schedule.num_colors)
+    save_table("ablation_sqrt_coloring", ablation_table)
+
+
+@pytest.mark.parametrize("trials", [1, 8, 32])
+def test_ablation_rounding_trials(benchmark, instance, ablation_table, save_table, trials):
+    schedule, _ = benchmark.pedantic(
+        sqrt_coloring,
+        args=(instance,),
+        kwargs=dict(rng=1, use_lp=True, rounding_trials=trials),
+        rounds=1,
+        iterations=1,
+    )
+    schedule.validate(instance)
+    ablation_table.add_row(
+        variant=f"lp-rounding-{trials}", colors=schedule.num_colors
+    )
+    save_table("ablation_sqrt_coloring", ablation_table)

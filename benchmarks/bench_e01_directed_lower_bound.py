@@ -1,0 +1,17 @@
+"""E1 — regenerate the Theorem 1 separation table."""
+
+from repro.experiments import run_directed_lower_bound
+
+
+def test_e01_directed_lower_bound(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_directed_lower_bound,
+        kwargs=dict(n_values=(4, 8, 16, 24, 32)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e01_directed_lower_bound", table)
+    # Shape: oblivious colors grow ~linearly, free-power colors are O(1).
+    linear_rows = [r for r in table.rows if r["assignment"] == "linear"]
+    assert linear_rows[-1]["ratio"] >= linear_rows[0]["ratio"] * 4
+    assert all(r["colors_free_power"] <= 2 for r in table.rows)

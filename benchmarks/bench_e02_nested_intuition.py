@@ -1,0 +1,18 @@
+"""E2 — regenerate the §1.2 nested-instance capacity table."""
+
+from repro.experiments import run_nested_intuition
+
+
+def test_e02_nested_intuition(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_nested_intuition,
+        kwargs=dict(n_values=(5, 10, 20, 30, 40)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e02_nested_intuition", table)
+    sqrt_rows = [r for r in table.rows if r["assignment"] == "sqrt"]
+    flat = [r for r in table.rows if r["assignment"] in ("uniform", "linear")]
+    # sqrt capacity grows with n; uniform/linear stay O(1).
+    assert sqrt_rows[-1]["capacity"] >= 3 * sqrt_rows[0]["capacity"]
+    assert all(r["capacity"] <= 2 for r in flat)

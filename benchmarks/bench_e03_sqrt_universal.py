@@ -1,0 +1,28 @@
+"""E3 — regenerate the Theorem 2 universality tables."""
+
+from repro.experiments import run_sqrt_universal, run_theorem2_literal
+
+
+def test_e03_sqrt_universal(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_sqrt_universal,
+        kwargs=dict(n_values=(10, 20, 40), trials=2, rng=1234),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e03_sqrt_universal", table)
+    # Polylog regime: sqrt colors track the free-power optimum closely.
+    for row in table.rows:
+        assert row["ratio"] <= 2.0 + row["log2n"]
+
+
+def test_e03b_theorem2_literal(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_theorem2_literal,
+        kwargs=dict(n_values=(10, 20, 40), trials=2, rng=4321),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e03b_theorem2_literal", table)
+    for row in table.rows:
+        assert row["colors_sqrt_firstfit"] <= row["polylog_envelope"]

@@ -1,0 +1,16 @@
+"""E4 — regenerate the Theorem 15 algorithm-comparison table."""
+
+from repro.experiments import run_coloring_algorithm
+
+
+def test_e04_coloring_algorithm(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_coloring_algorithm,
+        kwargs=dict(n_values=(10, 20, 40), trials=2, rng=99),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e04_coloring_algorithm", table)
+    for row in table.rows:
+        assert row["approx_factor"] <= 2.0 + row["log2n"]
+        assert row["trivial"] >= row["first_fit"]

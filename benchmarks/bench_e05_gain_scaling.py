@@ -1,0 +1,16 @@
+"""E5 — regenerate the Propositions 3 & 4 gain-rescaling table."""
+
+from repro.experiments import run_gain_scaling
+
+
+def test_e05_gain_scaling(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_gain_scaling,
+        kwargs=dict(n=40, scale_factors=(1.0, 2.0, 4.0, 8.0), trials=3, rng=7),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e05_gain_scaling", table)
+    for row in table.rows:
+        assert row["blowup"] <= row["envelope_s_logn"] + 1.0
+        assert row["densest_class"] >= row["prop3_bound"] - 1e-9

@@ -1,0 +1,15 @@
+"""E6 — regenerate the Lemma 5 star-analysis table."""
+
+from repro.experiments import run_star_analysis
+
+
+def test_e06_star_analysis(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_star_analysis,
+        kwargs=dict(m=60, trials=3, rng=11),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e06_star_analysis", table)
+    for row in table.rows:
+        assert row["fraction_kept"] >= row["envelope"] - 0.2

@@ -1,0 +1,16 @@
+"""E7 — regenerate the Lemma 6 tree-ensemble table."""
+
+from repro.experiments import run_tree_embedding
+
+
+def test_e07_tree_embedding(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_tree_embedding,
+        kwargs=dict(n_values=(10, 20, 40), trials=2, rng=21),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e07_tree_embedding", table)
+    assert all(row["dominates"] for row in table.rows)
+    for row in table.rows:
+        assert row["calibrated_core_fraction"] >= 0.9 - 1e-9

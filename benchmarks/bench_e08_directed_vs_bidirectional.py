@@ -1,0 +1,20 @@
+"""E8 — regenerate the §6 directed-vs-bidirectional table."""
+
+import pytest
+
+from repro.experiments import run_directed_vs_bidirectional
+
+
+def test_e08_directed_vs_bidirectional(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_directed_vs_bidirectional,
+        kwargs=dict(n_values=(10, 20, 40), trials=2, rng=31),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e08_directed_vs_bidirectional", table)
+    for row in table.rows:
+        assert row["simulation_feasible"]
+        assert row["simulation_colors"] == pytest.approx(
+            2 * row["colors_bidirectional"]
+        )

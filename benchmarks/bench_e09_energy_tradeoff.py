@@ -1,0 +1,18 @@
+"""E9 — regenerate the §6 performance/energy trade-off table."""
+
+from repro.experiments import run_energy_tradeoff
+
+
+def test_e09_energy_tradeoff(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_energy_tradeoff,
+        kwargs=dict(n=25, trials=3, rng=41),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e09_energy_tradeoff", table)
+    nested = {
+        row["assignment"]: row for row in table.rows if row["instance"] == "nested"
+    }
+    assert nested["linear"]["total_energy"] <= nested["sqrt"]["total_energy"]
+    assert nested["sqrt"]["colors"] < nested["linear"]["colors"]

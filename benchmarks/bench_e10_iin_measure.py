@@ -1,0 +1,16 @@
+"""E10 — regenerate the §1.3 I_in-measure table."""
+
+from repro.experiments import run_iin_measure
+
+
+def test_e10_iin_measure(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_iin_measure,
+        kwargs=dict(n_values=(8, 16, 32), rng=51),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e10_iin_measure", table)
+    nested = [r for r in table.rows if r["family"] == "nested"]
+    # The Omega(n) deviation: I_in / measured colors grows with n.
+    assert nested[-1]["iin_over_colors"] > nested[0]["iin_over_colors"]

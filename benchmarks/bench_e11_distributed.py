@@ -1,0 +1,16 @@
+"""E11 — regenerate the distributed-vs-centralized table (§6 open problem)."""
+
+from repro.experiments import run_distributed
+
+
+def test_e11_distributed(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_distributed,
+        kwargs=dict(n_values=(10, 20, 40), trials=2, rng=61),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e11_distributed", table)
+    for row in table.rows:
+        assert row["distributed_overhead"] >= 1.0
+        assert row["protocol_slots"] >= row["distributed_colors"]

@@ -1,0 +1,16 @@
+"""E12 — regenerate the strong-connectivity table ([12]'s workload)."""
+
+from repro.experiments import run_connectivity
+
+
+def test_e12_connectivity(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_connectivity,
+        kwargs=dict(n_values=(8, 16, 32), trials=2, rng=71),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e12_connectivity", table)
+    chain = [r for r in table.rows if r["placement"] == "exp-chain"]
+    assert chain[-1]["uniform"] >= 2 * chain[0]["uniform"]
+    assert chain[-1]["sqrt"] <= 4

@@ -1,0 +1,17 @@
+"""E13 — regenerate the exact-OPT certification table."""
+
+from repro.experiments import run_exact_certification
+
+
+def test_e13_exact_certification(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_exact_certification,
+        kwargs=dict(n_values=(6, 8, 10), trials=3, rng=81),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e13_exact_certification", table)
+    for row in table.rows:
+        assert row["first_fit_factor"] >= 1.0 - 1e-9
+        assert row["peeling_factor"] >= 1.0 - 1e-9
+        assert row["exact_free_opt"] <= row["exact_opt"] + 1e-9

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are conventional performance benchmarks (not experiment
+regenerations): interference matrices, feasibility checks, spectral
+feasibility, first-fit coloring and HST construction at realistic
+sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power_control import free_power_spectral_radius
+from repro.core.feasibility import sinr_margins
+from repro.core.interference import bidirectional_gain_matrices
+from repro.embedding.hst import build_hst
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+
+
+@pytest.fixture(scope="module")
+def instance_100():
+    return random_uniform_instance(100, rng=0)
+
+
+@pytest.fixture(scope="module")
+def powers_100(instance_100):
+    return SquareRootPower()(instance_100)
+
+
+def test_gain_matrices_100(benchmark, instance_100, powers_100):
+    benchmark(bidirectional_gain_matrices, instance_100, powers_100)
+
+
+def test_sinr_margins_100(benchmark, instance_100, powers_100):
+    colors = np.zeros(instance_100.n, dtype=int)
+    benchmark(sinr_margins, instance_100, powers_100, colors)
+
+
+def test_spectral_radius_100(benchmark, instance_100):
+    benchmark(free_power_spectral_radius, instance_100)
+
+
+def test_first_fit_100(benchmark, instance_100, powers_100):
+    schedule = benchmark(first_fit_schedule, instance_100, powers_100)
+    schedule.validate(instance_100)
+
+
+def test_sqrt_coloring_50(benchmark):
+    instance = random_uniform_instance(50, rng=1)
+    schedule, _ = benchmark.pedantic(
+        sqrt_coloring, args=(instance,), kwargs=dict(rng=1), rounds=1, iterations=1
+    )
+    schedule.validate(instance)
+
+
+def test_hst_build_100(benchmark):
+    instance = random_uniform_instance(50, rng=2)  # 100 points
+    benchmark(build_hst, instance.metric, rng=3)

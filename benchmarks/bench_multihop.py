@@ -1,0 +1,44 @@
+"""Multi-hop extension benchmark: routing + layered scheduling.
+
+Measures the end-to-end latency profile of the cross-layer pipeline
+(§1.3's Chafekar et al. setting) on a random deployment, and records
+the table to ``benchmarks/results/multihop.md``.
+"""
+
+import numpy as np
+
+from repro.geometry.euclidean import EuclideanMetric
+from repro.multihop.routing import route_requests
+from repro.multihop.scheduling import layered_multihop_schedule
+from repro.util.tables import Table
+
+
+def _run(n_nodes: int, n_requests: int, seed: int):
+    rng = np.random.default_rng(seed)
+    metric = EuclideanMetric(rng.uniform(0, 80, size=(n_nodes, 2)))
+    requests = []
+    while len(requests) < n_requests:
+        u, v = rng.integers(n_nodes, size=2)
+        if u != v:
+            requests.append((int(u), int(v)))
+    routes = route_requests(metric, requests, transmission_range=35.0)
+    return routes, layered_multihop_schedule(metric, routes, beta=0.8)
+
+
+def test_multihop_pipeline(benchmark, save_table):
+    routes, result = benchmark.pedantic(
+        _run, args=(40, 12, 7), rounds=1, iterations=1
+    )
+    table = Table(
+        title="Multi-hop: layered scheduling on a 40-node deployment",
+        columns=["requests", "max_hops", "total_slots", "mean_latency", "max_latency"],
+    )
+    table.add_row(
+        requests=len(routes),
+        max_hops=max(r.hop_count for r in routes),
+        total_slots=result.total_slots,
+        mean_latency=result.mean_latency,
+        max_latency=result.max_latency,
+    )
+    save_table("multihop", table)
+    assert result.total_slots >= max(r.hop_count for r in routes)

@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Every ``bench_eXX_*`` module regenerates one experiment table (the
+paper's "tables and figures", per DESIGN.md).  Besides timing, each
+bench writes its regenerated table to ``benchmarks/results/eXX.md`` so
+the artefacts behind EXPERIMENTS.md can be reproduced with a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Persist a regenerated experiment table under benchmarks/results/."""
+
+    def _save(name: str, table: Table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.md"
+        path.write_text(format_table(table) + "\n", encoding="utf-8")
+
+    return _save

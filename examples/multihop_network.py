@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Multi-hop network: route end-to-end flows, then schedule every hop.
+
+The related work (§1.3, Chafekar et al.) layers routing on top of
+power assignment + coloring.  This example builds a random 50-node
+network, routes a handful of end-to-end flows along shortest paths
+within transmission range, schedules each hop layer under the
+square-root assignment, and reports per-flow latency.
+
+Run:  python examples/multihop_network.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import EuclideanMetric
+from repro.multihop import layered_multihop_schedule, route_requests
+
+
+def main(seed: int = 1) -> None:
+    rng = np.random.default_rng(seed)
+    metric = EuclideanMetric(rng.uniform(0, 100, size=(50, 2)))
+
+    flows = []
+    while len(flows) < 8:
+        u, v = rng.integers(50, size=2)
+        if u != v and (int(u), int(v)) not in flows:
+            flows.append((int(u), int(v)))
+
+    routes = route_requests(metric, flows, transmission_range=40.0)
+    result = layered_multihop_schedule(metric, routes, beta=0.8)
+
+    print(f"{'flow':>10} | {'hops':>4} | {'latency':>7} | path")
+    print("-" * 60)
+    for route, latency in zip(routes, result.latencies):
+        flow = f"{route.source}->{route.destination}"
+        print(f"{flow:>10} | {route.hop_count:>4} | {latency:>7} | {route.path}")
+
+    print(f"\nschedule length: {result.total_slots} slots "
+          f"(layers: {result.layer_slots})")
+    print(f"mean latency {result.mean_latency:.1f}, max {result.max_latency}")
+    print("every layer's schedule is SINR-verified under the sqrt assignment")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""A tour of oblivious power assignments on the nested instance.
+
+Recreates the §1.2 intuition: on the nested requests
+``u_i = -2^i, v_i = 2^i``,
+
+* uniform power lets inner pairs drown outer pairs,
+* linear (and superlinear) power lets outer pairs drown inner pairs,
+* the square-root assignment balances both directions and schedules a
+  constant fraction simultaneously.
+
+Run:  python examples/power_assignment_tour.py
+"""
+
+import numpy as np
+
+from repro import (
+    LinearPower,
+    MeanPower,
+    SquareRootPower,
+    UniformPower,
+    greedy_max_feasible_subset,
+    nested_instance,
+    sinr_margins,
+)
+
+
+def main() -> None:
+    n = 24
+    instance = nested_instance(n, beta=0.5)
+    print(f"nested instance with {n} bidirectional pairs, "
+          f"radii 2^1 .. 2^{n}\n")
+
+    assignments = [
+        UniformPower(),
+        LinearPower(),
+        MeanPower(1.5),
+        MeanPower(0.75),
+        SquareRootPower(),
+    ]
+    print(f"{'assignment':>12} | {'capacity':>8} | {'fraction':>8} | scheduled pairs")
+    print("-" * 70)
+    for assignment in assignments:
+        powers = assignment(instance)
+        subset = greedy_max_feasible_subset(instance, powers)
+        print(f"{assignment.name:>12} | {subset.size:>8} | "
+              f"{subset.size / n:>8.2f} | {subset.tolist()}")
+
+    print("\nWhy uniform fails: margins when ALL pairs transmit at power 1")
+    margins = sinr_margins(instance, UniformPower()(instance),
+                           colors=np.zeros(n, dtype=int))
+    print("  outermost pair margin:", f"{margins[-1]:.2e}",
+          "(drowned by inner signals)")
+    print("  innermost pair margin:", f"{margins[0]:.2e}")
+
+    print("\nWhy sqrt works: same experiment under the sqrt assignment")
+    margins = sinr_margins(instance, SquareRootPower()(instance),
+                           colors=np.zeros(n, dtype=int))
+    print("  worst margin:", f"{margins.min():.2e}",
+          "- every pair is within a constant factor of feasibility,")
+    print("  so a constant fraction can be kept (Theorem 2's engine).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Watch the Theorem 2 proof machinery schedule an instance.
+
+Runs the constructive existence pipeline — pair splitting, tree
+ensemble + cores, centroid/star decomposition with the Lemma 5 star
+analysis, certification, gain rescaling — and prints what every stage
+keeps and drops, round by round.
+
+Run:  python examples/theorem2_pipeline.py [n] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import clustered_instance, verify_schedule
+from repro.experiments import sqrt_existence_pipeline
+
+
+def main(n: int = 20, seed: int = 3) -> None:
+    rng = np.random.default_rng(seed)
+    instance = clustered_instance(n, beta=0.8, rng=rng)
+    print(f"instance: {n} bidirectional pairs across clusters\n")
+
+    schedule, rounds = sqrt_existence_pipeline(instance, rng=rng)
+    report = verify_schedule(instance, schedule)
+
+    header = (f"{'round':>5} | {'remain':>6} | {'nodes':>5} | {'core':>4} | "
+              f"{'lemma9':>6} | {'certified':>9} | {'colored':>7} | fallback")
+    print(header)
+    print("-" * len(header))
+    for s in rounds:
+        print(f"{s.round_index:>5} | {s.remaining_pairs:>6} | "
+              f"{s.active_nodes:>5} | {s.core_nodes:>4} | "
+              f"{s.lemma9_kept:>6} | {s.certified_nodes:>9} | "
+              f"{s.pairs_colored:>7} | {s.fallback_used}")
+
+    print(f"\nfinal schedule: {report.summary()}")
+    print("(each round is one pass of the §3.5 argument; Proposition 4 may "
+          "split a round's catch into several colors)")
+
+
+if __name__ == "__main__":
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 20,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 3,
+    )

@@ -1,0 +1,63 @@
+"""Analysis and verification layer.
+
+* :mod:`~repro.analysis.power_control` — feasibility with *free*
+  (unconstrained, per-request) powers via Perron-Frobenius theory;
+  this realises the paper's "optimal power assignment" comparisons.
+* :mod:`~repro.analysis.capacity` — one-shot capacity estimation
+  (largest simultaneously-schedulable subset) under fixed powers.
+* :mod:`~repro.analysis.bounds` — certified lower bounds on the
+  optimal number of colors.
+* :mod:`~repro.analysis.measures` — static interference measures from
+  the related work (the ``I_in``-style measure of Moscibroda et al.).
+* :mod:`~repro.analysis.verify` — schedule verification reports.
+"""
+
+from repro.analysis.affectance import (
+    affectance_matrix,
+    fixed_power_conflict_bound,
+    max_average_affectance,
+    total_affectance,
+)
+from repro.analysis.achieved_gain import (
+    achieved_gain,
+    nodeloss_achieved_gain,
+    per_class_achieved_gains,
+    schedule_achieved_gain,
+)
+from repro.analysis.bounds import (
+    conflict_graph,
+    clique_lower_bound,
+    node_multiplicity_lower_bound,
+    opt_color_lower_bound,
+)
+from repro.analysis.capacity import greedy_max_feasible_subset, one_shot_capacity
+from repro.analysis.measures import in_interference_measure
+from repro.analysis.power_control import (
+    free_power_feasible,
+    free_power_spectral_radius,
+    free_powers,
+)
+from repro.analysis.verify import VerificationReport, verify_schedule
+
+__all__ = [
+    "affectance_matrix",
+    "total_affectance",
+    "max_average_affectance",
+    "fixed_power_conflict_bound",
+    "achieved_gain",
+    "schedule_achieved_gain",
+    "per_class_achieved_gains",
+    "nodeloss_achieved_gain",
+    "free_power_spectral_radius",
+    "free_power_feasible",
+    "free_powers",
+    "greedy_max_feasible_subset",
+    "one_shot_capacity",
+    "conflict_graph",
+    "clique_lower_bound",
+    "node_multiplicity_lower_bound",
+    "opt_color_lower_bound",
+    "in_interference_measure",
+    "VerificationReport",
+    "verify_schedule",
+]

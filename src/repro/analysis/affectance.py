@@ -1,0 +1,120 @@
+"""Affectance: the normalized interference measure of the follow-up
+SINR-scheduling literature.
+
+The affectance of request ``i`` by request ``j`` under powers ``p`` is
+the fraction of ``i``'s SINR budget that ``j`` consumes:
+
+    a_p(j -> i) = beta * (p_j / l(u_j -> i's worst endpoint)) /
+                  (p_i / l_i)
+
+(capped at 1 in the "one-slot" convention; uncapped here by default,
+with the cap as an option).  A set is feasible iff every request's
+total affectance is below 1.  Introduced in the literature that grew
+out of this paper (Kesselheim et al.), it is the standard tool for
+capacity arguments and makes a natural addition to the analysis layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.instance import Direction, Instance
+from repro.core.interference import (
+    bidirectional_gain_matrices,
+    directed_gain_matrix,
+)
+
+
+def affectance_matrix(
+    instance: Instance,
+    powers: np.ndarray,
+    beta: Optional[float] = None,
+    capped: bool = False,
+) -> np.ndarray:
+    """The pairwise affectance matrix ``A[i, j] = a_p(j -> i)``.
+
+    ``A[i, j]`` is the fraction of request ``i``'s interference budget
+    consumed by request ``j``; the diagonal is zero.  For the
+    bidirectional variant the worst endpoint of ``i`` is charged.
+    """
+    beta = instance.beta if beta is None else float(beta)
+    powers = np.asarray(powers, dtype=float)
+    if instance.direction is Direction.DIRECTED:
+        gains = directed_gain_matrix(instance, powers)
+    else:
+        gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+        gains = np.maximum(gains_u, gains_v)
+    signals = powers / instance.link_losses
+    affectance = beta * gains / signals[:, None]
+    if capped:
+        affectance = np.minimum(affectance, 1.0)
+    return affectance
+
+
+def total_affectance(
+    instance: Instance,
+    powers: np.ndarray,
+    subset: Optional[Sequence[int]] = None,
+    beta: Optional[float] = None,
+) -> np.ndarray:
+    """Total affectance suffered by each request of *subset*.
+
+    A value below 1 means the request's SINR constraint holds within
+    the subset; the maximum total affectance of a set is its natural
+    "load" measure.
+    """
+    matrix = affectance_matrix(instance, powers, beta=beta)
+    if subset is None:
+        return matrix.sum(axis=1)
+    idx = np.asarray(subset, dtype=int)
+    sub = matrix[np.ix_(idx, idx)]
+    return sub.sum(axis=1)
+
+
+def max_average_affectance(
+    instance: Instance,
+    powers: np.ndarray,
+    beta: Optional[float] = None,
+) -> float:
+    """Maximum over requests of average affectance — a lower-bound
+    style load statistic used in the follow-up literature: a schedule
+    into ``k`` colors forces some class to carry at least a ``1/k``
+    fraction of each row's affectance, so ``max_i avg_j A[i, j] * n``
+    relates to achievable class sizes."""
+    matrix = affectance_matrix(instance, powers, beta=beta, capped=True)
+    if instance.n <= 1:
+        return 0.0
+    return float(matrix.sum(axis=1).max() / (instance.n - 1))
+
+
+def fixed_power_conflict_bound(
+    instance: Instance,
+    powers: np.ndarray,
+    beta: Optional[float] = None,
+) -> int:
+    """A sound lower bound on colors *for these fixed powers*.
+
+    Two requests with ``A[i, j] >= 1`` or ``A[j, i] >= 1`` can never
+    share a color under *powers* (one of them would spend its whole
+    SINR budget on the other alone), so any clique in that conflict
+    graph needs pairwise-distinct colors.  A greedy clique supplies the
+    certificate.  Note this bounds colorings under the *given* powers;
+    :func:`repro.analysis.bounds.clique_lower_bound` is the
+    power-agnostic analogue.
+    """
+    matrix = affectance_matrix(instance, powers, beta=beta, capped=False)
+    conflicts = (matrix >= 1.0) | (matrix.T >= 1.0)
+    np.fill_diagonal(conflicts, False)
+    degrees = conflicts.sum(axis=1)
+    best = 1
+    for seed in np.argsort(-degrees)[: min(10, instance.n)]:
+        clique = [int(seed)]
+        candidates = set(np.flatnonzero(conflicts[seed]).tolist())
+        while candidates:
+            vertex = max(candidates, key=lambda v: degrees[v])
+            clique.append(int(vertex))
+            candidates &= set(np.flatnonzero(conflicts[vertex]).tolist())
+        best = max(best, len(clique))
+    return best

@@ -1,0 +1,66 @@
+"""One-shot capacity: largest simultaneously-schedulable subsets.
+
+Used by the nested-instance experiment (E2): how many of the requests
+can share a single color under a given power assignment?  Finding the
+maximum subset is NP-hard in general; :func:`greedy_max_feasible_subset`
+implements the standard peeling heuristic — repeatedly drop the request
+with the worst SINR margin until the remainder is feasible — which is
+exact on the highly structured instances used in the experiments'
+regimes of interest (geometric-series interference).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.feasibility import feasible_subset_mask, sinr_margins
+from repro.core.instance import Instance
+
+
+def greedy_max_feasible_subset(
+    instance: Instance,
+    powers: np.ndarray,
+    candidates: Optional[Sequence[int]] = None,
+    beta: Optional[float] = None,
+    rtol: float = 1e-9,
+) -> np.ndarray:
+    """A maximal feasible subset of *candidates* under fixed *powers*.
+
+    Peels the worst-margin request until every remaining request meets
+    its SINR constraint, then greedily re-adds dropped requests that
+    still fit (so the result is inclusion-maximal).
+    """
+    if candidates is None:
+        current = list(range(instance.n))
+    else:
+        current = [int(i) for i in candidates]
+    powers = np.asarray(powers, dtype=float)
+    dropped: list = []
+    while current:
+        subset = np.asarray(current, dtype=int)
+        mask = feasible_subset_mask(instance, powers, subset, beta=beta, rtol=rtol)
+        if np.all(mask):
+            break
+        margins = sinr_margins(instance, powers, subset=subset, beta=beta)
+        worst = int(np.argmin(margins))
+        dropped.append(current.pop(worst))
+    # Maximality pass: re-add any dropped request that still fits.
+    for req in reversed(dropped):
+        trial = np.asarray(current + [req], dtype=int)
+        if np.all(feasible_subset_mask(instance, powers, trial, beta=beta, rtol=rtol)):
+            current.append(req)
+    return np.asarray(sorted(current), dtype=int)
+
+
+def one_shot_capacity(
+    instance: Instance,
+    powers: np.ndarray,
+    beta: Optional[float] = None,
+    rtol: float = 1e-9,
+) -> int:
+    """Size of the greedy maximal feasible subset (one-color capacity)."""
+    return int(
+        greedy_max_feasible_subset(instance, powers, beta=beta, rtol=rtol).size
+    )

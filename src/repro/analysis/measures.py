@@ -1,0 +1,49 @@
+"""Static interference measures from the related work (§1.3).
+
+Moscibroda, Wattenhofer and Zollinger [13] schedule every set of
+directed requests in ``O(I_in log^2 n)`` colors, where ``I_in`` is a
+static measure of the instance.  The paper points out that ``I_in``
+can deviate from OPT by Omega(n), so it gives no approximation
+guarantee.  Experiment E10 reproduces both facts empirically.
+
+We use the standard formulation: the *in-interference* of a node ``w``
+is the number of requests whose own link is at least as long as their
+distance to ``w`` (i.e. requests that would "cover" ``w`` when
+transmitting at linear power), and
+
+    I_in = max over request endpoints w of in-interference(w).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import Instance
+
+
+def in_interference_measure(instance: Instance, slack: float = 1.0) -> int:
+    """The ``I_in`` static interference measure of *instance*.
+
+    Parameters
+    ----------
+    slack:
+        A request ``j`` covers node ``w`` when
+        ``d(u_j, w) <= slack * d(u_j, v_j)``; the measure is the
+        maximum cover count over all request endpoints.
+    """
+    if slack <= 0:
+        raise ValueError(f"slack must be > 0, got {slack}")
+    dist = instance.metric.distance_matrix()
+    link = instance.link_distances
+    endpoints = np.unique(np.concatenate([instance.senders, instance.receivers]))
+    # covers[j, w] = request j covers endpoint node w.
+    sender_to_node = dist[np.ix_(instance.senders, endpoints)]
+    covers = sender_to_node <= slack * link[:, None]
+    # A request trivially covers its own receiver; exclude self-cover at
+    # both own endpoints to measure *external* interference pressure.
+    node_pos = {int(node): k for k, node in enumerate(endpoints)}
+    for j in range(instance.n):
+        covers[j, node_pos[int(instance.senders[j])]] = False
+        covers[j, node_pos[int(instance.receivers[j])]] = False
+    per_node = covers.sum(axis=0)
+    return int(per_node.max()) if per_node.size else 0

@@ -1,0 +1,71 @@
+"""Schedule verification with a detailed report.
+
+:func:`verify_schedule` re-derives every SINR margin and returns a
+:class:`VerificationReport` suitable for experiment logs: per-request
+margins, the worst offender, per-color class sizes and the total
+energy.  ``Schedule.validate`` is the terse raise-on-failure variant;
+this module is the explain-everything variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.feasibility import DEFAULT_RTOL, sinr_margins
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying a schedule against an instance."""
+
+    feasible: bool
+    num_colors: int
+    margins: np.ndarray
+    worst_request: int
+    worst_margin: float
+    class_sizes: Dict[int, int] = field(default_factory=dict)
+    total_energy: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "FEASIBLE" if self.feasible else "INFEASIBLE"
+        return (
+            f"{status}: {self.num_colors} colors, worst margin "
+            f"{self.worst_margin:.4g} at request {self.worst_request}, "
+            f"energy {self.total_energy:.4g}"
+        )
+
+
+def verify_schedule(
+    instance: Instance,
+    schedule: Schedule,
+    beta: Optional[float] = None,
+    noise: Optional[float] = None,
+    rtol: float = DEFAULT_RTOL,
+) -> VerificationReport:
+    """Verify *schedule* against *instance* and explain the outcome."""
+    if schedule.n != instance.n:
+        raise ValueError(
+            f"schedule covers {schedule.n} requests, instance has {instance.n}"
+        )
+    margins = sinr_margins(
+        instance, schedule.powers, colors=schedule.colors, beta=beta, noise=noise
+    )
+    worst = int(np.argmin(margins))
+    class_sizes = {
+        color: int(members.size) for color, members in schedule.color_classes().items()
+    }
+    return VerificationReport(
+        feasible=bool(np.all(margins >= 1.0 - rtol)),
+        num_colors=schedule.num_colors,
+        margins=margins,
+        worst_request=worst,
+        worst_margin=float(margins[worst]),
+        class_sizes=class_sizes,
+        total_energy=schedule.total_energy(),
+    )

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the library.
+
+All library-specific failures derive from :class:`ReproError` so that
+callers can catch everything from this package with one clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An instance violates a structural requirement (bad indices,
+    non-positive link distances, invalid model parameters)."""
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A schedule object is malformed (wrong lengths, negative colors,
+    non-positive powers)."""
+
+
+class InfeasibleError(ReproError, RuntimeError):
+    """An algorithm could not produce a feasible result, e.g. a single
+    request that cannot satisfy its own SINR constraint under the
+    required power assignment."""

@@ -1,0 +1,202 @@
+"""Problem instances: a metric space plus communication requests.
+
+An :class:`Instance` bundles everything Section 1.1 fixes up front: the
+metric, the request pairs ``(u_i, v_i)``, the path-loss exponent
+``alpha``, the gain ``beta``, the ambient noise ``sigma`` and the
+problem variant (:class:`Direction`).
+
+Nodes are integer indices into the metric; requests are index pairs.
+All hot-path data (link losses, distance matrices) is exposed as numpy
+arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.errors import InvalidInstanceError
+from repro.geometry.metric import Metric
+
+
+class Direction(enum.Enum):
+    """Problem variant: which endpoints must decode (§1.1)."""
+
+    DIRECTED = "directed"
+    BIDIRECTIONAL = "bidirectional"
+
+
+class Instance:
+    """An interference scheduling instance.
+
+    Parameters
+    ----------
+    metric:
+        The host metric space.
+    senders, receivers:
+        Integer arrays of length ``n`` with the endpoints of each
+        request.  In the bidirectional variant the labels "sender" and
+        "receiver" are arbitrary but kept for a uniform representation.
+    direction:
+        :class:`Direction` or its string value.
+    alpha:
+        Path-loss exponent, ``alpha >= 1`` (footnote 1 of the paper).
+    beta:
+        Gain ``beta > 0`` of the SINR constraint.
+    noise:
+        Ambient noise ``sigma >= 0``; the paper's analysis uses 0.
+
+    Raises
+    ------
+    InvalidInstanceError
+        On malformed input, including requests whose two endpoints
+        coincide (zero loss would make the SINR constraint undefined).
+    """
+
+    def __init__(
+        self,
+        metric: Metric,
+        senders: Sequence[int],
+        receivers: Sequence[int],
+        direction: Union[Direction, str] = Direction.BIDIRECTIONAL,
+        alpha: float = 3.0,
+        beta: float = 1.0,
+        noise: float = 0.0,
+    ):
+        senders_arr = np.asarray(senders, dtype=int).reshape(-1)
+        receivers_arr = np.asarray(receivers, dtype=int).reshape(-1)
+        if senders_arr.size != receivers_arr.size:
+            raise InvalidInstanceError(
+                f"senders ({senders_arr.size}) and receivers ({receivers_arr.size}) "
+                "must have the same length"
+            )
+        if senders_arr.size == 0:
+            raise InvalidInstanceError("instance must contain at least one request")
+        if np.any(senders_arr < 0) or np.any(senders_arr >= metric.n):
+            raise InvalidInstanceError("sender index out of range")
+        if np.any(receivers_arr < 0) or np.any(receivers_arr >= metric.n):
+            raise InvalidInstanceError("receiver index out of range")
+        if isinstance(direction, str):
+            direction = Direction(direction)
+        if alpha < 1:
+            raise InvalidInstanceError(f"alpha must be >= 1, got {alpha}")
+        if not beta > 0:
+            raise InvalidInstanceError(f"beta must be > 0, got {beta}")
+        if noise < 0:
+            raise InvalidInstanceError(f"noise must be >= 0, got {noise}")
+
+        self.metric = metric
+        self.senders = senders_arr.copy()
+        self.receivers = receivers_arr.copy()
+        self.senders.setflags(write=False)
+        self.receivers.setflags(write=False)
+        self.direction = direction
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.noise = float(noise)
+
+        distances = metric.distance_matrix()[self.senders, self.receivers]
+        if np.any(distances <= 0):
+            bad = int(np.argmax(distances <= 0))
+            raise InvalidInstanceError(
+                f"request {bad} has zero distance between its endpoints"
+            )
+        self._link_distances = distances
+        self._link_distances.setflags(write=False)
+        self._link_losses = distances**self.alpha
+        self._link_losses.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def directed(cls, metric: Metric, pairs: Sequence[Tuple[int, int]], **kwargs) -> "Instance":
+        """Build a directed instance from ``(sender, receiver)`` pairs."""
+        senders = [p[0] for p in pairs]
+        receivers = [p[1] for p in pairs]
+        return cls(metric, senders, receivers, direction=Direction.DIRECTED, **kwargs)
+
+    @classmethod
+    def bidirectional(cls, metric: Metric, pairs: Sequence[Tuple[int, int]], **kwargs) -> "Instance":
+        """Build a bidirectional instance from endpoint pairs."""
+        senders = [p[0] for p in pairs]
+        receivers = [p[1] for p in pairs]
+        return cls(metric, senders, receivers, direction=Direction.BIDIRECTIONAL, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Derived data
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of requests."""
+        return self.senders.size
+
+    @property
+    def link_distances(self) -> np.ndarray:
+        """Distances ``d(u_i, v_i)`` of each request (read-only)."""
+        return self._link_distances
+
+    @property
+    def link_losses(self) -> np.ndarray:
+        """Losses ``l(u_i, v_i) = d(u_i, v_i)**alpha`` (read-only)."""
+        return self._link_losses
+
+    def pairs(self) -> list:
+        """The request list as ``[(u_0, v_0), ...]``."""
+        return list(zip(self.senders.tolist(), self.receivers.tolist()))
+
+    def with_direction(self, direction: Union[Direction, str]) -> "Instance":
+        """A copy of this instance in the other problem variant."""
+        return Instance(
+            self.metric,
+            self.senders,
+            self.receivers,
+            direction=direction,
+            alpha=self.alpha,
+            beta=self.beta,
+            noise=self.noise,
+        )
+
+    def with_gain(self, beta: float) -> "Instance":
+        """A copy of this instance with a different gain ``beta``.
+
+        The proof machinery of §3.1 constantly rescales the gain, so
+        this is a first-class operation.
+        """
+        return Instance(
+            self.metric,
+            self.senders,
+            self.receivers,
+            direction=self.direction,
+            alpha=self.alpha,
+            beta=beta,
+            noise=self.noise,
+        )
+
+    def subset(self, indices: Sequence[int]) -> "Instance":
+        """The sub-instance restricted to the given request *indices*.
+
+        The metric is shared; only the request list shrinks.
+        """
+        indices = np.asarray(indices, dtype=int).reshape(-1)
+        if indices.size == 0:
+            raise InvalidInstanceError("subset must contain at least one request")
+        return Instance(
+            self.metric,
+            self.senders[indices],
+            self.receivers[indices],
+            direction=self.direction,
+            alpha=self.alpha,
+            beta=self.beta,
+            noise=self.noise,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Instance(n={self.n}, direction={self.direction.value}, "
+            f"alpha={self.alpha}, beta={self.beta}, noise={self.noise})"
+        )

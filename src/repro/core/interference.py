@@ -1,0 +1,147 @@
+"""Interference computations for both problem variants.
+
+The central objects are *gain matrices*: ``G[i, j]`` is the received
+power at request ``i``'s relevant endpoint(s) due to request ``j``
+transmitting with power ``p_j``.
+
+* Directed (§1.1): ``G[i, j] = p_j / l(u_j, v_i)`` — only the receiver
+  ``v_i`` matters, and only the *sender* ``u_j`` of another pair
+  interferes.
+* Bidirectional (§1.1): both endpoints of ``i`` must decode and the
+  worst endpoint of pair ``j`` interferes:
+  ``G_w[i, j] = p_j / min(l(u_j, w), l(v_j, w))`` for
+  ``w in {u_i, v_i}``.
+
+Pairs that share a node produce infinite entries (zero loss), which is
+the correct semantics: such pairs can never share a color.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import Direction, Instance
+
+
+def _safe_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise ``numerator / denominator`` with ``x/0 -> inf``."""
+    out = np.full(np.broadcast(numerator, denominator).shape, np.inf)
+    np.divide(numerator, denominator, out=out, where=denominator > 0)
+    return out
+
+
+def directed_gain_matrix(instance: Instance, powers: np.ndarray) -> np.ndarray:
+    """The directed gain matrix ``G[i, j] = p_j / l(u_j, v_i)``.
+
+    The diagonal is set to zero (a pair does not interfere with
+    itself).
+    """
+    powers = np.asarray(powers, dtype=float)
+    loss = instance.metric.loss_matrix(instance.alpha)
+    # cross_loss[i, j] = l(u_j, v_i)
+    cross_loss = loss[np.ix_(instance.receivers, instance.senders)]
+    gains = _safe_divide(powers[None, :], cross_loss)
+    np.fill_diagonal(gains, 0.0)
+    return gains
+
+
+def bidirectional_gain_matrices(
+    instance: Instance, powers: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The two endpoint gain matrices of the bidirectional variant.
+
+    Returns ``(G_u, G_v)`` where ``G_u[i, j]`` is the interference pair
+    ``j`` induces at endpoint ``u_i`` and ``G_v[i, j]`` at ``v_i``:
+    ``p_j / min(l(u_j, w), l(v_j, w))``.  Diagonals are zero.
+    """
+    powers = np.asarray(powers, dtype=float)
+    loss = instance.metric.loss_matrix(instance.alpha)
+    s, r = instance.senders, instance.receivers
+    # min_at_u[i, j] = min(l(u_j, u_i), l(v_j, u_i))
+    l_us_us = loss[np.ix_(s, s)]  # [i, j] = l(u_i, u_j) = l(u_j, u_i)
+    l_vs_us = loss[np.ix_(s, r)]  # [i, j] = l(u_i, v_j) = l(v_j, u_i)
+    min_at_u = np.minimum(l_us_us, l_vs_us)
+    l_us_vs = loss[np.ix_(r, s)]  # [i, j] = l(v_i, u_j)
+    l_vs_vs = loss[np.ix_(r, r)]  # [i, j] = l(v_i, v_j)
+    min_at_v = np.minimum(l_us_vs, l_vs_vs)
+
+    gains_u = _safe_divide(powers[None, :], min_at_u)
+    gains_v = _safe_divide(powers[None, :], min_at_v)
+    np.fill_diagonal(gains_u, 0.0)
+    np.fill_diagonal(gains_v, 0.0)
+    return gains_u, gains_v
+
+
+def _class_sum(gains: np.ndarray, colors: Optional[np.ndarray]) -> np.ndarray:
+    """Row sums of *gains* restricted to same-color columns."""
+    n = gains.shape[0]
+    if colors is None:
+        return gains.sum(axis=1)
+    colors = np.asarray(colors)
+    same = colors[:, None] == colors[None, :]
+    np.fill_diagonal(same, False)
+    # 0 * inf would be nan; mask infinities explicitly.
+    masked = np.where(same, gains, 0.0)
+    return masked.sum(axis=1)
+
+
+def directed_interference(
+    instance: Instance,
+    powers: np.ndarray,
+    colors: Optional[np.ndarray] = None,
+    subset: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Interference at each receiver in the directed variant.
+
+    Parameters
+    ----------
+    colors:
+        If given, only same-color pairs interfere.
+    subset:
+        If given, restrict the instance to these request indices first
+        (the result has ``len(subset)`` entries).
+    """
+    if subset is not None:
+        subset = np.asarray(subset, dtype=int)
+        sub = instance.subset(subset)
+        sub_powers = np.asarray(powers, dtype=float)[subset]
+        sub_colors = None if colors is None else np.asarray(colors)[subset]
+        return directed_interference(sub, sub_powers, sub_colors)
+    gains = directed_gain_matrix(instance, powers)
+    return _class_sum(gains, colors)
+
+
+def bidirectional_interference(
+    instance: Instance,
+    powers: np.ndarray,
+    colors: Optional[np.ndarray] = None,
+    subset: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Worst-endpoint interference for each pair, bidirectional variant.
+
+    Returns, for each request ``i``, ``max_w`` over the two endpoints of
+    the total same-color interference at ``w``.  The SINR constraint
+    must hold at *both* endpoints, so the maximum is the binding value.
+    """
+    if subset is not None:
+        subset = np.asarray(subset, dtype=int)
+        sub = instance.subset(subset)
+        sub_powers = np.asarray(powers, dtype=float)[subset]
+        sub_colors = None if colors is None else np.asarray(colors)[subset]
+        return bidirectional_interference(sub, sub_powers, sub_colors)
+    gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+    return np.maximum(_class_sum(gains_u, colors), _class_sum(gains_v, colors))
+
+
+def interference(
+    instance: Instance,
+    powers: np.ndarray,
+    colors: Optional[np.ndarray] = None,
+    subset: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Variant-dispatching interference (directed or bidirectional)."""
+    if instance.direction is Direction.DIRECTED:
+        return directed_interference(instance, powers, colors, subset)
+    return bidirectional_interference(instance, powers, colors, subset)

@@ -1,0 +1,30 @@
+"""Metric embedding machinery for the Theorem 2 pipeline.
+
+* :mod:`~repro.embedding.hst` — FRT-style random hierarchically
+  separated trees: dominating tree metrics with expected O(log n)
+  stretch.
+* :mod:`~repro.embedding.tree_ensemble` — Lemma 6: an ensemble of
+  r = O(log n) trees such that every node has low stretch in at least
+  a 9/10 fraction of them (its *cores*).
+* :mod:`~repro.embedding.star_decomposition` — Lemma 9: recursive
+  centroid decomposition of a tree metric into stars, applying the
+  Lemma 5 star analysis at every level.
+"""
+
+from repro.embedding.hst import HstEmbedding, build_hst
+from repro.embedding.star_decomposition import Lemma9Result, lemma9_subset
+from repro.embedding.tree_ensemble import (
+    TreeEnsemble,
+    TreeEnsembleMember,
+    build_tree_ensemble,
+)
+
+__all__ = [
+    "HstEmbedding",
+    "build_hst",
+    "TreeEnsemble",
+    "TreeEnsembleMember",
+    "build_tree_ensemble",
+    "Lemma9Result",
+    "lemma9_subset",
+]

@@ -1,0 +1,195 @@
+"""FRT-style random tree embeddings.
+
+Lemma 6 of the paper is "suitably adapted from a lemma in [6]" (Gupta,
+Hajiaghayi, Räcke: oblivious network design), whose engine is the
+Fakcharoenphol-Rao-Talwar (FRT) random hierarchical decomposition:
+
+* pick a uniformly random permutation ``pi`` of the points and a
+  radius scale ``b`` uniform in [1, 2);
+* at level ``i`` (radii ``b * 2^(i-1)``), assign every point to the
+  first point in ``pi``-order within the radius; nested assignments
+  over descending levels form a laminar family;
+* the laminar family, with level-``i`` edges of weight ``2^i``, is a
+  tree whose shortest-path metric *dominates* the original metric and
+  stretches each pair by O(log n) in expectation.
+
+Leaves ``0 .. n-1`` of the produced :class:`TreeMetric` are the
+original points; internal (Steiner) cluster nodes get indices ``>= n``.
+Single-child chains are contracted (weights added) which preserves all
+leaf-to-leaf distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.metric import Metric
+from repro.geometry.tree import TreeMetric
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class HstEmbedding:
+    """A random dominating tree embedding of a metric.
+
+    Attributes
+    ----------
+    tree:
+        The host tree; original point ``v`` is tree node ``v``
+        (indices ``>= n_points`` are Steiner cluster nodes).
+    n_points:
+        Number of embedded points.
+    """
+
+    tree: TreeMetric
+    n_points: int
+
+    def point_distances(self) -> np.ndarray:
+        """Tree distances restricted to the embedded points."""
+        return self.tree.distance_matrix()[: self.n_points, : self.n_points]
+
+    def stretches(self, metric: Metric) -> np.ndarray:
+        """Per-point worst-case stretch ``max_u T(u, v) / d(u, v)``."""
+        original = metric.distance_matrix()
+        embedded = self.point_distances()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(original > 0, embedded / original, 1.0)
+        return ratio.max(axis=1)
+
+    def dominates(self, metric: Metric, rtol: float = 1e-9) -> bool:
+        """Check the Lemma 6 dominance property ``T(u, v) >= d(u, v)``."""
+        original = metric.distance_matrix()
+        embedded = self.point_distances()
+        return bool(np.all(embedded >= original * (1.0 - rtol)))
+
+
+def build_hst(metric: Metric, rng: RngLike = None) -> HstEmbedding:
+    """Sample one FRT tree embedding of *metric*.
+
+    Runs in O(n^2 log Delta) time where Delta is the aspect ratio.
+    A single point yields a one-node tree.
+    """
+    rng = ensure_rng(rng)
+    n = metric.n
+    if n == 1:
+        return HstEmbedding(tree=_single_node_tree(), n_points=1)
+    dist = metric.distance_matrix()
+    positive = dist[dist > 0]
+    if positive.size == 0:
+        raise ValueError("all points coincide; no embedding possible")
+    scale = float(np.min(positive))
+    norm = dist / scale  # min positive distance becomes 1
+    diameter = float(np.max(norm))
+    top_level = max(1, int(math.ceil(math.log2(max(diameter, 1.0)))) + 1)
+
+    permutation = rng.permutation(n)
+    radius_scale = float(rng.uniform(1.0, 2.0))
+
+    # clusters[level] maps frozenset-of-points -> member list; we track
+    # the laminar family as parent pointers between (level, cluster_id).
+    # Level top_level has the single root cluster.
+    levels: List[List[List[int]]] = []  # levels[k] = clusters at level top_level - k
+    parents: List[List[int]] = []  # parent cluster index (in previous level) per cluster
+    levels.append([list(range(n))])
+    parents.append([-1])
+
+    current = [list(range(n))]
+    for level in range(top_level - 1, -1, -1):
+        radius = radius_scale * (2.0 ** (level - 1))
+        next_clusters: List[List[int]] = []
+        next_parents: List[int] = []
+        for cluster_idx, cluster in enumerate(current):
+            if len(cluster) == 1:
+                next_clusters.append(list(cluster))
+                next_parents.append(cluster_idx)
+                continue
+            assignment: Dict[int, List[int]] = {}
+            for point in cluster:
+                for center in permutation:
+                    if norm[center, point] < radius:
+                        assignment.setdefault(int(center), []).append(point)
+                        break
+                else:  # pragma: no cover - every point covers itself
+                    assignment.setdefault(int(point), []).append(point)
+            for members in assignment.values():
+                next_clusters.append(members)
+                next_parents.append(cluster_idx)
+        levels.append(next_clusters)
+        parents.append(next_parents)
+        current = next_clusters
+
+    # Bottom level must be singletons (radius < 1 <= min distance).
+    if any(len(c) > 1 for c in current):  # pragma: no cover - safety net
+        raise AssertionError("FRT bottom level is not singletons")
+
+    return _laminar_to_tree(levels, parents, top_level, scale, n)
+
+
+def _single_node_tree() -> TreeMetric:
+    # TreeMetric requires n >= 1 and n - 1 edges.
+    return TreeMetric(1, [])
+
+
+def _laminar_to_tree(
+    levels: List[List[List[int]]],
+    parents: List[List[int]],
+    top_level: int,
+    scale: float,
+    n: int,
+) -> HstEmbedding:
+    """Convert the laminar cluster family into a TreeMetric, contracting
+    single-child chains (summing edge weights)."""
+    # Assign tree-node ids: leaves = point ids; internal clusters get
+    # fresh ids, except singleton bottom clusters which map to points.
+    # Edge from a level-L cluster to its child at level L-1 has weight
+    # 2^L (in normalised units, unscaled at the end).
+    #
+    # Contraction: a cluster with exactly one child is merged into the
+    # child, adding its parent-edge weight to the child's parent edge.
+    num_levels = len(levels)  # levels[k] at level top_level - k
+    # children[k][cluster_idx] = list of child indices in levels[k + 1]
+    children: List[List[List[int]]] = [
+        [[] for _ in levels[k]] for k in range(num_levels)
+    ]
+    for k in range(1, num_levels):
+        for child_idx, parent_idx in enumerate(parents[k]):
+            children[k - 1][parent_idx].append(child_idx)
+
+    edges: List[Tuple[int, int, float]] = []
+    next_id = n
+
+    def level_weight(k: int) -> float:
+        # Edge weight between levels[k] (level top_level - k) and its
+        # children at levels[k+1]: 2^(top_level - k).
+        return float(2.0 ** (top_level - k))
+
+    def resolve(k: int, idx: int) -> Tuple[int, float]:
+        """Resolve cluster (k, idx) to (tree_node_id, extra_weight) where
+        extra_weight accumulates contracted single-child edges *below*
+        the attachment point."""
+        nonlocal next_id
+        kids = children[k][idx]
+        if not kids:
+            return levels[k][idx][0], 0.0
+        if len(kids) == 1:
+            child_id, extra = resolve(k + 1, kids[0])
+            return child_id, extra + level_weight(k)
+        node_id = next_id
+        next_id += 1
+        for child_idx in kids:
+            child_id, extra = resolve(k + 1, child_idx)
+            edges.append((node_id, child_id, level_weight(k) + extra))
+        return node_id, 0.0
+
+    root_id, root_extra = resolve(0, 0)
+    total_nodes = next_id
+    scaled_edges = [(u, v, w * scale) for u, v, w in edges]
+    if total_nodes == 1:
+        tree = _single_node_tree()
+    else:
+        tree = TreeMetric(total_nodes, scaled_edges)
+    return HstEmbedding(tree=tree, n_points=n)

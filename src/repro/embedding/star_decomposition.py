@@ -1,0 +1,182 @@
+"""Centroid/star decomposition of tree metrics (Lemma 9).
+
+Lemma 9 turns a gamma'-feasible node set on a tree metric into a
+gamma-feasible set (gamma = Omega(gamma' / log^2.5 n)) for the
+square-root assignment, by recursively:
+
+1. picking a *centroid* ``c`` of the tree (components after removal
+   have at most half the nodes),
+2. viewing the active nodes as a *star* around ``c`` (leaf distances =
+   tree distances to ``c``; star distances dominate tree distances, so
+   feasibility carries over),
+3. running the Lemma 5 star selection, and
+4. recursing into the subtrees obtained by splitting at ``c``.
+
+Every node participates in at most ``log2 n`` levels; the final subset
+is the set of nodes never removed at any level.  The implementation
+verifies the result and reports per-level statistics so experiment E6/
+E3 can measure the polylog losses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.geometry.tree import TreeMetric, find_centroid
+from repro.nodeloss.feasibility import nodeloss_margins
+from repro.nodeloss.instance import NodeLossInstance, StarNodeLoss
+from repro.nodeloss.star_analysis import lemma5_subset
+
+
+@dataclass
+class Lemma9Result:
+    """Outcome of the recursive star decomposition.
+
+    Attributes
+    ----------
+    kept:
+        Active tree nodes that survived every level (indices into the
+        *active* list handed to :func:`lemma9_subset`).
+    levels:
+        Number of recursion levels executed.
+    star_sizes:
+        Sizes of the stars analysed (one entry per centroid handled).
+    dropped_per_level:
+        Nodes removed at each recursion depth.
+    dropped_final:
+        Nodes removed by the final certification peel on the tree
+        metric.
+    """
+
+    kept: np.ndarray
+    levels: int
+    star_sizes: List[int] = field(default_factory=list)
+    dropped_per_level: Dict[int, int] = field(default_factory=dict)
+    dropped_final: int = 0
+
+
+def lemma9_subset(
+    tree: TreeMetric,
+    active: Sequence[int],
+    losses: Sequence[float],
+    gamma: float,
+    gamma_prime: Optional[float] = None,
+    alpha: float = 3.0,
+    max_levels: Optional[int] = None,
+) -> Lemma9Result:
+    """Select a square-root-feasible subset via centroid/star recursion.
+
+    Parameters
+    ----------
+    tree:
+        Host tree metric (may contain Steiner nodes).
+    active:
+        Tree-node indices carrying node-loss requests.
+    losses:
+        Loss parameter per active node (aligned with *active*).
+    gamma:
+        Target gain for each star-level Lemma 5 call.
+    gamma_prime:
+        Witness gain forwarded to Lemma 5 (estimated per star when
+        ``None``).
+    max_levels:
+        Safety cap on recursion depth (default ``2 + log2(#tree
+        nodes)``).
+
+    Returns
+    -------
+    Lemma9Result
+        ``kept`` holds positions into *active* (not tree-node ids).
+    """
+    active = [int(v) for v in active]
+    losses = np.asarray(losses, dtype=float).reshape(-1)
+    if losses.size != len(active):
+        raise ValueError("losses must align with active nodes")
+    if len(set(active)) != len(active):
+        raise ValueError(
+            "active tree nodes must be distinct; merge requests sharing an "
+            "endpoint before the decomposition (they can never share a color)"
+        )
+    if max_levels is None:
+        max_levels = 2 + int(math.ceil(math.log2(max(2, tree.n))))
+
+    position_of = {v: k for k, v in enumerate(active)}
+    tree_dist = tree.distance_matrix()
+    removed: Set[int] = set()  # positions into `active`
+    star_sizes: List[int] = []
+    dropped_per_level: Dict[int, int] = {}
+    max_depth_seen = 0
+
+    def recurse(component: List[int], depth: int) -> None:
+        nonlocal max_depth_seen
+        max_depth_seen = max(max_depth_seen, depth)
+        live = [v for v in component if v in position_of]
+        if len(live) <= 1 or depth >= max_levels:
+            return
+        centroid = find_centroid(tree, component)
+        # Build the star of active nodes around the centroid.  Nodes at
+        # the centroid itself (distance 0) cannot be star leaves; they
+        # are simply not challenged at this level.
+        leaves = [v for v in live if tree_dist[v, centroid] > 0]
+        if len(leaves) >= 2:
+            deltas = np.asarray([tree_dist[v, centroid] for v in leaves])
+            leaf_losses = np.asarray([losses[position_of[v]] for v in leaves])
+            star = StarNodeLoss(deltas, leaf_losses, alpha=alpha)
+            result = lemma5_subset(star, gamma, gamma_prime=gamma_prime)
+            star_sizes.append(len(leaves))
+            kept_set = set(int(i) for i in result.kept)
+            level_drops = 0
+            for leaf_pos, v in enumerate(leaves):
+                if leaf_pos not in kept_set:
+                    removed.add(position_of[v])
+                    level_drops += 1
+            if level_drops:
+                dropped_per_level[depth] = (
+                    dropped_per_level.get(depth, 0) + level_drops
+                )
+        # Split at the centroid and recurse; the centroid joins each
+        # component's recursion is unnecessary (it is never challenged
+        # again, matching the paper's "delete all but one edge").
+        member_set = set(component)
+        for sub_component in tree.subtree_nodes_after_removal(centroid):
+            restricted = [v for v in sub_component if v in member_set]
+            if restricted:
+                recurse(restricted, depth + 1)
+
+    recurse(list(range(tree.n)), 0)
+
+    kept_positions = np.asarray(
+        [k for k in range(len(active)) if k not in removed], dtype=int
+    )
+
+    # Certification on the tree metric: peel until gamma-feasible under
+    # the square-root assignment.
+    dropped_final = 0
+    if kept_positions.size > 0:
+        node_ids = [active[k] for k in kept_positions]
+        sub_dist = tree_dist[np.ix_(node_ids, node_ids)]
+        instance = NodeLossInstance(
+            sub_dist, losses[kept_positions], alpha=alpha, beta=gamma
+        )
+        live = np.arange(kept_positions.size)
+        powers = instance.sqrt_powers()
+        while live.size > 0:
+            margins = nodeloss_margins(instance, powers, subset=live, gamma=gamma)
+            if np.all(margins >= 1.0 - 1e-9):
+                break
+            worst = int(np.argmin(margins))
+            live = np.delete(live, worst)
+            dropped_final += 1
+        kept_positions = kept_positions[live]
+
+    return Lemma9Result(
+        kept=kept_positions,
+        levels=max_depth_seen + 1,
+        star_sizes=star_sizes,
+        dropped_per_level=dropped_per_level,
+        dropped_final=dropped_final,
+    )

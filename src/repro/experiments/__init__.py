@@ -1,0 +1,46 @@
+"""Experiment harness: one module per paper claim.
+
+Each ``run_*`` function is deterministic given a seed, returns a
+:class:`repro.util.tables.Table`, and is shared by the benchmark suite
+(``benchmarks/bench_eXX_*.py``) and the examples.  The experiment ids
+(E1 .. E10) are defined in DESIGN.md and recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.e01_directed_lower_bound import run_directed_lower_bound
+from repro.experiments.e02_nested_intuition import run_nested_intuition
+from repro.experiments.e03_sqrt_universal import (
+    run_sqrt_universal,
+    run_theorem2_literal,
+)
+from repro.experiments.e04_coloring_algorithm import run_coloring_algorithm
+from repro.experiments.e05_gain_scaling import run_gain_scaling
+from repro.experiments.e06_star_analysis import run_star_analysis
+from repro.experiments.e07_tree_embedding import run_tree_embedding
+from repro.experiments.e08_directed_vs_bidirectional import (
+    run_directed_vs_bidirectional,
+)
+from repro.experiments.e09_energy_tradeoff import run_energy_tradeoff
+from repro.experiments.e10_iin_measure import run_iin_measure
+from repro.experiments.e11_distributed import run_distributed
+from repro.experiments.e12_connectivity import run_connectivity
+from repro.experiments.e13_exact_certification import run_exact_certification
+from repro.experiments.theorem2 import Theorem2RoundStats, sqrt_existence_pipeline
+
+__all__ = [
+    "run_directed_lower_bound",
+    "run_nested_intuition",
+    "run_sqrt_universal",
+    "run_theorem2_literal",
+    "run_coloring_algorithm",
+    "run_gain_scaling",
+    "run_star_analysis",
+    "run_tree_embedding",
+    "run_directed_vs_bidirectional",
+    "run_energy_tradeoff",
+    "run_iin_measure",
+    "run_distributed",
+    "run_connectivity",
+    "run_exact_certification",
+    "sqrt_existence_pipeline",
+    "Theorem2RoundStats",
+]

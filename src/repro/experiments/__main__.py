@@ -1,0 +1,105 @@
+"""Command-line experiment runner.
+
+Regenerates any subset of the paper's experiment tables:
+
+    python -m repro.experiments            # run everything (slow-ish)
+    python -m repro.experiments e1 e2 e5   # run selected experiments
+    python -m repro.experiments --list     # show what exists
+    python -m repro.experiments e3 --fast  # reduced sizes for a smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    run_coloring_algorithm,
+    run_connectivity,
+    run_directed_lower_bound,
+    run_directed_vs_bidirectional,
+    run_distributed,
+    run_energy_tradeoff,
+    run_exact_certification,
+    run_gain_scaling,
+    run_iin_measure,
+    run_nested_intuition,
+    run_sqrt_universal,
+    run_star_analysis,
+    run_theorem2_literal,
+    run_tree_embedding,
+)
+from repro.util.tables import format_table
+
+_FULL: Dict[str, Callable] = {
+    "e1": lambda: run_directed_lower_bound(n_values=(4, 8, 16, 24, 32)),
+    "e2": lambda: run_nested_intuition(n_values=(5, 10, 20, 30, 40)),
+    "e3": lambda: run_sqrt_universal(n_values=(10, 20, 40), trials=2),
+    "e4": lambda: run_coloring_algorithm(n_values=(10, 20, 40), trials=2),
+    "e5": lambda: run_gain_scaling(n=40, trials=3),
+    "e6": lambda: run_star_analysis(m=60, trials=3),
+    "e7": lambda: run_tree_embedding(n_values=(10, 20, 40), trials=2),
+    "e8": lambda: run_directed_vs_bidirectional(n_values=(10, 20, 40), trials=2),
+    "e9": lambda: run_energy_tradeoff(n=25, trials=3),
+    "e10": lambda: run_iin_measure(n_values=(8, 16, 32)),
+    "e3b": lambda: run_theorem2_literal(n_values=(10, 20, 40), trials=2),
+    "e11": lambda: run_distributed(n_values=(10, 20, 40), trials=2),
+    "e12": lambda: run_connectivity(n_values=(8, 16, 32), trials=2),
+    "e13": lambda: run_exact_certification(n_values=(6, 8, 10), trials=3),
+}
+
+_FAST: Dict[str, Callable] = {
+    "e1": lambda: run_directed_lower_bound(n_values=(4, 8)),
+    "e2": lambda: run_nested_intuition(n_values=(5, 10)),
+    "e3": lambda: run_sqrt_universal(n_values=(8,), trials=1),
+    "e4": lambda: run_coloring_algorithm(n_values=(8,), trials=1),
+    "e5": lambda: run_gain_scaling(n=16, trials=1),
+    "e6": lambda: run_star_analysis(m=20, trials=1),
+    "e7": lambda: run_tree_embedding(n_values=(8,), trials=1),
+    "e8": lambda: run_directed_vs_bidirectional(n_values=(8,), trials=1),
+    "e9": lambda: run_energy_tradeoff(n=10, trials=1),
+    "e10": lambda: run_iin_measure(n_values=(8,)),
+    "e3b": lambda: run_theorem2_literal(n_values=(8,), trials=1),
+    "e11": lambda: run_distributed(n_values=(8,), trials=1),
+    "e12": lambda: run_connectivity(n_values=(8,), trials=1),
+    "e13": lambda: run_exact_certification(n_values=(6,), trials=1),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper-reproduction experiment tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e1 .. e10); all when omitted",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced sizes (smoke run)"
+    )
+    args = parser.parse_args(argv)
+
+    registry = _FAST if args.fast else _FULL
+    if args.list:
+        for key in registry:
+            print(key)
+        return 0
+
+    chosen = [e.lower() for e in args.experiments] or list(registry)
+    unknown = [e for e in chosen if e not in registry]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
+
+    for key in chosen:
+        table = registry[key]()
+        print(format_table(table))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

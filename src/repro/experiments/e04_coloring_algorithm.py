@@ -1,0 +1,94 @@
+"""E4 — Theorem 15: the LP coloring algorithm and its approximation.
+
+Compares, under the square-root assignment, the LP-based Section 5
+algorithm, its greedy variant, plain first-fit, peeling and the
+trivial schedule, against a certified lower bound on OPT.  Expected
+shape: the measured approximation factor (colors / lower bound) grows
+at most logarithmically in ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bounds import opt_color_lower_bound
+from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.scheduling.trivial import trivial_schedule
+from repro.util.rng import RngLike, ensure_rng, spawn_rngs
+from repro.util.tables import Table
+
+
+def run_coloring_algorithm(
+    n_values: Sequence[int] = (10, 20, 40),
+    families: Optional[Dict[str, InstanceFactory]] = None,
+    trials: int = 3,
+    rng: RngLike = 99,
+) -> Table:
+    """Compare coloring algorithms for the square-root assignment."""
+    if families is None:
+        families = default_families()
+    rng = ensure_rng(rng)
+    table = Table(
+        title="E4: Theorem 15 — coloring algorithms under the sqrt assignment",
+        columns=[
+            "family",
+            "n",
+            "lp",
+            "greedy_sweep",
+            "first_fit",
+            "peeling",
+            "trivial",
+            "opt_lb",
+            "approx_factor",
+            "log2n",
+        ],
+    )
+    table.add_note(
+        "approx_factor = best measured colors / certified OPT lower bound"
+    )
+    for family_name, factory in families.items():
+        for n in n_values:
+            results = {key: [] for key in ("lp", "greedy", "ff", "peel", "triv", "lb")}
+            for child in spawn_rngs(rng, trials):
+                instance = factory(n, child)
+                powers = SquareRootPower()(instance)
+                sched_lp, _ = sqrt_coloring(instance, rng=child, use_lp=True)
+                sched_lp.validate(instance)
+                sched_greedy, _ = sqrt_coloring(instance, rng=child, use_lp=False)
+                sched_greedy.validate(instance)
+                sched_ff = first_fit_schedule(instance, powers)
+                sched_ff.validate(instance)
+                sched_peel = peeling_schedule(instance, powers)
+                sched_peel.validate(instance)
+                sched_triv = trivial_schedule(instance)
+                sched_triv.validate(instance)
+                results["lp"].append(sched_lp.num_colors)
+                results["greedy"].append(sched_greedy.num_colors)
+                results["ff"].append(sched_ff.num_colors)
+                results["peel"].append(sched_peel.num_colors)
+                results["triv"].append(sched_triv.num_colors)
+                results["lb"].append(opt_color_lower_bound(instance))
+            best = min(
+                float(np.mean(results[key])) for key in ("lp", "greedy", "ff", "peel")
+            )
+            lower = max(1.0, float(np.mean(results["lb"])))
+            table.add_row(
+                family=family_name,
+                n=n,
+                lp=float(np.mean(results["lp"])),
+                greedy_sweep=float(np.mean(results["greedy"])),
+                first_fit=float(np.mean(results["ff"])),
+                peeling=float(np.mean(results["peel"])),
+                trivial=float(np.mean(results["triv"])),
+                opt_lb=lower,
+                approx_factor=best / lower,
+                log2n=math.log2(n),
+            )
+    return table

@@ -1,0 +1,84 @@
+"""E5 — Propositions 3 & 4: the cost of rescaling the gain.
+
+Proposition 4 promises that making the gain stricter by a factor
+``gamma'/gamma`` costs only ``O(gamma'/gamma * log n)`` colors.  The
+experiment fixes random instances, colors them at gain ``gamma`` with
+first-fit under the square-root assignment, then recolors at stricter
+gains ``gamma' = s * gamma`` and compares the measured color blow-up
+against the proven ``s * log n`` envelope.
+
+Proposition 3 is measured through the size of the largest
+stricter-gain class relative to ``gamma/(8 gamma') * n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.gain_scaling import (
+    densest_subset_at_gain,
+    rescale_gain_coloring,
+)
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.util.rng import RngLike, ensure_rng, spawn_rngs
+from repro.util.tables import Table
+
+
+def run_gain_scaling(
+    n: int = 40,
+    scale_factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    trials: int = 3,
+    base_gamma: float = 0.5,
+    rng: RngLike = 7,
+) -> Table:
+    """Measure color blow-up and densest-class size under gain rescaling."""
+    rng = ensure_rng(rng)
+    table = Table(
+        title="E5: Propositions 3 & 4 — gain rescaling",
+        columns=[
+            "scale",
+            "colors_base",
+            "colors_rescaled",
+            "blowup",
+            "envelope_s_logn",
+            "densest_class",
+            "prop3_bound",
+        ],
+    )
+    table.add_note(
+        f"n={n}, base gamma={base_gamma}; envelope = s * log2(n), "
+        "prop3_bound = n * gamma/(8 gamma')"
+    )
+    children = spawn_rngs(rng, trials)
+    instances = [random_uniform_instance(n, beta=base_gamma, rng=c) for c in children]
+    power = SquareRootPower()
+    base_schedules = [
+        first_fit_schedule(inst, power(inst), beta=base_gamma) for inst in instances
+    ]
+    for scale in scale_factors:
+        gamma_target = base_gamma * scale
+        blowups, colors_base, colors_new, densest = [], [], [], []
+        for instance, base_sched in zip(instances, base_schedules):
+            powers = power(instance)
+            rescaled = rescale_gain_coloring(instance, powers, gamma_target)
+            rescaled.validate(instance, beta=gamma_target)
+            subset, _ = densest_subset_at_gain(instance, powers, gamma_target)
+            colors_base.append(base_sched.num_colors)
+            colors_new.append(rescaled.num_colors)
+            blowups.append(rescaled.num_colors / base_sched.num_colors)
+            densest.append(subset.size)
+        table.add_row(
+            scale=scale,
+            colors_base=float(np.mean(colors_base)),
+            colors_rescaled=float(np.mean(colors_new)),
+            blowup=float(np.mean(blowups)),
+            envelope_s_logn=scale * math.log2(n),
+            densest_class=float(np.mean(densest)),
+            prop3_bound=n / (8.0 * scale),
+        )
+    return table

@@ -1,0 +1,98 @@
+"""E7 — Lemma 6: tree ensembles dominate and have large cores.
+
+For each instance family the experiment samples a tree ensemble and
+verifies/measures the two Lemma 6 properties:
+
+1. every tree *dominates* the original metric (hard check, must hold
+   always);
+2. every node belongs to the core (stretch at most O(log n)) of at
+   least a 9/10 fraction of the trees (measured; the constants in the
+   stretch bound are reported).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.embedding.tree_ensemble import build_tree_ensemble
+from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
+from repro.util.rng import RngLike, ensure_rng, spawn_rngs
+from repro.util.tables import Table
+
+
+def run_tree_embedding(
+    n_values: Sequence[int] = (10, 20, 40),
+    families: Optional[Dict[str, InstanceFactory]] = None,
+    stretch_factor: float = 8.0,
+    trials: int = 2,
+    rng: RngLike = 21,
+) -> Table:
+    """Measure dominance, stretch and core sizes of tree ensembles."""
+    if families is None:
+        families = default_families()
+    rng = ensure_rng(rng)
+    table = Table(
+        title="E7: Lemma 6 — tree ensembles (dominance, stretch, cores)",
+        columns=[
+            "family",
+            "n_points",
+            "r",
+            "dominates",
+            "median_stretch",
+            "fixed_bound",
+            "min_core_fraction",
+            "calibrated_bound",
+            "calibrated_over_log2n",
+            "calibrated_core_fraction",
+        ],
+    )
+    table.add_note(
+        f"fixed bound = {stretch_factor} * log2(n+1); the calibrated bound "
+        "is the smallest giving every node >= 9/10 core membership "
+        "(Lemma 6 asserts it is O(log n))"
+    )
+    for family_name, factory in families.items():
+        for n in n_values:
+            dominates_all = True
+            stretches, core_fracs, rs, n_points = [], [], [], []
+            calib_bounds, calib_fracs = [], []
+            for child in spawn_rngs(rng, trials):
+                instance = factory(n, child)
+                metric = instance.metric
+                bound = stretch_factor * math.log2(metric.n + 1)
+                ensemble = build_tree_ensemble(
+                    metric, stretch_bound=bound, rng=child
+                )
+                for member in ensemble.members:
+                    if not member.embedding.dominates(metric):
+                        dominates_all = False
+                    stretches.append(member.stretch)
+                core_fracs.append(
+                    float(np.min(ensemble.core_membership_fractions()))
+                )
+                calibrated = ensemble.calibrated(0.9)
+                calib_bounds.append(calibrated.stretch_bound)
+                calib_fracs.append(
+                    float(np.min(calibrated.core_membership_fractions()))
+                )
+                rs.append(ensemble.r)
+                n_points.append(metric.n)
+            all_stretch = np.concatenate(stretches)
+            mean_points = float(np.mean(n_points))
+            table.add_row(
+                family=family_name,
+                n_points=mean_points,
+                r=float(np.mean(rs)),
+                dominates=dominates_all,
+                median_stretch=float(np.median(all_stretch)),
+                fixed_bound=stretch_factor * math.log2(mean_points + 1),
+                min_core_fraction=float(np.mean(core_fracs)),
+                calibrated_bound=float(np.mean(calib_bounds)),
+                calibrated_over_log2n=float(np.mean(calib_bounds))
+                / math.log2(mean_points + 1),
+                calibrated_core_fraction=float(np.mean(calib_fracs)),
+            )
+    return table

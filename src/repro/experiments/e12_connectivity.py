@@ -1,0 +1,75 @@
+"""E12 — [12]'s strong-connectivity workload on our schedulers.
+
+Moscibroda-Wattenhofer: on worst-case point placements, uniform and
+linear assignments need Omega(n) colors for connectivity requests
+while good power control needs polylog(n).  The experiment schedules
+MST-connectivity requests over (a) the exponential node chain (their
+worst case) and (b) random deployments, under uniform / linear / sqrt
+/ free powers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.instance import Direction
+from repro.geometry.euclidean import EuclideanMetric
+from repro.instances.connectivity import (
+    exponential_node_chain,
+    mst_connectivity_instance,
+)
+from repro.power.oblivious import LinearPower, SquareRootPower, UniformPower
+from repro.scheduling.firstfit import (
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+)
+from repro.util.rng import RngLike, ensure_rng, spawn_rngs
+from repro.util.tables import Table
+
+
+def run_connectivity(
+    n_values: Sequence[int] = (8, 16, 32),
+    trials: int = 2,
+    beta: float = 0.5,
+    rng: RngLike = 71,
+) -> Table:
+    """Colors needed for MST-connectivity under different assignments."""
+    rng = ensure_rng(rng)
+    table = Table(
+        title="E12: [12] — strong-connectivity scheduling",
+        columns=[
+            "placement",
+            "n_nodes",
+            "uniform",
+            "linear",
+            "sqrt",
+            "free_power",
+        ],
+    )
+    table.add_note(
+        "bidirectional MST requests; colors via first-fit per assignment, "
+        f"beta={beta}"
+    )
+    assignments = (UniformPower(), LinearPower(), SquareRootPower())
+    for n in n_values:
+        placements = [("exp-chain", exponential_node_chain(n))]
+        child = spawn_rngs(rng, 1)[0]
+        placements.append(
+            ("random-square", EuclideanMetric(child.uniform(0, 100, size=(n, 2))))
+        )
+        for name, metric in placements:
+            instance = mst_connectivity_instance(
+                metric, direction=Direction.BIDIRECTIONAL, beta=beta
+            )
+            row = {"placement": name, "n_nodes": n}
+            for assignment in assignments:
+                schedule = first_fit_schedule(instance, assignment(instance))
+                schedule.validate(instance)
+                row[assignment.name] = schedule.num_colors
+            free = first_fit_free_power_schedule(instance)
+            free.validate(instance)
+            row["free_power"] = free.num_colors
+            table.add_row(**row)
+    return table

@@ -1,0 +1,79 @@
+"""E13 — exact certification of approximation factors (extension).
+
+On small instances the true optimum is computable by the subset DP of
+:mod:`repro.scheduling.exact`; this experiment certifies the measured
+approximation factors of the heuristic and LP schedulers against that
+ground truth rather than against lower-bound proxies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.instances.random_instances import clustered_instance, random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.exact import exact_minimum_colors
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.util.rng import RngLike, ensure_rng, spawn_rngs
+from repro.util.tables import Table
+
+
+def run_exact_certification(
+    n_values: Sequence[int] = (6, 8, 10),
+    trials: int = 4,
+    rng: RngLike = 81,
+) -> Table:
+    """Certify heuristic approximation factors against exact OPT."""
+    rng = ensure_rng(rng)
+    table = Table(
+        title="E13: exact OPT certification (small instances)",
+        columns=[
+            "family",
+            "n",
+            "exact_opt",
+            "first_fit_factor",
+            "peeling_factor",
+            "lp_factor",
+            "exact_free_opt",
+        ],
+    )
+    table.add_note(
+        "factors = measured colors / exact OPT for the sqrt assignment; "
+        "exact_free_opt allows per-class power control"
+    )
+    families = {
+        "uniform-square": lambda n, child: random_uniform_instance(n, rng=child),
+        "clustered": lambda n, child: clustered_instance(
+            n, cluster_std=3.0, rng=child
+        ),
+    }
+    for family_name, factory in families.items():
+        for n in n_values:
+            opts, ff_f, peel_f, lp_f, free_opts = [], [], [], [], []
+            for child in spawn_rngs(rng, trials):
+                instance = factory(n, child)
+                powers = SquareRootPower()(instance)
+                opt, _ = exact_minimum_colors(instance, powers)
+                ff = first_fit_schedule(instance, powers)
+                peel = peeling_schedule(instance, powers)
+                lp, _ = sqrt_coloring(instance, rng=child)
+                free_opt, _ = exact_minimum_colors(instance)
+                opts.append(opt)
+                ff_f.append(ff.num_colors / opt)
+                peel_f.append(peel.num_colors / opt)
+                lp_f.append(lp.num_colors / opt)
+                free_opts.append(free_opt)
+            table.add_row(
+                family=family_name,
+                n=n,
+                exact_opt=float(np.mean(opts)),
+                first_fit_factor=float(np.mean(ff_f)),
+                peeling_factor=float(np.mean(peel_f)),
+                lp_factor=float(np.mean(lp_f)),
+                exact_free_opt=float(np.mean(free_opts)),
+            )
+    return table

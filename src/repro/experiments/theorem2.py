@@ -1,0 +1,242 @@
+"""The constructive Theorem 2 pipeline.
+
+Theorem 2's existence proof chains §3.2 (pair splitting), Lemma 6
+(tree ensemble + Proposition 7 core selection), Lemma 9 (centroid/star
+decomposition with Lemma 5 at every star) and §3.1 (gain rescaling).
+This module executes that exact chain as an algorithm, emitting one
+color class per round:
+
+1. split the remaining pairs into endpoint nodes with loss parameters
+   (requests sharing an endpoint are deferred — they can never share a
+   color anyway);
+2. pick the ensemble tree whose core covers the most active nodes
+   (Proposition 7); restrict to the core;
+3. run the Lemma 9 star decomposition on the tree (the tree dominates
+   the metric, so feasibility carries over to the tree for free);
+4. certify the surviving nodes on the *original* metric (Lemma 8's
+   role) by peeling at the target gain;
+5. keep the pairs with both endpoints alive (§3.2 backward direction);
+6. rescale the gain back to the instance's ``beta`` (Proposition 4)
+   by first-fit splitting the extracted pair set, and emit the
+   resulting classes as colors.
+
+The node-world stages run at the reduced gain ``beta / (2 + beta)``
+(§3.2): a node's partner alone contributes interference equal to the
+node's own signal, so node-world feasibility at the full pair gain is
+impossible by construction — the paper's reduction loses exactly this
+factor and recovers it with Proposition 3/4 at the end (§3.5).
+
+The result is a genuinely feasible schedule under the square-root
+assignment, produced by the paper's proof machinery — the measured
+number of colors is the empirical counterpart of the
+``O(log^{3.5+alpha} n)`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.instance import Direction, Instance
+from repro.core.schedule import Schedule
+from repro.embedding.star_decomposition import lemma9_subset
+from repro.embedding.tree_ensemble import TreeEnsemble, build_tree_ensemble
+from repro.nodeloss.feasibility import nodeloss_margins
+from repro.nodeloss.instance import NodeLossInstance
+from repro.nodeloss.transform import node_gain_from_pair_gain
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class Theorem2RoundStats:
+    """Diagnostics for one round of the existence pipeline."""
+
+    round_index: int
+    remaining_pairs: int
+    active_nodes: int
+    deferred_shared: int
+    tree_index: int
+    core_nodes: int
+    lemma9_kept: int
+    certified_nodes: int
+    pairs_colored: int
+    fallback_used: bool
+
+
+def _active_endpoint_nodes(
+    instance: Instance, remaining: np.ndarray
+) -> Tuple[List[int], List[float], List[int], int]:
+    """Unique endpoint nodes of *remaining* pairs with their losses.
+
+    Pairs whose endpoint collides with an already-claimed node are
+    deferred.  Returns (nodes, losses, pair_of_position, deferred).
+    """
+    claimed = {}
+    nodes: List[int] = []
+    losses: List[float] = []
+    owner: List[int] = []
+    deferred = 0
+    for pair in remaining:
+        u = int(instance.senders[pair])
+        v = int(instance.receivers[pair])
+        if u in claimed or v in claimed or u == v:
+            deferred += 1
+            continue
+        claimed[u] = pair
+        claimed[v] = pair
+        loss = float(instance.link_losses[pair])
+        nodes.extend([u, v])
+        losses.extend([loss, loss])
+        owner.extend([int(pair), int(pair)])
+    return nodes, losses, owner, deferred
+
+
+def sqrt_existence_pipeline(
+    instance: Instance,
+    rng: RngLike = None,
+    ensemble: Optional[TreeEnsemble] = None,
+    max_rounds: Optional[int] = None,
+) -> Tuple[Schedule, List[Theorem2RoundStats]]:
+    """Schedule *instance* via the Theorem 2 proof machinery.
+
+    Parameters
+    ----------
+    instance:
+        A bidirectional instance.
+    ensemble:
+        Pre-built Lemma 6 tree ensemble of the instance's metric
+        (sampled fresh when ``None``).
+    max_rounds:
+        Safety cap (default ``4 * n``); singleton fallback guarantees
+        progress, so the cap is never reached in practice.
+
+    Returns
+    -------
+    (schedule, round_stats)
+    """
+    if instance.direction is not Direction.BIDIRECTIONAL:
+        raise ValueError("the Theorem 2 pipeline applies to bidirectional instances")
+    rng = ensure_rng(rng)
+    if ensemble is None:
+        ensemble = build_tree_ensemble(instance.metric, rng=rng)
+    if max_rounds is None:
+        max_rounds = 4 * instance.n
+
+    beta = instance.beta
+    gamma_node = node_gain_from_pair_gain(beta)
+    colors = np.full(instance.n, -1, dtype=int)
+    powers = SquareRootPower()(instance)
+    metric_dist = instance.metric.distance_matrix()
+    remaining = np.arange(instance.n)
+    stats: List[Theorem2RoundStats] = []
+    color = 0
+    round_index = 0
+
+    while remaining.size > 0 and round_index < max_rounds:
+        nodes, losses, owner, deferred = _active_endpoint_nodes(instance, remaining)
+        fallback = False
+        certified: List[int] = []  # positions into `nodes`
+        tree_index = -1
+        core_count = 0
+        kept_count = 0
+
+        if nodes:
+            tree_index = ensemble.best_tree_for(nodes)
+            member = ensemble.members[tree_index]
+            in_core = [k for k, v in enumerate(nodes) if member.core[v]]
+            core_count = len(in_core)
+            if core_count >= 2:
+                tree = member.embedding.tree
+                core_nodes = [nodes[k] for k in in_core]
+                core_losses = np.asarray([losses[k] for k in in_core])
+                result = lemma9_subset(
+                    tree,
+                    core_nodes,
+                    core_losses,
+                    gamma=gamma_node,
+                    alpha=instance.alpha,
+                )
+                kept_count = int(result.kept.size)
+                # Certify on the original metric (Lemma 8's role).
+                kept_positions = [in_core[int(k)] for k in result.kept]
+                if kept_positions:
+                    ids = [nodes[k] for k in kept_positions]
+                    node_inst = NodeLossInstance(
+                        metric_dist[np.ix_(ids, ids)],
+                        np.asarray([losses[k] for k in kept_positions]),
+                        alpha=instance.alpha,
+                        beta=gamma_node,
+                    )
+                    live = np.arange(len(kept_positions))
+                    sqrt_p = node_inst.sqrt_powers()
+                    while live.size > 0:
+                        margins = nodeloss_margins(
+                            node_inst, sqrt_p, subset=live, gamma=gamma_node
+                        )
+                        if np.all(margins >= 1.0 - 1e-9):
+                            break
+                        live = np.delete(live, int(np.argmin(margins)))
+                    certified = [kept_positions[int(k)] for k in live]
+
+        # Backward direction of §3.2: keep the pairs with both
+        # endpoints certified.
+        alive = set(certified)
+        chosen = sorted(
+            {
+                owner[k]
+                for k in certified
+                if any(owner[j] == owner[k] and j != k for j in alive)
+            }
+        )
+        if not chosen:
+            # Guarantee progress: the longest remaining pair alone.
+            longest = remaining[
+                int(np.argmax(instance.link_distances[remaining]))
+            ]
+            chosen = [int(longest)]
+            fallback = True
+
+        # Proposition 4: rescale from gamma_node back to the full gain
+        # beta by first-fit splitting the extracted pair set.
+        chosen_arr = np.asarray(chosen, dtype=int)
+        if chosen_arr.size == 1:
+            colors[chosen_arr[0]] = color
+            color += 1
+        else:
+            sub = instance.subset(chosen_arr)
+            sub_schedule = first_fit_schedule(sub, powers[chosen_arr], beta=beta)
+            for local, pair in enumerate(chosen_arr):
+                colors[pair] = color + int(sub_schedule.colors[local])
+            color += sub_schedule.num_colors
+
+        stats.append(
+            Theorem2RoundStats(
+                round_index=round_index,
+                remaining_pairs=int(remaining.size),
+                active_nodes=len(nodes),
+                deferred_shared=deferred,
+                tree_index=tree_index,
+                core_nodes=core_count,
+                lemma9_kept=kept_count,
+                certified_nodes=len(certified),
+                pairs_colored=len(chosen),
+                fallback_used=fallback,
+            )
+        )
+        chosen_set = set(chosen)
+        remaining = np.asarray(
+            [i for i in remaining if int(i) not in chosen_set], dtype=int
+        )
+        round_index += 1
+
+    if remaining.size > 0:  # pragma: no cover - cap never binds
+        for pair in remaining:
+            colors[pair] = color
+            color += 1
+
+    schedule = Schedule(colors=colors, powers=powers)
+    return schedule, stats

@@ -1,0 +1,43 @@
+"""Metric-space substrate.
+
+Every construction in the paper is stated for "pairs of points from a
+metric space"; this subpackage provides the metric implementations used
+throughout:
+
+* :class:`~repro.geometry.metric.Metric` — the abstract interface
+  (``n`` nodes indexed ``0..n-1``, pairwise ``distance``).
+* :class:`~repro.geometry.euclidean.EuclideanMetric` — points in R^d.
+* :class:`~repro.geometry.line.LineMetric` — 1-D convenience (the
+  Theorem 1 lower bound lives on the line).
+* :class:`~repro.geometry.explicit.ExplicitMetric` — a validated
+  distance matrix.
+* :class:`~repro.geometry.tree.TreeMetric` — shortest-path metric of an
+  edge-weighted tree (Lemma 6 / Lemma 9 substrate).
+* :class:`~repro.geometry.star.StarMetric` — leaves around a centre
+  (Lemma 5 substrate).
+* :class:`~repro.geometry.graph.GraphMetric` — shortest-path metric of
+  an arbitrary weighted graph.
+"""
+
+from repro.geometry.aspect import aspect_ratio, max_distance, min_positive_distance
+from repro.geometry.euclidean import EuclideanMetric
+from repro.geometry.explicit import ExplicitMetric
+from repro.geometry.graph import GraphMetric
+from repro.geometry.line import LineMetric
+from repro.geometry.metric import Metric, is_metric_matrix
+from repro.geometry.star import StarMetric
+from repro.geometry.tree import TreeMetric
+
+__all__ = [
+    "Metric",
+    "is_metric_matrix",
+    "EuclideanMetric",
+    "LineMetric",
+    "ExplicitMetric",
+    "TreeMetric",
+    "StarMetric",
+    "GraphMetric",
+    "aspect_ratio",
+    "max_distance",
+    "min_positive_distance",
+]

@@ -1,0 +1,38 @@
+"""Aspect-ratio and distance-extremum utilities.
+
+The related-work discussion (§1.3) measures algorithms in terms of the
+aspect ratio Delta = (max pairwise distance) / (min positive pairwise
+distance); these helpers compute it for any metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.metric import Metric
+
+
+def max_distance(metric: Metric) -> float:
+    """Largest pairwise distance in *metric* (0.0 for a single node)."""
+    return float(np.max(metric.distance_matrix()))
+
+
+def min_positive_distance(metric: Metric) -> float:
+    """Smallest strictly positive pairwise distance.
+
+    Raises
+    ------
+    ValueError
+        If all pairwise distances are zero (fewer than two distinct
+        points).
+    """
+    matrix = metric.distance_matrix()
+    positive = matrix[matrix > 0]
+    if positive.size == 0:
+        raise ValueError("metric has no positive distances")
+    return float(np.min(positive))
+
+
+def aspect_ratio(metric: Metric) -> float:
+    """Aspect ratio Delta = max distance / min positive distance."""
+    return max_distance(metric) / min_positive_distance(metric)

@@ -1,0 +1,52 @@
+"""Euclidean metrics over explicit point sets in R^d."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.geometry.metric import Metric
+
+
+class EuclideanMetric(Metric):
+    """The Euclidean metric over a finite point set in R^d.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, d)`` (or ``(n,)`` for points on the
+        line, which is reshaped to ``(n, 1)``).
+    """
+
+    def __init__(self, points: Union[np.ndarray, Sequence[Sequence[float]]]):
+        super().__init__()
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points[:, None]
+        if points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got shape {points.shape}")
+        if points.shape[0] == 0:
+            raise ValueError("point set must be non-empty")
+        if not np.all(np.isfinite(points)):
+            raise ValueError("points must be finite")
+        self._points = points.copy()
+        self._points.setflags(write=False)
+
+    @property
+    def n(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension d."""
+        return self._points.shape[1]
+
+    @property
+    def points(self) -> np.ndarray:
+        """The ``(n, d)`` coordinate array (read-only)."""
+        return self._points
+
+    def _compute_matrix(self) -> np.ndarray:
+        diff = self._points[:, None, :] - self._points[None, :, :]
+        return np.sqrt(np.sum(diff * diff, axis=-1))

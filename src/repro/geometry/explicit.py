@@ -1,0 +1,48 @@
+"""Metric given by an explicit, validated distance matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.metric import Metric, is_metric_matrix
+
+
+class ExplicitMetric(Metric):
+    """A metric defined by an explicit ``(n, n)`` distance matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square, symmetric, zero-diagonal, non-negative array.
+    validate_triangle:
+        When ``True`` (default) also verify the triangle inequality,
+        which costs O(n^3).  Disable for large matrices known-good by
+        construction.
+    """
+
+    def __init__(self, matrix: np.ndarray, validate_triangle: bool = True):
+        super().__init__()
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+        if matrix.shape[0] == 0:
+            raise ValueError("metric must have at least one node")
+        if not np.all(np.isfinite(matrix)):
+            raise ValueError("distances must be finite")
+        if not np.allclose(np.diag(matrix), 0.0):
+            raise ValueError("diagonal must be zero")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("matrix must be symmetric")
+        if np.any(matrix < 0):
+            raise ValueError("distances must be non-negative")
+        if validate_triangle and not is_metric_matrix(matrix):
+            raise ValueError("matrix violates the triangle inequality")
+        self._matrix = matrix.copy()
+        self._matrix.setflags(write=False)
+
+    @property
+    def n(self) -> int:
+        return self._matrix.shape[0]
+
+    def _compute_matrix(self) -> np.ndarray:
+        return self._matrix

@@ -1,0 +1,39 @@
+"""One-dimensional Euclidean metric.
+
+The Theorem 1 lower-bound family lives on the line, so a dedicated
+class keeps those constructions readable and exact (no square roots).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.metric import Metric
+
+
+class LineMetric(Metric):
+    """Metric induced by coordinates on the real line."""
+
+    def __init__(self, coordinates: Sequence[float]):
+        super().__init__()
+        coords = np.asarray(coordinates, dtype=float).reshape(-1)
+        if coords.size == 0:
+            raise ValueError("coordinate list must be non-empty")
+        if not np.all(np.isfinite(coords)):
+            raise ValueError("coordinates must be finite")
+        self._coords = coords.copy()
+        self._coords.setflags(write=False)
+
+    @property
+    def n(self) -> int:
+        return self._coords.size
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """The coordinate vector (read-only)."""
+        return self._coords
+
+    def _compute_matrix(self) -> np.ndarray:
+        return np.abs(self._coords[:, None] - self._coords[None, :])

@@ -1,0 +1,57 @@
+"""Star metrics: ``n`` leaves around a centre.
+
+The innermost layer of the Theorem 2 proof (Lemma 5, Section 4)
+analyses the node-loss problem on a star ``S([n], delta, l)``: nodes
+``1..n`` at distances ``delta_i`` from a common centre ``c``.  Pairwise
+distances are ``delta_i + delta_j`` (paths go through the centre).
+
+By convention the *leaves* are the metric's nodes ``0 .. n-1``; the
+centre is implicit (it carries no request), matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.metric import Metric
+
+
+class StarMetric(Metric):
+    """Leaves at distances ``delta_i`` around an implicit centre.
+
+    ``distance(i, j) = delta_i + delta_j`` for ``i != j``.
+    """
+
+    def __init__(self, center_distances: Sequence[float]):
+        super().__init__()
+        deltas = np.asarray(center_distances, dtype=float).reshape(-1)
+        if deltas.size == 0:
+            raise ValueError("star must have at least one leaf")
+        if not np.all(np.isfinite(deltas)):
+            raise ValueError("centre distances must be finite")
+        if np.any(deltas <= 0):
+            raise ValueError("centre distances must be strictly positive")
+        self._deltas = deltas.copy()
+        self._deltas.setflags(write=False)
+
+    @property
+    def n(self) -> int:
+        return self._deltas.size
+
+    @property
+    def center_distances(self) -> np.ndarray:
+        """The leaf-to-centre distances ``delta_i`` (read-only)."""
+        return self._deltas
+
+    def decay(self, alpha: float) -> np.ndarray:
+        """The decay parameters ``d_i = delta_i**alpha`` of Section 4."""
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        return self._deltas**alpha
+
+    def _compute_matrix(self) -> np.ndarray:
+        matrix = self._deltas[:, None] + self._deltas[None, :]
+        np.fill_diagonal(matrix, 0.0)
+        return matrix

@@ -1,0 +1,52 @@
+"""Instance generators.
+
+* :mod:`~repro.instances.adversarial` — the Theorem 1 lower-bound
+  families on the line (adaptive construction for unbounded oblivious
+  ``f``; growing chain for bounded ``f``).
+* :mod:`~repro.instances.nested` — the nested instance of §1.2
+  (``u_i = -b^i, v_i = b^i``) that separates uniform/linear from the
+  square-root assignment.
+* :mod:`~repro.instances.random_instances` — random deployments
+  (uniform, clustered, random tree/graph metrics) for the positive
+  experiments.
+* :mod:`~repro.instances.line_instances` — simple structured line
+  instances (equispaced, exponential chains).
+"""
+
+from repro.instances.adversarial import (
+    adaptive_lower_bound_instance,
+    growing_chain_instance,
+    lower_bound_instance_for,
+)
+from repro.instances.connectivity import (
+    exponential_node_chain,
+    mst_connectivity_instance,
+    nearest_neighbor_instance,
+)
+from repro.instances.line_instances import (
+    equispaced_line_instance,
+    exponential_chain_instance,
+)
+from repro.instances.nested import nested_instance
+from repro.instances.random_instances import (
+    clustered_instance,
+    random_graph_metric_instance,
+    random_tree_metric_instance,
+    random_uniform_instance,
+)
+
+__all__ = [
+    "adaptive_lower_bound_instance",
+    "growing_chain_instance",
+    "lower_bound_instance_for",
+    "nested_instance",
+    "random_uniform_instance",
+    "clustered_instance",
+    "random_tree_metric_instance",
+    "random_graph_metric_instance",
+    "equispaced_line_instance",
+    "exponential_chain_instance",
+    "mst_connectivity_instance",
+    "nearest_neighbor_instance",
+    "exponential_node_chain",
+]

@@ -1,0 +1,269 @@
+"""The Theorem 1 lower-bound families (directed variant, on the line).
+
+Theorem 1: for *every* oblivious power function ``f`` there is a family
+of ``n`` directed requests on the line that needs Omega(n) colors under
+``f`` while an optimal (non-oblivious) assignment schedules it in O(1)
+colors.
+
+The proof sketch constructs the family adaptively from ``f`` for
+asymptotically unbounded ``f``; bounded functions (e.g. uniform) are
+handled by a growing-chain instance.  Both constructions are
+implemented here, together with :func:`lower_bound_instance_for` which
+dispatches on the behaviour of ``f``.
+
+Layout of the adaptive family (all on the line, left to right)::
+
+    u_1 --x_1-- v_1 --y_2-- u_2 --x_2-- v_2 --y_3-- u_3 ...
+
+with gaps ``y_i = 2 (x_{i-1} + y_{i-1})`` and link lengths ``x_i``
+chosen so that ``f`` applied to link ``i`` drowns every earlier link:
+``f(x_i^alpha) >= kappa * y_i^alpha * f(x_j^alpha) / x_j^alpha`` for
+all ``j < i``.  Any color class S then satisfies ``|S| = O(1)``: the
+pair with the smallest index in S receives interference at least
+``kappa / (4 y_i)^alpha * y_i^alpha = kappa / 4^alpha`` times its own
+signal from every other member.
+
+Because link lengths can grow doubly exponentially (e.g. for the
+square-root function), instances may exceed float range quickly; the
+constructors raise :class:`ConstructionOverflowError` instead of
+silently producing infinities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.instance import Direction, Instance
+from repro.geometry.line import LineMetric
+from repro.power.base import ObliviousPowerAssignment
+
+
+class ConstructionOverflowError(ReproError, OverflowError):
+    """The adversarial construction left double-precision range."""
+
+
+class BoundedFunctionError(ReproError, ValueError):
+    """The adaptive construction detected that ``f`` appears bounded
+    (use :func:`growing_chain_instance` instead)."""
+
+
+#: Distances beyond this leave reliable double range once raised to alpha.
+_MAX_COORDINATE = 1e60
+
+
+@dataclass
+class AdversarialInstance:
+    """An adversarial lower-bound instance plus its construction data.
+
+    Attributes
+    ----------
+    instance:
+        The directed :class:`~repro.core.instance.Instance` on the line.
+    link_lengths:
+        The ``x_i`` values.
+    gaps:
+        The ``y_i`` values (``gaps[0]`` is 0 by convention).
+    """
+
+    instance: Instance
+    link_lengths: np.ndarray
+    gaps: np.ndarray
+
+
+def _evaluate_power(assignment: ObliviousPowerAssignment, distance: float, alpha: float) -> float:
+    """Power ``f(distance**alpha)`` of a single link, as a float."""
+    loss = float(distance) ** alpha
+    if not math.isfinite(loss):
+        raise ConstructionOverflowError(f"loss overflow at distance {distance:g}")
+    value = float(np.asarray(assignment.power_of_loss(np.asarray([loss])))[0])
+    if not value > 0 or not math.isfinite(value):
+        raise ConstructionOverflowError(
+            f"power function returned non-positive/non-finite value {value!r}"
+        )
+    return value
+
+
+def appears_unbounded(
+    power: ObliviousPowerAssignment,
+    alpha: float,
+    growth_required: float = 1e6,
+    probe_max_exponent: int = 180,
+) -> bool:
+    """Probe whether the oblivious function looks asymptotically unbounded.
+
+    Evaluates ``f`` on link lengths ``2^k`` for ``k = 0 .. probe_max_exponent``
+    and reports whether the supremum exceeds the value at small arguments
+    by *growth_required*.  The Theorem 1 adaptive construction only
+    applies to unbounded functions; bounded ones (e.g. uniform power)
+    are handled by the growing chain.
+    """
+    small = _evaluate_power(power, 1.0, alpha)
+    best = small
+    for k in range(1, probe_max_exponent + 1):
+        x = 2.0**k
+        if x**alpha > 1e300:
+            break
+        best = max(best, _evaluate_power(power, x, alpha))
+        if best >= growth_required * small:
+            return True
+    return False
+
+
+def adaptive_lower_bound_instance(
+    power: ObliviousPowerAssignment,
+    n: int,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    kappa: float = 1.0,
+    first_link: float = 1.0,
+    search_doublings: int = 400,
+) -> AdversarialInstance:
+    """The Theorem 1 adaptive construction for an unbounded ``f``.
+
+    Parameters
+    ----------
+    power:
+        The oblivious assignment whose function ``f`` the construction
+        is tailored against.
+    n:
+        Number of requests.
+    kappa:
+        Safety factor in the drowning condition (>= 1 strengthens the
+        bound; the paper uses 1).
+    first_link:
+        Length ``x_1`` of the first link.
+    search_doublings:
+        How many doublings to try when searching for a large enough
+        ``x_i``; if exceeded, ``f`` is deemed bounded and
+        :class:`BoundedFunctionError` is raised.
+
+    Raises
+    ------
+    ConstructionOverflowError
+        If coordinates leave double range before reaching ``n`` links.
+    BoundedFunctionError
+        If the search cannot satisfy the drowning condition.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if kappa < 1:
+        raise ValueError("kappa must be >= 1")
+    if not appears_unbounded(power, alpha):
+        raise BoundedFunctionError(
+            "power function appears bounded; the adaptive construction "
+            "requires an asymptotically unbounded f "
+            "(use growing_chain_instance)"
+        )
+    xs: List[float] = [float(first_link)]
+    ys: List[float] = [0.0]
+    # ratio_j = f(x_j) / x_j^alpha tracks the signal strength of link j
+    # at unit power scale; the drowning condition compares against its
+    # maximum.
+    max_ratio = _evaluate_power(power, xs[0], alpha) / xs[0] ** alpha
+
+    for _ in range(1, n):
+        y = 2.0 * (xs[-1] + ys[-1])
+        if y > _MAX_COORDINATE:
+            raise ConstructionOverflowError(
+                f"gap {y:g} exceeds coordinate budget after {len(xs)} links"
+            )
+        target = kappa * y**alpha * max_ratio
+        # Search the smallest power-of-two multiple of y whose power
+        # meets the target (x_i >= y_i keeps the optimal-schedule
+        # structure of the proof).
+        x = y
+        found = False
+        for _ in range(search_doublings):
+            if x > _MAX_COORDINATE:
+                raise ConstructionOverflowError(
+                    f"link length {x:g} exceeds coordinate budget after {len(xs)} links"
+                )
+            if _evaluate_power(power, x, alpha) >= target:
+                found = True
+                break
+            x *= 2.0
+        if not found:
+            raise BoundedFunctionError(
+                f"could not satisfy the drowning condition within "
+                f"{search_doublings} doublings; f appears bounded "
+                f"(use growing_chain_instance)"
+            )
+        xs.append(x)
+        ys.append(y)
+        max_ratio = max(max_ratio, _evaluate_power(power, x, alpha) / x**alpha)
+
+    return _assemble(xs, ys, alpha, beta)
+
+
+def growing_chain_instance(
+    n: int,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    growth: float = 2.0,
+    gap_fraction: float = 1.0,
+) -> AdversarialInstance:
+    """A growing chain that defeats *bounded* oblivious functions.
+
+    Links of length ``x_i = growth**i`` are laid out left to right with
+    gaps ``y_i = gap_fraction * x_{i-1}``.  Under any oblivious ``f``
+    whose values on the occurring losses span a bounded ratio (e.g.
+    uniform power), the longest link in a color class receives
+    interference at least a constant fraction of its signal from every
+    other class member, forcing O(1)-size classes and hence Omega(n)
+    colors — while a geometric (non-oblivious) assignment schedules the
+    chain in O(1) colors.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if growth <= 1:
+        raise ValueError("growth must be > 1")
+    if gap_fraction <= 0:
+        raise ValueError("gap_fraction must be > 0")
+    if (n - 1) * alpha * math.log(growth) > math.log(1e300):
+        raise ConstructionOverflowError(
+            f"loss of the longest link (growth**{(n - 1) * alpha:g}) overflows"
+        )
+    xs = [float(growth**i) for i in range(n)]
+    ys = [0.0] + [gap_fraction * xs[i - 1] for i in range(1, n)]
+    return _assemble(xs, ys, alpha, beta)
+
+
+def lower_bound_instance_for(
+    power: ObliviousPowerAssignment,
+    n: int,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    kappa: float = 1.0,
+) -> AdversarialInstance:
+    """Dispatch: adaptive construction, falling back to the growing
+    chain when ``f`` is (detected to be) bounded."""
+    try:
+        return adaptive_lower_bound_instance(power, n, alpha=alpha, beta=beta, kappa=kappa)
+    except BoundedFunctionError:
+        return growing_chain_instance(n, alpha=alpha, beta=beta)
+
+
+def _assemble(xs: List[float], ys: List[float], alpha: float, beta: float) -> AdversarialInstance:
+    """Lay the links out on the line and build the directed instance."""
+    coordinates: List[float] = []
+    pairs = []
+    position = 0.0
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        position += y
+        sender_index = len(coordinates)
+        coordinates.append(position)  # u_i
+        position += x
+        coordinates.append(position)  # v_i
+        pairs.append((sender_index, sender_index + 1))
+    metric = LineMetric(coordinates)
+    instance = Instance.directed(metric, pairs, alpha=alpha, beta=beta)
+    return AdversarialInstance(
+        instance=instance,
+        link_lengths=np.asarray(xs),
+        gaps=np.asarray(ys),
+    )

@@ -1,0 +1,91 @@
+"""Structured instances on the line.
+
+Simple deterministic families used by tests and experiments:
+
+* :func:`equispaced_line_instance` — ``n`` unit-length links separated
+  by a configurable spacing; schedulable in O(1) colors for large
+  spacing, a stress test for small spacing.
+* :func:`exponential_chain_instance` — links of geometrically growing
+  length laid out left to right (the classic chain topology from the
+  SINR-scheduling literature, cf. Moscibroda-Wattenhofer).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.instance import Direction, Instance
+from repro.geometry.line import LineMetric
+
+
+def equispaced_line_instance(
+    n: int,
+    spacing: float = 4.0,
+    link_length: float = 1.0,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    direction: Union[Direction, str] = Direction.BIDIRECTIONAL,
+) -> Instance:
+    """``n`` parallel links of length *link_length* every *spacing* units.
+
+    Layout: ``u_i = i * spacing``, ``v_i = i * spacing + link_length``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if link_length <= 0:
+        raise ValueError("link_length must be > 0")
+    if spacing <= link_length:
+        raise ValueError("spacing must exceed link_length (links must not overlap)")
+    coordinates = []
+    pairs = []
+    for i in range(n):
+        left = i * spacing
+        coordinates.append(left)
+        coordinates.append(left + link_length)
+        pairs.append((2 * i, 2 * i + 1))
+    metric = LineMetric(coordinates)
+    return Instance(
+        metric,
+        [p[0] for p in pairs],
+        [p[1] for p in pairs],
+        direction=direction,
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+def exponential_chain_instance(
+    n: int,
+    growth: float = 2.0,
+    gap_fraction: float = 1.0,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    direction: Union[Direction, str] = Direction.DIRECTED,
+) -> Instance:
+    """Chain of links with lengths ``growth**i`` and proportional gaps."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if growth <= 1:
+        raise ValueError("growth must be > 1")
+    if gap_fraction <= 0:
+        raise ValueError("gap_fraction must be > 0")
+    coordinates = []
+    pairs = []
+    position = 0.0
+    for i in range(n):
+        length = float(growth) ** i
+        if i > 0:
+            position += gap_fraction * float(growth) ** (i - 1)
+        coordinates.append(position)
+        position += length
+        coordinates.append(position)
+        pairs.append((2 * i, 2 * i + 1))
+    metric = LineMetric(coordinates)
+    return Instance(
+        metric,
+        [p[0] for p in pairs],
+        [p[1] for p in pairs],
+        direction=direction,
+        alpha=alpha,
+        beta=beta,
+    )

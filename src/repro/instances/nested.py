@@ -1,0 +1,60 @@
+"""The nested instance of §1.2.
+
+``n`` bidirectional requests on the line with ``u_i = -b^i`` and
+``v_i = b^i`` (the paper uses ``b = 2``).  The paper's intuition: the
+uniform and linear assignments schedule only O(1) of these requests
+simultaneously (inner pairs drown outer pairs, respectively the other
+way around), while the square-root assignment balances interference
+and schedules a constant fraction at once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.core.instance import Direction, Instance
+from repro.geometry.line import LineMetric
+
+
+def nested_instance(
+    n: int,
+    base: float = 2.0,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    direction: Union[Direction, str] = Direction.BIDIRECTIONAL,
+) -> Instance:
+    """Build the nested instance ``(u_i, v_i) = (-base^i, +base^i)``.
+
+    Parameters
+    ----------
+    n:
+        Number of requests (indices ``i = 1 .. n``).
+    base:
+        Nesting growth factor ``b > 1``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if base <= 1:
+        raise ValueError("base must be > 1")
+    if n * alpha * math.log(base) > math.log(1e300):
+        raise ValueError(
+            f"nested instance with n={n}, base={base}, alpha={alpha} "
+            "overflows double precision losses"
+        )
+    coordinates = []
+    pairs = []
+    for i in range(1, n + 1):
+        radius = float(base) ** i
+        coordinates.append(-radius)
+        coordinates.append(radius)
+        pairs.append((2 * (i - 1), 2 * (i - 1) + 1))
+    metric = LineMetric(coordinates)
+    return Instance(
+        metric,
+        [p[0] for p in pairs],
+        [p[1] for p in pairs],
+        direction=direction,
+        alpha=alpha,
+        beta=beta,
+    )

@@ -1,0 +1,24 @@
+"""Multi-hop extension (the Chafekar et al. setting of §1.3).
+
+The related work [3, 4] studies the *cross-layer* problem: requests
+are end-to-end (source, destination) pairs that must be routed over
+intermediate nodes, and every hop is a single-hop interference
+scheduling request.  This subpackage provides a compact version of
+that pipeline on top of the core library:
+
+* :mod:`~repro.multihop.routing` — connectivity graphs and
+  shortest-path routing;
+* :mod:`~repro.multihop.scheduling` — layered hop-by-hop scheduling
+  with end-to-end latency accounting.
+"""
+
+from repro.multihop.routing import RoutedRequest, connectivity_graph, route_requests
+from repro.multihop.scheduling import MultiHopSchedule, layered_multihop_schedule
+
+__all__ = [
+    "connectivity_graph",
+    "route_requests",
+    "RoutedRequest",
+    "layered_multihop_schedule",
+    "MultiHopSchedule",
+]

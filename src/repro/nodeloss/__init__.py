@@ -1,0 +1,57 @@
+"""The node-loss scheduling problem (§3.2) and its star analysis (§4).
+
+The Theorem 2 proof replaces communication *pairs* by single *nodes*
+carrying a loss parameter: node ``i`` with loss ``l_i`` and power
+``p_i`` is satisfied in a set ``U`` when
+
+    p_i / l_i > gamma * sum_{j in U \\ {i}} p_j / l(i, j).
+
+* :mod:`~repro.nodeloss.instance` — the problem representation.
+* :mod:`~repro.nodeloss.feasibility` — margins, feasible sets, the
+  best achievable gain under free powers.
+* :mod:`~repro.nodeloss.transform` — the pair <-> node reductions of
+  §3.2 (factor ``gamma / (2 + gamma)`` in one direction, "schedule the
+  pairs with both nodes selected" in the other).
+* :mod:`~repro.nodeloss.star_analysis` — the constructive Lemma 5
+  machinery: decay classes, the Claim 12 trim, the large/small loss
+  split and the final subset extraction.
+"""
+
+from repro.nodeloss.feasibility import (
+    max_feasible_gain,
+    nodeloss_interference,
+    nodeloss_margins,
+    is_gamma_feasible,
+)
+from repro.nodeloss.instance import NodeLossInstance, StarNodeLoss
+from repro.nodeloss.transform import (
+    node_gain_from_pair_gain,
+    nodeloss_from_pairs,
+    pairs_fully_selected,
+)
+from repro.nodeloss.star_analysis import (
+    Lemma5Result,
+    decay_classes,
+    large_loss_threshold,
+    lemma5_subset,
+    small_loss_subset,
+    split_large_small,
+)
+
+__all__ = [
+    "NodeLossInstance",
+    "StarNodeLoss",
+    "nodeloss_interference",
+    "nodeloss_margins",
+    "is_gamma_feasible",
+    "max_feasible_gain",
+    "nodeloss_from_pairs",
+    "pairs_fully_selected",
+    "node_gain_from_pair_gain",
+    "decay_classes",
+    "large_loss_threshold",
+    "split_large_small",
+    "small_loss_subset",
+    "lemma5_subset",
+    "Lemma5Result",
+]

@@ -1,0 +1,150 @@
+"""Feasibility predicates for the node-loss problem.
+
+Mirrors :mod:`repro.core.feasibility` for node-loss instances, plus
+:func:`max_feasible_gain`: the largest gain ``gamma'`` for which *some*
+power assignment makes a node set ``gamma'``-feasible.  The node-loss
+constraint map is linear, so this is exactly ``1 / rho(M)`` with
+``M[i, j] = l_i / l(i, j)`` (Perron-Frobenius), giving the witness gain
+used throughout the Lemma 5 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nodeloss.instance import NodeLossInstance
+
+
+def _pairwise_gain(instance: NodeLossInstance, powers: np.ndarray) -> np.ndarray:
+    """Matrix ``G[i, j] = p_j / l(i, j)`` with zero diagonal."""
+    loss = instance.loss_matrix()
+    powers = np.asarray(powers, dtype=float)
+    gains = np.full_like(loss, np.inf)
+    np.divide(powers[None, :], loss, out=gains, where=loss > 0)
+    np.fill_diagonal(gains, 0.0)
+    return gains
+
+
+def nodeloss_interference(
+    instance: NodeLossInstance,
+    powers: np.ndarray,
+    subset: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Interference ``I_p(i | U)`` at each node of *subset* (all nodes
+    if ``None``), counting only nodes of the subset."""
+    if subset is not None:
+        sub = instance.subset(subset)
+        sub_powers = np.asarray(powers, dtype=float)[np.asarray(subset, dtype=int)]
+        return nodeloss_interference(sub, sub_powers)
+    return _pairwise_gain(instance, powers).sum(axis=1)
+
+
+def nodeloss_margins(
+    instance: NodeLossInstance,
+    powers: np.ndarray,
+    subset: Optional[Sequence[int]] = None,
+    gamma: Optional[float] = None,
+) -> np.ndarray:
+    """Margins ``(p_i / l_i) / (gamma * I_p(i | U))`` (inf if no
+    interference)."""
+    gamma = instance.beta if gamma is None else float(gamma)
+    if not gamma > 0:
+        raise ValueError(f"gamma must be > 0, got {gamma}")
+    powers_arr = np.asarray(powers, dtype=float)
+    if subset is not None:
+        idx = np.asarray(subset, dtype=int)
+        signals = powers_arr[idx] / instance.losses[idx]
+    else:
+        signals = powers_arr / instance.losses
+    interf = nodeloss_interference(instance, powers_arr, subset)
+    margins = np.full(signals.shape, np.inf)
+    np.divide(signals, gamma * interf, out=margins, where=interf > 0)
+    margins[np.isinf(interf)] = 0.0
+    return margins
+
+
+def is_gamma_feasible(
+    instance: NodeLossInstance,
+    powers: np.ndarray,
+    subset: Optional[Sequence[int]] = None,
+    gamma: Optional[float] = None,
+    rtol: float = 1e-9,
+) -> bool:
+    """Is *subset* gamma-feasible under *powers* (definition in §3.2)?"""
+    margins = nodeloss_margins(instance, powers, subset, gamma)
+    return bool(np.all(margins >= 1.0 - rtol))
+
+
+def max_feasible_gain(
+    instance: NodeLossInstance,
+    subset: Optional[Sequence[int]] = None,
+) -> float:
+    """Largest gain for which *some* power assignment works.
+
+    The constraints ``p_i / l_i > gamma * sum_j p_j / l(i, j)`` admit a
+    positive solution iff ``gamma * rho(M) < 1`` for
+    ``M[i, j] = l_i / l(i, j)``, so the supremum gain is ``1 / rho(M)``
+    (``inf`` when the nodes do not interact at all, ``0`` when two
+    nodes coincide).
+    """
+    if subset is None:
+        idx = np.arange(instance.m)
+    else:
+        idx = np.asarray(subset, dtype=int)
+    if idx.size <= 1:
+        return float("inf")
+    loss = instance.loss_matrix()[np.ix_(idx, idx)]
+    l_own = instance.losses[idx]
+    with np.errstate(divide="ignore"):
+        matrix = np.where(loss > 0, l_own[:, None] / loss, np.inf)
+    np.fill_diagonal(matrix, 0.0)
+    if np.any(np.isinf(matrix)):
+        return 0.0
+    eigenvalues = np.linalg.eigvals(matrix)
+    rho = float(np.max(np.abs(eigenvalues)))
+    if rho == 0.0:
+        return float("inf")
+    return 1.0 / rho
+
+
+def witness_powers(
+    instance: NodeLossInstance,
+    gamma: float,
+    subset: Optional[Sequence[int]] = None,
+    iterations: int = 10_000,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """A power vector making *subset* gamma-feasible, if one exists.
+
+    Fixed point of ``p = gamma * M p + l`` (monotone iteration), which
+    converges exactly when ``gamma < max_feasible_gain``.
+
+    Raises
+    ------
+    ValueError
+        If ``gamma`` is not achievable for the subset.
+    """
+    if subset is None:
+        idx = np.arange(instance.m)
+    else:
+        idx = np.asarray(subset, dtype=int)
+    best = max_feasible_gain(instance, idx)
+    if not gamma < best:
+        raise ValueError(
+            f"gamma={gamma:g} is not achievable (max feasible gain {best:g})"
+        )
+    loss = instance.loss_matrix()[np.ix_(idx, idx)]
+    l_own = instance.losses[idx]
+    with np.errstate(divide="ignore"):
+        matrix = np.where(loss > 0, l_own[:, None] / loss, 0.0)
+    np.fill_diagonal(matrix, 0.0)
+    p = l_own.astype(float).copy()
+    for _ in range(iterations):
+        new_p = gamma * (matrix @ p) + l_own
+        if np.max(np.abs(new_p - p)) <= tol * np.max(new_p):
+            p = new_p
+            break
+        p = new_p
+    return p

@@ -1,0 +1,158 @@
+"""Node-loss scheduling instances (§3.2).
+
+A :class:`NodeLossInstance` is a set of nodes in a metric space, each
+carrying a *loss parameter* ``l_i`` that remembers the link loss of the
+communication pair the node came from.  The square-root assignment for
+nodes sets ``p_i = sqrt(l_i)``.
+
+:class:`StarNodeLoss` is the specialised star-shaped instance of
+Section 4: nodes at distances ``delta_i`` around a centre, pairwise
+distance ``delta_i + delta_j``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidInstanceError
+from repro.geometry.metric import Metric
+from repro.geometry.star import StarMetric
+
+
+class NodeLossInstance:
+    """Nodes with loss parameters in a metric space.
+
+    Parameters
+    ----------
+    distances:
+        ``(m, m)`` pairwise distance array between the node-loss nodes.
+        Zero off-diagonal distances are allowed (two nodes at the same
+        point simply can never be scheduled together).
+    losses:
+        Positive loss parameters ``l_i``.
+    alpha, beta:
+        Path-loss exponent and default gain.
+    """
+
+    def __init__(
+        self,
+        distances: np.ndarray,
+        losses: Sequence[float],
+        alpha: float = 3.0,
+        beta: float = 1.0,
+    ):
+        distances = np.asarray(distances, dtype=float)
+        losses_arr = np.asarray(losses, dtype=float).reshape(-1)
+        m = losses_arr.size
+        if m == 0:
+            raise InvalidInstanceError("node-loss instance must be non-empty")
+        if distances.shape != (m, m):
+            raise InvalidInstanceError(
+                f"distances shape {distances.shape} != ({m}, {m})"
+            )
+        if not np.allclose(distances, distances.T):
+            raise InvalidInstanceError("distance matrix must be symmetric")
+        if np.any(distances < 0):
+            raise InvalidInstanceError("distances must be non-negative")
+        if np.any(losses_arr <= 0) or not np.all(np.isfinite(losses_arr)):
+            raise InvalidInstanceError("loss parameters must be positive and finite")
+        if alpha < 1:
+            raise InvalidInstanceError(f"alpha must be >= 1, got {alpha}")
+        if not beta > 0:
+            raise InvalidInstanceError(f"beta must be > 0, got {beta}")
+        self._distances = distances.copy()
+        np.fill_diagonal(self._distances, 0.0)
+        self._distances.setflags(write=False)
+        self.losses = losses_arr.copy()
+        self.losses.setflags(write=False)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    @classmethod
+    def from_metric(
+        cls,
+        metric: Metric,
+        nodes: Sequence[int],
+        losses: Sequence[float],
+        alpha: float = 3.0,
+        beta: float = 1.0,
+    ) -> "NodeLossInstance":
+        """Build from node indices of a host metric."""
+        nodes = np.asarray(nodes, dtype=int)
+        sub = metric.distance_matrix()[np.ix_(nodes, nodes)]
+        return cls(sub, losses, alpha=alpha, beta=beta)
+
+    @property
+    def m(self) -> int:
+        """Number of node-loss nodes."""
+        return self.losses.size
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Pairwise distances (read-only)."""
+        return self._distances
+
+    def loss_matrix(self) -> np.ndarray:
+        """Pairwise loss ``l(i, j) = d(i, j)**alpha``."""
+        return self._distances**self.alpha
+
+    def sqrt_powers(self) -> np.ndarray:
+        """The square-root assignment ``p_i = sqrt(l_i)`` for nodes."""
+        return np.sqrt(self.losses)
+
+    def subset(self, indices: Sequence[int]) -> "NodeLossInstance":
+        """Restriction to the given node indices."""
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            raise InvalidInstanceError("subset must be non-empty")
+        sub = self._distances[np.ix_(indices, indices)]
+        return NodeLossInstance(
+            sub, self.losses[indices], alpha=self.alpha, beta=self.beta
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeLossInstance(m={self.m}, alpha={self.alpha}, beta={self.beta})"
+
+
+class StarNodeLoss(NodeLossInstance):
+    """A node-loss instance on a star metric (Section 4).
+
+    Nodes sit at distances ``delta_i`` from an implicit centre;
+    pairwise distances are ``delta_i + delta_j``.  Exposes the decay
+    parameters ``d_i = delta_i**alpha`` and the ratios
+    ``a_i = l_i / d_i`` that drive the Lemma 5 case split.
+    """
+
+    def __init__(
+        self,
+        center_distances: Sequence[float],
+        losses: Sequence[float],
+        alpha: float = 3.0,
+        beta: float = 1.0,
+    ):
+        star = StarMetric(center_distances)
+        super().__init__(star.distance_matrix(), losses, alpha=alpha, beta=beta)
+        self.center_distances = star.center_distances
+
+    @property
+    def decay(self) -> np.ndarray:
+        """Decay parameters ``d_i = delta_i**alpha``."""
+        return self.center_distances**self.alpha
+
+    @property
+    def loss_to_decay(self) -> np.ndarray:
+        """The ratios ``a_i = l_i / d_i`` of Section 4."""
+        return self.losses / self.decay
+
+    def subset(self, indices: Sequence[int]) -> "StarNodeLoss":
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            raise InvalidInstanceError("subset must be non-empty")
+        return StarNodeLoss(
+            self.center_distances[indices],
+            self.losses[indices],
+            alpha=self.alpha,
+            beta=self.beta,
+        )

@@ -1,0 +1,74 @@
+"""The pair <-> node reductions of §3.2.
+
+Forward direction (pairs to nodes): if a set of pairs ``U`` can be
+scheduled with gain ``gamma`` in the (bidirectional) interference
+scheduling problem, then the set of all endpoint nodes of ``U`` is
+``gamma / (2 + gamma)``-feasible for the node-loss problem — each node
+inherits its pair's link loss as its loss parameter.
+
+Backward direction (nodes to pairs): a feasible node-loss schedule
+step ``S`` yields a feasible pair step by keeping the pairs with
+*both* endpoints in ``S`` (the pair-world interference at a node is at
+most the node-world interference).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import Direction, Instance
+from repro.nodeloss.instance import NodeLossInstance
+
+
+def node_gain_from_pair_gain(gamma: float) -> float:
+    """The gain carried over by the splitting argument: ``gamma / (2 + gamma)``.
+
+    §3.2: if all nodes from pairs in ``U`` transmit, the interference
+    at a single node is at most twice the pair-world interference plus
+    the partner's signal ``p_i / l_i``, so
+    ``I(i) <= (2 + gamma) / gamma * p_i / l_i`` and the node set is
+    ``gamma / (2 + gamma)``-feasible.
+    """
+    if not gamma > 0:
+        raise ValueError(f"gamma must be > 0, got {gamma}")
+    return gamma / (2.0 + gamma)
+
+
+def nodeloss_from_pairs(instance: Instance) -> Tuple[NodeLossInstance, np.ndarray]:
+    """Split each pair into its two endpoint nodes (§3.2).
+
+    Returns ``(node_instance, pair_of_node)`` where node ``2i`` is the
+    sender and node ``2i + 1`` the receiver of pair ``i``, both with
+    loss parameter ``l(u_i, v_i)``; ``pair_of_node[k] = k // 2`` maps
+    node-loss nodes back to their pair.
+    """
+    if instance.direction is not Direction.BIDIRECTIONAL:
+        raise ValueError(
+            "the splitting reduction is defined for bidirectional instances"
+        )
+    dist = instance.metric.distance_matrix()
+    nodes = np.empty(2 * instance.n, dtype=int)
+    nodes[0::2] = instance.senders
+    nodes[1::2] = instance.receivers
+    sub = dist[np.ix_(nodes, nodes)]
+    losses = np.repeat(instance.link_losses, 2)
+    node_instance = NodeLossInstance(
+        sub, losses, alpha=instance.alpha, beta=instance.beta
+    )
+    pair_of_node = np.repeat(np.arange(instance.n), 2)
+    return node_instance, pair_of_node
+
+
+def pairs_fully_selected(selected_nodes: Sequence[int], n_pairs: int) -> np.ndarray:
+    """Pairs whose *both* endpoint nodes appear in *selected_nodes*.
+
+    Node indexing follows :func:`nodeloss_from_pairs` (sender ``2i``,
+    receiver ``2i + 1``).
+    """
+    chosen = set(int(k) for k in selected_nodes)
+    pairs = [
+        i for i in range(n_pairs) if (2 * i) in chosen and (2 * i + 1) in chosen
+    ]
+    return np.asarray(pairs, dtype=int)

@@ -1,0 +1,37 @@
+"""Power assignments.
+
+The paper distinguishes *oblivious* assignments — the power of a pair
+is a function ``f`` of the loss (equivalently, distance) between its
+endpoints — from arbitrary per-request assignments.  This subpackage
+provides:
+
+* the classic oblivious families: :class:`UniformPower`,
+  :class:`LinearPower`, the paper's :class:`SquareRootPower`, and the
+  interpolating :class:`MeanPower` family ``p = l**tau``;
+* :class:`FunctionPower` for arbitrary oblivious functions ``f``;
+* :class:`ExplicitPower` for non-oblivious assignments (e.g. the
+  geometric assignment that beats every oblivious ``f`` on the
+  Theorem 1 instances).
+"""
+
+from repro.power.base import ObliviousPowerAssignment, PowerAssignment
+from repro.power.explicit import ExplicitPower, geometric_power
+from repro.power.oblivious import (
+    FunctionPower,
+    LinearPower,
+    MeanPower,
+    SquareRootPower,
+    UniformPower,
+)
+
+__all__ = [
+    "PowerAssignment",
+    "ObliviousPowerAssignment",
+    "UniformPower",
+    "LinearPower",
+    "SquareRootPower",
+    "MeanPower",
+    "FunctionPower",
+    "ExplicitPower",
+    "geometric_power",
+]

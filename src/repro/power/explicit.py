@@ -1,0 +1,68 @@
+"""Non-oblivious power assignments.
+
+Theorem 1 separates oblivious assignments from arbitrary ones: on the
+adversarial instance family a *geometric* assignment (``p_i``
+proportional to ``sqrt(2)**(alpha * i)`` in request order — the paper
+writes ``p_i = sqrt(2^(alpha i))``) schedules everything in O(1)
+colors, while every oblivious ``f`` needs Omega(n).  These classes
+represent such per-request assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.power.base import PowerAssignment
+
+
+class ExplicitPower(PowerAssignment):
+    """A fixed per-request power vector.
+
+    Only applicable to instances with matching request count.
+    """
+
+    def __init__(self, powers: Sequence[float], name: str = "explicit"):
+        vec = np.asarray(powers, dtype=float).reshape(-1)
+        if vec.size == 0:
+            raise ValueError("power vector must be non-empty")
+        if np.any(vec <= 0) or not np.all(np.isfinite(vec)):
+            raise ValueError("powers must be positive and finite")
+        self._powers = vec.copy()
+        self._powers.setflags(write=False)
+        self._name = str(name)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def powers(self, instance: Instance) -> np.ndarray:
+        if instance.n != self._powers.size:
+            raise ValueError(
+                f"explicit powers cover {self._powers.size} requests, "
+                f"instance has {instance.n}"
+            )
+        return self._powers.copy()
+
+
+def geometric_power(instance: Instance, base: Optional[float] = None) -> ExplicitPower:
+    """The geometric assignment used in the Theorem 1 proof.
+
+    Assigns ``p_i = base**i`` in request order, with the paper's choice
+    ``base = 2**(alpha / 2)`` (i.e. ``p_i = sqrt(2**(alpha * i))``) by
+    default.  On the adversarial family this makes interference at each
+    link a geometric series, so a constant fraction of links can share
+    each color.
+    """
+    if base is None:
+        base = 2.0 ** (instance.alpha / 2.0)
+    if not base > 0:
+        raise ValueError(f"base must be > 0, got {base}")
+    exponents = np.arange(instance.n, dtype=float)
+    # Normalise to avoid overflow for large n: only ratios matter
+    # because SINR constraints are scale-invariant at sigma = 0.
+    exponents -= exponents.mean()
+    powers = np.power(base, exponents)
+    return ExplicitPower(powers, name=f"geometric(base={base:g})")

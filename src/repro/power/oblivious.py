@@ -1,0 +1,114 @@
+"""The classic oblivious power-assignment families.
+
+* **Uniform** — all pairs transmit at the same power (most MAC-layer
+  literature, see §1).
+* **Linear** — ``p_i`` proportional to the loss ``l_i``; the
+  energy-minimal choice discussed in §6 and [5].
+* **Square root** — the paper's hero: ``p̄_i = sqrt(l_i)``; Theorem 2
+  proves it universally polylog-good for bidirectional requests.
+* **Mean family** — ``p_i = l_i**tau`` for ``tau in [0, 1]``,
+  interpolating uniform (``tau = 0``), square root (``tau = 1/2``) and
+  linear (``tau = 1``); used by the experiments to map out the
+  sublinear/superlinear divide of Section 2.
+* **FunctionPower** — wraps an arbitrary ``f`` (Theorem 1 quantifies
+  over *all* oblivious functions, so the adversarial construction needs
+  this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.power.base import ObliviousPowerAssignment
+from repro.util.validation import check_positive
+
+
+class UniformPower(ObliviousPowerAssignment):
+    """Constant power ``p_i = level`` for every request."""
+
+    def __init__(self, level: float = 1.0):
+        self.level = check_positive(level, "level")
+
+    @property
+    def name(self) -> str:
+        return "uniform"
+
+    def power_of_loss(self, loss: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(loss, dtype=float), self.level)
+
+
+class LinearPower(ObliviousPowerAssignment):
+    """Linear assignment ``p_i = scale * l_i``."""
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = check_positive(scale, "scale")
+
+    @property
+    def name(self) -> str:
+        return "linear"
+
+    def power_of_loss(self, loss: np.ndarray) -> np.ndarray:
+        return self.scale * np.asarray(loss, dtype=float)
+
+
+class SquareRootPower(ObliviousPowerAssignment):
+    """The square-root assignment ``p̄_i = scale * sqrt(l_i)`` (§3)."""
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = check_positive(scale, "scale")
+
+    @property
+    def name(self) -> str:
+        return "sqrt"
+
+    def power_of_loss(self, loss: np.ndarray) -> np.ndarray:
+        return self.scale * np.sqrt(np.asarray(loss, dtype=float))
+
+
+class MeanPower(ObliviousPowerAssignment):
+    """The interpolating family ``p_i = scale * l_i**tau``.
+
+    ``tau = 0`` is uniform, ``tau = 1/2`` the square root, ``tau = 1``
+    linear and ``tau > 1`` superlinear.  Section 2 shows the directed
+    lower bound applies to all of them; Section 3 shows ``tau = 1/2``
+    is special for bidirectional requests.
+    """
+
+    def __init__(self, tau: float, scale: float = 1.0):
+        if tau < 0:
+            raise ValueError(f"tau must be >= 0, got {tau}")
+        self.tau = float(tau)
+        self.scale = check_positive(scale, "scale")
+
+    @property
+    def name(self) -> str:
+        return f"loss^{self.tau:g}"
+
+    def power_of_loss(self, loss: np.ndarray) -> np.ndarray:
+        return self.scale * np.asarray(loss, dtype=float) ** self.tau
+
+
+class FunctionPower(ObliviousPowerAssignment):
+    """An arbitrary oblivious assignment ``p_i = f(l_i)``.
+
+    Parameters
+    ----------
+    f:
+        Function from positive loss to positive power; must accept
+        numpy arrays (it is applied to the whole loss vector).
+    name:
+        Label for experiment tables.
+    """
+
+    def __init__(self, f: Callable[[np.ndarray], np.ndarray], name: str = "custom-f"):
+        self._f = f
+        self._name = str(name)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def power_of_loss(self, loss: np.ndarray) -> np.ndarray:
+        return np.asarray(self._f(np.asarray(loss, dtype=float)), dtype=float)

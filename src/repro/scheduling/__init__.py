@@ -1,0 +1,62 @@
+"""Coloring / scheduling algorithms.
+
+* :mod:`~repro.scheduling.trivial` — one color per request (the O(n)
+  upper bound the paper's Omega(n) lower bound is matched against).
+* :mod:`~repro.scheduling.firstfit` — greedy first-fit coloring under
+  a fixed power assignment, plus a free-power variant that uses
+  power-control feasibility (the "optimal power assignment" witness).
+* :mod:`~repro.scheduling.peeling` — repeated extraction of maximal
+  feasible subsets.
+* :mod:`~repro.scheduling.gain_scaling` — constructive Propositions 3
+  and 4: trade gain for colors.
+* :mod:`~repro.scheduling.sqrt_coloring` — the Theorem 15 randomized
+  O(log n)-approximation for the square-root assignment (distance
+  classes + LP relaxation + randomized rounding).
+* :mod:`~repro.scheduling.protocol_model` — a graph-based
+  (protocol-model) baseline from the pre-SINR literature.
+"""
+
+from repro.scheduling.exact import (
+    InstanceTooLargeError,
+    exact_minimum_colors,
+)
+from repro.scheduling.local_search import improve_schedule
+from repro.scheduling.distributed import (
+    DistributedStats,
+    ProtocolStalledError,
+    distributed_coloring,
+)
+from repro.scheduling.firstfit import (
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+)
+from repro.scheduling.gain_scaling import (
+    densest_subset_at_gain,
+    rescale_gain_coloring,
+)
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.protocol_model import (
+    protocol_conflict_graph,
+    protocol_schedule,
+)
+from repro.scheduling.sqrt_coloring import SqrtColoringStats, sqrt_coloring
+from repro.scheduling.trivial import trivial_schedule
+
+__all__ = [
+    "exact_minimum_colors",
+    "InstanceTooLargeError",
+    "improve_schedule",
+    "distributed_coloring",
+    "DistributedStats",
+    "ProtocolStalledError",
+    "trivial_schedule",
+    "first_fit_schedule",
+    "first_fit_free_power_schedule",
+    "peeling_schedule",
+    "rescale_gain_coloring",
+    "densest_subset_at_gain",
+    "sqrt_coloring",
+    "SqrtColoringStats",
+    "protocol_conflict_graph",
+    "protocol_schedule",
+]

@@ -1,0 +1,169 @@
+"""Greedy first-fit coloring.
+
+Requests are processed in a given order (longest link first by
+default); each request is placed into the first color class it can
+join without violating any SINR constraint, opening a new class when
+none fits.  This is the workhorse O(n)-approximation used both as a
+baseline and as the constructive engine behind the gain-rescaling
+propositions.
+
+Two variants:
+
+* :func:`first_fit_schedule` — fixed power assignment; incremental
+  interference bookkeeping gives O(n^2) total work.
+* :func:`first_fit_free_power_schedule` — powers are free per class;
+  class feasibility is decided by power-control theory
+  (:mod:`repro.analysis.power_control`) and each class receives its
+  own feasible power vector.  This realises "an optimal schedule has
+  constant length" comparisons of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.power_control import (
+    free_power_feasible,
+    free_powers,
+)
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Direction, Instance
+from repro.core.interference import (
+    bidirectional_gain_matrices,
+    directed_gain_matrix,
+)
+from repro.core.schedule import Schedule
+
+
+def _default_order(instance: Instance) -> np.ndarray:
+    """Longest links first (ties broken by index for determinism)."""
+    return np.argsort(-instance.link_distances, kind="stable")
+
+
+@dataclass
+class _ClassState:
+    """Incremental interference bookkeeping for one color class."""
+
+    members: List[int]
+    interference_u: np.ndarray  # running interference at each member (endpoint u)
+    interference_v: np.ndarray  # endpoint v (same as u in directed mode)
+
+
+def first_fit_schedule(
+    instance: Instance,
+    powers: np.ndarray,
+    order: Optional[Sequence[int]] = None,
+    beta: Optional[float] = None,
+    rtol: float = 1e-9,
+) -> Schedule:
+    """First-fit coloring under a fixed power vector.
+
+    Parameters
+    ----------
+    powers:
+        The (fixed) power of every request.
+    order:
+        Processing order; longest-first by default.
+    beta:
+        Gain override (defaults to the instance's).
+    """
+    beta = instance.beta if beta is None else float(beta)
+    noise = instance.noise
+    powers = np.asarray(powers, dtype=float)
+    if order is None:
+        order = _default_order(instance)
+    order = np.asarray(order, dtype=int)
+
+    if instance.direction is Direction.DIRECTED:
+        gains = directed_gain_matrix(instance, powers)
+        gains_u, gains_v = gains, gains
+    else:
+        gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+    signals = powers / instance.link_losses
+    budget = signals / beta - noise  # max tolerable interference per request
+    if np.any(budget < 0):
+        bad = int(np.argmax(budget < 0))
+        raise InvalidScheduleError(
+            f"request {bad} cannot satisfy its SINR constraint even alone "
+            f"(signal {signals[bad]:.4g} < beta*noise {beta * noise:.4g}); "
+            "scale the powers first (see scale_powers_for_noise)"
+        )
+
+    classes: List[_ClassState] = []
+    colors = np.full(instance.n, -1, dtype=int)
+    tolerance = 1.0 + rtol
+
+    for req in order:
+        placed = False
+        for color, state in enumerate(classes):
+            members = state.members
+            new_u = float(np.sum(gains_u[req, members]))
+            new_v = float(np.sum(gains_v[req, members]))
+            if max(new_u, new_v) > budget[req] * tolerance:
+                continue
+            member_arr = np.asarray(members)
+            add_u = gains_u[member_arr, req]
+            add_v = gains_v[member_arr, req]
+            if np.any(state.interference_u + add_u > budget[member_arr] * tolerance):
+                continue
+            if np.any(state.interference_v + add_v > budget[member_arr] * tolerance):
+                continue
+            state.interference_u = np.append(state.interference_u + add_u, new_u)
+            state.interference_v = np.append(state.interference_v + add_v, new_v)
+            state.members.append(int(req))
+            colors[req] = color
+            placed = True
+            break
+        if not placed:
+            classes.append(
+                _ClassState(
+                    members=[int(req)],
+                    interference_u=np.zeros(1),
+                    interference_v=np.zeros(1),
+                )
+            )
+            colors[req] = len(classes) - 1
+
+    return Schedule(colors=colors, powers=powers.copy())
+
+
+def first_fit_free_power_schedule(
+    instance: Instance,
+    order: Optional[Sequence[int]] = None,
+    beta: Optional[float] = None,
+    margin: float = 1e-3,
+) -> Schedule:
+    """First-fit coloring where every class chooses its own powers.
+
+    A request joins the first class that stays feasible for *some*
+    power assignment (power-control growth factor below ``1 - margin``;
+    the default keeps classes comfortably subcritical so the emitted
+    power vectors have real SINR slack).  After the coloring, each
+    class receives a strictly feasible power vector, so the returned
+    schedule is a genuine SINR schedule.
+    """
+    if order is None:
+        order = _default_order(instance)
+    order = np.asarray(order, dtype=int)
+    classes: List[List[int]] = []
+    colors = np.full(instance.n, -1, dtype=int)
+    for req in order:
+        placed = False
+        for color, members in enumerate(classes):
+            trial = members + [int(req)]
+            if free_power_feasible(instance, trial, beta=beta, margin=margin):
+                members.append(int(req))
+                colors[req] = color
+                placed = True
+                break
+        if not placed:
+            classes.append([int(req)])
+            colors[req] = len(classes) - 1
+
+    powers = np.ones(instance.n)
+    for members in classes:
+        powers[np.asarray(members)] = free_powers(instance, members, beta=beta)
+    return Schedule(colors=colors, powers=powers)

@@ -1,0 +1,99 @@
+"""Local-search schedule improvement.
+
+A post-processing pass applicable to any fixed-power schedule: try to
+*empty the smallest color class* by reassigning each of its members
+into some other class that still satisfies every SINR constraint; on
+success the color disappears.  Repeats until a fixed point.
+
+The pass never increases the number of colors and never breaks
+feasibility, so it composes with every scheduler in this package
+(first-fit, peeling, LP pipeline, distributed protocol output).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.feasibility import is_feasible_subset
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+
+def _try_empty_class(
+    instance: Instance,
+    colors: np.ndarray,
+    powers: np.ndarray,
+    victim: int,
+    beta: Optional[float],
+) -> bool:
+    """Try to dissolve color class *victim* by moving its members.
+
+    Moves are committed member by member; on the first stuck member,
+    every prior move is rolled back (all-or-nothing semantics keep the
+    invariant simple and the result a strict improvement).
+    """
+    members = np.flatnonzero(colors == victim)
+    snapshot = colors.copy()
+    targets = [c for c in np.unique(colors) if c != victim]
+    for request in members:
+        placed = False
+        for target in targets:
+            trial = np.append(np.flatnonzero(colors == target), request)
+            if is_feasible_subset(instance, powers, trial, beta=beta):
+                colors[request] = target
+                placed = True
+                break
+        if not placed:
+            colors[:] = snapshot
+            return False
+    return True
+
+
+def improve_schedule(
+    instance: Instance,
+    schedule: Schedule,
+    beta: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+) -> Schedule:
+    """Reduce *schedule*'s colors by dissolving small classes.
+
+    Parameters
+    ----------
+    schedule:
+        A feasible fixed-power schedule (validated before and after).
+    max_rounds:
+        Cap on dissolution attempts (defaults to the color count).
+
+    Returns
+    -------
+    Schedule
+        A feasible schedule with at most as many colors; powers are
+        unchanged.
+    """
+    schedule.validate(instance, beta=beta)
+    colors = schedule.compacted().colors.copy()
+    powers = schedule.powers
+    if max_rounds is None:
+        max_rounds = int(np.unique(colors).size)
+
+    for _ in range(max_rounds):
+        sizes = {c: int(np.sum(colors == c)) for c in np.unique(colors)}
+        if len(sizes) <= 1:
+            break
+        # Try victims from the smallest class upward; stop the round at
+        # the first success (classes change) or give up entirely.
+        dissolved = False
+        for victim in sorted(sizes, key=lambda c: (sizes[c], c)):
+            if _try_empty_class(instance, colors, powers, victim, beta):
+                dissolved = True
+                break
+        if not dissolved:
+            break
+        # Re-compact so color ids stay dense.
+        _, colors = np.unique(colors, return_inverse=True)
+
+    improved = Schedule(colors=colors, powers=powers.copy())
+    improved.validate(instance, beta=beta)
+    return improved

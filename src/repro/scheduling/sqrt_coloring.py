@@ -1,0 +1,250 @@
+"""The Theorem 15 coloring algorithm for the square-root assignment.
+
+"There exists a randomized polynomial time algorithm solving the
+coloring problem for the square root power assignment with
+approximation factor O(log n)."
+
+Structure (Section 5), per extracted color class:
+
+1. Partition the remaining requests into *distance classes* ``C_i``
+   (link distances within a factor of 4, so losses within ``4^alpha``).
+2. Sweep classes from short to long.  For each class, keep only the
+   requests whose endpoints still tolerate the interference of the
+   already-selected shorter requests (the paper's ``V'``/``C'_i``).
+3. Choose a large subset of the class via an LP relaxation — variables
+   ``x_j in [0, 1]``, one interference-budget constraint per candidate
+   endpoint (the Claim 17 relaxation widens the budget by ``2^alpha``)
+   — followed by randomized rounding and a greedy repair pass.
+4. After the sweep, thin the selection at the full gain
+   (Proposition 3) so the emitted class is genuinely feasible.
+
+The extracted class is colored, removed, and the process repeats —
+"It is easy to see that such a greedy approach yields an O(log n)
+approximation for the optimal number of colors."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.analysis.capacity import greedy_max_feasible_subset
+from repro.core.instance import Direction, Instance
+from repro.core.interference import (
+    bidirectional_gain_matrices,
+    directed_gain_matrix,
+)
+from repro.core.schedule import Schedule
+from repro.power.oblivious import SquareRootPower
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SqrtColoringStats:
+    """Diagnostics of a :func:`sqrt_coloring` run."""
+
+    rounds: int = 0
+    lp_solves: int = 0
+    class_sizes: List[int] = field(default_factory=list)
+    distance_classes_seen: int = 0
+    lp_objectives: List[float] = field(default_factory=list)
+
+
+def _distance_classes(distances: np.ndarray) -> List[np.ndarray]:
+    """Group positions by ``floor(log4(d / d_min))``, ascending."""
+    d_min = float(np.min(distances))
+    idx = np.floor(np.log(distances / d_min) / math.log(4.0) + 1e-12).astype(int)
+    classes = []
+    for value in np.unique(idx):
+        classes.append(np.flatnonzero(idx == value))
+    return classes
+
+
+def _lp_select(
+    gains_u: np.ndarray,
+    gains_v: np.ndarray,
+    candidates: np.ndarray,
+    slack: np.ndarray,
+    relax: float,
+    rng: np.random.Generator,
+    rounding_trials: int,
+) -> Tuple[np.ndarray, float]:
+    """Solve the class LP and round; returns (chosen positions into
+    *candidates*, LP objective)."""
+    k = candidates.size
+    sub_u = gains_u[np.ix_(candidates, candidates)]
+    sub_v = gains_v[np.ix_(candidates, candidates)]
+    # Shared nodes produce infinite gains; clamp them so the LP stays
+    # finite (an infinite column forces the corresponding x to 0 via a
+    # huge coefficient).
+    big = 1e30
+    sub_u = np.where(np.isfinite(sub_u), sub_u, big)
+    sub_v = np.where(np.isfinite(sub_v), sub_v, big)
+    a_ub = np.vstack([sub_u, sub_v])
+    b_ub = np.concatenate([relax * slack, relax * slack])
+    result = linprog(
+        c=-np.ones(k),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(0.0, 1.0)] * k,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - LP is always feasible (x=0)
+        return np.zeros(0, dtype=int), 0.0
+    x = np.clip(result.x, 0.0, 1.0)
+    objective = float(np.sum(x))
+
+    best: np.ndarray = np.zeros(0, dtype=int)
+    for _ in range(rounding_trials):
+        chosen = np.flatnonzero(rng.uniform(size=k) < x / 4.0)
+        if chosen.size > best.size:
+            best = chosen
+    return best, objective
+
+
+def _select_one_class(
+    instance: Instance,
+    remaining: np.ndarray,
+    gains_u: np.ndarray,
+    gains_v: np.ndarray,
+    budgets: np.ndarray,
+    beta: float,
+    rng: np.random.Generator,
+    use_lp: bool,
+    rounding_trials: int,
+    stats: SqrtColoringStats,
+    powers: np.ndarray,
+) -> np.ndarray:
+    """One run of algorithm A: extract a large feasible subset of
+    *remaining* (global indices) for the square-root assignment."""
+    distances = instance.link_distances[remaining]
+    classes = _distance_classes(distances)
+    stats.distance_classes_seen += len(classes)
+    selected: List[int] = []
+
+    for positions in classes:
+        members = remaining[positions]
+        if selected:
+            sel = np.asarray(selected)
+            prior_u = gains_u[np.ix_(members, sel)].sum(axis=1)
+            prior_v = gains_v[np.ix_(members, sel)].sum(axis=1)
+            prior = np.maximum(prior_u, prior_v)
+        else:
+            prior = np.zeros(members.size)
+        # The paper's V'/C'_i: requests whose endpoints still have at
+        # least half their interference budget left.
+        half = budgets[members] / 2.0
+        keep = prior <= half
+        candidates = members[keep]
+        if candidates.size == 0:
+            continue
+        slack = half[keep]
+
+        if use_lp and candidates.size > 1:
+            relax = 2.0**instance.alpha
+            chosen_pos, objective = _lp_select(
+                gains_u, gains_v, candidates, slack, relax, rng, rounding_trials
+            )
+            stats.lp_solves += 1
+            stats.lp_objectives.append(objective)
+            chosen = candidates[chosen_pos]
+        else:
+            chosen = candidates
+
+        # Repair at gain beta/2 on top of the already-selected pairs:
+        # greedily peel violators among the new picks.
+        trial = selected + [int(c) for c in chosen]
+        feasible = greedy_max_feasible_subset(
+            instance,
+            powers,
+            candidates=trial,
+            beta=beta / 2.0,
+        )
+        feasible_set = set(int(i) for i in feasible)
+        # Never peel previously selected pairs at this stage; the final
+        # thinning handles global violations (paper: Lemma 19 bounds the
+        # back-interference by a constant factor).
+        newly = [int(c) for c in chosen if int(c) in feasible_set]
+        selected.extend(newly)
+
+    if not selected:
+        # Guarantee progress: the longest remaining request alone.
+        longest = remaining[int(np.argmax(distances))]
+        return np.asarray([longest], dtype=int)
+
+    # Final thinning at the full gain (Proposition 3).
+    final = greedy_max_feasible_subset(
+        instance, powers, candidates=selected, beta=beta
+    )
+    if final.size == 0:
+        longest = remaining[int(np.argmax(distances))]
+        return np.asarray([longest], dtype=int)
+    return final
+
+
+def sqrt_coloring(
+    instance: Instance,
+    beta: Optional[float] = None,
+    rng: RngLike = None,
+    use_lp: bool = True,
+    rounding_trials: int = 8,
+) -> Tuple[Schedule, SqrtColoringStats]:
+    """Color *instance* under the square-root assignment (Theorem 15).
+
+    Parameters
+    ----------
+    use_lp:
+        When ``False``, skip the LP and greedily take every candidate
+        (a faster heuristic with the same repair/thinning safety nets).
+    rounding_trials:
+        Randomized-rounding attempts per LP solve.
+
+    Returns
+    -------
+    (schedule, stats):
+        A feasible schedule using the square-root powers, plus run
+        diagnostics.
+    """
+    beta = instance.beta if beta is None else float(beta)
+    rng = ensure_rng(rng)
+    powers = SquareRootPower()(instance)
+    if instance.direction is Direction.DIRECTED:
+        gains = directed_gain_matrix(instance, powers)
+        gains_u, gains_v = gains, gains
+    else:
+        gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+    signals = powers / instance.link_losses
+    budgets = signals / beta  # max tolerable interference per request
+
+    stats = SqrtColoringStats()
+    colors = np.full(instance.n, -1, dtype=int)
+    remaining = np.arange(instance.n)
+    color = 0
+    while remaining.size > 0:
+        chosen = _select_one_class(
+            instance,
+            remaining,
+            gains_u,
+            gains_v,
+            budgets,
+            beta,
+            rng,
+            use_lp,
+            rounding_trials,
+            stats,
+            powers,
+        )
+        colors[chosen] = color
+        stats.class_sizes.append(int(chosen.size))
+        chosen_set = set(int(i) for i in chosen)
+        remaining = np.asarray(
+            [i for i in remaining if int(i) not in chosen_set], dtype=int
+        )
+        color += 1
+        stats.rounds += 1
+
+    return Schedule(colors=colors, powers=powers), stats

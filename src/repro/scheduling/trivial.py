@@ -1,0 +1,36 @@
+"""The trivial schedule: one color per request.
+
+With zero noise a single request is always feasible (no interference),
+so ``n`` colors always suffice — "there is a straightforward algorithm
+that achieves an O(n)-approximation" (abstract).  This is the
+worst-case baseline every experiment reports against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.power.base import PowerAssignment
+from repro.power.oblivious import SquareRootPower
+
+
+def trivial_schedule(
+    instance: Instance, power: Optional[PowerAssignment] = None
+) -> Schedule:
+    """Schedule every request in its own color.
+
+    Parameters
+    ----------
+    power:
+        Power assignment used (the colors make any positive powers
+        feasible at zero noise); defaults to the square-root
+        assignment.
+    """
+    if power is None:
+        power = SquareRootPower()
+    powers = power(instance)
+    return Schedule(colors=np.arange(instance.n), powers=powers)

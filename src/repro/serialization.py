@@ -1,0 +1,131 @@
+"""JSON serialization for instances and schedules.
+
+A practical library needs to save and reload experiment artefacts.
+Instances serialize their metric either as Euclidean coordinates (when
+available) or as an explicit distance matrix; schedules serialize
+colors and powers.  Round-tripping preserves all SINR-relevant data
+bit-for-bit (floats go through ``repr``-exact JSON numbers).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.instance import Direction, Instance
+from repro.core.schedule import Schedule
+from repro.geometry.euclidean import EuclideanMetric
+from repro.geometry.explicit import ExplicitMetric
+from repro.geometry.line import LineMetric
+from repro.geometry.metric import Metric
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError, ValueError):
+    """Malformed payloads or unsupported metric types."""
+
+
+def _metric_to_dict(metric: Metric) -> Dict[str, Any]:
+    if isinstance(metric, LineMetric):
+        return {"type": "line", "coordinates": metric.coordinates.tolist()}
+    if isinstance(metric, EuclideanMetric):
+        return {"type": "euclidean", "points": metric.points.tolist()}
+    # Fallback: any metric can ship as its distance matrix.
+    return {"type": "explicit", "matrix": metric.distance_matrix().tolist()}
+
+
+def _metric_from_dict(payload: Dict[str, Any]) -> Metric:
+    kind = payload.get("type")
+    if kind == "line":
+        return LineMetric(payload["coordinates"])
+    if kind == "euclidean":
+        return EuclideanMetric(np.asarray(payload["points"]))
+    if kind == "explicit":
+        return ExplicitMetric(
+            np.asarray(payload["matrix"]), validate_triangle=False
+        )
+    raise SerializationError(f"unknown metric type {kind!r}")
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+    """Serializable dictionary for *instance*."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "instance",
+        "metric": _metric_to_dict(instance.metric),
+        "senders": instance.senders.tolist(),
+        "receivers": instance.receivers.tolist(),
+        "direction": instance.direction.value,
+        "alpha": instance.alpha,
+        "beta": instance.beta,
+        "noise": instance.noise,
+    }
+
+
+def instance_from_dict(payload: Dict[str, Any]) -> Instance:
+    """Rebuild an :class:`Instance` from :func:`instance_to_dict` output."""
+    if payload.get("kind") != "instance":
+        raise SerializationError("payload is not an instance")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    return Instance(
+        _metric_from_dict(payload["metric"]),
+        payload["senders"],
+        payload["receivers"],
+        direction=Direction(payload["direction"]),
+        alpha=payload["alpha"],
+        beta=payload["beta"],
+        noise=payload["noise"],
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Serializable dictionary for *schedule*."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "schedule",
+        "colors": schedule.colors.tolist(),
+        "powers": schedule.powers.tolist(),
+    }
+
+
+def schedule_from_dict(payload: Dict[str, Any]) -> Schedule:
+    """Rebuild a :class:`Schedule` from :func:`schedule_to_dict` output."""
+    if payload.get("kind") != "schedule":
+        raise SerializationError("payload is not a schedule")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    return Schedule(
+        colors=np.asarray(payload["colors"], dtype=int),
+        powers=np.asarray(payload["powers"], dtype=float),
+    )
+
+
+def dumps(obj: Union[Instance, Schedule], indent: int = None) -> str:
+    """JSON string for an instance or schedule."""
+    if isinstance(obj, Instance):
+        payload = instance_to_dict(obj)
+    elif isinstance(obj, Schedule):
+        payload = schedule_to_dict(obj)
+    else:
+        raise SerializationError(f"cannot serialize {type(obj).__name__}")
+    return json.dumps(payload, indent=indent)
+
+
+def loads(text: str) -> Union[Instance, Schedule]:
+    """Parse a JSON string produced by :func:`dumps`."""
+    payload = json.loads(text)
+    kind = payload.get("kind")
+    if kind == "instance":
+        return instance_from_dict(payload)
+    if kind == "schedule":
+        return schedule_from_dict(payload)
+    raise SerializationError(f"unknown payload kind {kind!r}")

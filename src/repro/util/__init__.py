@@ -1,0 +1,25 @@
+"""Small shared utilities: RNG plumbing, validation, table formatting.
+
+These helpers are intentionally tiny and dependency-free so that every
+other subpackage can import them without cycles.
+"""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.tables import Table, format_table
+from repro.util.validation import (
+    check_finite,
+    check_index,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Table",
+    "format_table",
+    "check_finite",
+    "check_index",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,46 @@
+"""Random-number-generator plumbing.
+
+All randomness in the library flows through :class:`numpy.random.Generator`
+instances so that every experiment is reproducible from a single integer
+seed.  Functions accept ``rng=None`` (fresh entropy), an ``int`` seed, or
+an existing ``Generator`` and normalise via :func:`ensure_rng`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *rng*.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh OS entropy), an integer seed, or an existing
+        generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive *count* independent child generators from *rng*.
+
+    Child streams are independent of each other and of the parent, so
+    parallel experiment arms do not share randomness.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,87 @@
+"""Minimal table abstraction used by the experiment harness.
+
+Experiments return a :class:`Table` (column names plus row dicts) which
+benchmarks and examples render with :func:`format_table`.  This keeps
+the experiment modules free of any printing concerns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """An ordered collection of homogeneous result rows.
+
+    Attributes
+    ----------
+    title:
+        Human-readable experiment name (e.g. ``"E1: directed lower bound"``).
+    columns:
+        Column names, in display order.
+    rows:
+        Row dictionaries; missing keys render as ``""``.
+    notes:
+        Free-form annotations (parameters, seeds, caveats).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row given as keyword arguments."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has columns not in table: {sorted(unknown)}")
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note rendered under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """Return the values of column *name* across all rows."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in table {self.title!r}")
+        return [row.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render *table* as a GitHub-flavoured markdown string."""
+    header = [str(c) for c in table.columns]
+    body = [[_render_cell(row.get(c)) for c in table.columns] for row in table.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Iterable[str]) -> str:
+        padded = (cell.ljust(widths[i]) for i, cell in enumerate(cells))
+        return "| " + " | ".join(padded) + " |"
+
+    lines = [f"### {table.title}", ""]
+    lines.append(fmt_row(header))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in body)
+    for note in table.notes:
+        lines.append(f"> {note}")
+    return "\n".join(lines)

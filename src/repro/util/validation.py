@@ -1,0 +1,46 @@
+"""Argument-validation helpers shared across the library.
+
+Each helper raises ``ValueError``/``IndexError`` with a message naming
+the offending argument, keeping call sites one line long.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+Number = Union[int, float, np.integer, np.floating]
+
+
+def check_positive(value: Number, name: str) -> float:
+    """Return ``float(value)``; raise if it is not strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_finite(value: Number, name: str) -> float:
+    """Return ``float(value)``; raise if it is NaN or infinite."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_probability(value: Number, name: str) -> float:
+    """Return ``float(value)``; raise unless ``0 <= value <= 1``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_index(index: int, size: int, name: str) -> int:
+    """Return ``int(index)``; raise unless ``0 <= index < size``."""
+    index = int(index)
+    if not 0 <= index < size:
+        raise IndexError(f"{name} must be in [0, {size}), got {index}")
+    return index

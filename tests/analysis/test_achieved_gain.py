@@ -1,0 +1,65 @@
+"""Tests for achieved-gain analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.achieved_gain import (
+    achieved_gain,
+    nodeloss_achieved_gain,
+    per_class_achieved_gains,
+    schedule_achieved_gain,
+)
+from repro.core.feasibility import is_feasible_partition
+from repro.core.schedule import Schedule
+from repro.nodeloss.instance import NodeLossInstance
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule
+
+
+class TestAchievedGain:
+    def test_two_far_links(self, two_link_instance):
+        gain = achieved_gain(two_link_instance, np.ones(2))
+        # signal 1, interference 1/99^3.
+        assert gain == pytest.approx(99.0**3)
+
+    def test_isolated_request_infinite(self, two_link_instance):
+        assert achieved_gain(two_link_instance, np.ones(2), subset=[0]) == np.inf
+
+    def test_schedule_is_feasible_exactly_up_to_achieved_gain(
+        self, small_random_instance
+    ):
+        powers = SquareRootPower()(small_random_instance)
+        schedule = first_fit_schedule(small_random_instance, powers)
+        gain = schedule_achieved_gain(small_random_instance, schedule)
+        assert is_feasible_partition(
+            small_random_instance, schedule.powers, schedule.colors, beta=gain * 0.999
+        )
+        if np.isfinite(gain):
+            assert not is_feasible_partition(
+                small_random_instance,
+                schedule.powers,
+                schedule.colors,
+                beta=gain * 1.001,
+            )
+
+    def test_per_class_gains_at_least_overall(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        schedule = first_fit_schedule(small_random_instance, powers)
+        overall = schedule_achieved_gain(small_random_instance, schedule)
+        per_class = per_class_achieved_gains(small_random_instance, schedule)
+        assert min(per_class.values()) == pytest.approx(overall)
+
+    def test_singleton_classes_have_infinite_gain(self, two_link_instance):
+        schedule = Schedule(colors=np.array([0, 1]), powers=np.ones(2))
+        gains = per_class_achieved_gains(two_link_instance, schedule)
+        assert gains[0] == np.inf
+        assert gains[1] == np.inf
+
+
+class TestNodeLossAchievedGain:
+    def test_matches_margins(self):
+        distances = np.array([[0.0, 10.0], [10.0, 0.0]])
+        inst = NodeLossInstance(distances, [8.0, 8.0], alpha=3.0)
+        gain = nodeloss_achieved_gain(inst, inst.sqrt_powers())
+        # signal = sqrt(8)/8; interference = sqrt(8)/1000.
+        assert gain == pytest.approx(1000.0 / 8.0)

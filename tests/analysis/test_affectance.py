@@ -1,0 +1,80 @@
+"""Tests for the affectance layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.affectance import (
+    affectance_matrix,
+    fixed_power_conflict_bound,
+    max_average_affectance,
+    total_affectance,
+)
+from repro.core.feasibility import feasible_subset_mask
+from repro.core.instance import Instance
+from repro.geometry.line import LineMetric
+from repro.power.oblivious import SquareRootPower
+
+
+class TestAffectanceMatrix:
+    def test_hand_computed_directed(self, two_link_directed):
+        matrix = affectance_matrix(two_link_directed, np.ones(2))
+        # A[0,1] = beta * (p1/l(u1,v0)) / (p0/l0) = (1/99^3) / 1.
+        assert matrix[0, 1] == pytest.approx(1.0 / 99.0**3)
+        assert matrix[1, 0] == pytest.approx(1.0 / 101.0**3)
+        assert matrix[0, 0] == 0.0
+
+    def test_beta_scales_affectance(self, two_link_instance):
+        base = affectance_matrix(two_link_instance, np.ones(2), beta=1.0)
+        double = affectance_matrix(two_link_instance, np.ones(2), beta=2.0)
+        assert np.allclose(double, 2 * base)
+
+    def test_cap(self):
+        metric = LineMetric([0.0, 10.0, 1.0, 11.0])
+        inst = Instance.directed(metric, [(0, 1), (2, 3)])
+        raw = affectance_matrix(inst, np.ones(2), capped=False)
+        capped = affectance_matrix(inst, np.ones(2), capped=True)
+        assert raw.max() > 1.0
+        assert capped.max() <= 1.0
+
+    def test_feasibility_iff_total_below_one(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        totals = total_affectance(small_random_instance, powers)
+        mask = feasible_subset_mask(
+            small_random_instance, powers, list(range(small_random_instance.n))
+        )
+        assert np.array_equal(mask, totals <= 1.0 + 1e-9)
+
+    def test_subset_totals(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        sub = total_affectance(small_random_instance, powers, subset=[0, 1])
+        assert sub.shape == (2,)
+
+
+class TestAffectanceStatistics:
+    def test_max_average_in_unit_interval(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        value = max_average_affectance(small_random_instance, powers)
+        assert 0.0 <= value <= 1.0
+
+    def test_single_request_zero(self):
+        metric = LineMetric([0.0, 1.0])
+        inst = Instance.bidirectional(metric, [(0, 1)])
+        assert max_average_affectance(inst, np.ones(1)) == 0.0
+
+
+class TestFixedPowerConflictBound:
+    def test_far_links_bound_one(self, two_link_instance):
+        assert fixed_power_conflict_bound(two_link_instance, np.ones(2)) == 1
+
+    def test_interleaved_links_conflict(self):
+        metric = LineMetric([0.0, 10.0, 1.0, 11.0, 2.0, 12.0])
+        inst = Instance.directed(metric, [(0, 1), (2, 3), (4, 5)])
+        assert fixed_power_conflict_bound(inst, np.ones(3)) >= 2
+
+    def test_bound_is_sound(self, small_random_instance):
+        from repro.scheduling.firstfit import first_fit_schedule
+
+        powers = SquareRootPower()(small_random_instance)
+        bound = fixed_power_conflict_bound(small_random_instance, powers)
+        schedule = first_fit_schedule(small_random_instance, powers)
+        assert bound <= schedule.num_colors

@@ -1,0 +1,115 @@
+"""Tests for free-power (power-control) feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InfeasibleError
+from repro.core.feasibility import sinr_margins
+from repro.core.instance import Direction, Instance
+from repro.analysis.power_control import (
+    free_power_feasible,
+    free_power_spectral_radius,
+    free_powers,
+)
+from repro.geometry.line import LineMetric
+
+
+class TestSpectralRadius:
+    def test_two_far_links_subcritical(self, two_link_directed):
+        assert free_power_spectral_radius(two_link_directed) < 0.01
+
+    def test_exact_two_by_two(self):
+        # For two directed links the radius is sqrt(B01 * B10).
+        metric = LineMetric([0.0, 1.0, 3.0, 4.0])
+        inst = Instance.directed(metric, [(0, 1), (2, 3)], alpha=3.0, beta=1.0)
+        # B[0,1] = l0 / l(u1, v0) = 1 / 2^3; B[1,0] = l1 / l(u0, v1) = 1 / 4^3.
+        expected = np.sqrt((1.0 / 8.0) * (1.0 / 64.0))
+        assert free_power_spectral_radius(inst) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_shared_node_is_infinite(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.directed(metric, [(0, 1), (1, 2)])
+        assert free_power_spectral_radius(inst) == np.inf
+
+    def test_singleton_is_zero(self, two_link_directed):
+        assert free_power_spectral_radius(two_link_directed, subset=[0]) == 0.0
+
+    def test_beta_scales_linearly_directed(self, two_link_directed):
+        r1 = free_power_spectral_radius(two_link_directed, beta=1.0)
+        r2 = free_power_spectral_radius(two_link_directed, beta=2.0)
+        assert r2 == pytest.approx(2 * r1, rel=1e-6)
+
+    def test_bidirectional_at_least_directed(self):
+        metric = LineMetric([0.0, 2.0, 3.0, 7.0])
+        bidir = Instance.bidirectional(metric, [(0, 1), (2, 3)])
+        direct = bidir.with_direction(Direction.DIRECTED)
+        assert free_power_spectral_radius(bidir) >= free_power_spectral_radius(
+            direct
+        ) * (1 - 1e-9)
+
+
+class TestFreePowerFeasible:
+    def test_far_links(self, two_link_directed, two_link_instance):
+        assert free_power_feasible(two_link_directed)
+        assert free_power_feasible(two_link_instance)
+
+    def test_shared_node_infeasible(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        assert not free_power_feasible(inst)
+
+    def test_interleaved_links_infeasible(self):
+        # Two long interleaved links: each sender sits closer to the
+        # other's receiver than its own, defeating every power choice.
+        metric = LineMetric([0.0, 10.0, 1.0, 11.0])
+        inst = Instance.directed(metric, [(0, 1), (2, 3)], alpha=3.0, beta=1.0)
+        # B01 = 1000/9^3 > 1 while B10 = 1000/11^3, product > 1.
+        assert free_power_spectral_radius(inst) > 1.0
+        assert not free_power_feasible(inst)
+
+    def test_nested_directed_pairwise_feasible(self):
+        from repro.instances.nested import nested_instance
+
+        inst = nested_instance(2, beta=1.0, direction=Direction.DIRECTED)
+        # Adjacent nested pairs are pairwise schedulable (rho ~ 0.84).
+        assert free_power_feasible(inst)
+
+
+class TestFreePowers:
+    def test_produces_strictly_feasible_powers(self, two_link_instance):
+        powers = free_powers(two_link_instance)
+        margins = sinr_margins(
+            two_link_instance, powers, colors=np.zeros(2, dtype=int)
+        )
+        assert np.all(margins > 1.0)
+
+    def test_directed_neumann_solution(self, two_link_directed):
+        powers = free_powers(two_link_directed)
+        margins = sinr_margins(
+            two_link_directed, powers, colors=np.zeros(2, dtype=int)
+        )
+        assert np.all(margins > 1.0)
+
+    def test_infeasible_raises(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        with pytest.raises(InfeasibleError):
+            free_powers(inst)
+
+    def test_near_critical_sets_still_get_margin(self):
+        # The nested directed instance at beta=0.3 is close to critical
+        # but feasible; powers must still have margins >= 1.
+        from repro.instances.nested import nested_instance
+
+        inst = nested_instance(16, beta=0.3, direction=Direction.DIRECTED)
+        assert free_power_feasible(inst)
+        powers = free_powers(inst)
+        margins = sinr_margins(inst, powers, colors=np.zeros(16, dtype=int))
+        assert np.all(margins >= 1.0 - 1e-9)
+
+    def test_subset_powers(self, two_link_instance):
+        powers = free_powers(two_link_instance, subset=[1])
+        assert powers.shape == (1,)
+        assert powers[0] > 0

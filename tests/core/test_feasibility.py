@@ -1,0 +1,166 @@
+"""Tests for SINR feasibility predicates and noise scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.feasibility import (
+    feasible_subset_mask,
+    is_feasible_partition,
+    is_feasible_subset,
+    scale_powers_for_noise,
+    signal_strengths,
+    sinr_margins,
+)
+from repro.core.instance import Instance
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+
+
+class TestSignalStrengths:
+    def test_values(self, two_link_instance):
+        powers = np.array([8.0, 2.0])
+        signals = signal_strengths(two_link_instance, powers)
+        assert np.allclose(signals, [8.0, 2.0])  # unit links, alpha=3
+
+    def test_non_positive_power_rejected(self, two_link_instance):
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            signal_strengths(two_link_instance, np.array([1.0, 0.0]))
+
+    def test_wrong_shape_rejected(self, two_link_instance):
+        with pytest.raises(InvalidScheduleError, match="shape"):
+            signal_strengths(two_link_instance, np.ones(3))
+
+
+class TestMargins:
+    def test_far_apart_links_have_huge_margins(self, two_link_instance):
+        margins = sinr_margins(two_link_instance, np.ones(2))
+        assert np.all(margins > 1e5)
+
+    def test_margin_formula(self, two_link_instance):
+        margins = sinr_margins(two_link_instance, np.ones(2))
+        # signal = 1, interference = 1/99^3, beta = 1.
+        assert margins[0] == pytest.approx(99.0**3)
+
+    def test_beta_override_scales_margins(self, two_link_instance):
+        base = sinr_margins(two_link_instance, np.ones(2))
+        doubled = sinr_margins(two_link_instance, np.ones(2), beta=2.0)
+        assert np.allclose(doubled, base / 2.0)
+
+    def test_noise_reduces_margin(self, two_link_instance):
+        noisy = sinr_margins(two_link_instance, np.ones(2), noise=1.0)
+        assert np.all(noisy < 1.0 + 1e-9)
+
+    def test_isolated_request_margin_infinite(self, two_link_instance):
+        margins = sinr_margins(two_link_instance, np.ones(2), subset=[0])
+        assert np.isinf(margins[0])
+
+    def test_shared_node_margin_zero(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        margins = sinr_margins(inst, np.ones(2))
+        assert np.all(margins == 0.0)
+
+    def test_scale_invariance_of_margins(self, small_random_instance):
+        # At sigma = 0, multiplying all powers by the same factor
+        # preserves all margins (§1.1).
+        powers = SquareRootPower()(small_random_instance)
+        a = sinr_margins(small_random_instance, powers)
+        b = sinr_margins(small_random_instance, powers * 7.3)
+        assert np.allclose(a, b)
+
+
+class TestFeasibleSubset:
+    def test_far_links_feasible(self, two_link_instance):
+        assert is_feasible_subset(two_link_instance, np.ones(2), [0, 1])
+
+    def test_empty_subset_feasible(self, two_link_instance):
+        assert is_feasible_subset(two_link_instance, np.ones(2), [])
+
+    def test_shared_node_infeasible(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        assert not is_feasible_subset(inst, np.ones(2), [0, 1])
+        assert is_feasible_subset(inst, np.ones(2), [0])
+
+    def test_mask_identifies_violators(self):
+        # Three links: two close together, one far away.
+        metric = LineMetric([0.0, 1.0, 1.5, 2.5, 100.0, 101.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (2, 3), (4, 5)])
+        mask = feasible_subset_mask(inst, np.ones(3), [0, 1, 2])
+        assert not mask[0]
+        assert not mask[1]
+        assert mask[2]
+
+    def test_partition_feasibility(self):
+        metric = LineMetric([0.0, 1.0, 1.5, 2.5, 100.0, 101.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (2, 3), (4, 5)])
+        good = np.array([0, 1, 0])  # separate the two close links
+        bad = np.array([0, 0, 1])
+        assert is_feasible_partition(inst, np.ones(3), good)
+        assert not is_feasible_partition(inst, np.ones(3), bad)
+
+    def test_partition_shape_checked(self, two_link_instance):
+        with pytest.raises(InvalidScheduleError):
+            is_feasible_partition(two_link_instance, np.ones(2), np.zeros(3, int))
+
+
+class TestNoiseScaling:
+    def test_scaling_absorbs_noise(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        from repro.scheduling.firstfit import first_fit_schedule
+
+        schedule = first_fit_schedule(small_random_instance, powers)
+        noise = 10.0
+        scaled = scale_powers_for_noise(
+            small_random_instance, schedule.powers, schedule.colors, noise
+        )
+        margins = sinr_margins(
+            small_random_instance, scaled, colors=schedule.colors, noise=noise
+        )
+        assert np.all(margins >= 1.0)
+
+    def test_zero_noise_returns_copy(self, two_link_instance):
+        powers = np.array([1.0, 2.0])
+        result = scale_powers_for_noise(
+            two_link_instance, powers, np.array([0, 0]), 0.0
+        )
+        assert np.allclose(result, powers)
+        assert result is not powers
+
+    def test_infeasible_schedule_rejected(self):
+        metric = LineMetric([0.0, 1.0, 1.2, 2.2])
+        inst = Instance.bidirectional(metric, [(0, 1), (2, 3)])
+        # Overlapping links in one color: infeasible at zero noise.
+        with pytest.raises(InvalidScheduleError, match="strictly feasible"):
+            scale_powers_for_noise(inst, np.ones(2), np.array([0, 0]), 1.0)
+
+    def test_negative_noise_rejected(self, two_link_instance):
+        with pytest.raises(ValueError):
+            scale_powers_for_noise(
+                two_link_instance, np.ones(2), np.array([0, 1]), -1.0
+            )
+
+
+class TestFeasibilityProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_subset_of_feasible_is_feasible(self, seed):
+        """Removing requests never hurts: monotonicity of feasibility."""
+        inst = random_uniform_instance(8, rng=seed)
+        powers = SquareRootPower()(inst)
+        full = list(range(8))
+        if not is_feasible_subset(inst, powers, full):
+            mask = feasible_subset_mask(inst, powers, full)
+            # Restrict to satisfied requests; they must stay satisfied
+            # when the violators leave (interference only decreases).
+            survivors = [i for i in full if mask[i]]
+            if survivors:
+                margins = sinr_margins(inst, powers, subset=survivors)
+                assert np.all(margins >= 1.0 - 1e-9)
+        else:
+            sub = full[::2]
+            assert is_feasible_subset(inst, powers, sub)

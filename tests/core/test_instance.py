@@ -1,0 +1,103 @@
+"""Tests for the Instance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import Direction, Instance
+from repro.geometry.line import LineMetric
+
+
+@pytest.fixture
+def metric():
+    return LineMetric([0.0, 1.0, 5.0, 7.0])
+
+
+class TestConstruction:
+    def test_basic(self, metric):
+        inst = Instance(metric, [0, 2], [1, 3])
+        assert inst.n == 2
+        assert inst.direction is Direction.BIDIRECTIONAL
+
+    def test_directed_constructor(self, metric):
+        inst = Instance.directed(metric, [(0, 1), (2, 3)])
+        assert inst.direction is Direction.DIRECTED
+        assert inst.pairs() == [(0, 1), (2, 3)]
+
+    def test_bidirectional_constructor(self, metric):
+        inst = Instance.bidirectional(metric, [(0, 1)])
+        assert inst.direction is Direction.BIDIRECTIONAL
+
+    def test_direction_from_string(self, metric):
+        inst = Instance(metric, [0], [1], direction="directed")
+        assert inst.direction is Direction.DIRECTED
+
+    def test_mismatched_lengths_rejected(self, metric):
+        with pytest.raises(InvalidInstanceError, match="same length"):
+            Instance(metric, [0, 1], [1])
+
+    def test_empty_rejected(self, metric):
+        with pytest.raises(InvalidInstanceError, match="at least one"):
+            Instance(metric, [], [])
+
+    def test_out_of_range_sender(self, metric):
+        with pytest.raises(InvalidInstanceError, match="sender"):
+            Instance(metric, [9], [1])
+
+    def test_out_of_range_receiver(self, metric):
+        with pytest.raises(InvalidInstanceError, match="receiver"):
+            Instance(metric, [0], [9])
+
+    def test_zero_distance_pair_rejected(self, metric):
+        with pytest.raises(InvalidInstanceError, match="zero distance"):
+            Instance(metric, [0], [0])
+
+    def test_alpha_below_one_rejected(self, metric):
+        with pytest.raises(InvalidInstanceError, match="alpha"):
+            Instance(metric, [0], [1], alpha=0.5)
+
+    def test_non_positive_beta_rejected(self, metric):
+        with pytest.raises(InvalidInstanceError, match="beta"):
+            Instance(metric, [0], [1], beta=0.0)
+
+    def test_negative_noise_rejected(self, metric):
+        with pytest.raises(InvalidInstanceError, match="noise"):
+            Instance(metric, [0], [1], noise=-1.0)
+
+
+class TestDerivedData:
+    def test_link_distances(self, metric):
+        inst = Instance(metric, [0, 2], [1, 3])
+        assert np.allclose(inst.link_distances, [1.0, 2.0])
+
+    def test_link_losses(self, metric):
+        inst = Instance(metric, [0, 2], [1, 3], alpha=3.0)
+        assert np.allclose(inst.link_losses, [1.0, 8.0])
+
+    def test_arrays_readonly(self, metric):
+        inst = Instance(metric, [0], [1])
+        with pytest.raises(ValueError):
+            inst.senders[0] = 2
+
+    def test_with_direction(self, metric):
+        inst = Instance(metric, [0], [1])
+        flipped = inst.with_direction(Direction.DIRECTED)
+        assert flipped.direction is Direction.DIRECTED
+        assert flipped.n == inst.n
+
+    def test_with_gain(self, metric):
+        inst = Instance(metric, [0], [1], beta=1.0)
+        stricter = inst.with_gain(4.0)
+        assert stricter.beta == 4.0
+        assert inst.beta == 1.0
+
+    def test_subset(self, metric):
+        inst = Instance(metric, [0, 2], [1, 3])
+        sub = inst.subset([1])
+        assert sub.n == 1
+        assert sub.pairs() == [(2, 3)]
+
+    def test_empty_subset_rejected(self, metric):
+        inst = Instance(metric, [0, 2], [1, 3])
+        with pytest.raises(InvalidInstanceError):
+            inst.subset([])

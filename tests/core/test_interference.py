@@ -1,0 +1,108 @@
+"""Hand-computed interference values for both problem variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Direction, Instance
+from repro.core.interference import (
+    bidirectional_gain_matrices,
+    bidirectional_interference,
+    directed_gain_matrix,
+    directed_interference,
+    interference,
+)
+from repro.geometry.line import LineMetric
+
+
+class TestDirectedGains:
+    def test_hand_computed(self, two_link_directed):
+        # Layout: u0=0, v0=1, u1=100, v1=101; alpha=3.
+        powers = np.array([1.0, 1.0])
+        gains = directed_gain_matrix(two_link_directed, powers)
+        # gain at receiver of 0 from sender of 1: d(u1, v0) = 99
+        assert gains[0, 1] == pytest.approx(1.0 / 99.0**3)
+        # gain at receiver of 1 from sender of 0: d(u0, v1) = 101
+        assert gains[1, 0] == pytest.approx(1.0 / 101.0**3)
+        assert gains[0, 0] == 0.0
+        assert gains[1, 1] == 0.0
+
+    def test_power_scales_linearly(self, two_link_directed):
+        g1 = directed_gain_matrix(two_link_directed, np.array([1.0, 1.0]))
+        g2 = directed_gain_matrix(two_link_directed, np.array([2.0, 2.0]))
+        assert np.allclose(g2, 2 * g1)
+
+    def test_shared_node_gives_infinite_gain(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.directed(metric, [(0, 1), (1, 2)])
+        gains = directed_gain_matrix(inst, np.ones(2))
+        # sender of pair 1 is node 1 = receiver of pair 0.
+        assert np.isinf(gains[0, 1])
+
+    def test_interference_sums_rows(self, two_link_directed):
+        powers = np.array([3.0, 5.0])
+        interf = directed_interference(two_link_directed, powers)
+        assert interf[0] == pytest.approx(5.0 / 99.0**3)
+        assert interf[1] == pytest.approx(3.0 / 101.0**3)
+
+    def test_colors_restrict_interference(self, two_link_directed):
+        powers = np.ones(2)
+        interf = directed_interference(
+            two_link_directed, powers, colors=np.array([0, 1])
+        )
+        assert np.allclose(interf, 0.0)
+
+    def test_subset_restricts(self, two_link_directed):
+        powers = np.ones(2)
+        interf = directed_interference(two_link_directed, powers, subset=[0])
+        assert interf.shape == (1,)
+        assert interf[0] == 0.0
+
+
+class TestBidirectionalGains:
+    def test_hand_computed(self, two_link_instance):
+        powers = np.array([1.0, 1.0])
+        gains_u, gains_v = bidirectional_gain_matrices(two_link_instance, powers)
+        # At u0 (coord 0): nearest endpoint of pair 1 is 100.
+        assert gains_u[0, 1] == pytest.approx(1.0 / 100.0**3)
+        # At v0 (coord 1): nearest endpoint of pair 1 is 99 away.
+        assert gains_v[0, 1] == pytest.approx(1.0 / 99.0**3)
+        # At u1 (coord 100): nearest endpoint of pair 0 is 99 away.
+        assert gains_u[1, 0] == pytest.approx(1.0 / 99.0**3)
+        # At v1 (coord 101): nearest endpoint of pair 0 is 100 away.
+        assert gains_v[1, 0] == pytest.approx(1.0 / 100.0**3)
+
+    def test_worst_endpoint_taken(self, two_link_instance):
+        interf = bidirectional_interference(two_link_instance, np.ones(2))
+        assert interf[0] == pytest.approx(1.0 / 99.0**3)
+        assert interf[1] == pytest.approx(1.0 / 99.0**3)
+
+    def test_bidirectional_at_least_directed(self, small_random_instance):
+        # The min-loss interference dominates the sender-only one.
+        powers = np.ones(small_random_instance.n)
+        directed_variant = small_random_instance.with_direction(Direction.DIRECTED)
+        d = directed_interference(directed_variant, powers)
+        b = bidirectional_interference(small_random_instance, powers)
+        assert np.all(b >= d - 1e-15)
+
+    def test_dispatching_helper(self, two_link_instance, two_link_directed):
+        powers = np.ones(2)
+        assert np.allclose(
+            interference(two_link_instance, powers),
+            bidirectional_interference(two_link_instance, powers),
+        )
+        assert np.allclose(
+            interference(two_link_directed, powers),
+            directed_interference(two_link_directed, powers),
+        )
+
+    def test_symmetric_pair_swap_invariance(self):
+        # Swapping sender/receiver labels must not change bidirectional
+        # interference (the variant is symmetric by definition).
+        metric = LineMetric([0.0, 2.0, 10.0, 13.0])
+        a = Instance.bidirectional(metric, [(0, 1), (2, 3)])
+        b = Instance.bidirectional(metric, [(1, 0), (3, 2)])
+        powers = np.array([2.0, 3.0])
+        assert np.allclose(
+            bidirectional_interference(a, powers),
+            bidirectional_interference(b, powers),
+        )

@@ -1,0 +1,97 @@
+"""Model invariants the paper relies on, tested with hypothesis.
+
+§1.1 notes two structural facts used throughout the analysis:
+
+* with sigma = 0, feasibility is invariant under scaling all powers;
+* the SINR condition compares *ratios* of losses, so scaling all
+  distances by a common factor leaves every margin unchanged.
+
+Plus monotonicity facts the algorithms exploit: removing requests
+never hurts, stricter gains never help, and the bidirectional
+constraint dominates the directed one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feasibility import sinr_margins
+from repro.core.instance import Direction, Instance
+from repro.geometry.euclidean import EuclideanMetric
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import MeanPower, SquareRootPower
+
+
+def _random_instance(seed: int, n: int = 8) -> Instance:
+    return random_uniform_instance(n, rng=seed)
+
+
+class TestScaleInvariance:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), factor=st.floats(1e-3, 1e3))
+    def test_power_scaling_preserves_margins(self, seed, factor):
+        inst = _random_instance(seed)
+        powers = SquareRootPower()(inst)
+        base = sinr_margins(inst, powers)
+        scaled = sinr_margins(inst, powers * factor)
+        assert np.allclose(base, scaled, rtol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), factor=st.floats(0.1, 10.0))
+    def test_distance_scaling_preserves_margins_at_fixed_powers(
+        self, seed, factor
+    ):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 50, size=(12, 2))
+        pairs = [(2 * i, 2 * i + 1) for i in range(6)]
+        a = Instance.bidirectional(EuclideanMetric(points), pairs)
+        b = Instance.bidirectional(EuclideanMetric(points * factor), pairs)
+        powers = np.ones(6)
+        assert np.allclose(
+            sinr_margins(a, powers), sinr_margins(b, powers), rtol=1e-9
+        )
+
+
+class TestMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_removing_requests_never_decreases_margins(self, seed):
+        inst = _random_instance(seed)
+        powers = SquareRootPower()(inst)
+        full = sinr_margins(inst, powers)
+        subset = list(range(0, inst.n, 2))
+        partial = sinr_margins(inst, powers, subset=subset)
+        for pos, req in enumerate(subset):
+            assert partial[pos] >= full[req] - 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_bidirectional_margins_dominate_directed(self, seed):
+        bidir = _random_instance(seed)
+        direct = bidir.with_direction(Direction.DIRECTED)
+        powers = SquareRootPower()(bidir)
+        assert np.all(
+            sinr_margins(direct, powers) >= sinr_margins(bidir, powers) - 1e-12
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        tau=st.floats(0.0, 1.5),
+    )
+    def test_mean_power_family_produces_valid_margins(self, seed, tau):
+        inst = _random_instance(seed)
+        powers = MeanPower(tau)(inst)
+        margins = sinr_margins(inst, powers)
+        assert margins.shape == (inst.n,)
+        assert np.all(margins >= 0)
+
+
+class TestGainMonotonicity:
+    def test_stricter_gain_scales_margins_down(self):
+        inst = _random_instance(3)
+        powers = SquareRootPower()(inst)
+        loose = sinr_margins(inst, powers, beta=0.5)
+        strict = sinr_margins(inst, powers, beta=2.0)
+        assert np.allclose(strict, loose / 4.0)

@@ -1,0 +1,90 @@
+"""Tests for the Schedule representation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.geometry.line import LineMetric
+
+
+@pytest.fixture
+def schedule():
+    return Schedule(colors=np.array([0, 2, 0]), powers=np.array([1.0, 2.0, 3.0]))
+
+
+class TestConstruction:
+    def test_basic(self, schedule):
+        assert schedule.n == 3
+        assert schedule.num_colors == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidScheduleError, match="length"):
+            Schedule(colors=np.array([0, 1]), powers=np.array([1.0]))
+
+    def test_negative_color_rejected(self):
+        with pytest.raises(InvalidScheduleError, match="non-negative"):
+            Schedule(colors=np.array([-1]), powers=np.array([1.0]))
+
+    def test_non_positive_power_rejected(self):
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            Schedule(colors=np.array([0]), powers=np.array([0.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(colors=np.array([], dtype=int), powers=np.array([]))
+
+
+class TestAccessors:
+    def test_color_classes(self, schedule):
+        classes = schedule.color_classes()
+        assert set(classes) == {0, 2}
+        assert np.array_equal(classes[0], [0, 2])
+        assert np.array_equal(classes[2], [1])
+
+    def test_compacted_relabels_densely(self, schedule):
+        dense = schedule.compacted()
+        assert dense.num_colors == 2
+        assert set(np.unique(dense.colors)) == {0, 1}
+        # Class structure preserved.
+        assert np.array_equal(
+            dense.colors == dense.colors[0], schedule.colors == schedule.colors[0]
+        )
+
+    def test_total_energy(self, schedule):
+        assert schedule.total_energy() == pytest.approx(6.0)
+
+
+class TestValidation:
+    @pytest.fixture
+    def close_links(self):
+        metric = LineMetric([0.0, 1.0, 1.5, 2.5])
+        return Instance.bidirectional(metric, [(0, 1), (2, 3)])
+
+    def test_valid_schedule_passes(self, close_links):
+        sched = Schedule(colors=np.array([0, 1]), powers=np.ones(2))
+        sched.validate(close_links)
+        assert sched.is_feasible(close_links)
+
+    def test_invalid_schedule_raises_with_detail(self, close_links):
+        sched = Schedule(colors=np.array([0, 0]), powers=np.ones(2))
+        with pytest.raises(InvalidScheduleError, match="margin"):
+            sched.validate(close_links)
+        assert not sched.is_feasible(close_links)
+
+    def test_wrong_size_rejected(self, close_links):
+        sched = Schedule(colors=np.zeros(3, int), powers=np.ones(3))
+        with pytest.raises(InvalidScheduleError, match="covers"):
+            sched.validate(close_links)
+
+    def test_beta_override(self, close_links):
+        sched = Schedule(colors=np.array([0, 1]), powers=np.ones(2))
+        # With an absurdly strict gain even separated classes fail only
+        # if there is interference; separate colors have none, so this
+        # still passes.
+        sched.validate(close_links, beta=1e9)
+
+    def test_noise_override_fails_weak_powers(self, close_links):
+        sched = Schedule(colors=np.array([0, 1]), powers=np.ones(2))
+        assert not sched.is_feasible(close_links, noise=100.0)

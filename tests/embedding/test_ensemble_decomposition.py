@@ -1,0 +1,121 @@
+"""Tests for tree ensembles (Lemma 6) and star decomposition (Lemma 9)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.star_decomposition import lemma9_subset
+from repro.embedding.tree_ensemble import (
+    build_tree_ensemble,
+    default_stretch_bound,
+)
+from repro.geometry.euclidean import EuclideanMetric
+from repro.geometry.tree import TreeMetric
+from repro.nodeloss.feasibility import is_gamma_feasible
+from repro.nodeloss.instance import NodeLossInstance
+
+
+@pytest.fixture
+def metric(rng):
+    return EuclideanMetric(rng.uniform(0, 100, size=(12, 2)))
+
+
+class TestTreeEnsemble:
+    def test_size_default(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, rng=rng)
+        assert ensemble.r >= 4
+
+    def test_explicit_r(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, r=6, rng=rng)
+        assert ensemble.r == 6
+
+    def test_all_members_dominate(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, r=5, rng=rng)
+        for member in ensemble.members:
+            assert member.embedding.dominates(metric)
+
+    def test_core_respects_bound(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, r=5, rng=rng)
+        for member in ensemble.members:
+            assert np.all(member.stretch[member.core] <= ensemble.stretch_bound)
+            assert np.all(member.stretch[~member.core] > ensemble.stretch_bound)
+
+    def test_membership_counts(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, r=5, rng=rng)
+        counts = ensemble.core_membership_counts()
+        assert counts.shape == (metric.n,)
+        assert np.all(counts <= 5)
+
+    def test_calibrated_reaches_target(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, r=10, rng=rng)
+        calibrated = ensemble.calibrated(0.9)
+        assert np.all(calibrated.core_membership_fractions() >= 0.9 - 1e-9)
+
+    def test_calibrated_invalid_fraction(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, r=4, rng=rng)
+        with pytest.raises(ValueError):
+            ensemble.calibrated(0.0)
+
+    def test_best_tree_for(self, metric, rng):
+        ensemble = build_tree_ensemble(metric, r=5, rng=rng)
+        best = ensemble.best_tree_for(list(range(metric.n)))
+        counts = [int(m.core.sum()) for m in ensemble.members]
+        assert counts[best] == max(counts)
+
+    def test_default_stretch_bound_grows(self):
+        assert default_stretch_bound(100) > default_stretch_bound(10)
+
+    def test_invalid_args(self, metric, rng):
+        with pytest.raises(ValueError):
+            build_tree_ensemble(metric, r=0, rng=rng)
+        with pytest.raises(ValueError):
+            build_tree_ensemble(metric, stretch_bound=0.5, rng=rng)
+
+
+class TestLemma9:
+    @pytest.fixture
+    def tree(self):
+        # A balanced binary-ish tree on 15 nodes with unit weights.
+        edges = [((v - 1) // 2, v, 1.0 + 0.1 * v) for v in range(1, 15)]
+        return TreeMetric(15, edges)
+
+    def test_result_certified_on_tree(self, tree, rng):
+        active = list(range(15))
+        losses = np.exp(rng.uniform(0, 3, size=15))
+        gamma = 0.05
+        result = lemma9_subset(tree, active, losses, gamma=gamma)
+        if result.kept.size:
+            ids = [active[k] for k in result.kept]
+            sub = tree.distance_matrix()[np.ix_(ids, ids)]
+            inst = NodeLossInstance(sub, losses[result.kept], alpha=3.0)
+            assert is_gamma_feasible(
+                inst, inst.sqrt_powers(), gamma=gamma
+            )
+
+    def test_kept_indices_are_positions(self, tree, rng):
+        active = [3, 5, 7, 9, 11]
+        losses = np.ones(5)
+        result = lemma9_subset(tree, active, losses, gamma=1e-6)
+        assert np.all(result.kept < 5)
+
+    def test_small_gamma_keeps_everything(self, tree):
+        active = list(range(15))
+        losses = np.ones(15)
+        result = lemma9_subset(tree, active, losses, gamma=1e-9)
+        assert result.kept.size == 15
+
+    def test_star_sizes_recorded(self, tree):
+        result = lemma9_subset(tree, list(range(15)), np.ones(15), gamma=1e-6)
+        assert result.star_sizes
+        assert max(result.star_sizes) <= 15
+
+    def test_duplicate_active_rejected(self, tree):
+        with pytest.raises(ValueError, match="distinct"):
+            lemma9_subset(tree, [1, 1], np.ones(2), gamma=0.1)
+
+    def test_misaligned_losses_rejected(self, tree):
+        with pytest.raises(ValueError, match="align"):
+            lemma9_subset(tree, [1, 2], np.ones(3), gamma=0.1)
+
+    def test_levels_bounded_by_log(self, tree):
+        result = lemma9_subset(tree, list(range(15)), np.ones(15), gamma=1e-6)
+        assert result.levels <= 2 + int(np.ceil(np.log2(15))) + 1

@@ -1,0 +1,83 @@
+"""Tests for the FRT tree embedding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.hst import build_hst
+from repro.geometry.euclidean import EuclideanMetric
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import random_tree_metric_instance
+
+
+class TestBuildHst:
+    def test_dominates_line(self, line_metric, rng):
+        embedding = build_hst(line_metric, rng=rng)
+        assert embedding.dominates(line_metric)
+
+    def test_dominates_square(self, square_metric, rng):
+        embedding = build_hst(square_metric, rng=rng)
+        assert embedding.dominates(square_metric)
+
+    def test_points_are_leaves(self, line_metric, rng):
+        embedding = build_hst(line_metric, rng=rng)
+        assert embedding.n_points == line_metric.n
+        assert embedding.tree.n >= line_metric.n
+
+    def test_point_distance_matrix_shape(self, square_metric, rng):
+        embedding = build_hst(square_metric, rng=rng)
+        assert embedding.point_distances().shape == (4, 4)
+
+    def test_single_point(self):
+        metric = LineMetric([5.0])
+        embedding = build_hst(metric)
+        assert embedding.tree.n == 1
+
+    def test_two_points(self, rng):
+        metric = LineMetric([0.0, 7.0])
+        embedding = build_hst(metric, rng=rng)
+        assert embedding.dominates(metric)
+        # A 2-point HST has bounded overhead.
+        assert embedding.point_distances()[0, 1] <= 7.0 * 16.0
+
+    def test_coincident_points_rejected(self):
+        with pytest.raises(ValueError, match="coincide"):
+            build_hst(LineMetric([1.0, 1.0]))
+
+    def test_deterministic_given_seed(self, square_metric):
+        a = build_hst(square_metric, rng=5).point_distances()
+        b = build_hst(square_metric, rng=5).point_distances()
+        assert np.allclose(a, b)
+
+    def test_stretch_at_least_one(self, square_metric, rng):
+        stretches = build_hst(square_metric, rng=rng).stretches(square_metric)
+        assert np.all(stretches >= 1.0 - 1e-9)
+
+    def test_expected_stretch_reasonable(self, rng):
+        # Average over trees: expected distortion is O(log n); verify a
+        # generous constant on a 20-point instance.
+        metric = EuclideanMetric(rng.uniform(0, 100, size=(20, 2)))
+        ratios = []
+        for seed in range(10):
+            embedding = build_hst(metric, rng=seed)
+            original = metric.distance_matrix()
+            embedded = embedding.point_distances()
+            mask = original > 0
+            ratios.append(np.mean(embedded[mask] / original[mask]))
+        assert np.mean(ratios) < 40 * np.log2(21)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_dominance_property(self, seed):
+        """Dominance must hold for every sample, not in expectation."""
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 50, size=(8, 2))
+        metric = EuclideanMetric(points)
+        embedding = build_hst(metric, rng=rng)
+        assert embedding.dominates(metric)
+
+    def test_non_euclidean_metric(self, rng):
+        instance = random_tree_metric_instance(6, rng=rng)
+        embedding = build_hst(instance.metric, rng=rng)
+        assert embedding.dominates(instance.metric)

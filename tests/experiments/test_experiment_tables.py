@@ -1,0 +1,209 @@
+"""Smoke + shape tests for every experiment module (E1 .. E10).
+
+Each test runs the experiment at reduced size and asserts the *shape*
+of the paper claim it reproduces, not exact numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_coloring_algorithm,
+    run_directed_lower_bound,
+    run_directed_vs_bidirectional,
+    run_energy_tradeoff,
+    run_gain_scaling,
+    run_iin_measure,
+    run_nested_intuition,
+    run_sqrt_universal,
+    run_star_analysis,
+    run_tree_embedding,
+)
+from repro.util.tables import Table, format_table
+
+
+class TestE1DirectedLowerBound:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_directed_lower_bound(n_values=(4, 8, 16))
+
+    def test_returns_table(self, table):
+        assert isinstance(table, Table)
+        assert len(table) > 0
+
+    def test_ratio_grows_with_n(self, table):
+        for assignment in ("uniform", "linear", "loss^1.5"):
+            rows = [r for r in table.rows if r["assignment"] == assignment]
+            ratios = [r["ratio"] for r in rows]
+            assert ratios == sorted(ratios)
+            assert ratios[-1] > ratios[0]
+
+    def test_free_power_stays_constant(self, table):
+        for row in table.rows:
+            assert row["colors_free_power"] <= 2
+
+    def test_linear_hits_full_omega_n(self, table):
+        rows = [r for r in table.rows if r["assignment"] == "linear"]
+        for row in rows:
+            assert row["colors_oblivious"] == row["n"]
+
+
+class TestE2Nested:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_nested_intuition(n_values=(5, 10, 20))
+
+    def test_uniform_and_linear_stuck_at_constant(self, table):
+        for assignment in ("uniform", "linear", "loss^1.5"):
+            rows = [r for r in table.rows if r["assignment"] == assignment]
+            assert all(r["capacity"] <= 2 for r in rows)
+
+    def test_sqrt_capacity_grows(self, table):
+        rows = [r for r in table.rows if r["assignment"] == "sqrt"]
+        caps = [r["capacity"] for r in rows]
+        assert caps[-1] > caps[0]
+
+
+class TestE3SqrtUniversal:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_sqrt_universal(n_values=(8, 16), trials=2, rng=5)
+
+    def test_ratio_stays_small(self, table):
+        # Polylog regime: ratio far below n / log n.
+        for row in table.rows:
+            assert row["ratio"] <= 3.0 + row["log2n"]
+
+
+class TestE4Coloring:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_coloring_algorithm(n_values=(8, 16), trials=2, rng=6)
+
+    def test_trivial_is_worst(self, table):
+        for row in table.rows:
+            assert row["trivial"] >= row["first_fit"]
+            assert row["trivial"] >= row["lp"] - 1e-9
+
+    def test_approx_factor_below_log(self, table):
+        for row in table.rows:
+            assert row["approx_factor"] <= 2.0 + row["log2n"]
+
+
+class TestE5GainScaling:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_gain_scaling(n=16, trials=2, rng=7)
+
+    def test_blowup_within_envelope(self, table):
+        for row in table.rows:
+            assert row["blowup"] <= row["envelope_s_logn"] + 1.0
+
+    def test_densest_class_respects_prop3(self, table):
+        for row in table.rows:
+            assert row["densest_class"] >= row["prop3_bound"] - 1e-9
+
+
+class TestE6StarAnalysis:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_star_analysis(m=30, separations=(16.0, 64.0), trials=2, rng=8)
+
+    def test_fraction_meets_envelope(self, table):
+        for row in table.rows:
+            assert row["fraction_kept"] >= row["envelope"] - 0.2
+
+    def test_larger_separation_keeps_more(self, table):
+        for regime in ("mixed", "small", "large"):
+            rows = [r for r in table.rows if r["regime"] == regime]
+            fractions = [r["fraction_kept"] for r in rows]
+            assert fractions[-1] >= fractions[0] - 0.05
+
+
+class TestE7TreeEmbedding:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_tree_embedding(n_values=(8,), trials=1, rng=9)
+
+    def test_dominance_always_holds(self, table):
+        assert all(row["dominates"] for row in table.rows)
+
+    def test_calibrated_core_hits_target(self, table):
+        for row in table.rows:
+            assert row["calibrated_core_fraction"] >= 0.9 - 1e-9
+
+
+class TestE8DirectedVsBidirectional:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_directed_vs_bidirectional(n_values=(8,), trials=2, rng=10)
+
+    def test_simulation_is_exactly_double_and_feasible(self, table):
+        for row in table.rows:
+            assert row["simulation_feasible"]
+            assert row["simulation_colors"] == pytest.approx(
+                2 * row["colors_bidirectional"]
+            )
+
+
+class TestE9Energy:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_energy_tradeoff(n=12, trials=1, rng=11)
+
+    def test_sqrt_between_linear_and_uniform_energy(self, table):
+        by_instance = {}
+        for row in table.rows:
+            by_instance.setdefault(row["instance"], {})[row["assignment"]] = row
+        for rows in by_instance.values():
+            assert rows["linear"]["total_energy"] <= rows["sqrt"]["total_energy"]
+            assert rows["sqrt"]["total_energy"] <= rows["uniform"]["total_energy"]
+
+    def test_sqrt_wins_colors_on_nested(self, table):
+        nested = {
+            row["assignment"]: row
+            for row in table.rows
+            if row["instance"] == "nested"
+        }
+        assert nested["sqrt"]["colors"] < nested["uniform"]["colors"]
+        assert nested["sqrt"]["colors"] < nested["linear"]["colors"]
+
+
+class TestE10Iin:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_iin_measure(n_values=(8, 16), rng=12)
+
+    def test_nested_shows_omega_n_deviation(self, table):
+        rows = [r for r in table.rows if r["family"] == "nested"]
+        deviations = [r["iin_over_colors"] for r in rows]
+        assert deviations[-1] > deviations[0]
+        assert deviations[-1] >= 3.0
+
+
+class TestE3bTheorem2Literal:
+    def test_literal_premise_gives_tiny_colorings(self):
+        from repro.experiments import run_theorem2_literal
+
+        table = run_theorem2_literal(n_values=(10,), trials=2, rng=15)
+        for row in table.rows:
+            assert row["colors_sqrt_firstfit"] <= 4
+            assert row["colors_sqrt_firstfit"] <= row["polylog_envelope"]
+
+
+class TestE13Exact:
+    def test_factors_at_least_one(self):
+        from repro.experiments import run_exact_certification
+
+        table = run_exact_certification(n_values=(6,), trials=2, rng=16)
+        for row in table.rows:
+            assert row["first_fit_factor"] >= 1.0 - 1e-9
+            assert row["lp_factor"] >= 1.0 - 1e-9
+            assert row["exact_free_opt"] <= row["exact_opt"] + 1e-9
+
+
+class TestFormatting:
+    def test_all_tables_render(self):
+        table = run_nested_intuition(n_values=(5,))
+        text = format_table(table)
+        assert "E2" in text

@@ -1,0 +1,72 @@
+"""Tests for the constructive Theorem 2 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Direction
+from repro.experiments.theorem2 import (
+    Theorem2RoundStats,
+    _active_endpoint_nodes,
+    sqrt_existence_pipeline,
+)
+from repro.geometry.line import LineMetric
+from repro.core.instance import Instance
+from repro.instances.nested import nested_instance
+from repro.instances.random_instances import clustered_instance, random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+
+
+class TestActiveEndpointNodes:
+    def test_disjoint_pairs_all_active(self):
+        metric = LineMetric([0.0, 1.0, 5.0, 7.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (2, 3)])
+        nodes, losses, owner, deferred = _active_endpoint_nodes(
+            inst, np.arange(2)
+        )
+        assert nodes == [0, 1, 2, 3]
+        assert owner == [0, 0, 1, 1]
+        assert deferred == 0
+        assert losses[0] == pytest.approx(1.0)
+
+    def test_shared_endpoint_deferred(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        nodes, _, _, deferred = _active_endpoint_nodes(inst, np.arange(2))
+        assert deferred == 1
+        assert len(nodes) == 2
+
+
+class TestPipeline:
+    def test_schedule_is_feasible(self):
+        inst = random_uniform_instance(12, rng=4)
+        schedule, stats = sqrt_existence_pipeline(inst, rng=4)
+        schedule.validate(inst)
+        assert all(isinstance(s, Theorem2RoundStats) for s in stats)
+
+    def test_uses_sqrt_powers(self):
+        inst = random_uniform_instance(8, rng=4)
+        schedule, _ = sqrt_existence_pipeline(inst, rng=4)
+        assert np.allclose(schedule.powers, SquareRootPower()(inst))
+
+    def test_all_requests_colored(self):
+        inst = clustered_instance(10, rng=5)
+        schedule, _ = sqrt_existence_pipeline(inst, rng=5)
+        assert np.all(schedule.colors >= 0)
+
+    def test_directed_rejected(self):
+        inst = random_uniform_instance(5, direction=Direction.DIRECTED, rng=4)
+        with pytest.raises(ValueError, match="bidirectional"):
+            sqrt_existence_pipeline(inst, rng=4)
+
+    def test_nested_far_fewer_than_n_colors(self):
+        inst = nested_instance(16, beta=0.5)
+        schedule, _ = sqrt_existence_pipeline(inst, rng=6)
+        schedule.validate(inst)
+        assert schedule.num_colors <= 12
+
+    def test_round_stats_consistent(self):
+        inst = random_uniform_instance(10, rng=7)
+        schedule, stats = sqrt_existence_pipeline(inst, rng=7)
+        assert sum(s.pairs_colored for s in stats) == inst.n
+        remaining = [s.remaining_pairs for s in stats]
+        assert remaining == sorted(remaining, reverse=True)

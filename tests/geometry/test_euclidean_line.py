@@ -1,0 +1,71 @@
+"""Tests for EuclideanMetric and LineMetric."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.euclidean import EuclideanMetric
+from repro.geometry.line import LineMetric
+
+
+class TestEuclideanMetric:
+    def test_known_distances(self, square_metric):
+        assert square_metric.distance(0, 1) == pytest.approx(1.0)
+        assert square_metric.distance(0, 3) == pytest.approx(np.sqrt(2))
+
+    def test_1d_input_reshaped(self):
+        metric = EuclideanMetric([0.0, 3.0, 7.0])
+        assert metric.dim == 1
+        assert metric.distance(0, 2) == pytest.approx(7.0)
+
+    def test_3d_points(self):
+        metric = EuclideanMetric([[0, 0, 0], [1, 2, 2]])
+        assert metric.distance(0, 1) == pytest.approx(3.0)
+
+    def test_points_readonly(self, square_metric):
+        with pytest.raises(ValueError):
+            square_metric.points[0, 0] = 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric(np.zeros((0, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric([[np.nan, 0.0]])
+
+    def test_3d_array_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric(np.zeros((2, 2, 2)))
+
+    def test_input_copied(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        metric = EuclideanMetric(pts)
+        pts[1, 0] = 99.0
+        assert metric.distance(0, 1) == pytest.approx(1.0)
+
+
+class TestLineMetric:
+    def test_distances(self, line_metric):
+        assert line_metric.distance(1, 3) == pytest.approx(5.0)
+
+    def test_negative_coordinates(self):
+        metric = LineMetric([-4.0, 4.0])
+        assert metric.distance(0, 1) == pytest.approx(8.0)
+
+    def test_matches_euclidean_1d(self, rng):
+        coords = rng.uniform(-10, 10, size=6)
+        a = LineMetric(coords).distance_matrix()
+        b = EuclideanMetric(coords).distance_matrix()
+        assert np.allclose(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LineMetric([])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            LineMetric([0.0, np.inf])
+
+    def test_coordinates_readonly(self, line_metric):
+        with pytest.raises(ValueError):
+            line_metric.coordinates[0] = 1.0

@@ -1,0 +1,103 @@
+"""Tests for ExplicitMetric and GraphMetric."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geometry.explicit import ExplicitMetric
+from repro.geometry.graph import GraphMetric
+
+
+class TestExplicitMetric:
+    def test_round_trip(self, line_metric):
+        source = line_metric.distance_matrix()
+        metric = ExplicitMetric(source)
+        assert np.allclose(metric.distance_matrix(), source)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            ExplicitMetric(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            ExplicitMetric(np.array([[1.0, 1.0], [1.0, 0.0]]))
+
+    def test_rejects_triangle_violation(self):
+        bad = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        with pytest.raises(ValueError, match="triangle"):
+            ExplicitMetric(bad)
+
+    def test_triangle_check_can_be_skipped(self):
+        bad = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        metric = ExplicitMetric(bad, validate_triangle=False)
+        assert metric.distance(0, 2) == 10.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            ExplicitMetric(np.zeros((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            ExplicitMetric(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+
+class TestGraphMetric:
+    @pytest.fixture
+    def path_graph(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=2.0)
+        graph.add_edge(1, 2, weight=3.0)
+        return graph
+
+    def test_shortest_paths(self, path_graph):
+        metric = GraphMetric(path_graph)
+        assert metric.distance(0, 2) == pytest.approx(5.0)
+
+    def test_default_weight_one(self):
+        graph = nx.path_graph(4)
+        metric = GraphMetric(graph)
+        assert metric.distance(0, 3) == pytest.approx(3.0)
+
+    def test_shortcut_edge_wins(self, path_graph):
+        path_graph.add_edge(0, 2, weight=1.0)
+        metric = GraphMetric(path_graph)
+        assert metric.distance(0, 2) == pytest.approx(1.0)
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(ValueError, match="connected"):
+            GraphMetric(graph)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphMetric(nx.Graph())
+
+    def test_non_positive_weight_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            GraphMetric(graph)
+
+    def test_triangle_inequality_holds(self, rng):
+        graph = nx.gnp_random_graph(10, 0.5, seed=4)
+        for u, v in graph.edges:
+            graph[u][v]["weight"] = float(rng.uniform(1, 5))
+        if not nx.is_connected(graph):
+            pytest.skip("random graph not connected")
+        from repro.geometry.metric import is_metric_matrix
+
+        assert is_metric_matrix(GraphMetric(graph).distance_matrix())

@@ -1,0 +1,92 @@
+"""Tests for the Metric interface and is_metric_matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.euclidean import EuclideanMetric
+from repro.geometry.line import LineMetric
+from repro.geometry.metric import is_metric_matrix
+
+
+class TestMetricInterface:
+    def test_distance_symmetry(self, line_metric):
+        for u in range(line_metric.n):
+            for v in range(line_metric.n):
+                assert line_metric.distance(u, v) == line_metric.distance(v, u)
+
+    def test_zero_self_distance(self, line_metric):
+        for u in range(line_metric.n):
+            assert line_metric.distance(u, u) == 0.0
+
+    def test_len(self, line_metric):
+        assert len(line_metric) == 5
+
+    def test_distance_matrix_is_cached(self, line_metric):
+        assert line_metric.distance_matrix() is line_metric.distance_matrix()
+
+    def test_distance_matrix_readonly(self, line_metric):
+        with pytest.raises(ValueError):
+            line_metric.distance_matrix()[0, 1] = 9.0
+
+    def test_index_out_of_range(self, line_metric):
+        with pytest.raises(IndexError):
+            line_metric.distance(0, 99)
+
+    def test_loss_is_distance_to_alpha(self, line_metric):
+        assert line_metric.loss(0, 2, alpha=3.0) == pytest.approx(27.0)
+
+    def test_loss_matrix_matches_elementwise(self, square_metric):
+        loss = square_metric.loss_matrix(2.0)
+        dist = square_metric.distance_matrix()
+        assert np.allclose(loss, dist**2)
+
+    def test_loss_alpha_below_one_rejected(self, line_metric):
+        with pytest.raises(ValueError):
+            line_metric.loss_matrix(0.5)
+
+
+class TestIsMetricMatrix:
+    def test_valid_line_metric(self, line_metric):
+        assert is_metric_matrix(line_metric.distance_matrix())
+
+    def test_rejects_asymmetric(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        assert not is_metric_matrix(m)
+
+    def test_rejects_nonzero_diagonal(self):
+        m = np.array([[0.5, 1.0], [1.0, 0.0]])
+        assert not is_metric_matrix(m)
+
+    def test_rejects_negative(self):
+        m = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        assert not is_metric_matrix(m)
+
+    def test_rejects_triangle_violation(self):
+        m = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        assert not is_metric_matrix(m)
+
+    def test_rejects_non_square(self):
+        assert not is_metric_matrix(np.zeros((2, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_euclidean_always_metric(self, points):
+        metric = EuclideanMetric(points)
+        assert is_metric_matrix(metric.distance_matrix())

@@ -1,0 +1,138 @@
+"""Tests for the Theorem 1 lower-bound constructions."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Direction
+from repro.instances.adversarial import (
+    BoundedFunctionError,
+    ConstructionOverflowError,
+    adaptive_lower_bound_instance,
+    appears_unbounded,
+    growing_chain_instance,
+    lower_bound_instance_for,
+)
+from repro.power.oblivious import (
+    FunctionPower,
+    LinearPower,
+    MeanPower,
+    SquareRootPower,
+    UniformPower,
+)
+from repro.scheduling.firstfit import (
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+)
+
+
+class TestAppearsUnbounded:
+    def test_uniform_is_bounded(self):
+        assert not appears_unbounded(UniformPower(), alpha=3.0)
+
+    def test_linear_is_unbounded(self):
+        assert appears_unbounded(LinearPower(), alpha=3.0)
+
+    def test_sqrt_is_unbounded(self):
+        assert appears_unbounded(SquareRootPower(), alpha=3.0)
+
+    def test_decaying_function_is_bounded(self):
+        decaying = FunctionPower(lambda loss: 1.0 / (1.0 + loss))
+        assert not appears_unbounded(decaying, alpha=3.0)
+
+
+class TestAdaptiveConstruction:
+    def test_structure(self):
+        adv = adaptive_lower_bound_instance(LinearPower(), 6)
+        inst = adv.instance
+        assert inst.n == 6
+        assert inst.direction is Direction.DIRECTED
+        # Gaps follow the recursion y_i = 2 (x_{i-1} + y_{i-1}).
+        for i in range(1, 6):
+            assert adv.gaps[i] == pytest.approx(
+                2.0 * (adv.link_lengths[i - 1] + adv.gaps[i - 1])
+            )
+
+    def test_drowning_condition_holds(self):
+        power = LinearPower()
+        adv = adaptive_lower_bound_instance(power, 6, kappa=2.0)
+        inst = adv.instance
+        f_values = power(inst)
+        ratios = f_values / adv.link_lengths**inst.alpha
+        for i in range(1, 6):
+            target = 2.0 * adv.gaps[i] ** inst.alpha * np.max(ratios[:i])
+            assert f_values[i] >= target * (1 - 1e-12)
+
+    def test_links_dominate_gaps(self):
+        adv = adaptive_lower_bound_instance(MeanPower(1.5), 6)
+        assert np.all(adv.link_lengths[1:] >= adv.gaps[1:])
+
+    def test_bounded_function_rejected(self):
+        with pytest.raises(BoundedFunctionError):
+            adaptive_lower_bound_instance(UniformPower(), 5)
+
+    def test_sqrt_overflows_quickly(self):
+        with pytest.raises(ConstructionOverflowError):
+            adaptive_lower_bound_instance(SquareRootPower(), 40)
+
+    def test_omega_n_colors_under_f(self):
+        power = LinearPower()
+        adv = adaptive_lower_bound_instance(power, 12, kappa=128.0)
+        schedule = first_fit_schedule(adv.instance, power(adv.instance))
+        schedule.validate(adv.instance)
+        assert schedule.num_colors == 12  # every pair needs its own color
+
+    def test_constant_colors_with_free_powers(self):
+        adv = adaptive_lower_bound_instance(LinearPower(), 12, kappa=128.0)
+        schedule = first_fit_free_power_schedule(adv.instance)
+        schedule.validate(adv.instance)
+        assert schedule.num_colors <= 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            adaptive_lower_bound_instance(LinearPower(), 0)
+        with pytest.raises(ValueError):
+            adaptive_lower_bound_instance(LinearPower(), 3, kappa=0.5)
+
+
+class TestGrowingChain:
+    def test_structure(self):
+        adv = growing_chain_instance(8, growth=2.0)
+        assert adv.instance.n == 8
+        assert np.allclose(adv.link_lengths, [2.0**i for i in range(8)])
+
+    def test_uniform_needs_many_colors(self):
+        adv = growing_chain_instance(16)
+        schedule = first_fit_schedule(adv.instance, UniformPower()(adv.instance))
+        schedule.validate(adv.instance)
+        assert schedule.num_colors >= 8
+
+    def test_free_powers_need_few(self):
+        adv = growing_chain_instance(16)
+        schedule = first_fit_free_power_schedule(adv.instance)
+        schedule.validate(adv.instance)
+        assert schedule.num_colors <= 3
+
+    def test_overflow_detected(self):
+        with pytest.raises(ConstructionOverflowError):
+            growing_chain_instance(400)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            growing_chain_instance(0)
+        with pytest.raises(ValueError):
+            growing_chain_instance(4, growth=1.0)
+        with pytest.raises(ValueError):
+            growing_chain_instance(4, gap_fraction=0.0)
+
+
+class TestDispatch:
+    def test_bounded_goes_to_chain(self):
+        adv = lower_bound_instance_for(UniformPower(), 6)
+        assert np.allclose(adv.link_lengths, [2.0**i for i in range(6)])
+
+    def test_unbounded_goes_adaptive(self):
+        adv = lower_bound_instance_for(LinearPower(), 6)
+        # Adaptive gaps follow the doubling recursion, chain gaps do not.
+        assert adv.gaps[2] == pytest.approx(
+            2.0 * (adv.link_lengths[1] + adv.gaps[1])
+        )

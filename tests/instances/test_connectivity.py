@@ -1,0 +1,104 @@
+"""Tests for the strong-connectivity workloads."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.instance import Direction
+from repro.geometry.euclidean import EuclideanMetric
+from repro.instances.connectivity import (
+    exponential_node_chain,
+    mst_connectivity_instance,
+    nearest_neighbor_instance,
+)
+
+
+@pytest.fixture
+def metric(rng):
+    return EuclideanMetric(rng.uniform(0, 100, size=(12, 2)))
+
+
+class TestMstConnectivity:
+    def test_bidirectional_edge_count(self, metric):
+        inst = mst_connectivity_instance(metric)
+        assert inst.n == metric.n - 1
+
+    def test_directed_doubles_edges(self, metric):
+        inst = mst_connectivity_instance(metric, direction=Direction.DIRECTED)
+        assert inst.n == 2 * (metric.n - 1)
+
+    def test_spans_all_nodes(self, metric):
+        inst = mst_connectivity_instance(metric)
+        touched = set(inst.senders.tolist()) | set(inst.receivers.tolist())
+        assert touched == set(range(metric.n))
+
+    def test_requests_form_connected_graph(self, metric):
+        inst = mst_connectivity_instance(metric)
+        graph = nx.Graph(inst.pairs())
+        assert nx.is_connected(graph)
+
+    def test_total_weight_is_minimal(self, metric):
+        # The request lengths sum to the MST weight.
+        inst = mst_connectivity_instance(metric)
+        full = nx.Graph()
+        matrix = metric.distance_matrix()
+        for u in range(metric.n):
+            for v in range(u + 1, metric.n):
+                full.add_edge(u, v, weight=matrix[u, v])
+        expected = nx.minimum_spanning_tree(full).size(weight="weight")
+        assert float(np.sum(inst.link_distances)) == pytest.approx(expected)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError):
+            mst_connectivity_instance(EuclideanMetric([[0.0, 0.0]]))
+
+
+class TestNearestNeighbor:
+    def test_one_request_per_node(self, metric):
+        inst = nearest_neighbor_instance(metric)
+        assert inst.n == metric.n
+        assert np.array_equal(inst.senders, np.arange(metric.n))
+
+    def test_links_are_nearest(self, metric):
+        inst = nearest_neighbor_instance(metric)
+        matrix = metric.distance_matrix().copy()
+        np.fill_diagonal(matrix, np.inf)
+        for u, v in inst.pairs():
+            assert matrix[u, v] == pytest.approx(matrix[u].min())
+
+
+class TestExponentialChain:
+    def test_positions(self):
+        chain = exponential_node_chain(4, base=2.0)
+        assert np.allclose(chain.coordinates, [2.0, 4.0, 8.0, 16.0])
+
+    def test_nn_link_lengths_grow_geometrically(self):
+        chain = exponential_node_chain(8)
+        inst = nearest_neighbor_instance(chain)
+        lengths = np.sort(np.unique(inst.link_distances))
+        assert np.all(np.diff(np.log2(lengths)) > 0.9)
+
+    def test_overflow_guard(self):
+        with pytest.raises(ValueError):
+            exponential_node_chain(500)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            exponential_node_chain(1)
+        with pytest.raises(ValueError):
+            exponential_node_chain(4, base=1.0)
+
+
+class TestConnectivityScheduling:
+    def test_chain_separates_assignments(self):
+        """The [12] shape: uniform/linear Omega(n), sqrt/free small."""
+        from repro.power.oblivious import SquareRootPower, UniformPower
+        from repro.scheduling.firstfit import first_fit_schedule
+
+        chain = exponential_node_chain(16)
+        inst = mst_connectivity_instance(chain, beta=0.5)
+        uniform = first_fit_schedule(inst, UniformPower()(inst))
+        sqrt = first_fit_schedule(inst, SquareRootPower()(inst))
+        uniform.validate(inst)
+        sqrt.validate(inst)
+        assert uniform.num_colors >= 3 * sqrt.num_colors

@@ -1,0 +1,112 @@
+"""Tests for nested, line and random instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Direction
+from repro.instances.line_instances import (
+    equispaced_line_instance,
+    exponential_chain_instance,
+)
+from repro.instances.nested import nested_instance
+from repro.instances.random_instances import (
+    clustered_instance,
+    random_graph_metric_instance,
+    random_tree_metric_instance,
+    random_uniform_instance,
+)
+
+
+class TestNested:
+    def test_geometry(self):
+        inst = nested_instance(3, base=2.0)
+        # Pairs at +-2, +-4, +-8.
+        assert np.allclose(inst.link_distances, [4.0, 8.0, 16.0])
+        assert inst.direction is Direction.BIDIRECTIONAL
+
+    def test_direction_override(self):
+        inst = nested_instance(3, direction=Direction.DIRECTED)
+        assert inst.direction is Direction.DIRECTED
+
+    def test_nesting_property(self):
+        inst = nested_instance(4)
+        coords = inst.metric.coordinates
+        # Every pair's interval strictly contains the previous one.
+        for i in range(1, 4):
+            assert coords[2 * i] < coords[2 * (i - 1)]
+            assert coords[2 * i + 1] > coords[2 * (i - 1) + 1]
+
+    def test_overflow_guard(self):
+        with pytest.raises(ValueError, match="overflow"):
+            nested_instance(500)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            nested_instance(0)
+        with pytest.raises(ValueError):
+            nested_instance(3, base=1.0)
+
+
+class TestLineInstances:
+    def test_equispaced_geometry(self):
+        inst = equispaced_line_instance(3, spacing=10.0, link_length=2.0)
+        assert np.allclose(inst.link_distances, 2.0)
+        assert inst.metric.coordinates[2] == pytest.approx(10.0)
+
+    def test_equispaced_overlap_rejected(self):
+        with pytest.raises(ValueError, match="spacing"):
+            equispaced_line_instance(3, spacing=1.0, link_length=2.0)
+
+    def test_chain_lengths_grow(self):
+        inst = exponential_chain_instance(5, growth=3.0)
+        assert np.allclose(inst.link_distances, [3.0**i for i in range(5)])
+
+    def test_chain_default_directed(self):
+        assert exponential_chain_instance(3).direction is Direction.DIRECTED
+
+
+class TestRandomInstances:
+    def test_uniform_basic(self, rng):
+        inst = random_uniform_instance(12, side=50.0, rng=rng)
+        assert inst.n == 12
+        assert np.all(inst.link_distances > 0)
+        assert np.all(inst.link_distances <= 50.0 * np.sqrt(2) + 1e-9)
+
+    def test_uniform_reproducible(self):
+        a = random_uniform_instance(6, rng=3)
+        b = random_uniform_instance(6, rng=3)
+        assert np.allclose(a.link_distances, b.link_distances)
+
+    def test_uniform_respects_max_link(self, rng):
+        inst = random_uniform_instance(
+            20, side=100.0, max_link_fraction=0.05, rng=rng
+        )
+        assert np.all(inst.link_distances <= 5.0 + 1e-9)
+
+    def test_clustered_has_wide_range(self, rng):
+        inst = clustered_instance(30, clusters=3, cross_fraction=0.4, rng=rng)
+        ratio = inst.link_distances.max() / inst.link_distances.min()
+        assert ratio > 5.0
+
+    def test_clustered_single_cluster(self, rng):
+        inst = clustered_instance(5, clusters=1, rng=rng)
+        assert inst.n == 5
+
+    def test_tree_metric_instance(self, rng):
+        inst = random_tree_metric_instance(8, rng=rng)
+        assert inst.n == 8
+        assert inst.metric.n >= 2
+
+    def test_graph_metric_instance(self, rng):
+        inst = random_graph_metric_instance(8, rng=rng)
+        assert inst.n == 8
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            random_uniform_instance(0, rng=rng)
+        with pytest.raises(ValueError):
+            random_uniform_instance(3, max_link_fraction=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_instance(3, cross_fraction=2.0, rng=rng)
+        with pytest.raises(ValueError):
+            random_tree_metric_instance(3, weight_range=(5.0, 1.0), rng=rng)

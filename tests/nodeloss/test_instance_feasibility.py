@@ -1,0 +1,125 @@
+"""Tests for node-loss instances and their feasibility layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.geometry.line import LineMetric
+from repro.nodeloss.feasibility import (
+    is_gamma_feasible,
+    max_feasible_gain,
+    nodeloss_interference,
+    nodeloss_margins,
+    witness_powers,
+)
+from repro.nodeloss.instance import NodeLossInstance, StarNodeLoss
+
+
+@pytest.fixture
+def two_nodes():
+    """Two nodes 10 apart, both with loss parameter 8 (alpha=3)."""
+    distances = np.array([[0.0, 10.0], [10.0, 0.0]])
+    return NodeLossInstance(distances, [8.0, 8.0], alpha=3.0, beta=1.0)
+
+
+class TestNodeLossInstance:
+    def test_basic(self, two_nodes):
+        assert two_nodes.m == 2
+        assert np.allclose(two_nodes.loss_matrix()[0, 1], 1000.0)
+
+    def test_sqrt_powers(self, two_nodes):
+        assert np.allclose(two_nodes.sqrt_powers(), [np.sqrt(8)] * 2)
+
+    def test_from_metric(self):
+        metric = LineMetric([0.0, 4.0, 9.0])
+        inst = NodeLossInstance.from_metric(metric, [0, 2], [1.0, 2.0])
+        assert inst.distances[0, 1] == pytest.approx(9.0)
+
+    def test_subset(self, two_nodes):
+        sub = two_nodes.subset([1])
+        assert sub.m == 1
+        assert sub.losses[0] == 8.0
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="symmetric"):
+            NodeLossInstance(np.array([[0.0, 1.0], [2.0, 0.0]]), [1.0, 1.0])
+
+    def test_non_positive_loss_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="loss"):
+            NodeLossInstance(np.zeros((1, 1)), [0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="shape"):
+            NodeLossInstance(np.zeros((2, 2)), [1.0])
+
+
+class TestStarNodeLoss:
+    def test_decay_and_ratio(self):
+        star = StarNodeLoss([2.0, 3.0], [16.0, 27.0], alpha=3.0)
+        assert np.allclose(star.decay, [8.0, 27.0])
+        assert np.allclose(star.loss_to_decay, [2.0, 1.0])
+
+    def test_pairwise_distances_through_center(self):
+        star = StarNodeLoss([1.0, 4.0], [1.0, 1.0])
+        assert star.distances[0, 1] == pytest.approx(5.0)
+
+    def test_subset_preserves_type(self):
+        star = StarNodeLoss([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        sub = star.subset([0, 2])
+        assert isinstance(sub, StarNodeLoss)
+        assert np.allclose(sub.center_distances, [1.0, 3.0])
+
+
+class TestNodeLossFeasibility:
+    def test_interference_hand_computed(self, two_nodes):
+        powers = np.array([5.0, 3.0])
+        interf = nodeloss_interference(two_nodes, powers)
+        assert interf[0] == pytest.approx(3.0 / 1000.0)
+        assert interf[1] == pytest.approx(5.0 / 1000.0)
+
+    def test_margins(self, two_nodes):
+        powers = np.array([8.0, 8.0])
+        margins = nodeloss_margins(two_nodes, powers, gamma=1.0)
+        # signal = 8/8 = 1; interference = 8/1000.
+        assert margins[0] == pytest.approx(125.0)
+
+    def test_gamma_feasibility(self, two_nodes):
+        assert is_gamma_feasible(two_nodes, np.array([8.0, 8.0]), gamma=100.0)
+        assert not is_gamma_feasible(two_nodes, np.array([8.0, 8.0]), gamma=200.0)
+
+    def test_coincident_nodes_zero_margin(self):
+        inst = NodeLossInstance(np.zeros((2, 2)), [1.0, 1.0])
+        margins = nodeloss_margins(inst, np.ones(2))
+        assert np.all(margins == 0.0)
+
+
+class TestMaxFeasibleGain:
+    def test_two_symmetric_nodes_exact(self, two_nodes):
+        # M[0,1] = M[1,0] = l / l(0,1) = 8/1000; rho = 8/1000.
+        assert max_feasible_gain(two_nodes) == pytest.approx(125.0)
+
+    def test_singleton_infinite(self, two_nodes):
+        assert max_feasible_gain(two_nodes, subset=[0]) == np.inf
+
+    def test_coincident_nodes_zero(self):
+        inst = NodeLossInstance(np.zeros((2, 2)), [1.0, 1.0])
+        assert max_feasible_gain(inst) == 0.0
+
+    def test_gain_is_achievable(self, two_nodes):
+        best = max_feasible_gain(two_nodes)
+        powers = witness_powers(two_nodes, 0.9 * best)
+        assert is_gamma_feasible(two_nodes, powers, gamma=0.9 * best)
+
+    def test_above_gain_rejected(self, two_nodes):
+        best = max_feasible_gain(two_nodes)
+        with pytest.raises(ValueError, match="achievable"):
+            witness_powers(two_nodes, 1.1 * best)
+
+    def test_random_star_witness(self, rng):
+        deltas = np.exp(rng.uniform(0, 4, size=12))
+        losses = np.exp(rng.uniform(0, 5, size=12))
+        star = StarNodeLoss(deltas, losses)
+        best = max_feasible_gain(star)
+        assert best > 0
+        powers = witness_powers(star, best / 2.0)
+        assert is_gamma_feasible(star, powers, gamma=best / 2.0)

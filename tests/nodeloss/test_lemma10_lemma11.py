@@ -1,0 +1,85 @@
+"""Direct tests of the Lemma 10 / Lemma 11 statements.
+
+These verify the *mathematical claims* themselves on constructed
+stars, independent of the combined Lemma 5 machinery:
+
+* Lemma 10 — if all loss-to-decay ratios exceed ``2^(alpha+1)/gamma'``
+  and the star is gamma'-feasible under some powers, then the *whole*
+  star is ``gamma'/2^(alpha+2)``-feasible under the square-root
+  assignment (no node is dropped).
+* Lemma 11 — small-loss stars lose only an ``O((gamma/gamma')^{2/3})``
+  fraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nodeloss.feasibility import is_gamma_feasible, max_feasible_gain
+from repro.nodeloss.instance import StarNodeLoss
+from repro.nodeloss.star_analysis import (
+    large_loss_threshold,
+    small_loss_subset,
+    split_large_small,
+)
+
+
+def large_loss_star(base: float, ratio: float, m: int = 8, alpha: float = 3.0):
+    """A star with geometric distances and constant loss-to-decay
+    ratio; large ratios make every node a 'large-loss' node."""
+    deltas = base ** np.arange(1, m + 1)
+    losses = deltas**alpha * ratio
+    return StarNodeLoss(deltas, losses, alpha=alpha)
+
+
+class TestLemma10:
+    @pytest.mark.parametrize("base", [8.0, 16.0, 32.0])
+    @pytest.mark.parametrize("ratio", [1e3, 1e6])
+    def test_whole_star_feasible_under_sqrt(self, base, ratio):
+        star = large_loss_star(base, ratio)
+        gamma_prime = max_feasible_gain(star)
+        threshold = large_loss_threshold(star.alpha, gamma_prime)
+        # Precondition of Lemma 10: every node has a large ratio.
+        assert np.all(star.loss_to_decay > threshold)
+        # Conclusion: the entire star is feasible at gamma'/2^(alpha+2)
+        # under the square-root assignment.
+        gamma = gamma_prime / 2.0 ** (star.alpha + 2)
+        assert is_gamma_feasible(star, star.sqrt_powers(), gamma=gamma)
+
+    def test_split_classifies_all_large(self):
+        star = large_loss_star(8.0, 1e6)
+        gamma_prime = max_feasible_gain(star)
+        large, small = split_large_small(star, gamma_prime)
+        assert small.size == 0
+        assert large.size == star.m
+
+
+class TestLemma11:
+    def small_loss_star(self, rng, m: int = 40, alpha: float = 3.0):
+        deltas = np.exp(rng.uniform(0.0, 7.0, size=m))
+        # Losses far below decay: the 'small' regime.
+        losses = deltas**alpha * np.exp(rng.uniform(-8.0, -4.0, size=m))
+        return StarNodeLoss(deltas, losses, alpha=alpha)
+
+    def test_fraction_kept_beats_envelope(self, rng):
+        star = self.small_loss_star(rng)
+        gamma_prime = max_feasible_gain(star)
+        for separation in (8.0, 64.0):
+            gamma = gamma_prime / separation
+            kept = small_loss_subset(star, gamma, gamma_prime=gamma_prime)
+            envelope = 1.0 - (gamma / gamma_prime) ** (2.0 / 3.0)
+            assert kept.size / star.m >= envelope - 0.15
+
+    def test_kept_subset_is_feasible(self, rng):
+        star = self.small_loss_star(rng)
+        gamma_prime = max_feasible_gain(star)
+        gamma = gamma_prime / 32.0
+        kept = small_loss_subset(star, gamma, gamma_prime=gamma_prime)
+        assert kept.size > 0
+        assert is_gamma_feasible(star, star.sqrt_powers(), kept, gamma)
+
+    def test_all_nodes_classified_small(self, rng):
+        star = self.small_loss_star(rng)
+        gamma_prime = max_feasible_gain(star)
+        large, small = split_large_small(star, gamma_prime)
+        assert large.size == 0
+        assert small.size == star.m

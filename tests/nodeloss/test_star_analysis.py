@@ -1,0 +1,161 @@
+"""Tests for the Lemma 5 star analysis machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nodeloss.feasibility import is_gamma_feasible, max_feasible_gain
+from repro.nodeloss.instance import StarNodeLoss
+from repro.nodeloss.star_analysis import (
+    claim12_trim,
+    decay_classes,
+    large_loss_threshold,
+    lemma5_subset,
+    small_loss_subset,
+    split_large_small,
+)
+
+
+def random_star(m, rng, loss_scale=(0.0, 5.0)):
+    deltas = np.exp(rng.uniform(0.0, 6.0, size=m))
+    losses = np.exp(rng.uniform(*loss_scale, size=m))
+    return StarNodeLoss(deltas, losses, alpha=3.0)
+
+
+class TestThresholdAndSplit:
+    def test_threshold_formula(self):
+        assert large_loss_threshold(3.0, 2.0) == pytest.approx(2.0**4 / 2.0)
+
+    def test_split_partitions(self, rng):
+        star = random_star(20, rng)
+        gamma_prime = max_feasible_gain(star)
+        large, small = split_large_small(star, gamma_prime)
+        assert len(large) + len(small) == star.m
+        assert set(large.tolist()).isdisjoint(small.tolist())
+
+    def test_split_respects_threshold(self, rng):
+        star = random_star(20, rng)
+        gamma_prime = 0.5
+        threshold = large_loss_threshold(star.alpha, gamma_prime)
+        large, small = split_large_small(star, gamma_prime)
+        assert np.all(star.loss_to_decay[large] > threshold)
+        assert np.all(star.loss_to_decay[small] <= threshold)
+
+    def test_invalid_gamma_prime(self):
+        with pytest.raises(ValueError):
+            large_loss_threshold(3.0, 0.0)
+
+
+class TestDecayClasses:
+    def test_every_node_in_exactly_one_class(self, rng):
+        star = random_star(30, rng)
+        classes = decay_classes(star)
+        all_nodes = np.concatenate(list(classes.values()))
+        assert sorted(all_nodes.tolist()) == list(range(30))
+
+    def test_classes_are_geometric(self, rng):
+        star = random_star(30, rng)
+        classes = decay_classes(star)
+        d_min = star.decay.min()
+        for j, members in classes.items():
+            normalised = star.decay[members] / d_min
+            assert np.all(normalised <= 2.0**j * (1 + 1e-9))
+            if j > 0:
+                assert np.all(normalised > 2.0 ** (j - 1) * (1 - 1e-9))
+
+    def test_equal_decays_single_class(self):
+        star = StarNodeLoss([5.0] * 4, [1.0, 2.0, 3.0, 4.0])
+        classes = decay_classes(star)
+        assert len(classes) == 1
+
+
+class TestClaim12Trim:
+    def test_trims_loss_outliers(self):
+        # Nine modest nodes and one node with a huge loss parameter at
+        # the same decay: the outlier must go.
+        deltas = np.full(10, 2.0)
+        losses = np.array([1.0] * 9 + [1e9])
+        star = StarNodeLoss(deltas, losses)
+        kept = claim12_trim(star, np.arange(10), gamma_prime=1.0, eps=0.3)
+        assert 9 not in kept.tolist()
+
+    def test_keeps_uniform_nodes(self):
+        star = StarNodeLoss(np.full(8, 3.0), np.full(8, 0.5))
+        kept = claim12_trim(star, np.arange(8), gamma_prime=0.1, eps=0.3)
+        assert kept.size == 8
+
+    def test_invalid_eps(self, rng):
+        star = random_star(5, rng)
+        with pytest.raises(ValueError):
+            claim12_trim(star, np.arange(5), gamma_prime=1.0, eps=0.0)
+
+
+class TestSmallLossSubset:
+    def test_result_is_gamma_feasible(self, rng):
+        star = random_star(40, rng, loss_scale=(-3.0, 1.0))
+        gamma_prime = max_feasible_gain(star)
+        gamma = gamma_prime / 16.0
+        kept = small_loss_subset(star, gamma, gamma_prime=gamma_prime)
+        if kept.size:
+            assert is_gamma_feasible(star, star.sqrt_powers(), kept, gamma)
+
+    def test_keeps_most_nodes_at_large_separation(self, rng):
+        star = random_star(40, rng, loss_scale=(-3.0, 1.0))
+        gamma_prime = max_feasible_gain(star)
+        kept = small_loss_subset(star, gamma_prime / 256.0, gamma_prime=gamma_prime)
+        assert kept.size >= 0.7 * star.m
+
+
+class TestLemma5:
+    def test_certified_feasible(self, rng):
+        star = random_star(30, rng)
+        gamma_prime = max_feasible_gain(star)
+        gamma = gamma_prime / 32.0
+        result = lemma5_subset(star, gamma, gamma_prime=gamma_prime)
+        if result.kept.size:
+            assert is_gamma_feasible(
+                star, star.sqrt_powers(), result.kept, gamma
+            )
+
+    def test_fraction_envelope(self, rng):
+        """Retained fraction respects 1 - O((gamma/gamma')^{2/3})."""
+        star = random_star(60, rng)
+        gamma_prime = max_feasible_gain(star)
+        for separation in (16.0, 64.0):
+            result = lemma5_subset(
+                star, gamma_prime / separation, gamma_prime=gamma_prime
+            )
+            envelope = 1.0 - (1.0 / separation) ** (2.0 / 3.0)
+            assert result.fraction_kept >= envelope - 0.15
+
+    def test_drop_accounting_sums(self, rng):
+        star = random_star(25, rng)
+        gamma_prime = max_feasible_gain(star)
+        result = lemma5_subset(star, gamma_prime / 10.0, gamma_prime=gamma_prime)
+        total = (
+            result.kept.size
+            + result.dropped_trim
+            + result.dropped_selection
+            + result.dropped_window
+            + result.dropped_final
+        )
+        assert total == star.m
+
+    def test_non_interacting_star_keeps_all(self):
+        # Huge distances, tiny losses: no interference to speak of.
+        star = StarNodeLoss([1e6, 2e6, 3e6], [1.0, 1.0, 1.0])
+        gamma_prime = max_feasible_gain(star)
+        result = lemma5_subset(star, 1.0, gamma_prime=gamma_prime)
+        assert result.kept.size == 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_always_certified(self, seed):
+        rng = np.random.default_rng(seed)
+        star = random_star(15, rng)
+        gamma_prime = max_feasible_gain(star)
+        gamma = gamma_prime / 20.0
+        result = lemma5_subset(star, gamma, gamma_prime=gamma_prime)
+        if result.kept.size:
+            assert is_gamma_feasible(star, star.sqrt_powers(), result.kept, gamma)

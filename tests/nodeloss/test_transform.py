@@ -1,0 +1,83 @@
+"""Tests for the §3.2 pair <-> node reductions."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Direction, Instance
+from repro.geometry.line import LineMetric
+from repro.nodeloss.feasibility import nodeloss_interference
+from repro.nodeloss.transform import (
+    node_gain_from_pair_gain,
+    nodeloss_from_pairs,
+    pairs_fully_selected,
+)
+from repro.core.interference import bidirectional_interference
+
+
+class TestNodeGain:
+    def test_formula(self):
+        assert node_gain_from_pair_gain(1.0) == pytest.approx(1.0 / 3.0)
+        assert node_gain_from_pair_gain(2.0) == pytest.approx(0.5)
+
+    def test_monotone_and_below_one(self):
+        gains = [node_gain_from_pair_gain(g) for g in (0.1, 1.0, 10.0, 100.0)]
+        assert gains == sorted(gains)
+        assert all(g < 1.0 for g in gains)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            node_gain_from_pair_gain(0.0)
+
+
+class TestNodelossFromPairs:
+    @pytest.fixture
+    def instance(self):
+        metric = LineMetric([0.0, 1.0, 10.0, 12.0])
+        return Instance.bidirectional(metric, [(0, 1), (2, 3)], alpha=3.0)
+
+    def test_structure(self, instance):
+        node_inst, pair_of = nodeloss_from_pairs(instance)
+        assert node_inst.m == 4
+        assert np.array_equal(pair_of, [0, 0, 1, 1])
+        # Both endpoints inherit the pair's link loss.
+        assert np.allclose(node_inst.losses, [1.0, 1.0, 8.0, 8.0])
+
+    def test_distances_preserved(self, instance):
+        node_inst, _ = nodeloss_from_pairs(instance)
+        # node 1 = receiver of pair 0 (coord 1); node 2 = sender of
+        # pair 1 (coord 10).
+        assert node_inst.distances[1, 2] == pytest.approx(9.0)
+
+    def test_directed_rejected(self, instance):
+        directed = instance.with_direction(Direction.DIRECTED)
+        with pytest.raises(ValueError, match="bidirectional"):
+            nodeloss_from_pairs(directed)
+
+    def test_node_interference_dominates_pair_interference(self, instance):
+        """§3.2: I_node(w) >= I_pair(w) for matching powers.
+
+        The node world sums both endpoints of every other pair plus the
+        partner, the pair world takes the min-loss endpoint only.
+        """
+        node_inst, _ = nodeloss_from_pairs(instance)
+        pair_powers = np.array([2.0, 3.0])
+        node_powers = np.repeat(pair_powers, 2)
+        node_interf = nodeloss_interference(node_inst, node_powers)
+        pair_interf = bidirectional_interference(instance, pair_powers)
+        # Endpoint w of pair i: node interference at node 2i (sender)
+        # must dominate the pair-level worst-endpoint interference
+        # minus the partner term it includes.
+        for pair in range(2):
+            worst_node = max(node_interf[2 * pair], node_interf[2 * pair + 1])
+            assert worst_node >= pair_interf[pair] - 1e-15
+
+
+class TestPairsFullySelected:
+    def test_both_endpoints_needed(self):
+        assert pairs_fully_selected([0, 1, 2], n_pairs=2).tolist() == [0]
+
+    def test_all_selected(self):
+        assert pairs_fully_selected([0, 1, 2, 3], n_pairs=2).tolist() == [0, 1]
+
+    def test_none_selected(self):
+        assert pairs_fully_selected([0, 2], n_pairs=2).size == 0

@@ -1,0 +1,98 @@
+"""Tests for the distributed random-access coloring protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import UniformPower
+from repro.scheduling.distributed import (
+    DistributedStats,
+    ProtocolStalledError,
+    distributed_coloring,
+)
+
+
+class TestDistributedColoring:
+    def test_schedules_everything_feasibly(self, small_random_instance):
+        schedule, stats = distributed_coloring(small_random_instance, rng=0)
+        schedule.validate(small_random_instance)
+        assert np.all(schedule.colors >= 0)
+        assert stats.successes == small_random_instance.n
+
+    def test_deterministic_given_seed(self, small_random_instance):
+        a, _ = distributed_coloring(small_random_instance, rng=3)
+        b, _ = distributed_coloring(small_random_instance, rng=3)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_fixed_policy(self, small_random_instance):
+        schedule, stats = distributed_coloring(
+            small_random_instance, policy="fixed", rng=1
+        )
+        schedule.validate(small_random_instance)
+
+    def test_shared_node_pairs_eventually_separate(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        schedule, _ = distributed_coloring(inst, rng=2)
+        schedule.validate(inst)
+        assert schedule.num_colors == 2
+
+    def test_stats_accounting(self, small_random_instance):
+        _, stats = distributed_coloring(small_random_instance, rng=0)
+        assert stats.slots >= len(stats.successes_per_slot)
+        assert sum(stats.successes_per_slot) == stats.successes
+        assert stats.attempts >= stats.successes
+        assert stats.attempts_per_success >= 1.0
+
+    def test_stalls_raise(self, small_random_instance):
+        with pytest.raises(ProtocolStalledError):
+            distributed_coloring(small_random_instance, max_slots=0, rng=0)
+
+    def test_custom_power(self, small_random_instance):
+        schedule, _ = distributed_coloring(
+            small_random_instance, power=UniformPower(), rng=4
+        )
+        schedule.validate(small_random_instance)
+        assert np.allclose(schedule.powers, 1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(policy="nonsense"),
+            dict(p0=0.0),
+            dict(p0=2.0),
+            dict(backoff=1.0),
+            dict(backoff=0.0),
+            dict(p_min=0.9, p0=0.5),
+        ],
+    )
+    def test_invalid_parameters(self, small_random_instance, kwargs):
+        with pytest.raises(ValueError):
+            distributed_coloring(small_random_instance, rng=0, **kwargs)
+
+    def test_backoff_helps_under_contention(self):
+        # Dense cluster of mutually interfering requests: backoff
+        # should need no more slots than fixed-p on average.
+        inst = random_uniform_instance(20, side=10.0, rng=5)
+        slots_fixed, slots_backoff = [], []
+        for seed in range(5):
+            _, s_fixed = distributed_coloring(
+                inst, policy="fixed", p0=0.5, rng=seed
+            )
+            _, s_back = distributed_coloring(
+                inst, policy="backoff", p0=0.5, rng=seed
+            )
+            slots_fixed.append(s_fixed.slots)
+            slots_backoff.append(s_back.slots)
+        assert np.mean(slots_backoff) <= np.mean(slots_fixed) * 2.0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_always_feasible(self, seed):
+        inst = random_uniform_instance(8, rng=seed)
+        schedule, _ = distributed_coloring(inst, rng=seed)
+        schedule.validate(inst)

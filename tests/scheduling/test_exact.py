@@ -1,0 +1,104 @@
+"""Tests for the exact minimum-coloring solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import clustered_instance, random_uniform_instance
+from repro.power.oblivious import SquareRootPower, UniformPower
+from repro.scheduling.exact import (
+    InstanceTooLargeError,
+    exact_minimum_colors,
+)
+from repro.scheduling.firstfit import (
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+)
+from repro.scheduling.peeling import peeling_schedule
+
+
+class TestExactFixedPowers:
+    def test_two_far_links_one_color(self, two_link_instance):
+        opt, schedule = exact_minimum_colors(two_link_instance, np.ones(2))
+        assert opt == 1
+        schedule.validate(two_link_instance)
+
+    def test_shared_node_two_colors(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        opt, schedule = exact_minimum_colors(inst, np.ones(2))
+        assert opt == 2
+        schedule.validate(inst)
+
+    def test_witness_schedule_matches_opt(self, rng):
+        inst = clustered_instance(8, cluster_std=2.0, rng=rng)
+        powers = SquareRootPower()(inst)
+        opt, schedule = exact_minimum_colors(inst, powers)
+        schedule.validate(inst)
+        assert schedule.num_colors == opt
+
+    def test_heuristics_never_beat_exact(self):
+        for seed in range(4):
+            inst = clustered_instance(9, cluster_std=3.0, beta=1.0, rng=seed)
+            powers = SquareRootPower()(inst)
+            opt, _ = exact_minimum_colors(inst, powers)
+            ff = first_fit_schedule(inst, powers)
+            peel = peeling_schedule(inst, powers)
+            assert ff.num_colors >= opt
+            assert peel.num_colors >= opt
+
+    def test_heuristics_are_near_optimal_on_small_instances(self):
+        gaps = []
+        for seed in range(4):
+            inst = random_uniform_instance(8, rng=seed)
+            powers = SquareRootPower()(inst)
+            opt, _ = exact_minimum_colors(inst, powers)
+            ff = first_fit_schedule(inst, powers)
+            gaps.append(ff.num_colors / opt)
+        assert np.mean(gaps) <= 1.5
+
+    def test_uniform_powers_can_cost_more(self):
+        # On a dense cluster the uniform OPT is at least the sqrt OPT
+        # only sometimes; at minimum both are valid optima.
+        inst = clustered_instance(7, cluster_std=1.0, rng=11)
+        opt_uniform, _ = exact_minimum_colors(inst, UniformPower()(inst))
+        opt_sqrt, _ = exact_minimum_colors(inst, SquareRootPower()(inst))
+        assert opt_uniform >= 1 and opt_sqrt >= 1
+
+
+class TestExactFreePowers:
+    def test_free_powers_never_worse_than_fixed(self):
+        for seed in range(3):
+            inst = clustered_instance(7, cluster_std=2.0, rng=seed)
+            powers = SquareRootPower()(inst)
+            opt_fixed, _ = exact_minimum_colors(inst, powers)
+            opt_free, schedule = exact_minimum_colors(inst)
+            schedule.validate(inst)
+            assert opt_free <= opt_fixed
+
+    def test_free_power_heuristic_vs_exact(self):
+        for seed in range(3):
+            inst = random_uniform_instance(7, rng=seed)
+            opt, _ = exact_minimum_colors(inst)
+            heuristic = first_fit_free_power_schedule(inst)
+            assert heuristic.num_colors >= opt
+
+    def test_adversarial_instance_exact_opt_is_one(self):
+        from repro.instances.adversarial import adaptive_lower_bound_instance
+        from repro.power.oblivious import LinearPower
+
+        adv = adaptive_lower_bound_instance(LinearPower(), 6, kappa=128.0)
+        opt_free, _ = exact_minimum_colors(adv.instance)
+        assert opt_free == 1
+        opt_linear, _ = exact_minimum_colors(
+            adv.instance, LinearPower()(adv.instance)
+        )
+        assert opt_linear == 6
+
+
+class TestLimits:
+    def test_size_cap(self):
+        inst = random_uniform_instance(17, rng=0)
+        with pytest.raises(InstanceTooLargeError):
+            exact_minimum_colors(inst, np.ones(17))

@@ -1,0 +1,128 @@
+"""Tests for first-fit and peeling schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import clustered_instance, random_uniform_instance
+from repro.power.oblivious import SquareRootPower, UniformPower
+from repro.scheduling.firstfit import (
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+)
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.trivial import trivial_schedule
+
+
+class TestFirstFit:
+    def test_far_links_share_color(self, two_link_instance):
+        sched = first_fit_schedule(two_link_instance, np.ones(2))
+        assert sched.num_colors == 1
+        sched.validate(two_link_instance)
+
+    def test_shared_node_forces_split(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        sched = first_fit_schedule(inst, np.ones(2))
+        assert sched.num_colors == 2
+        sched.validate(inst)
+
+    def test_always_feasible_on_random(self, rng):
+        for seed in range(5):
+            inst = random_uniform_instance(15, rng=seed)
+            powers = SquareRootPower()(inst)
+            sched = first_fit_schedule(inst, powers)
+            sched.validate(inst)
+
+    def test_never_more_colors_than_requests(self, small_random_instance):
+        powers = UniformPower()(small_random_instance)
+        sched = first_fit_schedule(small_random_instance, powers)
+        assert sched.num_colors <= small_random_instance.n
+
+    def test_custom_order_respected(self, two_link_instance):
+        sched = first_fit_schedule(two_link_instance, np.ones(2), order=[1, 0])
+        sched.validate(two_link_instance)
+
+    def test_stricter_beta_needs_more_colors(self, rng):
+        inst = clustered_instance(20, beta=0.5, rng=rng)
+        powers = SquareRootPower()(inst)
+        loose = first_fit_schedule(inst, powers, beta=0.5)
+        strict = first_fit_schedule(inst, powers, beta=8.0)
+        assert strict.num_colors >= loose.num_colors
+        strict.validate(inst, beta=8.0)
+
+    def test_colors_are_contiguous_from_zero(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        sched = first_fit_schedule(small_random_instance, powers)
+        used = np.unique(sched.colors)
+        assert np.array_equal(used, np.arange(used.size))
+
+
+class TestFirstFitFreePower:
+    def test_feasible_on_random(self, small_random_instance):
+        sched = first_fit_free_power_schedule(small_random_instance)
+        sched.validate(small_random_instance)
+
+    def test_at_most_fixed_power_colors(self, rng):
+        # Free powers dominate any fixed assignment up to greedy noise;
+        # verify on instances where the gap is structural.
+        from repro.instances.adversarial import growing_chain_instance
+
+        adv = growing_chain_instance(12)
+        fixed = first_fit_schedule(adv.instance, UniformPower()(adv.instance))
+        free = first_fit_free_power_schedule(adv.instance)
+        assert free.num_colors < fixed.num_colors
+
+    def test_shared_node_split(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (1, 2)])
+        sched = first_fit_free_power_schedule(inst)
+        assert sched.num_colors == 2
+        sched.validate(inst)
+
+
+class TestPeeling:
+    def test_feasible(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        sched = peeling_schedule(small_random_instance, powers)
+        sched.validate(small_random_instance)
+
+    def test_covers_all_requests(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        sched = peeling_schedule(small_random_instance, powers)
+        assert np.all(sched.colors >= 0)
+
+    def test_no_worse_than_trivial(self, rng):
+        inst = clustered_instance(15, rng=rng)
+        powers = SquareRootPower()(inst)
+        peel = peeling_schedule(inst, powers)
+        assert peel.num_colors <= inst.n
+
+
+class TestTrivial:
+    def test_one_color_per_request(self, small_random_instance):
+        sched = trivial_schedule(small_random_instance)
+        assert sched.num_colors == small_random_instance.n
+        sched.validate(small_random_instance)
+
+    def test_custom_power(self, small_random_instance):
+        sched = trivial_schedule(small_random_instance, power=UniformPower())
+        assert np.allclose(sched.powers, 1.0)
+
+
+class TestSchedulersProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_all_schedulers_emit_feasible_schedules(self, seed):
+        inst = random_uniform_instance(8, rng=seed)
+        powers = SquareRootPower()(inst)
+        for schedule in (
+            first_fit_schedule(inst, powers),
+            peeling_schedule(inst, powers),
+            trivial_schedule(inst),
+            first_fit_free_power_schedule(inst),
+        ):
+            schedule.validate(inst)

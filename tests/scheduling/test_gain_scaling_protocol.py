@@ -1,0 +1,82 @@
+"""Tests for gain rescaling (Props 3-4) and the protocol-model baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import is_feasible_subset
+from repro.core.instance import Instance
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import clustered_instance, random_uniform_instance
+from repro.power.oblivious import LinearPower, SquareRootPower
+from repro.scheduling.gain_scaling import (
+    densest_subset_at_gain,
+    rescale_gain_coloring,
+)
+from repro.scheduling.protocol_model import (
+    protocol_conflict_graph,
+    protocol_schedule,
+)
+
+
+class TestGainScaling:
+    def test_rescaled_classes_satisfy_strict_gain(self, rng):
+        inst = clustered_instance(20, beta=0.5, rng=rng)
+        powers = SquareRootPower()(inst)
+        gamma_target = 4.0
+        schedule = rescale_gain_coloring(inst, powers, gamma_target)
+        schedule.validate(inst, beta=gamma_target)
+
+    def test_blowup_is_bounded_by_proposition4(self, rng):
+        # Colors at gamma' vs colors at gamma: within s * log n plus
+        # slack, where s = gamma'/gamma.
+        inst = random_uniform_instance(30, beta=0.5, rng=rng)
+        powers = SquareRootPower()(inst)
+        base = rescale_gain_coloring(inst, powers, 0.5)
+        strict = rescale_gain_coloring(inst, powers, 4.0)
+        s = 4.0 / 0.5
+        assert strict.num_colors <= base.num_colors * s * np.log2(30) + 1
+
+    def test_densest_subset_feasible_at_gain(self, rng):
+        inst = clustered_instance(15, beta=0.5, rng=rng)
+        powers = SquareRootPower()(inst)
+        subset, schedule = densest_subset_at_gain(inst, powers, 2.0)
+        assert subset.size >= 1
+        assert is_feasible_subset(inst, powers, subset, beta=2.0)
+
+    def test_invalid_gamma(self, small_random_instance):
+        powers = SquareRootPower()(small_random_instance)
+        with pytest.raises(ValueError):
+            rescale_gain_coloring(small_random_instance, powers, 0.0)
+
+
+class TestProtocolModel:
+    def test_conflict_graph_close_links(self):
+        metric = LineMetric([0.0, 1.0, 1.5, 2.5, 100.0, 101.0])
+        inst = Instance.bidirectional(metric, [(0, 1), (2, 3), (4, 5)])
+        graph = protocol_conflict_graph(inst, range_factor=2.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+
+    def test_larger_range_more_conflicts(self, rng):
+        inst = random_uniform_instance(15, rng=rng)
+        small = protocol_conflict_graph(inst, range_factor=0.5)
+        large = protocol_conflict_graph(inst, range_factor=5.0)
+        assert large.number_of_edges() >= small.number_of_edges()
+
+    def test_repaired_schedule_is_feasible(self, rng):
+        inst = clustered_instance(15, beta=0.5, rng=rng)
+        powers = LinearPower()(inst)
+        schedule, raw = protocol_schedule(inst, powers)
+        schedule.validate(inst)
+        assert raw >= 1
+        assert schedule.num_colors >= raw or raw >= 1
+
+    def test_unrepaired_returns_raw_coloring(self, rng):
+        inst = random_uniform_instance(10, rng=rng)
+        powers = LinearPower()(inst)
+        schedule, raw = protocol_schedule(inst, powers, repair=False)
+        assert schedule.num_colors == raw
+
+    def test_invalid_range_factor(self, small_random_instance):
+        with pytest.raises(ValueError):
+            protocol_conflict_graph(small_random_instance, range_factor=0.0)

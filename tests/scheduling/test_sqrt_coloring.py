@@ -1,0 +1,127 @@
+"""Tests for the Theorem 15 LP coloring algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances.nested import nested_instance
+from repro.instances.random_instances import clustered_instance, random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.sqrt_coloring import (
+    SqrtColoringStats,
+    _distance_classes,
+    sqrt_coloring,
+)
+
+
+class TestDistanceClasses:
+    def test_factor_four_buckets(self):
+        distances = np.array([1.0, 3.9, 4.1, 16.5, 70.0])
+        classes = _distance_classes(distances)
+        grouped = [set(c.tolist()) for c in classes]
+        assert {0, 1} in grouped
+        assert {2} in grouped
+        assert {3} in grouped
+        assert {4} in grouped
+
+    def test_single_class(self):
+        classes = _distance_classes(np.array([5.0, 6.0, 7.0]))
+        assert len(classes) == 1
+
+    def test_all_positions_covered(self, rng):
+        distances = np.exp(rng.uniform(0, 10, size=30))
+        classes = _distance_classes(distances)
+        covered = sorted(np.concatenate(classes).tolist())
+        assert covered == list(range(30))
+
+
+class TestSqrtColoring:
+    def test_feasible_and_complete(self, small_random_instance):
+        schedule, stats = sqrt_coloring(small_random_instance, rng=0)
+        schedule.validate(small_random_instance)
+        assert np.all(schedule.colors >= 0)
+        assert isinstance(stats, SqrtColoringStats)
+
+    def test_uses_sqrt_powers(self, small_random_instance):
+        schedule, _ = sqrt_coloring(small_random_instance, rng=0)
+        expected = SquareRootPower()(small_random_instance)
+        assert np.allclose(schedule.powers, expected)
+
+    def test_greedy_variant_feasible(self, small_random_instance):
+        schedule, stats = sqrt_coloring(small_random_instance, rng=0, use_lp=False)
+        schedule.validate(small_random_instance)
+        assert stats.lp_solves == 0
+
+    def test_lp_variant_solves_lps(self, rng):
+        inst = clustered_instance(15, rng=rng)
+        _, stats = sqrt_coloring(inst, rng=0, use_lp=True)
+        assert stats.lp_solves > 0
+
+    def test_deterministic_given_seed(self, small_random_instance):
+        a, _ = sqrt_coloring(small_random_instance, rng=7)
+        b, _ = sqrt_coloring(small_random_instance, rng=7)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_nested_instance_gets_few_colors(self):
+        inst = nested_instance(20, beta=0.5)
+        schedule, _ = sqrt_coloring(inst, rng=0)
+        schedule.validate(inst)
+        # Theorem 2 regime: polylog colors, far below n.
+        assert schedule.num_colors <= 12
+
+    def test_stats_class_sizes_sum_to_n(self, small_random_instance):
+        schedule, stats = sqrt_coloring(small_random_instance, rng=0)
+        assert sum(stats.class_sizes) == small_random_instance.n
+        assert stats.rounds == len(stats.class_sizes)
+
+    def test_beta_override(self, small_random_instance):
+        schedule, _ = sqrt_coloring(small_random_instance, rng=0, beta=4.0)
+        schedule.validate(small_random_instance, beta=4.0)
+
+    def test_single_request(self):
+        inst = random_uniform_instance(1, rng=0)
+        schedule, _ = sqrt_coloring(inst, rng=0)
+        assert schedule.num_colors == 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_always_feasible(self, seed):
+        inst = random_uniform_instance(10, rng=seed)
+        schedule, _ = sqrt_coloring(inst, rng=seed)
+        schedule.validate(inst)
+
+
+class TestSqrtColoringDirected:
+    def test_directed_instances_supported(self, rng):
+        from repro.core.instance import Direction
+
+        inst = random_uniform_instance(
+            12, direction=Direction.DIRECTED, rng=rng
+        )
+        schedule, _ = sqrt_coloring(inst, rng=0)
+        schedule.validate(inst)
+
+    def test_directed_never_needs_more_than_bidirectional(self):
+        from repro.core.instance import Direction
+
+        for seed in range(3):
+            bidir = random_uniform_instance(12, rng=seed)
+            direct = bidir.with_direction(Direction.DIRECTED)
+            sched_b, _ = sqrt_coloring(bidir, rng=seed)
+            sched_d, _ = sqrt_coloring(direct, rng=seed)
+            # Directed constraints are weaker pointwise; the randomized
+            # algorithm is not strictly monotone, allow +1 slack.
+            assert sched_d.num_colors <= sched_b.num_colors + 1
+
+
+class TestSqrtColoringWithLocalSearch:
+    def test_local_search_composes(self, rng):
+        from repro.instances.random_instances import clustered_instance
+        from repro.scheduling.local_search import improve_schedule
+
+        inst = clustered_instance(20, rng=rng)
+        schedule, _ = sqrt_coloring(inst, rng=0)
+        improved = improve_schedule(inst, schedule)
+        improved.validate(inst)
+        assert improved.num_colors <= schedule.num_colors

@@ -1,0 +1,102 @@
+"""Failure-injection tests: corrupted schedules must be detected.
+
+A verification layer is only trustworthy if it actually catches
+tampering; these tests corrupt feasible schedules in targeted ways and
+assert the validators notice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import verify_schedule
+from repro.core.errors import InvalidScheduleError
+from repro.core.schedule import Schedule
+from repro.instances.random_instances import clustered_instance
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule
+
+
+@pytest.fixture
+def instance():
+    # Dense enough that merging color classes breaks feasibility.
+    return clustered_instance(20, clusters=2, cluster_std=3.0, beta=1.0, rng=77)
+
+
+@pytest.fixture
+def schedule(instance):
+    sched = first_fit_schedule(instance, SquareRootPower()(instance))
+    sched.validate(instance)
+    if sched.num_colors < 2:
+        pytest.skip("instance too easy to corrupt meaningfully")
+    return sched
+
+
+class TestColorTampering:
+    def test_merging_all_classes_detected(self, instance, schedule):
+        merged = Schedule(
+            colors=np.zeros(instance.n, dtype=int), powers=schedule.powers
+        )
+        assert not merged.is_feasible(instance)
+        report = verify_schedule(instance, merged)
+        assert not report.feasible
+        assert report.worst_margin < 1.0
+
+    def test_moving_one_request_detected_or_harmless(self, instance, schedule):
+        # Moving a request into another class either keeps feasibility
+        # (allowed) or is caught; it must never crash.
+        colors = schedule.colors.copy()
+        victim = int(np.argmax(instance.link_losses))
+        other = (colors[victim] + 1) % schedule.num_colors
+        colors[victim] = other
+        tampered = Schedule(colors=colors, powers=schedule.powers)
+        report = verify_schedule(instance, tampered)
+        assert report.feasible in (True, False)
+
+    def test_validate_raises_with_worst_request(self, instance, schedule):
+        merged = Schedule(
+            colors=np.zeros(instance.n, dtype=int), powers=schedule.powers
+        )
+        with pytest.raises(InvalidScheduleError, match="request"):
+            merged.validate(instance)
+
+
+class TestPowerTampering:
+    def test_zeroing_relative_power_detected(self, instance, schedule):
+        powers = schedule.powers.copy()
+        # Starve the request with the longest link inside the largest class.
+        classes = schedule.color_classes()
+        largest = max(classes.values(), key=lambda c: c.size)
+        if largest.size < 2:
+            pytest.skip("no multi-request class to starve")
+        victim = largest[int(np.argmax(instance.link_losses[largest]))]
+        powers[victim] *= 1e-9
+        tampered = Schedule(colors=schedule.colors, powers=powers)
+        assert not tampered.is_feasible(instance)
+
+    def test_boosting_one_power_hurts_neighbours(self, instance, schedule):
+        powers = schedule.powers.copy()
+        classes = schedule.color_classes()
+        largest = max(classes.values(), key=lambda c: c.size)
+        if largest.size < 2:
+            pytest.skip("no multi-request class to disturb")
+        powers[largest[0]] *= 1e12
+        tampered = Schedule(colors=schedule.colors, powers=powers)
+        assert not tampered.is_feasible(instance)
+
+    def test_negative_power_rejected_at_construction(self, schedule):
+        powers = schedule.powers.copy()
+        powers[0] = -1.0
+        with pytest.raises(InvalidScheduleError):
+            Schedule(colors=schedule.colors, powers=powers)
+
+
+class TestStructuralTampering:
+    def test_truncated_schedule_rejected(self, instance, schedule):
+        short = Schedule(colors=schedule.colors[:-1], powers=schedule.powers[:-1])
+        with pytest.raises(InvalidScheduleError, match="covers"):
+            short.validate(instance)
+
+    def test_uniform_scaling_is_harmless(self, instance, schedule):
+        # Scale invariance at sigma=0: scaling all powers is fine.
+        scaled = Schedule(colors=schedule.colors, powers=schedule.powers * 1e6)
+        scaled.validate(instance)

@@ -1,0 +1,103 @@
+"""Cross-module integration tests: full paper pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Direction,
+    SquareRootPower,
+    UniformPower,
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+    lower_bound_instance_for,
+    nested_instance,
+    random_uniform_instance,
+    scale_powers_for_noise,
+    sinr_margins,
+    sqrt_coloring,
+    verify_schedule,
+)
+from repro.experiments import sqrt_existence_pipeline
+
+
+class TestTheorem1EndToEnd:
+    """The full Theorem 1 separation, from construction to verdict."""
+
+    def test_uniform_separation(self):
+        adv = lower_bound_instance_for(UniformPower(), 20)
+        inst = adv.instance
+        oblivious = first_fit_schedule(inst, UniformPower()(inst))
+        free = first_fit_free_power_schedule(inst)
+        oblivious.validate(inst)
+        free.validate(inst)
+        # Omega(n) vs O(1): at n=20 the gap must be at least 3x.
+        assert oblivious.num_colors >= 3 * free.num_colors
+
+    def test_sqrt_is_also_beaten_in_directed(self):
+        adv = lower_bound_instance_for(SquareRootPower(), 5, kappa=1.0)
+        inst = adv.instance
+        oblivious = first_fit_schedule(inst, SquareRootPower()(inst))
+        free = first_fit_free_power_schedule(inst)
+        assert oblivious.num_colors > free.num_colors
+
+
+class TestTheorem2EndToEnd:
+    """Square-root assignment + coloring algorithms on shared instances."""
+
+    def test_three_roads_to_a_schedule_agree_on_feasibility(self):
+        inst = random_uniform_instance(15, rng=42)
+        powers = SquareRootPower()(inst)
+        lp, _ = sqrt_coloring(inst, rng=42)
+        ff = first_fit_schedule(inst, powers)
+        pipeline, _ = sqrt_existence_pipeline(inst, rng=42)
+        for schedule in (lp, ff, pipeline):
+            report = verify_schedule(inst, schedule)
+            assert report.feasible
+            assert report.num_colors <= inst.n
+
+    def test_bidirectional_beats_directed_obliviousness(self):
+        """The paper's punchline: sqrt is polylog-good bidirectionally
+        even though every oblivious assignment is Omega(n)-bad
+        directionally."""
+        inst = nested_instance(16, beta=0.5)
+        ff = first_fit_schedule(inst, SquareRootPower()(inst))
+        ff.validate(inst)
+        assert ff.num_colors <= 8  # far below n = 16
+
+
+class TestNoisePipeline:
+    def test_schedule_then_add_noise(self):
+        inst = random_uniform_instance(12, rng=3)
+        powers = SquareRootPower()(inst)
+        schedule = first_fit_schedule(inst, powers)
+        noisy_powers = scale_powers_for_noise(
+            inst, schedule.powers, schedule.colors, noise=5.0
+        )
+        margins = sinr_margins(
+            inst, noisy_powers, colors=schedule.colors, noise=5.0
+        )
+        assert np.all(margins >= 1.0)
+
+    def test_noise_scaling_preserves_colors(self):
+        inst = random_uniform_instance(12, rng=3)
+        powers = SquareRootPower()(inst)
+        schedule = first_fit_schedule(inst, powers)
+        noisy = scale_powers_for_noise(
+            inst, schedule.powers, schedule.colors, noise=2.0
+        )
+        # Same coloring, scaled powers: still one factor for all.
+        factors = noisy / schedule.powers
+        assert np.allclose(factors, factors[0])
+
+
+class TestDirectionInterplay:
+    def test_directed_is_never_harder_than_bidirectional_for_firstfit(self):
+        # Bidirectional constraints dominate directed ones pointwise,
+        # so any bidirectional-feasible coloring works directionally.
+        inst = random_uniform_instance(12, rng=9)
+        powers = SquareRootPower()(inst)
+        bidir = first_fit_schedule(inst, powers)
+        directed_view = inst.with_direction(Direction.DIRECTED)
+        from repro.core.feasibility import is_feasible_partition
+
+        assert is_feasible_partition(directed_view, bidir.powers, bidir.colors)

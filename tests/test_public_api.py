@@ -1,0 +1,41 @@
+"""Public API surface tests: everything advertised in __all__ exists
+and the README quickstart works."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, size=(20, 2))
+        pairs = [(2 * i, 2 * i + 1) for i in range(10)]
+        instance = repro.Instance.bidirectional(
+            repro.EuclideanMetric(points), pairs
+        )
+        schedule, stats = repro.sqrt_coloring(instance, rng=rng)
+        schedule.validate(instance)
+        assert schedule.num_colors >= 1
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.InvalidInstanceError, repro.ReproError)
+        assert issubclass(repro.InvalidScheduleError, repro.ReproError)
+        assert issubclass(repro.InfeasibleError, repro.ReproError)
+
+    def test_power_assignments_are_assignments(self):
+        for cls in (
+            repro.UniformPower,
+            repro.LinearPower,
+            repro.SquareRootPower,
+        ):
+            assert issubclass(cls, repro.ObliviousPowerAssignment)
+            assert issubclass(cls, repro.PowerAssignment)

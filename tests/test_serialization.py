@@ -1,0 +1,109 @@
+"""Round-trip tests for the JSON serialization layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Direction
+from repro.core.schedule import Schedule
+from repro.geometry.explicit import ExplicitMetric
+from repro.geometry.tree import TreeMetric
+from repro.instances.nested import nested_instance
+from repro.instances.random_instances import random_uniform_instance
+from repro.serialization import (
+    SerializationError,
+    dumps,
+    instance_from_dict,
+    instance_to_dict,
+    loads,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestInstanceRoundTrip:
+    def test_euclidean_round_trip(self, small_random_instance):
+        clone = loads(dumps(small_random_instance))
+        assert clone.n == small_random_instance.n
+        assert np.allclose(clone.link_losses, small_random_instance.link_losses)
+        assert clone.direction == small_random_instance.direction
+        assert clone.alpha == small_random_instance.alpha
+
+    def test_line_round_trip(self):
+        inst = nested_instance(5, beta=0.5)
+        clone = loads(dumps(inst))
+        assert np.allclose(
+            clone.metric.distance_matrix(), inst.metric.distance_matrix()
+        )
+        assert clone.beta == 0.5
+
+    def test_generic_metric_ships_as_matrix(self):
+        tree = TreeMetric(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        from repro.core.instance import Instance
+
+        inst = Instance.bidirectional(tree, [(0, 3)])
+        clone = loads(dumps(inst))
+        assert isinstance(clone.metric, ExplicitMetric)
+        assert np.allclose(
+            clone.metric.distance_matrix(), tree.distance_matrix()
+        )
+
+    def test_feasibility_preserved(self, small_random_instance):
+        from repro.power.oblivious import SquareRootPower
+        from repro.scheduling.firstfit import first_fit_schedule
+
+        schedule = first_fit_schedule(
+            small_random_instance, SquareRootPower()(small_random_instance)
+        )
+        clone_inst = loads(dumps(small_random_instance))
+        clone_sched = loads(dumps(schedule))
+        clone_sched.validate(clone_inst)
+
+    def test_directed_round_trip(self):
+        inst = random_uniform_instance(4, direction=Direction.DIRECTED, rng=0)
+        clone = loads(dumps(inst))
+        assert clone.direction is Direction.DIRECTED
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self):
+        sched = Schedule(colors=np.array([0, 1, 0]), powers=np.array([1.0, 2.5, 3.25]))
+        clone = loads(dumps(sched))
+        assert np.array_equal(clone.colors, sched.colors)
+        assert np.array_equal(clone.powers, sched.powers)
+
+    def test_indent_option(self):
+        sched = Schedule(colors=np.array([0]), powers=np.array([1.0]))
+        text = dumps(sched, indent=2)
+        assert "\n" in text
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            loads(json.dumps({"kind": "mystery"}))
+
+    def test_wrong_kind_for_instance(self):
+        with pytest.raises(SerializationError):
+            instance_from_dict({"kind": "schedule"})
+
+    def test_wrong_kind_for_schedule(self):
+        with pytest.raises(SerializationError):
+            schedule_from_dict({"kind": "instance"})
+
+    def test_bad_format_version(self, small_random_instance):
+        payload = instance_to_dict(small_random_instance)
+        payload["format_version"] = 999
+        with pytest.raises(SerializationError, match="version"):
+            instance_from_dict(payload)
+
+    def test_unknown_metric_type(self, small_random_instance):
+        payload = instance_to_dict(small_random_instance)
+        payload["metric"] = {"type": "hyperbolic"}
+        with pytest.raises(SerializationError, match="metric"):
+            instance_from_dict(payload)
+
+    def test_unsupported_object(self):
+        with pytest.raises(SerializationError):
+            dumps(42)

@@ -1,0 +1,39 @@
+"""Property-based round-trip tests for serialization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import Schedule
+from repro.instances.random_instances import random_uniform_instance
+from repro.serialization import dumps, loads
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 12))
+    def test_instance_round_trip_preserves_sinr_data(self, seed, n):
+        inst = random_uniform_instance(n, rng=seed)
+        clone = loads(dumps(inst))
+        assert clone.n == inst.n
+        assert np.allclose(clone.link_losses, inst.link_losses, rtol=0, atol=0)
+        assert np.allclose(
+            clone.metric.distance_matrix(),
+            inst.metric.distance_matrix(),
+            rtol=0,
+            atol=0,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        colors=st.lists(st.integers(0, 5), min_size=1, max_size=15),
+        seed=st.integers(0, 10_000),
+    )
+    def test_schedule_round_trip_exact(self, colors, seed):
+        rng = np.random.default_rng(seed)
+        powers = rng.uniform(0.1, 100.0, size=len(colors))
+        schedule = Schedule(colors=np.asarray(colors), powers=powers)
+        clone = loads(dumps(schedule))
+        assert np.array_equal(clone.colors, schedule.colors)
+        assert np.array_equal(clone.powers, schedule.powers)
+        assert clone.num_colors == schedule.num_colors

@@ -1,0 +1,64 @@
+"""Tests for the Table abstraction."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+@pytest.fixture
+def table():
+    t = Table(title="demo", columns=["a", "b"])
+    t.add_row(a=1, b=2.5)
+    t.add_row(a=3, b=None)
+    return t
+
+
+class TestTable:
+    def test_len(self, table):
+        assert len(table) == 2
+
+    def test_column_access(self, table):
+        assert table.column("a") == [1, 3]
+
+    def test_missing_column_raises(self, table):
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+    def test_unknown_row_key_raises(self, table):
+        with pytest.raises(KeyError):
+            table.add_row(a=1, nonsense=2)
+
+    def test_notes_append(self, table):
+        table.add_note("hello")
+        assert table.notes == ["hello"]
+
+    def test_missing_value_renders_empty(self, table):
+        rendered = format_table(table)
+        assert "demo" in rendered
+
+
+class TestFormatTable:
+    def test_contains_header_and_rows(self, table):
+        out = format_table(table)
+        assert "| a" in out
+        assert "| 1" in out
+
+    def test_markdown_separator(self, table):
+        out = format_table(table)
+        lines = out.splitlines()
+        assert any(set(line) <= {"|", "-", " "} and "-" in line for line in lines)
+
+    def test_float_formatting(self):
+        t = Table(title="f", columns=["x"])
+        t.add_row(x=0.000123)
+        t.add_row(x=123456.0)
+        t.add_row(x=1.5)
+        t.add_row(x=0.0)
+        out = format_table(t)
+        assert "0.000123" in out
+        assert "1.23e+05" in out or "123456" in out or "1.23e+5" in out
+        assert "1.5" in out
+
+    def test_notes_rendered(self, table):
+        table.add_note("a note")
+        assert "> a note" in format_table(table)

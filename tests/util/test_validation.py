@@ -1,0 +1,57 @@
+"""Tests for validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_index,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -1e-12])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        assert check_finite(-3.0, "y") == -3.0
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="y"):
+            check_finite(bad, "y")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_probability(bad, "p")
+
+
+class TestCheckIndex:
+    def test_accepts_valid(self):
+        assert check_index(3, 5, "i") == 3
+
+    @pytest.mark.parametrize("bad", [-1, 5, 100])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(IndexError, match="i"):
+            check_index(bad, 5, "i")
