@@ -46,13 +46,17 @@ from repro.analysis import (
     verify_schedule,
 )
 from repro.core import (
+    ClassAccumulator,
     Direction,
     InfeasibleError,
     Instance,
+    InterferenceContext,
     InvalidInstanceError,
     InvalidScheduleError,
     ReproError,
     Schedule,
+    engine_disabled,
+    get_context,
     is_feasible_partition,
     is_feasible_subset,
     scale_powers_for_noise,
@@ -132,6 +136,10 @@ __all__ = [
     "is_feasible_subset",
     "is_feasible_partition",
     "scale_powers_for_noise",
+    "InterferenceContext",
+    "ClassAccumulator",
+    "get_context",
+    "engine_disabled",
     # geometry
     "Metric",
     "EuclideanMetric",

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.context import maybe_context
 from repro.core.instance import Direction, Instance
 from repro.core.interference import (
     bidirectional_gain_matrices,
@@ -38,10 +39,16 @@ def affectance_matrix(
     ``A[i, j]`` is the fraction of request ``i``'s interference budget
     consumed by request ``j``; the diagonal is zero.  For the
     bidirectional variant the worst endpoint of ``i`` is charged.
+
+    Routes through the shared interference engine when enabled, so the
+    worst-endpoint gain matrix is fetched from the context cache.
     """
     beta = instance.beta if beta is None else float(beta)
     powers = np.asarray(powers, dtype=float)
-    if instance.direction is Direction.DIRECTED:
+    context = maybe_context(instance, powers)
+    if context is not None:
+        gains = context.worst_gains
+    elif instance.direction is Direction.DIRECTED:
         gains = directed_gain_matrix(instance, powers)
     else:
         gains_u, gains_v = bidirectional_gain_matrices(instance, powers)

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.context import InterferenceContext, maybe_context
 from repro.core.feasibility import feasible_subset_mask, sinr_margins
 from repro.core.instance import Instance
 
@@ -25,13 +26,25 @@ def greedy_max_feasible_subset(
     candidates: Optional[Sequence[int]] = None,
     beta: Optional[float] = None,
     rtol: float = 1e-9,
+    context: Optional[InterferenceContext] = None,
 ) -> np.ndarray:
     """A maximal feasible subset of *candidates* under fixed *powers*.
 
     Peels the worst-margin request until every remaining request meets
     its SINR constraint, then greedily re-adds dropped requests that
     still fit (so the result is inclusion-maximal).
+
+    When the shared interference engine is enabled (or an explicit
+    *context* for ``(instance, powers)`` is passed), the peeling loop
+    runs on the cached gain matrices — same decisions, no per-round
+    matrix rebuilding.
     """
+    if context is None:
+        context = maybe_context(instance, powers)
+    if context is not None:
+        return context.greedy_max_feasible_subset(
+            candidates=candidates, beta=beta, rtol=rtol
+        )
     if candidates is None:
         current = list(range(instance.n))
     else:

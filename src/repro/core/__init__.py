@@ -5,6 +5,16 @@ bidirectional interference scheduling problems in the physical (SINR)
 model, plus the schedule representation shared by all algorithms.
 """
 
+from repro.core.context import (
+    ClassAccumulator,
+    InterferenceContext,
+    cache_info,
+    clear_context_cache,
+    engine_disabled,
+    engine_enabled,
+    get_context,
+    set_engine_enabled,
+)
 from repro.core.errors import (
     InfeasibleError,
     InvalidInstanceError,
@@ -33,6 +43,14 @@ __all__ = [
     "InvalidInstanceError",
     "InvalidScheduleError",
     "InfeasibleError",
+    "InterferenceContext",
+    "ClassAccumulator",
+    "get_context",
+    "engine_enabled",
+    "engine_disabled",
+    "set_engine_enabled",
+    "cache_info",
+    "clear_context_cache",
     "Direction",
     "Instance",
     "Schedule",

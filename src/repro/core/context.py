@@ -1,0 +1,781 @@
+"""Shared interference engine: cached gain matrices + incremental classes.
+
+Every algorithm in this library reduces to one primitive — querying
+SINR interference under a fixed power vector.  Before this module each
+caller rebuilt the O(n^2) gain matrices (and re-exponentiated the full
+metric loss matrix) on every query; :class:`InterferenceContext` builds
+them once per ``(instance, powers)`` and answers all subsequent queries
+from the cache.
+
+Two levels of API
+-----------------
+
+* **Wrappers** (:func:`repro.core.feasibility.sinr_margins`,
+  :func:`repro.analysis.capacity.greedy_max_feasible_subset`, the
+  schedulers in :mod:`repro.scheduling`): unchanged public signatures.
+  They transparently fetch a cached context via :func:`get_context`.
+  Use these for one-off queries and everyday code — caching makes
+  repeated calls with the same ``(instance, powers)`` cheap
+  automatically.
+
+* **The context itself**: fetch one with
+  ``ctx = get_context(instance, powers)`` when you are writing a hot
+  loop that issues many interference queries (a scheduler, a search, a
+  simulation).  Methods — :meth:`~InterferenceContext.margins`,
+  :meth:`~InterferenceContext.feasible_mask`,
+  :meth:`~InterferenceContext.budget_slack`,
+  :meth:`~InterferenceContext.greedy_max_feasible_subset` — are
+  vectorized on the cached matrices and skip all per-call rebuilding.
+  For sets that grow and shrink one request at a time (first-fit
+  classes, local search, protocol simulation), obtain a
+  :class:`ClassAccumulator` via :meth:`InterferenceContext.accumulator`:
+  it maintains the interference **every request of the instance** would
+  suffer from the current member set, so membership changes cost O(n)
+  and feasibility checks cost O(k) — no O(k^2) recompute.
+
+Numerical contract
+------------------
+
+The context reproduces the from-scratch path bit-for-bit: gain-matrix
+entries are computed by the same :mod:`repro.core.interference`
+builders, and subset/color reductions use the same operation order, so
+margins (and therefore every feasibility decision and every schedule)
+are identical with the engine on or off.  The accumulator is the one
+exception — it maintains sums incrementally, so its values agree with
+:func:`~repro.core.feasibility.sinr_margins` only up to floating-point
+accumulation order (tested to 1e-9 relative).
+
+Shared-node pairs (infinite gain) are tracked exactly: the accumulator
+counts infinite contributions separately from the finite sum, so
+removing a shared-node member restores the finite interference instead
+of leaving ``inf - inf = nan`` behind.  Zero interference is exact
+too — the accumulator counts positive contributors per request, so a
+request whose interferers all left reports margin ``inf`` again rather
+than a cancellation residue.
+
+Disabling the engine
+--------------------
+
+``with engine_disabled(): ...`` (or ``set_engine_enabled(False)``)
+routes every wrapper back to the pre-engine from-scratch code path.
+The conformance suite runs every scheduler both ways; the benchmark
+(``benchmarks/bench_context_engine.py``) uses it to time the legacy
+path honestly.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Direction, Instance
+from repro.core.interference import (
+    _class_sum,
+    bidirectional_gain_matrices,
+    directed_gain_matrix,
+)
+from repro.core.interference import interference as _interference_from_scratch
+
+#: Default relative tolerance for feasibility comparisons (kept in sync
+#: with :data:`repro.core.feasibility.DEFAULT_RTOL` without importing it,
+#: to avoid a circular import).
+DEFAULT_RTOL = 1e-9
+
+#: Cached contexts kept per instance (LRU on the power-vector key).
+MAX_CONTEXTS_PER_INSTANCE = 8
+
+
+def _margins_from(
+    signals: np.ndarray, interf: np.ndarray, beta: float, noise: float
+) -> np.ndarray:
+    """``signal / (beta * (interference + noise))`` with the inf/zero
+    conventions of :func:`repro.core.feasibility.sinr_margins`."""
+    denom = beta * (interf + noise)
+    margins = np.full(signals.shape, np.inf)
+    np.divide(signals, denom, out=margins, where=denom > 0)
+    margins[np.isinf(interf)] = 0.0
+    return margins
+
+
+class InterferenceContext:
+    """Cached interference state for one ``(instance, powers)`` pair.
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance (fixes the metric, variant, alpha and
+        the default ``beta``/``noise``).
+    powers:
+        Fixed positive power vector of length ``instance.n``.  A
+        private copy is kept; later mutation of the caller's array does
+        not corrupt the context (and :func:`get_context` keys the cache
+        by value, so mutated powers simply resolve to a new context).
+    beta, noise:
+        Defaults for the per-query overrides; fall back to the
+        instance's values.
+
+    Notes
+    -----
+    Gain matrices are built lazily on first use and shared read-only.
+    All query methods accept ``beta``/``noise`` overrides, so a single
+    context serves the γ-rescaling machinery of §3.1 (e.g. the
+    Theorem 15 repair pass at ``beta / 2``) without rebuilding
+    anything.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        powers: np.ndarray,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ):
+        powers = np.array(powers, dtype=float).reshape(-1)
+        if powers.shape != (instance.n,):
+            raise InvalidScheduleError(
+                f"powers must have shape ({instance.n},), got {powers.shape}"
+            )
+        if np.any(powers <= 0):
+            raise InvalidScheduleError("all powers must be strictly positive")
+        self.instance = instance
+        self.powers = powers
+        self.powers.setflags(write=False)
+        self.beta = instance.beta if beta is None else float(beta)
+        self.noise = instance.noise if noise is None else float(noise)
+        if not self.beta > 0:
+            raise ValueError(f"beta must be > 0, got {self.beta}")
+        if self.noise < 0:
+            raise ValueError(f"noise must be >= 0, got {self.noise}")
+        self._signals: Optional[np.ndarray] = None
+        self._gains: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._worst_gains: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Cached matrices
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of requests."""
+        return self.instance.n
+
+    @property
+    def signals(self) -> np.ndarray:
+        """Received signal strengths ``p_i / l(u_i, v_i)`` (read-only)."""
+        if self._signals is None:
+            signals = self.powers / self.instance.link_losses
+            signals.setflags(write=False)
+            self._signals = signals
+        return self._signals
+
+    def _gain_pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._gains is None:
+            if self.instance.direction is Direction.DIRECTED:
+                gains = directed_gain_matrix(self.instance, self.powers)
+                gains.setflags(write=False)
+                self._gains = (gains, gains)
+            else:
+                gains_u, gains_v = bidirectional_gain_matrices(
+                    self.instance, self.powers
+                )
+                gains_u.setflags(write=False)
+                gains_v.setflags(write=False)
+                self._gains = (gains_u, gains_v)
+        return self._gains
+
+    @property
+    def gains_u(self) -> np.ndarray:
+        """Gain matrix at endpoint ``u`` (the single directed matrix in
+        the directed variant; read-only)."""
+        return self._gain_pair()[0]
+
+    @property
+    def gains_v(self) -> np.ndarray:
+        """Gain matrix at endpoint ``v`` (aliases :attr:`gains_u` in the
+        directed variant; read-only)."""
+        return self._gain_pair()[1]
+
+    @property
+    def worst_gains(self) -> np.ndarray:
+        """Worst-endpoint gain matrix ``max(G_u, G_v)`` (read-only).
+
+        This is the matrix affectance and conflict-graph analyses work
+        on; in the directed variant it is :attr:`gains_u` itself.
+        """
+        if self._worst_gains is None:
+            gains_u, gains_v = self._gain_pair()
+            if gains_u is gains_v:
+                self._worst_gains = gains_u
+            else:
+                worst = np.maximum(gains_u, gains_v)
+                worst.setflags(write=False)
+                self._worst_gains = worst
+        return self._worst_gains
+
+    def budgets(
+        self, beta: Optional[float] = None, noise: Optional[float] = None
+    ) -> np.ndarray:
+        """Interference budgets ``signal / beta - noise`` per request.
+
+        A request can join a class only while the class's interference
+        at it stays within this budget.
+        """
+        beta = self.beta if beta is None else float(beta)
+        noise = self.noise if noise is None else float(noise)
+        return self.signals / beta - noise
+
+    # ------------------------------------------------------------------
+    # Vectorized queries
+    # ------------------------------------------------------------------
+
+    def interference(
+        self,
+        colors: Optional[np.ndarray] = None,
+        subset: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Worst-endpoint interference per request (cf.
+        :func:`repro.core.interference.interference`).
+
+        Parameters
+        ----------
+        colors:
+            If given, only same-color pairs interfere.
+        subset:
+            Restrict to these request indices (result aligned to the
+            subset, like the module-level function).
+        """
+        gains_u, gains_v = self._gain_pair()
+        if subset is not None:
+            idx = np.asarray(subset, dtype=int)
+            if np.unique(idx).size != idx.size:
+                # A repeated index names two copies of one request; the
+                # cached matrices' zero diagonal cannot express their
+                # mutual interference, so defer to the from-scratch
+                # sub-instance computation (identical to the legacy
+                # path) for this degenerate call.
+                return _interference_from_scratch(
+                    self.instance, self.powers, colors, idx
+                )
+            block = np.ix_(idx, idx)
+            sub_colors = None if colors is None else np.asarray(colors)[idx]
+            interf = _class_sum(gains_u[block], sub_colors)
+            if gains_v is not gains_u:
+                interf = np.maximum(interf, _class_sum(gains_v[block], sub_colors))
+            return interf
+        interf = _class_sum(gains_u, colors)
+        if gains_v is not gains_u:
+            interf = np.maximum(interf, _class_sum(gains_v, colors))
+        return interf
+
+    def margins(
+        self,
+        colors: Optional[np.ndarray] = None,
+        subset: Optional[Sequence[int]] = None,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ) -> np.ndarray:
+        """SINR margins ``signal / (beta * (interference + noise))``.
+
+        Bit-for-bit identical to
+        :func:`repro.core.feasibility.sinr_margins` (which routes here
+        when the engine is enabled).
+        """
+        beta = self.beta if beta is None else float(beta)
+        noise = self.noise if noise is None else float(noise)
+        signals = self.signals
+        interf = self.interference(colors=colors, subset=subset)
+        if subset is not None:
+            signals = signals[np.asarray(subset, dtype=int)]
+        return _margins_from(signals, interf, beta, noise)
+
+    def budget_slack(
+        self,
+        subset: Sequence[int],
+        colors: Optional[np.ndarray] = None,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ) -> np.ndarray:
+        """Remaining interference budget for each request of *subset*.
+
+        ``slack[i] = budget_i - interference_i`` where the interference
+        is taken within *subset* (or within *subset*'s same-color peers
+        when *colors* is given).  Negative slack means the request's
+        SINR constraint is violated; shared-node interference yields
+        ``-inf``.
+        """
+        idx = np.asarray(subset, dtype=int)
+        interf = self.interference(colors=colors, subset=idx)
+        slack = self.budgets(beta=beta, noise=noise)[idx] - interf
+        return slack
+
+    def feasible_mask(
+        self,
+        subset: Sequence[int],
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+        rtol: float = DEFAULT_RTOL,
+    ) -> np.ndarray:
+        """Boolean mask (aligned to *subset*) of satisfied requests when
+        all of *subset* transmits together."""
+        idx = np.asarray(subset, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        return self.margins(subset=idx, beta=beta, noise=noise) >= 1.0 - rtol
+
+    def is_feasible_subset(
+        self,
+        subset: Sequence[int],
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+        rtol: float = DEFAULT_RTOL,
+    ) -> bool:
+        """Can all requests of *subset* share one color?"""
+        idx = np.asarray(subset, dtype=int)
+        if idx.size == 0:
+            return True
+        return bool(np.all(self.feasible_mask(idx, beta=beta, noise=noise, rtol=rtol)))
+
+    def is_feasible_partition(
+        self,
+        colors: np.ndarray,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+        rtol: float = DEFAULT_RTOL,
+    ) -> bool:
+        """Does the coloring *colors* satisfy every class?"""
+        margins = self.margins(colors=np.asarray(colors), beta=beta, noise=noise)
+        return bool(np.all(margins >= 1.0 - rtol))
+
+    # ------------------------------------------------------------------
+    # Incremental structures and algorithms
+    # ------------------------------------------------------------------
+
+    def accumulator(
+        self,
+        members: Optional[Sequence[int]] = None,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ) -> "ClassAccumulator":
+        """A fresh :class:`ClassAccumulator`, optionally pre-seeded with
+        *members* (bulk-initialized in one vectorized pass)."""
+        return ClassAccumulator(self, members=members, beta=beta, noise=noise)
+
+    def greedy_max_feasible_subset(
+        self,
+        candidates: Optional[Sequence[int]] = None,
+        beta: Optional[float] = None,
+        rtol: float = DEFAULT_RTOL,
+    ) -> np.ndarray:
+        """A maximal feasible subset of *candidates* (peel worst margin,
+        then re-add).
+
+        Decision-for-decision identical to the legacy
+        :func:`repro.analysis.capacity.greedy_max_feasible_subset` loop
+        (margins are computed with the same operation order), but each
+        round costs O(k^2) on the cached gains instead of re-deriving
+        loss and gain matrices from the metric.
+        """
+        if candidates is None:
+            current = list(range(self.n))
+        else:
+            current = [int(i) for i in candidates]
+        dropped: List[int] = []
+        while current:
+            subset = np.asarray(current, dtype=int)
+            margins = self.margins(subset=subset, beta=beta)
+            if np.all(margins >= 1.0 - rtol):
+                break
+            worst = int(np.argmin(margins))
+            dropped.append(current.pop(worst))
+        for req in reversed(dropped):
+            trial = np.asarray(current + [req], dtype=int)
+            trial_margins = self.margins(subset=trial, beta=beta)
+            if np.all(trial_margins >= 1.0 - rtol):
+                current.append(req)
+        return np.asarray(sorted(current), dtype=int)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "built" if self._gains is not None else "lazy"
+        return (
+            f"InterferenceContext(n={self.n}, "
+            f"direction={self.instance.direction.value}, gains={state})"
+        )
+
+
+class ClassAccumulator:
+    """Incremental same-color interference bookkeeping for one class.
+
+    Generalizes the private ``_ClassState`` bookkeeping that used to
+    live inside ``first_fit_schedule``: the accumulator maintains, for
+    **every** request of the instance, the interference it would suffer
+    from the current member set — so testing whether an outside request
+    can join is O(k), and joining/leaving is O(n) (one gain-matrix
+    column), never an O(k^2) recompute.
+
+    Infinite gains (shared-node pairs) are tracked as separate counts so
+    that removal is exact: ``inf`` contributions never enter the finite
+    running sums, hence never leave ``nan`` debris behind.
+
+    Use :meth:`InterferenceContext.accumulator` to construct one.
+    """
+
+    def __init__(
+        self,
+        context: InterferenceContext,
+        members: Optional[Sequence[int]] = None,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ):
+        self.context = context
+        self.beta = context.beta if beta is None else float(beta)
+        self.noise = context.noise if noise is None else float(noise)
+        n = context.n
+        self._mask = np.zeros(n, dtype=bool)
+        self._order: List[int] = []
+        # Finite part, infinite-contribution count and positive-finite
+        # contribution count of the member interference at each
+        # request, per endpoint.  The counts make two cases *exact*
+        # (not merely close): infinite interference (shared nodes) and
+        # zero interference (no contributing member) — the latter so a
+        # request whose interferers all left reports margin inf again
+        # instead of a cancellation residue.
+        self._fin_u = np.zeros(n)
+        self._ninf_u = np.zeros(n, dtype=np.int64)
+        self._npos_u = np.zeros(n, dtype=np.int64)
+        self._directed = context.gains_u is context.gains_v
+        if self._directed:
+            self._fin_v = self._fin_u
+            self._ninf_v = self._ninf_u
+            self._npos_v = self._npos_u
+        else:
+            self._fin_v = np.zeros(n)
+            self._ninf_v = np.zeros(n, dtype=np.int64)
+            self._npos_v = np.zeros(n, dtype=np.int64)
+        if members is not None:
+            self._bulk_add(np.asarray(members, dtype=int))
+
+    # -- membership ----------------------------------------------------
+
+    @property
+    def members(self) -> np.ndarray:
+        """Current members in insertion order."""
+        return np.asarray(self._order, dtype=int)
+
+    @property
+    def member_mask(self) -> np.ndarray:
+        """Boolean membership mask over all requests (read-only view)."""
+        view = self._mask.view()
+        view.setflags(write=False)
+        return view
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, request: int) -> bool:
+        return bool(self._mask[int(request)])
+
+    def _accumulate_column(self, request: int, sign: int) -> None:
+        for fin, ninf, npos, gains in (
+            (self._fin_u, self._ninf_u, self._npos_u, self.context.gains_u),
+            (self._fin_v, self._ninf_v, self._npos_v, self.context.gains_v),
+        ):
+            column = gains[:, request]
+            finite = np.isfinite(column)
+            np.add(fin, sign * np.where(finite, column, 0.0), out=fin)
+            np.add(ninf, sign * ~finite, out=ninf)
+            np.add(npos, sign * (finite & (column > 0)), out=npos)
+            if self._directed:
+                break
+
+    def _bulk_add(self, members: np.ndarray) -> None:
+        if members.size == 0:
+            return
+        if np.unique(members).size != members.size or np.any(self._mask[members]):
+            raise ValueError("duplicate member in bulk initialization")
+        self._mask[members] = True
+        self._order.extend(int(i) for i in members)
+        for fin, ninf, npos, gains in (
+            (self._fin_u, self._ninf_u, self._npos_u, self.context.gains_u),
+            (self._fin_v, self._ninf_v, self._npos_v, self.context.gains_v),
+        ):
+            columns = gains[:, members]
+            finite = np.isfinite(columns)
+            np.add(fin, np.where(finite, columns, 0.0).sum(axis=1), out=fin)
+            np.add(ninf, (~finite).sum(axis=1), out=ninf)
+            np.add(npos, (finite & (columns > 0)).sum(axis=1), out=npos)
+            if self._directed:
+                break
+
+    def add(self, request: int) -> None:
+        """Add *request* to the class — O(n)."""
+        request = int(request)
+        if self._mask[request]:
+            raise ValueError(f"request {request} is already a member")
+        self._mask[request] = True
+        self._order.append(request)
+        self._accumulate_column(request, +1)
+
+    def remove(self, request: int) -> None:
+        """Remove *request* from the class — O(n), exact even for
+        shared-node (infinite-gain) members."""
+        request = int(request)
+        if not self._mask[request]:
+            raise ValueError(f"request {request} is not a member")
+        self._mask[request] = False
+        self._order.remove(request)
+        if not self._order:
+            # Reset exactly: an emptied class must not carry rounding
+            # residue from the add/subtract cycle.
+            self._fin_u.fill(0.0)
+            self._ninf_u.fill(0)
+            self._npos_u.fill(0)
+            self._fin_v.fill(0.0)
+            self._ninf_v.fill(0)
+            self._npos_v.fill(0)
+        else:
+            self._accumulate_column(request, -1)
+
+    # -- queries -------------------------------------------------------
+
+    def interference_parts(
+        self, requests: Optional[Sequence[int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-endpoint member interference ``(at u, at v)`` at
+        *requests* (default: members, ascending).  In the directed
+        variant both entries are the same array."""
+        requests = self._requests_or_members(requests)
+
+        def _resolve(fin, ninf, npos):
+            # inf wins; with no positive contributor the value is an
+            # exact 0; otherwise the (clamped) running sum.
+            values = np.where(
+                npos[requests] > 0, np.maximum(fin[requests], 0.0), 0.0
+            )
+            return np.where(ninf[requests] > 0, np.inf, values)
+
+        interf_u = _resolve(self._fin_u, self._ninf_u, self._npos_u)
+        if self._directed:
+            return interf_u, interf_u
+        interf_v = _resolve(self._fin_v, self._ninf_v, self._npos_v)
+        return interf_u, interf_v
+
+    def _requests_or_members(self, requests: Optional[Sequence[int]]) -> np.ndarray:
+        if requests is None:
+            return np.asarray(sorted(self._order), dtype=int)
+        return np.asarray(requests, dtype=int)
+
+    def interference(
+        self, requests: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Worst-endpoint interference the current members induce at
+        *requests* (default: the members themselves, ascending).
+
+        Because the gain diagonals are zero, a member's own entry counts
+        only the *other* members — exactly the same-color interference
+        of :func:`repro.core.interference.interference`.  Entries for
+        non-members answer "what would this request suffer if it
+        joined?" in O(1).
+        """
+        idx = self._requests_or_members(requests)
+        interf_u, interf_v = self.interference_parts(idx)
+        return np.maximum(interf_u, interf_v)
+
+    def margins(self, requests: Optional[Sequence[int]] = None) -> np.ndarray:
+        """SINR margins of *requests* (default: members, ascending)
+        against the current member set."""
+        idx = self._requests_or_members(requests)
+        interf = self.interference(idx)
+        return _margins_from(
+            self.context.signals[idx], interf, self.beta, self.noise
+        )
+
+    def budget_slack(
+        self, requests: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Remaining budget ``budget - interference`` at *requests*
+        (default: members, ascending); ``-inf`` under shared-node
+        interference."""
+        idx = self._requests_or_members(requests)
+        budgets = self.context.budgets(beta=self.beta, noise=self.noise)[idx]
+        return budgets - self.interference(idx)
+
+    def feasible(self, rtol: float = DEFAULT_RTOL) -> bool:
+        """Do all current members satisfy their SINR constraints?"""
+        if not self._order:
+            return True
+        return bool(np.all(self.margins() >= 1.0 - rtol))
+
+    def can_add(self, request: int, rtol: float = DEFAULT_RTOL) -> bool:
+        """Would the class stay feasible if *request* joined? — O(k).
+
+        Checks the candidate's own margin against the current members
+        plus every member's margin with the candidate's gain column
+        added; nothing is mutated.
+        """
+        request = int(request)
+        if self._mask[request]:
+            raise ValueError(f"request {request} is already a member")
+        signals = self.context.signals
+        threshold = 1.0 - rtol
+        cand = np.asarray([request])
+        cand_interf = float(self.interference(cand)[0])
+        cand_margin = _margins_from(
+            signals[cand], np.asarray([cand_interf]), self.beta, self.noise
+        )[0]
+        if not cand_margin >= threshold:
+            return False
+        if not self._order:
+            return True
+        members = np.asarray(self._order, dtype=int)
+        interf_u, interf_v = self.interference_parts(members)
+        new_u = interf_u + self.context.gains_u[members, request]
+        new_v = interf_v + self.context.gains_v[members, request]
+        new_interf = np.maximum(new_u, new_v)
+        member_margins = _margins_from(
+            signals[members], new_interf, self.beta, self.noise
+        )
+        return bool(np.all(member_margins >= threshold))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClassAccumulator(k={len(self._order)}, n={self.context.n}, "
+            f"beta={self.beta}, noise={self.noise})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine toggle + per-instance context cache
+# ----------------------------------------------------------------------
+
+_lock = threading.RLock()
+_engine_enabled = True
+#: Per-instance caches live *on the instance* (as the attribute named
+#: below): instance -> contexts -> instance is then a self-contained
+#: reference cycle the garbage collector can reclaim once the caller
+#: drops the instance.  (A module-level WeakKeyDictionary would never
+#: evict — each context holds a strong reference to its instance, which
+#: would keep the weak key alive forever.)  This WeakSet only tracks
+#: which instances carry a cache, for cache_info()/clear_context_cache.
+_CACHE_ATTR = "_interference_context_cache"
+_cached_instances: "weakref.WeakSet[Instance]" = weakref.WeakSet()
+_hits = 0
+_misses = 0
+
+
+def engine_enabled() -> bool:
+    """Is the shared interference engine active on the wrapper paths?"""
+    return _engine_enabled
+
+
+def set_engine_enabled(flag: bool) -> None:
+    """Globally enable/disable routing the public wrappers through the
+    cached engine (disabled = pre-engine from-scratch code paths)."""
+    global _engine_enabled
+    _engine_enabled = bool(flag)
+
+
+@contextmanager
+def engine_disabled() -> Iterator[None]:
+    """Temporarily restore the from-scratch (legacy) compute paths."""
+    previous = _engine_enabled
+    set_engine_enabled(False)
+    try:
+        yield
+    finally:
+        set_engine_enabled(previous)
+
+
+def get_context(
+    instance: Instance,
+    powers: np.ndarray,
+    beta: Optional[float] = None,
+    noise: Optional[float] = None,
+) -> InterferenceContext:
+    """The shared :class:`InterferenceContext` for ``(instance, powers)``.
+
+    Contexts are cached per instance — on the instance object itself,
+    so dropping the instance lets the garbage collector reclaim its
+    contexts — under the *value* of the power vector plus the resolved
+    ``beta``/``noise`` defaults, with an LRU bound of
+    :data:`MAX_CONTEXTS_PER_INSTANCE`.  Gains ``beta``/``noise`` are
+    also per-query overrides on the returned context's methods, so
+    querying at a rescaled gain does not fragment the cache; passing
+    them *here* changes the context's defaults and therefore its cache
+    slot (callers that rely on instance defaults never receive a
+    context seeded with overrides).
+    """
+    global _hits, _misses
+    powers_arr = np.asarray(powers, dtype=float)
+    key = (
+        powers_arr.tobytes(),
+        instance.beta if beta is None else float(beta),
+        instance.noise if noise is None else float(noise),
+    )
+    with _lock:
+        per_instance = getattr(instance, _CACHE_ATTR, None)
+        if per_instance is None:
+            per_instance = OrderedDict()
+            setattr(instance, _CACHE_ATTR, per_instance)
+            _cached_instances.add(instance)
+        context = per_instance.get(key)
+        if context is not None:
+            per_instance.move_to_end(key)
+            _hits += 1
+            return context
+        _misses += 1
+        context = InterferenceContext(instance, powers_arr, beta=beta, noise=noise)
+        per_instance[key] = context
+        while len(per_instance) > MAX_CONTEXTS_PER_INSTANCE:
+            per_instance.popitem(last=False)
+        return context
+
+
+def maybe_context(
+    instance: Instance, powers: np.ndarray
+) -> Optional[InterferenceContext]:
+    """:func:`get_context` when the engine is enabled, else ``None``.
+
+    The idiom for algorithms with a legacy fallback::
+
+        ctx = maybe_context(instance, powers)
+        if ctx is not None:
+            ...  # cached fast path
+        else:
+            ...  # from-scratch path
+    """
+    if not _engine_enabled:
+        return None
+    return get_context(instance, powers)
+
+
+def cache_info() -> Dict[str, int]:
+    """Cache statistics: hits, misses, live instances, live contexts."""
+    with _lock:
+        caches = [
+            getattr(inst, _CACHE_ATTR, None) for inst in _cached_instances
+        ]
+        caches = [c for c in caches if c is not None]
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "instances": len(caches),
+            "contexts": sum(len(c) for c in caches),
+        }
+
+
+def clear_context_cache() -> None:
+    """Drop every cached context and reset the hit/miss counters."""
+    global _hits, _misses
+    with _lock:
+        for inst in list(_cached_instances):
+            if hasattr(inst, _CACHE_ATTR):
+                delattr(inst, _CACHE_ATTR)
+        _cached_instances.clear()
+        _hits = 0
+        _misses = 0

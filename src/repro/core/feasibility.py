@@ -11,6 +11,13 @@ tolerance ``rtol``).  The noise-removal trick noted in §1.1 — any
 schedule that is strictly feasible at ``sigma = 0`` becomes feasible at
 any ``sigma > 0`` after multiplying all powers by a large enough factor
 — is implemented by :func:`scale_powers_for_noise`.
+
+These functions are thin wrappers: when the shared interference engine
+is enabled (the default) they answer from the cached
+:class:`repro.core.context.InterferenceContext` for ``(instance,
+powers)``, falling back to the from-scratch computation under
+:func:`repro.core.context.engine_disabled`.  Both paths produce
+bit-identical margins.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.context import maybe_context
 from repro.core.errors import InvalidScheduleError
 from repro.core.instance import Instance
 from repro.core.interference import interference
@@ -69,6 +77,9 @@ def sinr_margins(
         raise ValueError(f"beta must be > 0, got {beta}")
     if noise < 0:
         raise ValueError(f"noise must be >= 0, got {noise}")
+    context = maybe_context(instance, powers)
+    if context is not None:
+        return context.margins(colors=colors, subset=subset, beta=beta, noise=noise)
     signals = signal_strengths(instance, powers)
     interf = interference(instance, powers, colors, subset)
     if subset is not None:
@@ -160,7 +171,11 @@ def scale_powers_for_noise(
     beta = instance.beta if beta is None else float(beta)
     powers = np.asarray(powers, dtype=float)
     signals = signal_strengths(instance, powers)
-    interf = interference(instance, powers, np.asarray(colors))
+    context = maybe_context(instance, powers)
+    if context is not None:
+        interf = context.interference(colors=np.asarray(colors))
+    else:
+        interf = interference(instance, powers, np.asarray(colors))
     slack = signals - beta * interf
     if np.any(slack <= 0):
         raise InvalidScheduleError(

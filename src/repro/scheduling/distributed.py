@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.context import maybe_context
 from repro.core.errors import ReproError
 from repro.core.feasibility import feasible_subset_mask
 from repro.core.instance import Instance
@@ -117,6 +118,9 @@ def distributed_coloring(
     if power is None:
         power = SquareRootPower()
     powers = power(instance)
+    # One shared context serves every slot's feasibility check (the
+    # power vector never changes during the run).
+    context = maybe_context(instance, powers)
     if max_slots is None:
         max_slots = int(64 * instance.n / p_min)
 
@@ -136,7 +140,10 @@ def distributed_coloring(
             stats.idle_slots += 1
             continue
         stats.attempts += int(transmitters.size)
-        ok = feasible_subset_mask(instance, powers, transmitters)
+        if context is not None:
+            ok = context.feasible_mask(transmitters)
+        else:
+            ok = feasible_subset_mask(instance, powers, transmitters)
         winners = transmitters[ok]
         losers = transmitters[~ok]
         if winners.size:

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.power_control import free_power_feasible, free_powers
+from repro.core.context import maybe_context
 from repro.core.errors import ReproError
 from repro.core.feasibility import is_feasible_subset
 from repro.core.instance import Instance
@@ -42,6 +43,9 @@ def _feasibility_table(
 ) -> List[bool]:
     """feasible[mask] for every subset mask of requests."""
     n = instance.n
+    # The 2^n fixed-power checks share one cached context; the
+    # free-power variant has no fixed powers to cache against.
+    context = None if powers is None else maybe_context(instance, powers)
     feasible = [False] * (1 << n)
     feasible[0] = True
     for mask in range(1, 1 << n):
@@ -56,6 +60,8 @@ def _feasibility_table(
             continue
         if powers is None:
             feasible[mask] = free_power_feasible(instance, members, beta=beta)
+        elif context is not None:
+            feasible[mask] = context.is_feasible_subset(members, beta=beta)
         else:
             feasible[mask] = is_feasible_subset(
                 instance, powers, members, beta=beta

@@ -10,7 +10,11 @@ propositions.
 Two variants:
 
 * :func:`first_fit_schedule` — fixed power assignment; incremental
-  interference bookkeeping gives O(n^2) total work.
+  interference bookkeeping gives O(n^2) total work.  The bookkeeping
+  is a :class:`repro.core.context.ClassAccumulator` per class on the
+  shared :class:`~repro.core.context.InterferenceContext` (the legacy
+  private bookkeeping remains as the
+  :func:`~repro.core.context.engine_disabled` fallback).
 * :func:`first_fit_free_power_schedule` — powers are free per class;
   class feasibility is decided by power-control theory
   (:mod:`repro.analysis.power_control`) and each class receives its
@@ -29,6 +33,7 @@ from repro.analysis.power_control import (
     free_power_feasible,
     free_powers,
 )
+from repro.core.context import ClassAccumulator, InterferenceContext, maybe_context
 from repro.core.errors import InvalidScheduleError
 from repro.core.instance import Direction, Instance
 from repro.core.interference import (
@@ -45,11 +50,67 @@ def _default_order(instance: Instance) -> np.ndarray:
 
 @dataclass
 class _ClassState:
-    """Incremental interference bookkeeping for one color class."""
+    """Legacy incremental bookkeeping for one color class (engine-off
+    path; the engine path uses :class:`ClassAccumulator` instead)."""
 
     members: List[int]
     interference_u: np.ndarray  # running interference at each member (endpoint u)
     interference_v: np.ndarray  # endpoint v (same as u in directed mode)
+
+
+def _check_budgets(
+    signals: np.ndarray, budget: np.ndarray, beta: float, noise: float
+) -> None:
+    if np.any(budget < 0):
+        bad = int(np.argmax(budget < 0))
+        raise InvalidScheduleError(
+            f"request {bad} cannot satisfy its SINR constraint even alone "
+            f"(signal {signals[bad]:.4g} < beta*noise {beta * noise:.4g}); "
+            "scale the powers first (see scale_powers_for_noise)"
+        )
+
+
+def _first_fit_engine(
+    context: InterferenceContext,
+    powers: np.ndarray,
+    order: np.ndarray,
+    beta: float,
+    rtol: float,
+) -> Schedule:
+    """Engine path: per-class :class:`ClassAccumulator` bookkeeping."""
+    instance = context.instance
+    noise = context.noise
+    signals = context.signals
+    budget = context.budgets(beta=beta)
+    _check_budgets(signals, budget, beta, noise)
+    gains_u, gains_v = context.gains_u, context.gains_v
+
+    classes: List[ClassAccumulator] = []
+    colors = np.full(instance.n, -1, dtype=int)
+    tolerance = 1.0 + rtol
+
+    for req in order:
+        placed = False
+        for color, acc in enumerate(classes):
+            cand_u, cand_v = acc.interference_parts(np.asarray([req]))
+            if max(float(cand_u[0]), float(cand_v[0])) > budget[req] * tolerance:
+                continue
+            members = acc.members
+            int_u, int_v = acc.interference_parts(members)
+            limits = budget[members] * tolerance
+            if np.any(int_u + gains_u[members, req] > limits):
+                continue
+            if np.any(int_v + gains_v[members, req] > limits):
+                continue
+            acc.add(int(req))
+            colors[req] = color
+            placed = True
+            break
+        if not placed:
+            classes.append(context.accumulator(members=[int(req)], beta=beta))
+            colors[req] = len(classes) - 1
+
+    return Schedule(colors=colors, powers=powers.copy())
 
 
 def first_fit_schedule(
@@ -77,6 +138,10 @@ def first_fit_schedule(
         order = _default_order(instance)
     order = np.asarray(order, dtype=int)
 
+    context = maybe_context(instance, powers)
+    if context is not None:
+        return _first_fit_engine(context, powers, order, beta, rtol)
+
     if instance.direction is Direction.DIRECTED:
         gains = directed_gain_matrix(instance, powers)
         gains_u, gains_v = gains, gains
@@ -84,13 +149,7 @@ def first_fit_schedule(
         gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
     signals = powers / instance.link_losses
     budget = signals / beta - noise  # max tolerable interference per request
-    if np.any(budget < 0):
-        bad = int(np.argmax(budget < 0))
-        raise InvalidScheduleError(
-            f"request {bad} cannot satisfy its SINR constraint even alone "
-            f"(signal {signals[bad]:.4g} < beta*noise {beta * noise:.4g}); "
-            "scale the powers first (see scale_powers_for_noise)"
-        )
+    _check_budgets(signals, budget, beta, noise)
 
     classes: List[_ClassState] = []
     colors = np.full(instance.n, -1, dtype=int)

@@ -35,6 +35,11 @@ def rescale_gain_coloring(
 
     Returns a schedule whose every class satisfies the SINR constraints
     with gain *gamma_target* under the same *powers*.
+
+    Because the gain is a per-query override on the shared
+    :class:`~repro.core.context.InterferenceContext`, repeated
+    rescalings of the same ``(instance, powers)`` pair (the γ-sweep of
+    §3.1) all reuse one set of cached gain matrices.
     """
     if not gamma_target > 0:
         raise ValueError(f"gamma_target must be > 0, got {gamma_target}")

@@ -16,13 +16,27 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.context import InterferenceContext, maybe_context
 from repro.core.feasibility import is_feasible_subset
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 
 
+def _subset_feasible(
+    instance: Instance,
+    context: Optional[InterferenceContext],
+    powers: np.ndarray,
+    subset: np.ndarray,
+    beta: Optional[float],
+) -> bool:
+    if context is not None:
+        return context.is_feasible_subset(subset, beta=beta)
+    return is_feasible_subset(instance, powers, subset, beta=beta)
+
+
 def _try_empty_class(
     instance: Instance,
+    context: Optional[InterferenceContext],
     colors: np.ndarray,
     powers: np.ndarray,
     victim: int,
@@ -41,7 +55,7 @@ def _try_empty_class(
         placed = False
         for target in targets:
             trial = np.append(np.flatnonzero(colors == target), request)
-            if is_feasible_subset(instance, powers, trial, beta=beta):
+            if _subset_feasible(instance, context, powers, trial, beta=beta):
                 colors[request] = target
                 placed = True
                 break
@@ -75,6 +89,7 @@ def improve_schedule(
     schedule.validate(instance, beta=beta)
     colors = schedule.compacted().colors.copy()
     powers = schedule.powers
+    context = maybe_context(instance, powers)
     if max_rounds is None:
         max_rounds = int(np.unique(colors).size)
 
@@ -86,7 +101,7 @@ def improve_schedule(
         # the first success (classes change) or give up entirely.
         dissolved = False
         for victim in sorted(sizes, key=lambda c: (sizes[c], c)):
-            if _try_empty_class(instance, colors, powers, victim, beta):
+            if _try_empty_class(instance, context, colors, powers, victim, beta):
                 dissolved = True
                 break
         if not dissolved:

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis.capacity import greedy_max_feasible_subset
+from repro.core.context import maybe_context
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 
@@ -25,14 +26,25 @@ def peeling_schedule(
     beta: Optional[float] = None,
     rtol: float = 1e-9,
 ) -> Schedule:
-    """Color the instance by repeatedly peeling maximal feasible subsets."""
+    """Color the instance by repeatedly peeling maximal feasible subsets.
+
+    The shared :class:`~repro.core.context.InterferenceContext` is
+    fetched once (when the engine is enabled) so every extraction round
+    reuses the same cached gain matrices.
+    """
     powers = np.asarray(powers, dtype=float)
+    context = maybe_context(instance, powers)
     remaining = list(range(instance.n))
     colors = np.full(instance.n, -1, dtype=int)
     color = 0
     while remaining:
         subset = greedy_max_feasible_subset(
-            instance, powers, candidates=remaining, beta=beta, rtol=rtol
+            instance,
+            powers,
+            candidates=remaining,
+            beta=beta,
+            rtol=rtol,
+            context=context,
         )
         if subset.size == 0:
             # A single request is always feasible at zero noise; if even

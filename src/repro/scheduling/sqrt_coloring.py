@@ -33,6 +33,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.analysis.capacity import greedy_max_feasible_subset
+from repro.core.context import InterferenceContext, maybe_context
 from repro.core.instance import Direction, Instance
 from repro.core.interference import (
     bidirectional_gain_matrices,
@@ -118,6 +119,7 @@ def _select_one_class(
     rounding_trials: int,
     stats: SqrtColoringStats,
     powers: np.ndarray,
+    context: Optional[InterferenceContext],
 ) -> np.ndarray:
     """One run of algorithm A: extract a large feasible subset of
     *remaining* (global indices) for the square-root assignment."""
@@ -163,6 +165,7 @@ def _select_one_class(
             powers,
             candidates=trial,
             beta=beta / 2.0,
+            context=context,
         )
         feasible_set = set(int(i) for i in feasible)
         # Never peel previously selected pairs at this stage; the final
@@ -178,7 +181,7 @@ def _select_one_class(
 
     # Final thinning at the full gain (Proposition 3).
     final = greedy_max_feasible_subset(
-        instance, powers, candidates=selected, beta=beta
+        instance, powers, candidates=selected, beta=beta, context=context
     )
     if final.size == 0:
         longest = remaining[int(np.argmax(distances))]
@@ -212,16 +215,22 @@ def sqrt_coloring(
     beta = instance.beta if beta is None else float(beta)
     rng = ensure_rng(rng)
     powers = SquareRootPower()(instance)
-    if instance.direction is Direction.DIRECTED:
+    context = maybe_context(instance, powers)
+    if context is not None:
+        gains_u, gains_v = context.gains_u, context.gains_v
+        signals = context.signals
+    elif instance.direction is Direction.DIRECTED:
         gains = directed_gain_matrix(instance, powers)
         gains_u, gains_v = gains, gains
+        signals = powers / instance.link_losses
     else:
         gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
-    signals = powers / instance.link_losses
+        signals = powers / instance.link_losses
     budgets = signals / beta  # max tolerable interference per request
 
     stats = SqrtColoringStats()
     colors = np.full(instance.n, -1, dtype=int)
+    alive = np.ones(instance.n, dtype=bool)
     remaining = np.arange(instance.n)
     color = 0
     while remaining.size > 0:
@@ -237,13 +246,12 @@ def sqrt_coloring(
             rounding_trials,
             stats,
             powers,
+            context,
         )
         colors[chosen] = color
         stats.class_sizes.append(int(chosen.size))
-        chosen_set = set(int(i) for i in chosen)
-        remaining = np.asarray(
-            [i for i in remaining if int(i) not in chosen_set], dtype=int
-        )
+        alive[chosen] = False
+        remaining = np.flatnonzero(alive)
         color += 1
         stats.rounds += 1
 

@@ -29,6 +29,13 @@ def trivial_schedule(
         Power assignment used (the colors make any positive powers
         feasible at zero noise); defaults to the square-root
         assignment.
+
+    Notes
+    -----
+    The trivial scheduler issues no interference queries of its own;
+    any downstream validation or analysis of the returned schedule
+    creates (and caches) the shared
+    :class:`~repro.core.context.InterferenceContext` on first use.
     """
     if power is None:
         power = SquareRootPower()

@@ -125,3 +125,53 @@ class TestSqrtColoringWithLocalSearch:
         improved = improve_schedule(inst, schedule)
         improved.validate(inst)
         assert improved.num_colors <= schedule.num_colors
+
+
+class TestSingleRequestFallback:
+    """The guaranteed-progress path: when no candidate survives the
+    repair/thinning passes (here: ambient noise so strong that even
+    singletons miss their SINR target), every round must still extract
+    the longest remaining request on its own."""
+
+    def _run(self, noise):
+        from repro.core.instance import Instance
+        from repro.instances.random_instances import random_uniform_instance
+
+        base = random_uniform_instance(6, rng=3)
+        inst = Instance(
+            base.metric,
+            base.senders,
+            base.receivers,
+            direction=base.direction,
+            alpha=base.alpha,
+            beta=base.beta,
+            noise=noise,
+        )
+        return inst, sqrt_coloring(inst, rng=0, use_lp=False)
+
+    def test_fallback_emits_singletons_and_terminates(self):
+        inst, (schedule, stats) = self._run(noise=1e12)
+        # One request per round, each class a singleton.
+        assert stats.rounds == inst.n
+        assert sorted(schedule.colors.tolist()) == list(range(inst.n))
+        assert stats.class_sizes == [1] * inst.n
+
+    def test_fallback_matches_between_engine_paths(self):
+        from repro.core.context import clear_context_cache, engine_disabled
+
+        clear_context_cache()
+        _, (engine_schedule, _) = self._run(noise=1e12)
+        with engine_disabled():
+            _, (legacy_schedule, _) = self._run(noise=1e12)
+        assert (
+            engine_schedule.colors.tolist() == legacy_schedule.colors.tolist()
+        )
+
+    def test_fallback_picks_longest_first(self):
+        import numpy as np
+
+        inst, (schedule, stats) = self._run(noise=1e12)
+        # Round r extracts the longest request still alive, so colors
+        # sort by descending link length (ties impossible here).
+        order = np.argsort(-inst.link_distances, kind="stable")
+        assert schedule.colors[order].tolist() == list(range(inst.n))

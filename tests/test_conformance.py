@@ -1,0 +1,177 @@
+"""Cross-algorithm conformance suite.
+
+Every scheduler in :mod:`repro.scheduling` is run over a shared grid
+of instances — directed x bidirectional, Euclidean / line / tree
+metrics, n in {1, 2, 8, 32}, plus shared-node adversarial cases — and
+every emitted schedule must satisfy
+:func:`repro.core.feasibility.is_feasible_partition`.
+
+The whole grid runs twice: once with the shared interference engine on
+the call path (the default) and once with it disabled
+(:func:`repro.core.context.engine_disabled` restores the pre-engine
+from-scratch computation), so a regression in either path — or any
+divergence in feasibility semantics between them — fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.context import clear_context_cache, engine_disabled
+from repro.core.feasibility import is_feasible_partition
+from repro.core.instance import Direction, Instance
+from repro.geometry.line import LineMetric
+from repro.instances.line_instances import equispaced_line_instance
+from repro.instances.random_instances import (
+    random_tree_metric_instance,
+    random_uniform_instance,
+)
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.distributed import distributed_coloring
+from repro.scheduling.exact import MAX_EXACT_N, exact_minimum_colors
+from repro.scheduling.firstfit import (
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+)
+from repro.scheduling.gain_scaling import rescale_gain_coloring
+from repro.scheduling.local_search import improve_schedule
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.scheduling.trivial import trivial_schedule
+
+SIZES = (1, 2, 8, 32)
+
+
+def _shared_node_instance(direction: Direction) -> Instance:
+    """Adversarial chain where consecutive requests share a node —
+    infinite mutual gain, so no two of them may ever share a color."""
+    metric = LineMetric([0.0, 1.0, 2.5, 4.5, 7.0])
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    return Instance(
+        metric,
+        [p[0] for p in pairs],
+        [p[1] for p in pairs],
+        direction=direction,
+    )
+
+
+def _build_grid():
+    grid = {}
+    for direction in (Direction.DIRECTED, Direction.BIDIRECTIONAL):
+        tag = direction.value[:3]
+        for n in SIZES:
+            grid[f"euclid-{tag}-n{n}"] = random_uniform_instance(
+                n, rng=100 + n, direction=direction
+            )
+            grid[f"line-{tag}-n{n}"] = equispaced_line_instance(
+                n, direction=direction
+            )
+            grid[f"tree-{tag}-n{n}"] = random_tree_metric_instance(
+                n, rng=200 + n, direction=direction
+            )
+        grid[f"shared-node-{tag}"] = _shared_node_instance(direction)
+    return grid
+
+
+GRID = _build_grid()
+
+
+def _schedulers():
+    def fixed_power(fn):
+        def run(instance, rng):
+            powers = SquareRootPower()(instance)
+            return fn(instance, powers)
+
+        return run
+
+    return {
+        "trivial": lambda instance, rng: trivial_schedule(instance),
+        "first_fit": fixed_power(first_fit_schedule),
+        "first_fit_free_power": lambda instance, rng: (
+            first_fit_free_power_schedule(instance)
+        ),
+        "peeling": fixed_power(peeling_schedule),
+        "gain_scaling": fixed_power(
+            lambda instance, powers: rescale_gain_coloring(
+                instance, powers, gamma_target=2.0 * instance.beta
+            )
+        ),
+        "sqrt_coloring": lambda instance, rng: sqrt_coloring(instance, rng=rng)[0],
+        "sqrt_coloring_no_lp": lambda instance, rng: (
+            sqrt_coloring(instance, rng=rng, use_lp=False)[0]
+        ),
+        "local_search": fixed_power(
+            lambda instance, powers: improve_schedule(
+                instance, first_fit_schedule(instance, powers)
+            )
+        ),
+        "distributed": lambda instance, rng: distributed_coloring(
+            instance, rng=rng
+        )[0],
+        "exact": lambda instance, rng: exact_minimum_colors(
+            instance, SquareRootPower()(instance)
+        )[1],
+    }
+
+
+SCHEDULERS = _schedulers()
+
+
+@pytest.fixture(params=["engine", "legacy"])
+def engine_mode(request):
+    """Run the test body with the context engine enabled or disabled."""
+    clear_context_cache()
+    if request.param == "legacy":
+        with engine_disabled():
+            yield request.param
+    else:
+        yield request.param
+    clear_context_cache()
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("instance_name", sorted(GRID))
+def test_scheduler_emits_feasible_partition(
+    engine_mode, instance_name, scheduler_name
+):
+    instance = GRID[instance_name]
+    if scheduler_name == "exact" and instance.n > MAX_EXACT_N:
+        pytest.skip(f"exact solver caps at n={MAX_EXACT_N}")
+    scheduler = SCHEDULERS[scheduler_name]
+    schedule = scheduler(instance, np.random.default_rng(99))
+
+    assert schedule.colors.shape == (instance.n,)
+    assert np.all(schedule.colors >= 0)
+    assert np.all(schedule.powers > 0)
+    assert is_feasible_partition(instance, schedule.powers, schedule.colors), (
+        f"{scheduler_name} emitted an infeasible schedule on {instance_name} "
+        f"({engine_mode} path)"
+    )
+
+
+@pytest.mark.parametrize("instance_name", sorted(GRID))
+def test_gain_scaling_respects_target(engine_mode, instance_name):
+    """The rescaled coloring must be feasible at the *stricter* gain."""
+    instance = GRID[instance_name]
+    powers = SquareRootPower()(instance)
+    target = 2.0 * instance.beta
+    schedule = rescale_gain_coloring(instance, powers, gamma_target=target)
+    assert is_feasible_partition(
+        instance, schedule.powers, schedule.colors, beta=target
+    )
+
+
+@pytest.mark.parametrize(
+    "direction", [Direction.DIRECTED, Direction.BIDIRECTIONAL]
+)
+def test_shared_node_pairs_never_share_colors(engine_mode, direction):
+    """On the shared-node chain, adjacent requests have infinite mutual
+    gain; every scheduler must keep them in distinct colors."""
+    instance = _shared_node_instance(direction)
+    rng = np.random.default_rng(5)
+    for name, scheduler in sorted(SCHEDULERS.items()):
+        schedule = scheduler(instance, rng)
+        colors = schedule.colors
+        for i, j in ((0, 1), (1, 2), (2, 3)):
+            assert colors[i] != colors[j], (
+                f"{name} put shared-node requests {i}, {j} in one color"
+            )
