@@ -46,7 +46,9 @@ from repro.analysis.capacity import greedy_max_feasible_subset
 from repro.core.context import clear_context_cache, engine_disabled
 from repro.instances.random_instances import random_uniform_instance
 from repro.power.oblivious import SquareRootPower
+from repro.runner.artifacts import BenchReport, ShardResult, write_artifact
 from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.util.tables import Table
 
 
 def _time(fn) -> float:
@@ -55,7 +57,8 @@ def _time(fn) -> float:
     return time.perf_counter() - start
 
 
-def run(sizes, target, seed=7):
+def run(sizes, target, seed=7, artifacts=None):
+    run_start = time.perf_counter()
     rows = []
     worst = {}
     for n in sizes:
@@ -111,6 +114,37 @@ def run(sizes, target, seed=7):
             f"{speedup:>8.1f}x"
         )
 
+    if artifacts is not None:
+        table = Table(
+            title="Context engine vs legacy path",
+            columns=["workload", "n", "legacy_seconds", "engine_seconds", "speedup"],
+        )
+        table.add_note(f"required speedup at n={sizes[-1]}: {target}x")
+        shards = []
+        for name, n, legacy, engine, speedup in rows:
+            table.add_row(
+                workload=name,
+                n=n,
+                legacy_seconds=legacy,
+                engine_seconds=engine,
+                speedup=speedup,
+            )
+            shards.append(
+                ShardResult(
+                    key=f"{name}:n={n}", seed=seed, rows=1, seconds=legacy + engine
+                )
+            )
+        report = BenchReport(
+            experiment="context_engine",
+            title="Shared interference engine speedup",
+            mode="smoke",
+            table=table,
+            shards=shards,
+            run_wall_seconds=time.perf_counter() - run_start,
+            metric="speedup",
+        )
+        write_artifact(artifacts, report)
+
     failures = [name for name, speedup in worst.items() if speedup < target]
     if failures:
         print(f"FAIL: speedup below {target}x at n={sizes[-1]} for: {failures}")
@@ -132,9 +166,15 @@ def main(argv=None) -> int:
         default=3.0,
         help="required speedup at the largest size",
     )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_context_engine.json under DIR",
+    )
     args = parser.parse_args(argv)
     sizes = sorted(int(s) for s in args.sizes.split(","))
-    return run(sizes, args.target)
+    return run(sizes, args.target, artifacts=args.artifacts)
 
 
 if __name__ == "__main__":

@@ -47,6 +47,8 @@ from repro.analysis import (
 )
 from repro.core import (
     ClassAccumulator,
+    ContextBatch,
+    ContextPool,
     Direction,
     InfeasibleError,
     Instance,
@@ -55,6 +57,8 @@ from repro.core import (
     InvalidScheduleError,
     ReproError,
     Schedule,
+    batch_margins,
+    batch_validate_schedules,
     engine_disabled,
     get_context,
     is_feasible_partition,
@@ -138,6 +142,10 @@ __all__ = [
     "scale_powers_for_noise",
     "InterferenceContext",
     "ClassAccumulator",
+    "ContextBatch",
+    "ContextPool",
+    "batch_margins",
+    "batch_validate_schedules",
     "get_context",
     "engine_disabled",
     # geometry

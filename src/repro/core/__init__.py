@@ -5,6 +5,12 @@ bidirectional interference scheduling problems in the physical (SINR)
 model, plus the schedule representation shared by all algorithms.
 """
 
+from repro.core.batch import (
+    ContextBatch,
+    ContextPool,
+    batch_margins,
+    batch_validate_schedules,
+)
 from repro.core.context import (
     ClassAccumulator,
     InterferenceContext,
@@ -45,6 +51,10 @@ __all__ = [
     "InfeasibleError",
     "InterferenceContext",
     "ClassAccumulator",
+    "ContextBatch",
+    "ContextPool",
+    "batch_margins",
+    "batch_validate_schedules",
     "get_context",
     "engine_enabled",
     "engine_disabled",

@@ -1,0 +1,389 @@
+"""Batched interference queries across many ``(instance, powers)`` pairs.
+
+:class:`repro.core.context.InterferenceContext` answers every query for
+*one* ``(instance, powers)`` pair from cached gain matrices.  Workloads
+that evaluate **many** pairs at once — validating all trial schedules of
+an experiment cell, scoring a population of power assignments, batched
+feasibility sweeps — still paid one Python-level dispatch per pair.
+This module closes that gap:
+
+* :class:`ContextBatch` — a fixed collection of pairs.  When every pair
+  has the same request count and direction (the common case: trials of
+  one experiment cell), the per-pair gain matrices are **stacked** into
+  one ``(B, n, n)`` array and margins/feasibility for the whole batch
+  are computed in single vectorized passes.  Ragged batches fall back
+  to a loop over pooled per-pair contexts — still cached, just not
+  stacked.
+* :class:`ContextPool` — a strong-reference working set of contexts.
+  :func:`repro.core.context.get_context` caches per instance with a
+  small LRU; the pool pins a batch's contexts for its lifetime so a
+  sweep over hundreds of pairs cannot thrash that LRU.
+
+Numerical contract: the stacked path reproduces the per-context
+results bit-for-bit — gain matrices are the cached per-context arrays
+(stacked, not recomputed), and reductions run along the trailing axis
+exactly as the 2-D ``_class_sum`` does per slice.  The conformance
+tests in ``tests/core/test_batch.py`` assert exact equality.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.context import (
+    DEFAULT_RTOL,
+    InterferenceContext,
+    _margins_from,
+    get_context,
+)
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+PairLike = Tuple[Instance, np.ndarray]
+ColorsLike = Union[None, np.ndarray, Sequence[Optional[np.ndarray]]]
+
+
+class ContextPool:
+    """A strong-reference working set of :class:`InterferenceContext`.
+
+    The global per-instance cache of :func:`get_context` holds at most
+    :data:`repro.core.context.MAX_CONTEXTS_PER_INSTANCE` contexts per
+    instance and only lives as long as the instance does.  A pool pins
+    the contexts of a working set (a batch, a sweep, a simulation
+    episode) so repeated passes hit warm gain matrices regardless of
+    what else runs in between.
+
+    Parameters
+    ----------
+    max_contexts:
+        Optional LRU bound on pinned contexts (``None`` = unbounded).
+    """
+
+    def __init__(self, max_contexts: Optional[int] = None):
+        if max_contexts is not None and max_contexts < 1:
+            raise ValueError("max_contexts must be >= 1 or None")
+        self.max_contexts = max_contexts
+        self._contexts: "OrderedDict[Tuple[int, bytes, float, float], InterferenceContext]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def get(
+        self,
+        instance: Instance,
+        powers: np.ndarray,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ) -> InterferenceContext:
+        """The pooled context for ``(instance, powers)`` (pinned)."""
+        powers_arr = np.asarray(powers, dtype=float)
+        key = (
+            id(instance),
+            powers_arr.tobytes(),
+            instance.beta if beta is None else float(beta),
+            instance.noise if noise is None else float(noise),
+        )
+        context = self._contexts.get(key)
+        if context is None:
+            context = get_context(instance, powers_arr, beta=beta, noise=noise)
+            self._contexts[key] = context
+            if (
+                self.max_contexts is not None
+                and len(self._contexts) > self.max_contexts
+            ):
+                self._contexts.popitem(last=False)
+        else:
+            self._contexts.move_to_end(key)
+        return context
+
+    def warm(self, pairs: Sequence[PairLike]) -> "ContextPool":
+        """Prebuild gain matrices for every pair; returns ``self``."""
+        for instance, powers in pairs:
+            context = self.get(instance, powers)
+            context.gains_u  # noqa: B018 - touch to force the lazy build
+            context.signals
+        return self
+
+    def clear(self) -> None:
+        """Drop every pinned context (the global cache may retain them)."""
+        self._contexts.clear()
+
+
+class ContextBatch:
+    """Vectorized interference queries over a batch of pairs.
+
+    Parameters
+    ----------
+    pairs:
+        Sequence of ``(instance, powers)`` pairs.  Per-pair contexts are
+        fetched through *pool* (shared caching), so building a batch for
+        pairs that were already queried individually is cheap.
+    pool:
+        Optional :class:`ContextPool` to pin the contexts in; a private
+        pool is created when omitted.
+
+    Notes
+    -----
+    When every pair has the same ``n`` and direction the batch is
+    *stacked*: queries run on one ``(B, n, n)`` gain stack.  Otherwise
+    (``stacked`` is ``False``) queries loop over the pooled contexts and
+    list-valued results are returned.  Either way the numbers are
+    identical to querying each pair's own context.
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[PairLike],
+        pool: Optional[ContextPool] = None,
+    ):
+        if len(pairs) == 0:
+            raise ValueError("a ContextBatch needs at least one pair")
+        self.pool = ContextPool() if pool is None else pool
+        self.contexts: List[InterferenceContext] = [
+            self.pool.get(instance, powers) for instance, powers in pairs
+        ]
+        first = self.contexts[0]
+        self.stacked = all(
+            ctx.n == first.n and ctx.instance.direction is first.instance.direction
+            for ctx in self.contexts
+        )
+        self._signals: Optional[np.ndarray] = None
+        self._gains: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_schedules(
+        cls,
+        instances: Union[Instance, Sequence[Instance]],
+        schedules: Sequence[Schedule],
+        pool: Optional[ContextPool] = None,
+    ) -> "ContextBatch":
+        """A batch pairing each schedule's powers with its instance.
+
+        *instances* may be a single instance (shared by all schedules)
+        or one instance per schedule.
+        """
+        if isinstance(instances, Instance):
+            instances = [instances] * len(schedules)
+        if len(instances) != len(schedules):
+            raise ValueError(
+                f"{len(instances)} instances for {len(schedules)} schedules"
+            )
+        pairs = [
+            (instance, schedule.powers)
+            for instance, schedule in zip(instances, schedules)
+        ]
+        return cls(pairs, pool=pool)
+
+    # ------------------------------------------------------------------
+    # Stacked state
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+    @property
+    def n(self) -> int:
+        """Request count of a stacked batch (raises when ragged)."""
+        if not self.stacked:
+            raise ValueError("ragged batch has no single request count")
+        return self.contexts[0].n
+
+    def _stacked_signals(self) -> np.ndarray:
+        if self._signals is None:
+            self._signals = np.stack([ctx.signals for ctx in self.contexts])
+        return self._signals
+
+    def _stacked_gains(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._gains is None:
+            gains_u = np.stack([ctx.gains_u for ctx in self.contexts])
+            if all(ctx.gains_u is ctx.gains_v for ctx in self.contexts):
+                gains_v = gains_u
+            else:
+                gains_v = np.stack([ctx.gains_v for ctx in self.contexts])
+            self._gains = (gains_u, gains_v)
+        return self._gains
+
+    def _colors_array(self, colors: ColorsLike) -> Optional[np.ndarray]:
+        if colors is None:
+            return None
+        colors_arr = np.asarray(colors)
+        if colors_arr.shape != (len(self), self.n):
+            raise ValueError(
+                f"colors must have shape {(len(self), self.n)}, "
+                f"got {colors_arr.shape}"
+            )
+        return colors_arr
+
+    def _use_stacked(self, colors: ColorsLike) -> bool:
+        """Stacked math applies unless *colors* mixes per-pair ``None``
+        entries (uncolorable in one ``(B, n)`` array) with vectors."""
+        if not self.stacked:
+            return False
+        if colors is None or isinstance(colors, np.ndarray):
+            return True
+        return not any(c is None for c in colors)
+
+    def _per_pair_colors(self, colors: ColorsLike) -> List[Optional[np.ndarray]]:
+        if colors is None:
+            return [None] * len(self)
+        if len(colors) != len(self):
+            raise ValueError(
+                f"{len(colors)} color vectors for {len(self)} pairs"
+            )
+        return [None if c is None else np.asarray(c) for c in colors]
+
+    def _defaults(
+        self, beta: Optional[float], noise: Optional[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-pair ``(beta, noise)`` columns for stacked broadcasting."""
+        betas = np.asarray(
+            [ctx.beta if beta is None else float(beta) for ctx in self.contexts]
+        )
+        noises = np.asarray(
+            [ctx.noise if noise is None else float(noise) for ctx in self.contexts]
+        )
+        return betas[:, None], noises[:, None]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def interference(
+        self, colors: ColorsLike = None
+    ) -> Union[np.ndarray, List[np.ndarray]]:
+        """Worst-endpoint same-color interference per pair.
+
+        Stacked batches return a ``(B, n)`` array; ragged batches (or
+        per-pair colors mixing ``None`` with vectors) a list of
+        per-pair arrays.  *colors* is ``None`` (everyone interferes) or
+        one color vector — or ``None`` — per pair.
+        """
+        if not self._use_stacked(colors):
+            return [
+                ctx.interference(colors=c)
+                for ctx, c in zip(self.contexts, self._per_pair_colors(colors))
+            ]
+        gains_u, gains_v = self._stacked_gains()
+        colors_arr = self._colors_array(colors)
+        interf = _stacked_class_sum(gains_u, colors_arr)
+        if gains_v is not gains_u:
+            interf = np.maximum(interf, _stacked_class_sum(gains_v, colors_arr))
+        return interf
+
+    def margins(
+        self,
+        colors: ColorsLike = None,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ) -> Union[np.ndarray, List[np.ndarray]]:
+        """SINR margins per pair (``(B, n)`` stacked, else a list).
+
+        Bit-for-bit identical to calling
+        :meth:`InterferenceContext.margins` pair by pair.
+        """
+        if not self._use_stacked(colors):
+            return [
+                ctx.margins(colors=c, beta=beta, noise=noise)
+                for ctx, c in zip(self.contexts, self._per_pair_colors(colors))
+            ]
+        betas, noises = self._defaults(beta, noise)
+        interf = self.interference(colors=colors)
+        return _margins_from(self._stacked_signals(), interf, betas, noises)
+
+    def feasible(
+        self,
+        colors: ColorsLike = None,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+        rtol: float = DEFAULT_RTOL,
+    ) -> np.ndarray:
+        """Boolean vector: does each pair satisfy every SINR constraint?"""
+        margins = self.margins(colors=colors, beta=beta, noise=noise)
+        if isinstance(margins, np.ndarray) and margins.ndim == 2:
+            return np.all(margins >= 1.0 - rtol, axis=1)
+        return np.asarray([bool(np.all(m >= 1.0 - rtol)) for m in margins])
+
+    def validate_schedules(
+        self,
+        schedules: Sequence[Schedule],
+        rtol: float = DEFAULT_RTOL,
+    ) -> None:
+        """Validate one schedule per pair in a single batched pass.
+
+        Raises :class:`InvalidScheduleError` naming the first offending
+        pair.  Equivalent to ``schedule.validate(instance)`` per pair,
+        assuming the batch was built from the schedules' own powers
+        (see :meth:`for_schedules`).
+        """
+        if len(schedules) != len(self):
+            raise InvalidScheduleError(
+                f"{len(schedules)} schedules for {len(self)} pairs"
+            )
+        for ctx, schedule in zip(self.contexts, schedules):
+            if schedule.n != ctx.n:
+                raise InvalidScheduleError(
+                    f"schedule covers {schedule.n} requests, "
+                    f"instance has {ctx.n}"
+                )
+            if not np.array_equal(schedule.powers, ctx.powers):
+                raise InvalidScheduleError(
+                    "schedule powers differ from the batch pair powers"
+                )
+        colors = [schedule.colors for schedule in schedules]
+        feasible = self.feasible(colors=colors, rtol=rtol)
+        if not np.all(feasible):
+            bad = int(np.flatnonzero(~feasible)[0])
+            bad_margins = self.margins(colors=colors)[bad]
+            worst = int(np.argmin(bad_margins))
+            raise InvalidScheduleError(
+                f"pair {bad}: SINR constraint violated, e.g. request {worst} "
+                f"has margin {bad_margins[worst]:.4g} (< 1)"
+            )
+
+
+def _stacked_class_sum(
+    gains: np.ndarray, colors: Optional[np.ndarray]
+) -> np.ndarray:
+    """Batched :func:`repro.core.interference._class_sum`.
+
+    ``gains`` is ``(B, n, n)``; *colors* is ``None`` or ``(B, n)``.  The
+    reduction runs along the trailing axis, which matches the 2-D row
+    sum slice by slice (bit-for-bit).
+    """
+    if colors is None:
+        return gains.sum(axis=2)
+    same = colors[:, :, None] == colors[:, None, :]
+    n = gains.shape[-1]
+    same &= ~np.eye(n, dtype=bool)
+    masked = np.where(same, gains, 0.0)
+    return masked.sum(axis=2)
+
+
+def batch_margins(
+    pairs: Sequence[PairLike],
+    colors: ColorsLike = None,
+    pool: Optional[ContextPool] = None,
+) -> Union[np.ndarray, List[np.ndarray]]:
+    """One-shot :meth:`ContextBatch.margins` over *pairs*."""
+    return ContextBatch(pairs, pool=pool).margins(colors=colors)
+
+
+def batch_validate_schedules(
+    instances: Union[Instance, Sequence[Instance]],
+    schedules: Sequence[Schedule],
+    rtol: float = DEFAULT_RTOL,
+    pool: Optional[ContextPool] = None,
+) -> None:
+    """Batched ``schedule.validate(instance)`` over aligned sequences."""
+    batch = ContextBatch.for_schedules(instances, schedules, pool=pool)
+    batch.validate_schedules(schedules, rtol=rtol)

@@ -13,7 +13,7 @@ arrays.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Sequence, Tuple, Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 

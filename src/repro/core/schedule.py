@@ -9,7 +9,7 @@ against an instance checks both structure and SINR feasibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -1,70 +1,29 @@
-"""Command-line experiment runner.
+"""Command-line experiment orchestrator.
 
-Regenerates any subset of the paper's experiment tables:
+Regenerates any subset of the paper's experiment tables, fanning the
+work out over worker processes and optionally writing one
+machine-readable ``BENCH_<experiment>.json`` artifact per experiment:
 
-    python -m repro.experiments            # run everything (slow-ish)
-    python -m repro.experiments e1 e2 e5   # run selected experiments
-    python -m repro.experiments --list     # show what exists
-    python -m repro.experiments e3 --fast  # reduced sizes for a smoke run
+    python -m repro.experiments                       # run everything
+    python -m repro.experiments e1 e2 e5              # selected experiments
+    python -m repro.experiments --list                # show what exists
+    python -m repro.experiments e3 --fast             # reduced smoke sizes
+    python -m repro.experiments --jobs 4              # 4 worker processes
+    python -m repro.experiments --fast --jobs 4 --artifacts out/
+
+Tables are bit-identical for any ``--jobs`` value: shard seeds derive
+from the experiment specs alone and results merge in spec order (see
+:mod:`repro.runner`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
 
-from repro.experiments import (
-    run_coloring_algorithm,
-    run_connectivity,
-    run_directed_lower_bound,
-    run_directed_vs_bidirectional,
-    run_distributed,
-    run_energy_tradeoff,
-    run_exact_certification,
-    run_gain_scaling,
-    run_iin_measure,
-    run_nested_intuition,
-    run_sqrt_universal,
-    run_star_analysis,
-    run_theorem2_literal,
-    run_tree_embedding,
-)
+from repro.experiments.registry import get_registry
+from repro.runner.orchestrator import run_experiments
 from repro.util.tables import format_table
-
-_FULL: Dict[str, Callable] = {
-    "e1": lambda: run_directed_lower_bound(n_values=(4, 8, 16, 24, 32)),
-    "e2": lambda: run_nested_intuition(n_values=(5, 10, 20, 30, 40)),
-    "e3": lambda: run_sqrt_universal(n_values=(10, 20, 40), trials=2),
-    "e4": lambda: run_coloring_algorithm(n_values=(10, 20, 40), trials=2),
-    "e5": lambda: run_gain_scaling(n=40, trials=3),
-    "e6": lambda: run_star_analysis(m=60, trials=3),
-    "e7": lambda: run_tree_embedding(n_values=(10, 20, 40), trials=2),
-    "e8": lambda: run_directed_vs_bidirectional(n_values=(10, 20, 40), trials=2),
-    "e9": lambda: run_energy_tradeoff(n=25, trials=3),
-    "e10": lambda: run_iin_measure(n_values=(8, 16, 32)),
-    "e3b": lambda: run_theorem2_literal(n_values=(10, 20, 40), trials=2),
-    "e11": lambda: run_distributed(n_values=(10, 20, 40), trials=2),
-    "e12": lambda: run_connectivity(n_values=(8, 16, 32), trials=2),
-    "e13": lambda: run_exact_certification(n_values=(6, 8, 10), trials=3),
-}
-
-_FAST: Dict[str, Callable] = {
-    "e1": lambda: run_directed_lower_bound(n_values=(4, 8)),
-    "e2": lambda: run_nested_intuition(n_values=(5, 10)),
-    "e3": lambda: run_sqrt_universal(n_values=(8,), trials=1),
-    "e4": lambda: run_coloring_algorithm(n_values=(8,), trials=1),
-    "e5": lambda: run_gain_scaling(n=16, trials=1),
-    "e6": lambda: run_star_analysis(m=20, trials=1),
-    "e7": lambda: run_tree_embedding(n_values=(8,), trials=1),
-    "e8": lambda: run_directed_vs_bidirectional(n_values=(8,), trials=1),
-    "e9": lambda: run_energy_tradeoff(n=10, trials=1),
-    "e10": lambda: run_iin_measure(n_values=(8,)),
-    "e3b": lambda: run_theorem2_literal(n_values=(8,), trials=1),
-    "e11": lambda: run_distributed(n_values=(8,), trials=1),
-    "e12": lambda: run_connectivity(n_values=(8,), trials=1),
-    "e13": lambda: run_exact_certification(n_values=(6,), trials=1),
-}
 
 
 def main(argv=None) -> int:
@@ -75,29 +34,50 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (e1 .. e10); all when omitted",
+        help="experiment ids (e1 .. e13, e3b); all when omitted",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--fast", action="store_true", help="reduced sizes (smoke run)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1; results are identical for any N)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write one BENCH_<experiment>.json per experiment under DIR",
+    )
     args = parser.parse_args(argv)
 
-    registry = _FAST if args.fast else _FULL
+    registry = get_registry()
     if args.list:
         for key in registry:
             print(key)
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    chosen = [e.lower() for e in args.experiments] or list(registry)
-    unknown = [e for e in chosen if e not in registry]
-    if unknown:
-        parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
-
-    for key in chosen:
-        table = registry[key]()
-        print(format_table(table))
+    def _print_report(report) -> None:
+        print(format_table(report.table))
         print()
+
+    try:
+        run_experiments(
+            args.experiments,
+            fast=args.fast,
+            jobs=args.jobs,
+            artifacts_dir=args.artifacts,
+            on_report=_print_report,
+        )
+    except KeyError as exc:
+        # resolve_specs rejects unknown ids before any work starts.
+        parser.error(str(exc).strip("'\""))
     return 0
 
 

@@ -20,6 +20,7 @@ from repro.instances.adversarial import (
 )
 from repro.power.base import ObliviousPowerAssignment
 from repro.power.oblivious import LinearPower, MeanPower, SquareRootPower, UniformPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.firstfit import (
     first_fit_free_power_schedule,
     first_fit_schedule,
@@ -103,3 +104,13 @@ def run_directed_lower_bound(
                 construction=construction,
             )
     return table
+SPEC = ExperimentSpec(
+    id="e1",
+    title="Theorem 1 directed lower bound",
+    runner="repro.experiments.e01_directed_lower_bound:run_directed_lower_bound",
+    full={"n_values": (4, 8, 16, 24, 32)},
+    fast={"n_values": (4, 8)},
+    seed=None,
+    shard_by="n_values",
+    metric="ratio",
+)

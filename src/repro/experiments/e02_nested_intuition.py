@@ -19,6 +19,7 @@ from repro.analysis.capacity import one_shot_capacity
 from repro.instances.nested import nested_instance
 from repro.power.base import ObliviousPowerAssignment
 from repro.power.oblivious import LinearPower, MeanPower, SquareRootPower, UniformPower
+from repro.runner.spec import ExperimentSpec
 from repro.util.tables import Table
 
 
@@ -61,3 +62,13 @@ def run_nested_intuition(
                 fraction=capacity / n,
             )
     return table
+SPEC = ExperimentSpec(
+    id="e2",
+    title="Nested instance one-shot capacity",
+    runner="repro.experiments.e02_nested_intuition:run_nested_intuition",
+    full={"n_values": (5, 10, 20, 30, 40)},
+    fast={"n_values": (5, 10)},
+    seed=None,
+    shard_by="n_values",
+    metric="fraction",
+)

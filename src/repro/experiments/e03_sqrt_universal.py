@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batch import batch_validate_schedules
 from repro.core.instance import Instance
 from repro.instances.random_instances import (
     clustered_instance,
@@ -25,6 +26,7 @@ from repro.instances.random_instances import (
     random_uniform_instance,
 )
 from repro.power.oblivious import SquareRootPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.firstfit import (
     first_fit_free_power_schedule,
     first_fit_schedule,
@@ -61,15 +63,18 @@ def run_theorem2_literal(
     )
     for n in n_values:
         ff_counts, lp_counts = [], []
+        instances, schedules = [], []
         for child in spawn_rngs(rng, trials):
             instance = one_color_feasible_instance(n, rng=child)
             powers = SquareRootPower()(instance)
             ff = first_fit_schedule(instance, powers)
-            ff.validate(instance)
             lp, _ = sqrt_coloring(instance, rng=child)
-            lp.validate(instance)
+            instances.extend((instance, instance))
+            schedules.extend((ff, lp))
             ff_counts.append(ff.num_colors)
             lp_counts.append(lp.num_colors)
+        # All trials share one shape: one stacked validation pass.
+        batch_validate_schedules(instances, schedules)
         table.add_row(
             n=n,
             colors_sqrt_firstfit=float(np.mean(ff_counts)),
@@ -114,18 +119,20 @@ def run_sqrt_universal(
     for family_name, factory in families.items():
         for n in n_values:
             lp_counts, ff_counts, free_counts = [], [], []
+            instances, schedules = [], []
             for child in spawn_rngs(rng, trials):
                 instance = factory(n, child)
                 sched_lp, _ = sqrt_coloring(instance, rng=child)
-                sched_lp.validate(instance)
                 powers = SquareRootPower()(instance)
                 sched_ff = first_fit_schedule(instance, powers)
-                sched_ff.validate(instance)
                 sched_free = first_fit_free_power_schedule(instance)
-                sched_free.validate(instance)
+                instances.extend((instance, instance, instance))
+                schedules.extend((sched_lp, sched_ff, sched_free))
                 lp_counts.append(sched_lp.num_colors)
                 ff_counts.append(sched_ff.num_colors)
                 free_counts.append(sched_free.num_colors)
+            # One stacked pass validates every trial's three schedules.
+            batch_validate_schedules(instances, schedules)
             mean_lp = float(np.mean(lp_counts))
             mean_ff = float(np.mean(ff_counts))
             mean_free = float(np.mean(free_counts))
@@ -139,3 +146,24 @@ def run_sqrt_universal(
                 log2n=math.log2(n),
             )
     return table
+SPEC = ExperimentSpec(
+    id="e3",
+    title="Theorem 2 sqrt universality",
+    runner="repro.experiments.e03_sqrt_universal:run_sqrt_universal",
+    full={"n_values": (10, 20, 40), "trials": 2},
+    fast={"n_values": (8,), "trials": 1},
+    seed=1234,
+    shard_by="n_values",
+    metric="ratio",
+)
+
+SPEC_THEOREM2 = ExperimentSpec(
+    id="e3b",
+    title="Theorem 2 literal (one-color-feasible)",
+    runner="repro.experiments.e03_sqrt_universal:run_theorem2_literal",
+    full={"n_values": (10, 20, 40), "trials": 2},
+    fast={"n_values": (8,), "trials": 1},
+    seed=4321,
+    shard_by="n_values",
+    metric="colors_sqrt_lp",
+)

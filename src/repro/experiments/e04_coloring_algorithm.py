@@ -17,6 +17,7 @@ import numpy as np
 from repro.analysis.bounds import opt_color_lower_bound
 from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
 from repro.power.oblivious import SquareRootPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.firstfit import first_fit_schedule
 from repro.scheduling.peeling import peeling_schedule
 from repro.scheduling.sqrt_coloring import sqrt_coloring
@@ -92,3 +93,13 @@ def run_coloring_algorithm(
                 log2n=math.log2(n),
             )
     return table
+SPEC = ExperimentSpec(
+    id="e4",
+    title="Theorem 15 coloring algorithms",
+    runner="repro.experiments.e04_coloring_algorithm:run_coloring_algorithm",
+    full={"n_values": (10, 20, 40), "trials": 2},
+    fast={"n_values": (8,), "trials": 1},
+    seed=99,
+    shard_by="n_values",
+    metric="approx_factor",
+)

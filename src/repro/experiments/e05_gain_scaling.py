@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.instances.random_instances import random_uniform_instance
 from repro.power.oblivious import SquareRootPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.gain_scaling import (
     densest_subset_at_gain,
     rescale_gain_coloring,
@@ -82,3 +83,13 @@ def run_gain_scaling(
             prop3_bound=n / (8.0 * scale),
         )
     return table
+SPEC = ExperimentSpec(
+    id="e5",
+    title="Propositions 3 & 4 gain rescaling",
+    runner="repro.experiments.e05_gain_scaling:run_gain_scaling",
+    full={"n": 40, "trials": 3},
+    fast={"n": 16, "trials": 1},
+    seed=7,
+    shard_by=None,
+    metric="blowup",
+)

@@ -18,10 +18,10 @@ import numpy as np
 from repro.nodeloss.feasibility import max_feasible_gain
 from repro.nodeloss.instance import StarNodeLoss
 from repro.nodeloss.star_analysis import (
-    large_loss_threshold,
     lemma5_subset,
     split_large_small,
 )
+from repro.runner.spec import ExperimentSpec
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -90,3 +90,13 @@ def run_star_analysis(
                 large_nodes=float(np.mean(larges)),
             )
     return table
+SPEC = ExperimentSpec(
+    id="e6",
+    title="Lemma 5 star analysis",
+    runner="repro.experiments.e06_star_analysis:run_star_analysis",
+    full={"m": 60, "trials": 3},
+    fast={"m": 20, "trials": 1},
+    seed=11,
+    shard_by=None,
+    metric="fraction_kept",
+)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.embedding.tree_ensemble import build_tree_ensemble
 from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
+from repro.runner.spec import ExperimentSpec
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -96,3 +97,13 @@ def run_tree_embedding(
                 calibrated_core_fraction=float(np.mean(calib_fracs)),
             )
     return table
+SPEC = ExperimentSpec(
+    id="e7",
+    title="Lemma 6 tree ensembles",
+    runner="repro.experiments.e07_tree_embedding:run_tree_embedding",
+    full={"n_values": (10, 20, 40), "trials": 2},
+    fast={"n_values": (8,), "trials": 1},
+    seed=21,
+    shard_by="n_values",
+    metric="median_stretch",
+)

@@ -21,6 +21,7 @@ from repro.core.instance import Direction, Instance
 from repro.core.schedule import Schedule
 from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
 from repro.power.oblivious import SquareRootPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.firstfit import first_fit_schedule
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
@@ -127,3 +128,13 @@ def run_directed_vs_bidirectional(
                 doubled_firstfit=float(np.mean(doubled)),
             )
     return table
+SPEC = ExperimentSpec(
+    id="e8",
+    title="Directed vs bidirectional lengths",
+    runner="repro.experiments.e08_directed_vs_bidirectional:run_directed_vs_bidirectional",
+    full={"n_values": (10, 20, 40), "trials": 2},
+    fast={"n_values": (8,), "trials": 1},
+    seed=31,
+    shard_by="n_values",
+    metric="colors_bidirectional",
+)

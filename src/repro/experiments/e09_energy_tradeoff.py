@@ -15,7 +15,7 @@ the least performance.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.instances.nested import nested_instance
 from repro.instances.random_instances import clustered_instance
 from repro.power.base import ObliviousPowerAssignment
 from repro.power.oblivious import LinearPower, SquareRootPower, UniformPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.firstfit import first_fit_schedule
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
@@ -76,3 +77,13 @@ def run_energy_tradeoff(
                 energy_per_color=energy / schedule.num_colors,
             )
     return table
+SPEC = ExperimentSpec(
+    id="e9",
+    title="Performance vs energy",
+    runner="repro.experiments.e09_energy_tradeoff:run_energy_tradeoff",
+    full={"n": 25, "trials": 3},
+    fast={"n": 10, "trials": 1},
+    seed=41,
+    shard_by=None,
+    metric="energy_per_color",
+)

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.analysis.measures import in_interference_measure
 from repro.instances.line_instances import exponential_chain_instance
 from repro.instances.nested import nested_instance
 from repro.instances.random_instances import random_uniform_instance
 from repro.core.instance import Direction
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.firstfit import first_fit_free_power_schedule
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
@@ -69,3 +69,13 @@ def run_iin_measure(
                 iin_over_colors=iin / colors,
             )
     return table
+SPEC = ExperimentSpec(
+    id="e10",
+    title="I_in measure vs schedule length",
+    runner="repro.experiments.e10_iin_measure:run_iin_measure",
+    full={"n_values": (8, 16, 32)},
+    fast={"n_values": (8,)},
+    seed=51,
+    shard_by="n_values",
+    metric="iin_over_colors",
+)

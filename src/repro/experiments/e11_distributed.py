@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
 from repro.power.oblivious import SquareRootPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.distributed import distributed_coloring
 from repro.scheduling.firstfit import first_fit_schedule
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
@@ -72,3 +73,13 @@ def run_distributed(
                 distributed_overhead=float(np.mean(slots)) / float(np.mean(central)),
             )
     return table
+SPEC = ExperimentSpec(
+    id="e11",
+    title="Distributed protocol vs centralized",
+    runner="repro.experiments.e11_distributed:run_distributed",
+    full={"n_values": (10, 20, 40), "trials": 2},
+    fast={"n_values": (8,), "trials": 1},
+    seed=61,
+    shard_by="n_values",
+    metric="distributed_overhead",
+)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.core.instance import Direction
 from repro.geometry.euclidean import EuclideanMetric
@@ -21,6 +20,7 @@ from repro.instances.connectivity import (
     mst_connectivity_instance,
 )
 from repro.power.oblivious import LinearPower, SquareRootPower, UniformPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.firstfit import (
     first_fit_free_power_schedule,
     first_fit_schedule,
@@ -73,3 +73,13 @@ def run_connectivity(
             row["free_power"] = free.num_colors
             table.add_row(**row)
     return table
+SPEC = ExperimentSpec(
+    id="e12",
+    title="Strong-connectivity scheduling",
+    runner="repro.experiments.e12_connectivity:run_connectivity",
+    full={"n_values": (8, 16, 32), "trials": 2},
+    fast={"n_values": (8,), "trials": 1},
+    seed=71,
+    shard_by="n_values",
+    metric="free_power",
+)

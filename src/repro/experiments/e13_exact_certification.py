@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.instances.random_instances import clustered_instance, random_uniform_instance
 from repro.power.oblivious import SquareRootPower
+from repro.runner.spec import ExperimentSpec
 from repro.scheduling.exact import exact_minimum_colors
 from repro.scheduling.firstfit import first_fit_schedule
 from repro.scheduling.peeling import peeling_schedule
@@ -77,3 +78,13 @@ def run_exact_certification(
                 exact_free_opt=float(np.mean(free_opts)),
             )
     return table
+SPEC = ExperimentSpec(
+    id="e13",
+    title="Exact OPT certification",
+    runner="repro.experiments.e13_exact_certification:run_exact_certification",
+    full={"n_values": (6, 8, 10), "trials": 3},
+    fast={"n_values": (6,), "trials": 1},
+    seed=81,
+    shard_by="n_values",
+    metric="first_fit_factor",
+)

@@ -1,0 +1,57 @@
+"""Registry of experiment specs, in canonical CLI order.
+
+Each experiment module declares a thin
+:class:`repro.runner.spec.ExperimentSpec`; this module collects them so
+the orchestrator and the CLI share one source of truth for ids,
+parameters and sharding.  The order matches the historical CLI listing
+(``e1`` .. ``e10``, ``e3b``, then the extension experiments).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.experiments import (
+    e01_directed_lower_bound,
+    e02_nested_intuition,
+    e03_sqrt_universal,
+    e04_coloring_algorithm,
+    e05_gain_scaling,
+    e06_star_analysis,
+    e07_tree_embedding,
+    e08_directed_vs_bidirectional,
+    e09_energy_tradeoff,
+    e10_iin_measure,
+    e11_distributed,
+    e12_connectivity,
+    e13_exact_certification,
+)
+from repro.runner.spec import ExperimentSpec
+
+_SPECS = (
+    e01_directed_lower_bound.SPEC,
+    e02_nested_intuition.SPEC,
+    e03_sqrt_universal.SPEC,
+    e04_coloring_algorithm.SPEC,
+    e05_gain_scaling.SPEC,
+    e06_star_analysis.SPEC,
+    e07_tree_embedding.SPEC,
+    e08_directed_vs_bidirectional.SPEC,
+    e09_energy_tradeoff.SPEC,
+    e10_iin_measure.SPEC,
+    e03_sqrt_universal.SPEC_THEOREM2,
+    e11_distributed.SPEC,
+    e12_connectivity.SPEC,
+    e13_exact_certification.SPEC,
+)
+
+
+def get_registry() -> "Dict[str, ExperimentSpec]":
+    """Fresh ordered mapping ``experiment id -> spec``."""
+    registry: "OrderedDict[str, ExperimentSpec]" = OrderedDict()
+    for spec in _SPECS:
+        if spec.id in registry:
+            raise ValueError(f"duplicate experiment id {spec.id!r}")
+        registry[spec.id] = spec
+    return registry

@@ -33,12 +33,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from repro.core.errors import ReproError
-from repro.core.instance import Direction, Instance
+from repro.core.instance import Instance
 from repro.geometry.line import LineMetric
 from repro.power.base import ObliviousPowerAssignment
 

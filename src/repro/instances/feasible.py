@@ -9,7 +9,7 @@ instances and *certifies* that premise via power-control feasibility
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

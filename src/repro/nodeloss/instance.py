@@ -12,7 +12,7 @@ distance ``delta_i + delta_j``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -31,13 +31,12 @@ implements it end to end so the retained fraction can be *measured*:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nodeloss.feasibility import (
-    is_gamma_feasible,
     max_feasible_gain,
     nodeloss_margins,
 )

@@ -1,0 +1,50 @@
+"""Batched experiment orchestration and machine-readable bench artifacts.
+
+* :mod:`repro.runner.spec` — declarative :class:`ExperimentSpec` each
+  experiment module exports (sizes, trials, sharding, quality metric).
+* :mod:`repro.runner.orchestrator` — process-pool fan-out over shards
+  with deterministic per-shard seeding and shard-order merging
+  (``--jobs 1`` and ``--jobs N`` are bit-identical).
+* :mod:`repro.runner.artifacts` — the ``BENCH_<experiment>.json``
+  schema CI uploads and diffs.
+"""
+
+from repro.runner.artifacts import (
+    BenchReport,
+    ShardResult,
+    artifact_path,
+    bench_from_dict,
+    bench_to_dict,
+    read_artifact,
+    write_artifact,
+)
+from repro.runner.orchestrator import (
+    available_experiments,
+    resolve_specs,
+    run_experiments,
+    run_shard,
+)
+from repro.runner.spec import (
+    ExperimentSpec,
+    Shard,
+    derive_shard_seed,
+    merge_tables,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "Shard",
+    "derive_shard_seed",
+    "merge_tables",
+    "BenchReport",
+    "ShardResult",
+    "artifact_path",
+    "bench_to_dict",
+    "bench_from_dict",
+    "write_artifact",
+    "read_artifact",
+    "available_experiments",
+    "resolve_specs",
+    "run_experiments",
+    "run_shard",
+]

@@ -1,0 +1,181 @@
+"""Machine-readable benchmark artifacts (``BENCH_<experiment>.json``).
+
+Every orchestrator run can persist, per experiment, one JSON artifact
+holding the merged result table, per-shard timings/seeds/sizes and the
+summary quality metrics.  CI uploads these files as workflow artifacts
+so the performance trajectory of the repo is diffable run over run
+instead of being asserted in prose.
+
+Schema (``format_version`` 1)::
+
+    {
+      "format_version": 1,
+      "kind": "bench",
+      "experiment": "e3",
+      "title": "Theorem 2 universality",
+      "mode": "fast" | "full" (or a benchmark-defined label, e.g. "smoke"),
+      "table": {<repro.serialization table payload>},
+      "shards": [
+        {"key": "n=10", "seed": 123..., "rows": 3, "seconds": 0.41},
+        ...
+      ],
+      "timings": {"run_wall_seconds": 1.3, "total_shard_seconds": 2.2},
+      "metrics": {"rows": 9, "ratio_mean": 1.4, ...},
+      "env": {"jobs": 4}
+    }
+
+``run_wall_seconds`` is the wall time from the start of the
+orchestrator run until this experiment's results were complete (the
+orchestrator reports experiments as they finish);
+``total_shard_seconds`` sums this experiment's own shard times and is
+the per-experiment number to diff run over run.  Everything outside
+``timings``/``env`` (and the per-shard ``seconds``) is deterministic
+for a given spec and mode; comparing the ``table`` sections of two
+artifacts is the supported way to assert result identity across worker
+counts.  Artifacts are strict JSON: non-finite table cells are encoded
+as ``{"$float": "Infinity" | "-Infinity" | "NaN"}`` wrappers (see
+:mod:`repro.serialization`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.serialization import (
+    FORMAT_VERSION,
+    SerializationError,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.util.tables import Table
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one executed shard."""
+
+    key: str
+    seed: Optional[int]
+    rows: int
+    seconds: float
+
+
+@dataclass
+class BenchReport:
+    """In-memory form of one ``BENCH_*.json`` artifact."""
+
+    experiment: str
+    title: str
+    mode: str
+    table: Table
+    shards: List[ShardResult] = field(default_factory=list)
+    run_wall_seconds: float = 0.0
+    jobs: int = 1
+    metric: Optional[str] = None
+
+    @property
+    def total_shard_seconds(self) -> float:
+        return float(sum(shard.seconds for shard in self.shards))
+
+    def metrics(self) -> Dict[str, Union[int, float]]:
+        """Summary metrics: row count plus metric mean/min/max."""
+        summary: Dict[str, Union[int, float]] = {"rows": len(self.table)}
+        if self.metric is None or self.metric not in self.table.columns:
+            return summary
+        values = [
+            float(v)
+            for v in self.table.column(self.metric)
+            if isinstance(v, (int, float)) and math.isfinite(float(v))
+        ]
+        if values:
+            summary[f"{self.metric}_mean"] = sum(values) / len(values)
+            summary[f"{self.metric}_min"] = min(values)
+            summary[f"{self.metric}_max"] = max(values)
+        return summary
+
+
+def bench_to_dict(report: BenchReport) -> Dict[str, Any]:
+    """Serializable dictionary for *report* (schema above)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "bench",
+        "experiment": report.experiment,
+        "title": report.title,
+        "mode": report.mode,
+        "metric_column": report.metric,
+        "table": table_to_dict(report.table),
+        "shards": [
+            {
+                "key": shard.key,
+                "seed": shard.seed,
+                "rows": shard.rows,
+                "seconds": shard.seconds,
+            }
+            for shard in report.shards
+        ],
+        "timings": {
+            "run_wall_seconds": report.run_wall_seconds,
+            "total_shard_seconds": report.total_shard_seconds,
+        },
+        "metrics": report.metrics(),
+        "env": {"jobs": report.jobs},
+    }
+
+
+def bench_from_dict(payload: Dict[str, Any]) -> BenchReport:
+    """Rebuild a :class:`BenchReport` from :func:`bench_to_dict` output."""
+    if payload.get("kind") != "bench":
+        raise SerializationError("payload is not a bench artifact")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    report = BenchReport(
+        experiment=payload["experiment"],
+        title=payload["title"],
+        mode=payload["mode"],
+        table=table_from_dict(payload["table"]),
+        shards=[
+            ShardResult(
+                key=shard["key"],
+                seed=shard["seed"],
+                rows=shard["rows"],
+                seconds=shard["seconds"],
+            )
+            for shard in payload.get("shards", [])
+        ],
+        run_wall_seconds=payload.get("timings", {}).get(
+            "run_wall_seconds", 0.0
+        ),
+        jobs=payload.get("env", {}).get("jobs", 1),
+        metric=payload.get("metric_column"),
+    )
+    return report
+
+
+def artifact_path(directory: Union[str, pathlib.Path], experiment: str) -> pathlib.Path:
+    """``<directory>/BENCH_<experiment>.json``."""
+    return pathlib.Path(directory) / f"BENCH_{experiment}.json"
+
+
+def write_artifact(
+    directory: Union[str, pathlib.Path], report: BenchReport
+) -> pathlib.Path:
+    """Write *report* under *directory* (created if missing)."""
+    path = artifact_path(directory, report.experiment)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(bench_to_dict(report), indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def read_artifact(path: Union[str, pathlib.Path]) -> BenchReport:
+    """Load one ``BENCH_*.json`` artifact."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    return bench_from_dict(payload)

@@ -1,0 +1,178 @@
+"""Parallel experiment orchestrator.
+
+Replaces the hand-rolled sequential loops of the old CLI: experiments
+are expanded into :class:`~repro.runner.spec.Shard` units (per size,
+with deterministically derived seeds), fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and merged back into
+one table per experiment **in shard order** — so the result is
+bit-identical whether the run used one worker or many.
+
+Workers re-resolve the shard from the experiment registry by
+``(spec_id, mode, shard_index)``; only small picklable identifiers
+cross the process boundary on the way in and a plain
+:class:`~repro.util.tables.Table` on the way out.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.artifacts import BenchReport, ShardResult, write_artifact
+from repro.runner.spec import ExperimentSpec, Shard, merge_tables
+from repro.util.tables import Table
+
+
+def _registry() -> "Dict[str, ExperimentSpec]":
+    # Imported lazily: the experiment modules import repro.runner.spec
+    # for their SPEC declarations, so a module-level import here would
+    # be circular.
+    from repro.experiments.registry import get_registry
+
+    return get_registry()
+
+
+def available_experiments() -> List[str]:
+    """Experiment ids in canonical (registry) order."""
+    return list(_registry())
+
+
+def resolve_specs(
+    experiment_ids: Optional[Sequence[str]] = None,
+) -> List[ExperimentSpec]:
+    """Specs for *experiment_ids* (all, in registry order, when omitted).
+
+    Raises ``KeyError`` naming the unknown ids otherwise.
+    """
+    registry = _registry()
+    if not experiment_ids:
+        return list(registry.values())
+    chosen = [e.lower() for e in experiment_ids]
+    unknown = sorted(set(chosen) - set(registry))
+    if unknown:
+        raise KeyError(f"unknown experiment id(s): {', '.join(unknown)}")
+    return [registry[e] for e in chosen]
+
+
+def run_shard(spec_id: str, fast: bool, shard_index: int) -> Tuple[Table, float]:
+    """Execute one shard (in this process) and time it."""
+    spec = _registry()[spec_id]
+    shard = spec.shards(fast)[shard_index]
+    run = spec.resolve()
+    start = time.perf_counter()
+    table = run(**shard.kwargs)
+    return table, time.perf_counter() - start
+
+
+def _init_worker(sys_path: List[str]) -> None:
+    """Reproduce the parent's import path in spawned workers."""
+    for entry in sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+
+
+def run_experiments(
+    experiment_ids: Optional[Sequence[str]] = None,
+    fast: bool = False,
+    jobs: int = 1,
+    artifacts_dir: Optional[str] = None,
+    on_report: Optional[Callable[[BenchReport], None]] = None,
+) -> List[BenchReport]:
+    """Run experiments, in parallel across shards, and merge results.
+
+    Experiments are reported **as they complete**, in spec order: each
+    experiment's artifact is written (and *on_report* called) as soon
+    as its last shard finishes, so a failure or interruption late in a
+    long run does not discard the experiments already done.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Ids to run (default: every registered experiment).
+    fast:
+        Use each spec's reduced smoke parameters.
+    jobs:
+        Worker processes.  ``1`` runs everything in-process; results
+        are identical either way (seeds and merge order are derived
+        from the specs alone).
+    artifacts_dir:
+        When given, one ``BENCH_<id>.json`` per experiment is written
+        there (see :mod:`repro.runner.artifacts`).
+    on_report:
+        Optional callback invoked with each experiment's
+        :class:`BenchReport` as soon as it is complete (the CLI uses
+        this to stream tables).
+
+    Returns
+    -------
+    One :class:`BenchReport` per experiment, in request order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    specs = resolve_specs(experiment_ids)
+    mode = "fast" if fast else "full"
+    plan: List[Tuple[ExperimentSpec, List[Shard]]] = [
+        (spec, spec.shards(fast)) for spec in specs
+    ]
+
+    start = time.perf_counter()
+    reports: List[BenchReport] = []
+    # Memoized per (spec id, shard index): duplicate experiment ids in
+    # the request reuse one computation instead of re-running shards.
+    done: Dict[Tuple[str, int], Tuple[Table, float]] = {}
+    with contextlib.ExitStack() as stack:
+        if jobs == 1:
+            def result_for(spec_id: str, shard_index: int) -> Tuple[Table, float]:
+                key = (spec_id, shard_index)
+                if key not in done:
+                    done[key] = run_shard(spec_id, fast, shard_index)
+                return done[key]
+        else:
+            pool = stack.enter_context(
+                ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=_init_worker,
+                    initargs=(list(sys.path),),
+                )
+            )
+            futures: Dict[Tuple[str, int], object] = {}
+            for spec, shards in plan:
+                for shard in shards:
+                    key = (spec.id, shard.index)
+                    if key not in futures:
+                        futures[key] = pool.submit(
+                            run_shard, spec.id, fast, shard.index
+                        )
+
+            def result_for(spec_id: str, shard_index: int) -> Tuple[Table, float]:
+                return futures[(spec_id, shard_index)].result()
+
+        for spec, shards in plan:
+            shard_outputs = [result_for(spec.id, shard.index) for shard in shards]
+            report = BenchReport(
+                experiment=spec.id,
+                title=spec.title,
+                mode=mode,
+                table=merge_tables([table for table, _ in shard_outputs]),
+                shards=[
+                    ShardResult(
+                        key=shard.key,
+                        seed=shard.seed,
+                        rows=len(table),
+                        seconds=seconds,
+                    )
+                    for shard, (table, seconds) in zip(shards, shard_outputs)
+                ],
+                run_wall_seconds=time.perf_counter() - start,
+                jobs=jobs,
+                metric=spec.metric,
+            )
+            if artifacts_dir is not None:
+                write_artifact(artifacts_dir, report)
+            reports.append(report)
+            if on_report is not None:
+                on_report(report)
+    return reports

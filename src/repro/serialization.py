@@ -1,15 +1,19 @@
-"""JSON serialization for instances and schedules.
+"""JSON serialization for instances, schedules and result tables.
 
 A practical library needs to save and reload experiment artefacts.
 Instances serialize their metric either as Euclidean coordinates (when
 available) or as an explicit distance matrix; schedules serialize
-colors and powers.  Round-tripping preserves all SINR-relevant data
-bit-for-bit (floats go through ``repr``-exact JSON numbers).
+colors and powers; experiment :class:`~repro.util.tables.Table` results
+serialize as plain rows (the payload embedded in the orchestrator's
+``BENCH_*.json`` artifacts).  Round-tripping preserves all
+SINR-relevant data bit-for-bit (floats go through ``repr``-exact JSON
+numbers).
 """
 
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, Union
 
 import numpy as np
@@ -21,6 +25,7 @@ from repro.geometry.euclidean import EuclideanMetric
 from repro.geometry.explicit import ExplicitMetric
 from repro.geometry.line import LineMetric
 from repro.geometry.metric import Metric
+from repro.util.tables import Table
 
 FORMAT_VERSION = 1
 
@@ -109,18 +114,92 @@ def schedule_from_dict(payload: Dict[str, Any]) -> Schedule:
     )
 
 
-def dumps(obj: Union[Instance, Schedule], indent: int = None) -> str:
-    """JSON string for an instance or schedule."""
+#: Strict-JSON stand-ins for non-finite floats (bare ``Infinity``/``NaN``
+#: tokens would break non-Python consumers of the artifacts).  The
+#: wrapper-object shape cannot collide with scalar cells, so genuine
+#: string cells like ``"NaN"`` survive round-trips untouched.
+_NON_FINITE = {"Infinity": np.inf, "-Infinity": -np.inf, "NaN": np.nan}
+
+
+def _json_cell(value: Any) -> Any:
+    """A strict-JSON-representable copy of one table cell.
+
+    numpy scalars are unwrapped to their Python equivalents and
+    non-finite floats become ``{"$float": "Infinity" | "-Infinity" |
+    "NaN"}`` wrappers (decoded back by :func:`_cell_from_json`);
+    anything beyond scalars/strings is rejected so round-trips stay
+    exact.
+    """
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        value = float(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"$float": "NaN"}
+        return {"$float": "Infinity" if value > 0 else "-Infinity"}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SerializationError(
+        f"table cell of type {type(value).__name__} is not JSON-serializable"
+    )
+
+
+def _cell_from_json(value: Any) -> Any:
+    """Inverse of :func:`_json_cell` (decodes non-finite wrappers)."""
+    if isinstance(value, dict):
+        if set(value) == {"$float"} and value["$float"] in _NON_FINITE:
+            return float(_NON_FINITE[value["$float"]])
+        raise SerializationError(f"malformed table cell {value!r}")
+    return value
+
+
+def table_to_dict(table: Table) -> Dict[str, Any]:
+    """Serializable dictionary for a result *table*."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "table",
+        "title": table.title,
+        "columns": [str(c) for c in table.columns],
+        "rows": [
+            {str(k): _json_cell(v) for k, v in row.items()} for row in table.rows
+        ],
+        "notes": list(table.notes),
+    }
+
+
+def table_from_dict(payload: Dict[str, Any]) -> Table:
+    """Rebuild a :class:`Table` from :func:`table_to_dict` output."""
+    if payload.get("kind") != "table":
+        raise SerializationError("payload is not a table")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    table = Table(title=payload["title"], columns=list(payload["columns"]))
+    for row in payload["rows"]:
+        table.add_row(**{k: _cell_from_json(v) for k, v in row.items()})
+    for note in payload.get("notes", []):
+        table.add_note(note)
+    return table
+
+
+def dumps(obj: Union[Instance, Schedule, Table], indent: int = None) -> str:
+    """JSON string for an instance, schedule or result table."""
     if isinstance(obj, Instance):
         payload = instance_to_dict(obj)
     elif isinstance(obj, Schedule):
         payload = schedule_to_dict(obj)
+    elif isinstance(obj, Table):
+        payload = table_to_dict(obj)
     else:
         raise SerializationError(f"cannot serialize {type(obj).__name__}")
     return json.dumps(payload, indent=indent)
 
 
-def loads(text: str) -> Union[Instance, Schedule]:
+def loads(text: str) -> Union[Instance, Schedule, Table]:
     """Parse a JSON string produced by :func:`dumps`."""
     payload = json.loads(text)
     kind = payload.get("kind")
@@ -128,4 +207,6 @@ def loads(text: str) -> Union[Instance, Schedule]:
         return instance_from_dict(payload)
     if kind == "schedule":
         return schedule_from_dict(payload)
+    if kind == "table":
+        return table_from_dict(payload)
     raise SerializationError(f"unknown payload kind {kind!r}")

@@ -8,7 +8,7 @@ an existing ``Generator`` and normalise via :func:`ensure_rng`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

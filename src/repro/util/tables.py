@@ -8,7 +8,7 @@ the experiment modules free of any printing concerns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 
 @dataclass

@@ -18,7 +18,6 @@ from repro.core.schedule import Schedule
 from repro.geometry.line import LineMetric
 from repro.instances.nested import nested_instance
 from repro.power.oblivious import SquareRootPower, UniformPower
-from repro.scheduling.firstfit import first_fit_schedule
 
 
 class TestGreedyMaxFeasibleSubset:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.instance import Direction, Instance
+from repro.core.instance import Instance
 from repro.geometry.euclidean import EuclideanMetric
 from repro.geometry.line import LineMetric
 from repro.instances.random_instances import random_uniform_instance

@@ -1,0 +1,226 @@
+"""Conformance tests for the batched interference layer.
+
+The contract of :mod:`repro.core.batch` is *exact* agreement with the
+per-pair :class:`repro.core.context.InterferenceContext` queries, on
+both the stacked (shared-shape) and the ragged fallback paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    ContextBatch,
+    ContextPool,
+    batch_margins,
+    batch_validate_schedules,
+)
+from repro.core.context import get_context
+from repro.core.errors import InvalidScheduleError
+from repro.core.schedule import Schedule
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import SquareRootPower, UniformPower
+from repro.scheduling.firstfit import first_fit_schedule
+
+
+def _pairs(n_values, direction="bidirectional", seed=0):
+    pairs = []
+    for i, n in enumerate(n_values):
+        instance = random_uniform_instance(
+            n, direction=direction, rng=seed + i
+        )
+        powers = SquareRootPower()(instance)
+        pairs.append((instance, powers))
+    return pairs
+
+
+class TestStacked:
+    @pytest.mark.parametrize("direction", ["bidirectional", "directed"])
+    def test_margins_match_per_context_exactly(self, direction):
+        pairs = _pairs([12, 12, 12], direction=direction)
+        batch = ContextBatch(pairs)
+        assert batch.stacked
+        margins = batch.margins()
+        assert margins.shape == (3, 12)
+        for row, (instance, powers) in zip(margins, pairs):
+            expected = get_context(instance, powers).margins()
+            np.testing.assert_array_equal(row, expected)
+
+    def test_colored_margins_match(self):
+        pairs = _pairs([10, 10])
+        schedules = [
+            first_fit_schedule(instance, powers) for instance, powers in pairs
+        ]
+        batch = ContextBatch(pairs)
+        margins = batch.margins(colors=[s.colors for s in schedules])
+        for row, (instance, powers), sched in zip(margins, pairs, schedules):
+            expected = get_context(instance, powers).margins(colors=sched.colors)
+            np.testing.assert_array_equal(row, expected)
+
+    def test_interference_matches(self):
+        pairs = _pairs([9, 9, 9, 9])
+        batch = ContextBatch(pairs)
+        interf = batch.interference()
+        for row, (instance, powers) in zip(interf, pairs):
+            expected = get_context(instance, powers).interference()
+            np.testing.assert_array_equal(row, expected)
+
+    def test_beta_noise_overrides(self):
+        pairs = _pairs([8, 8])
+        batch = ContextBatch(pairs)
+        margins = batch.margins(beta=0.5, noise=0.1)
+        for row, (instance, powers) in zip(margins, pairs):
+            expected = get_context(instance, powers).margins(beta=0.5, noise=0.1)
+            np.testing.assert_array_equal(row, expected)
+
+    def test_mixed_powers_same_instance(self):
+        instance = random_uniform_instance(10, rng=5)
+        pairs = [
+            (instance, UniformPower()(instance)),
+            (instance, SquareRootPower()(instance)),
+        ]
+        batch = ContextBatch(pairs)
+        assert batch.stacked
+        margins = batch.margins()
+        for row, (_, powers) in zip(margins, pairs):
+            expected = get_context(instance, powers).margins()
+            np.testing.assert_array_equal(row, expected)
+
+
+class TestRagged:
+    def test_falls_back_and_matches(self):
+        pairs = _pairs([6, 9, 12])
+        batch = ContextBatch(pairs)
+        assert not batch.stacked
+        margins = batch.margins()
+        assert isinstance(margins, list)
+        for row, (instance, powers) in zip(margins, pairs):
+            expected = get_context(instance, powers).margins()
+            np.testing.assert_array_equal(row, expected)
+
+    def test_feasible_vector(self):
+        pairs = _pairs([6, 9])
+        schedules = [
+            first_fit_schedule(instance, powers) for instance, powers in pairs
+        ]
+        batch = ContextBatch(pairs)
+        feasible = batch.feasible(colors=[s.colors for s in schedules])
+        assert feasible.shape == (2,)
+        assert feasible.all()
+
+    def test_mixed_direction_is_ragged(self):
+        pairs = _pairs([8], direction="bidirectional") + _pairs(
+            [8], direction="directed", seed=9
+        )
+        assert not ContextBatch(pairs).stacked
+
+
+class TestValidation:
+    def test_valid_schedules_pass(self):
+        pairs = _pairs([10, 10, 10])
+        instances = [instance for instance, _ in pairs]
+        schedules = [
+            first_fit_schedule(instance, powers) for instance, powers in pairs
+        ]
+        batch_validate_schedules(instances, schedules)
+
+    def test_single_shared_instance(self):
+        instance = random_uniform_instance(10, rng=3)
+        schedules = [
+            first_fit_schedule(instance, UniformPower()(instance)),
+            first_fit_schedule(instance, SquareRootPower()(instance)),
+        ]
+        batch_validate_schedules(instance, schedules)
+
+    def test_infeasible_schedule_raises_with_pair_index(self):
+        pairs = _pairs([10, 10])
+        instances = [instance for instance, _ in pairs]
+        good = first_fit_schedule(*pairs[0])
+        # Drown request 0: negligible power against nine loud one-color
+        # interferers cannot meet its SINR constraint.
+        bad_powers = np.full(10, 1e6)
+        bad_powers[0] = 1e-9
+        bad = Schedule(colors=np.zeros(10, dtype=int), powers=bad_powers)
+        assert not bad.is_feasible(instances[1])
+        with pytest.raises(InvalidScheduleError, match="pair 1"):
+            batch_validate_schedules(instances, [good, bad])
+
+    def test_matches_schedule_validate_decision(self):
+        pairs = _pairs([8, 8, 8], seed=21)
+        instances = [instance for instance, _ in pairs]
+        schedules = [
+            first_fit_schedule(instance, powers) for instance, powers in pairs
+        ]
+        batch = ContextBatch.for_schedules(instances, schedules)
+        feasible = batch.feasible(colors=[s.colors for s in schedules])
+        expected = [s.is_feasible(i) for s, i in zip(schedules, instances)]
+        assert feasible.tolist() == expected
+
+    def test_count_mismatch(self):
+        instance = random_uniform_instance(6, rng=1)
+        schedule = first_fit_schedule(instance, UniformPower()(instance))
+        with pytest.raises(ValueError):
+            ContextBatch.for_schedules([instance, instance], [schedule])
+
+
+class TestPool:
+    def test_reuses_contexts(self):
+        pool = ContextPool()
+        instance = random_uniform_instance(8, rng=2)
+        powers = SquareRootPower()(instance)
+        first = pool.get(instance, powers)
+        second = pool.get(instance, powers)
+        assert first is second
+        assert len(pool) == 1
+
+    def test_warm_builds_gains(self):
+        pool = ContextPool()
+        pairs = _pairs([7, 7])
+        pool.warm(pairs)
+        assert len(pool) == 2
+        for instance, powers in pairs:
+            context = pool.get(instance, powers)
+            assert context._gains is not None
+
+    def test_lru_bound(self):
+        pool = ContextPool(max_contexts=2)
+        pairs = _pairs([5, 5, 5], seed=30)
+        for instance, powers in pairs:
+            pool.get(instance, powers)
+        assert len(pool) == 2
+
+    def test_batch_shares_pool(self):
+        pool = ContextPool()
+        pairs = _pairs([6, 6], seed=40)
+        batch_a = ContextBatch(pairs, pool=pool)
+        batch_b = ContextBatch(pairs, pool=pool)
+        for ctx_a, ctx_b in zip(batch_a.contexts, batch_b.contexts):
+            assert ctx_a is ctx_b
+
+
+class TestConvenience:
+    def test_batch_margins_helper(self):
+        pairs = _pairs([7, 7], seed=50)
+        margins = batch_margins(pairs)
+        assert margins.shape == (2, 7)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ContextBatch([])
+
+
+class TestMixedColors:
+    def test_stacked_batch_accepts_none_entries(self):
+        pairs = _pairs([8, 8], seed=60)
+        schedule = first_fit_schedule(*pairs[1])
+        batch = ContextBatch(pairs)
+        assert batch.stacked
+        margins = batch.margins(colors=[None, schedule.colors])
+        assert isinstance(margins, list)
+        np.testing.assert_array_equal(
+            margins[0], get_context(*pairs[0]).margins()
+        )
+        np.testing.assert_array_equal(
+            margins[1], get_context(*pairs[1]).margins(colors=schedule.colors)
+        )
+        feasible = batch.feasible(colors=[None, schedule.colors])
+        assert feasible.shape == (2,)

@@ -13,7 +13,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.context import (
-    ClassAccumulator,
     InterferenceContext,
     cache_info,
     clear_context_cache,

@@ -12,7 +12,6 @@ constraint dominates the directed one.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,5 +1,7 @@
 """Tests for the CLI runner and the E11/E12 extension experiments."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main as cli_main
@@ -21,6 +23,26 @@ class TestCli:
     def test_unknown_id_errors(self):
         with pytest.raises(SystemExit):
             cli_main(["e99"])
+
+    def test_bad_jobs_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["e2", "--jobs", "0"])
+
+    def test_jobs_and_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert cli_main(
+            ["e2", "e10", "--fast", "--jobs", "2", "--artifacts", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "nested" in out
+        for experiment in ("e2", "e10"):
+            payload = json.loads(
+                (out_dir / f"BENCH_{experiment}.json").read_text()
+            )
+            assert payload["kind"] == "bench"
+            assert payload["experiment"] == experiment
+            assert payload["env"]["jobs"] == 2
+            assert payload["table"]["rows"]
 
 
 class TestE11Distributed:

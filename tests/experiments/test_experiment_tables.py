@@ -4,7 +4,6 @@ Each test runs the experiment at reduced size and asserts the *shape*
 of the paper claim it reproduces, not exact numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.euclidean import EuclideanMetric
-from repro.geometry.line import LineMetric
 from repro.geometry.metric import is_metric_matrix
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.geometry.euclidean import EuclideanMetric
 from repro.geometry.line import LineMetric
 from repro.multihop.routing import (
-    RoutedRequest,
     RoutingError,
     connectivity_graph,
     route_requests,

@@ -10,7 +10,6 @@ from repro.geometry.line import LineMetric
 from repro.instances.random_instances import random_uniform_instance
 from repro.power.oblivious import UniformPower
 from repro.scheduling.distributed import (
-    DistributedStats,
     ProtocolStalledError,
     distributed_coloring,
 )

@@ -1,7 +1,6 @@
 """Cross-module integration tests: full paper pipelines end to end."""
 
 import numpy as np
-import pytest
 
 from repro import (
     Direction,

@@ -2,7 +2,6 @@
 and the README quickstart works."""
 
 import numpy as np
-import pytest
 
 import repro
 

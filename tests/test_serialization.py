@@ -18,7 +18,6 @@ from repro.serialization import (
     instance_to_dict,
     loads,
     schedule_from_dict,
-    schedule_to_dict,
 )
 
 
@@ -107,3 +106,73 @@ class TestErrors:
     def test_unsupported_object(self):
         with pytest.raises(SerializationError):
             dumps(42)
+
+
+class TestTableRoundTrip:
+    def _table(self):
+        from repro.util.tables import Table
+
+        table = Table(title="E0: example", columns=["name", "n", "value"])
+        table.add_row(name="a", n=4, value=0.1 + 0.2)  # repr-exact float
+        table.add_row(name="b", n=np.int64(8), value=np.float64(1.5))
+        table.add_note("a note")
+        return table
+
+    def test_dict_round_trip(self):
+        from repro.serialization import table_from_dict, table_to_dict
+
+        table = self._table()
+        clone = table_from_dict(table_to_dict(table))
+        assert clone.title == table.title
+        assert list(clone.columns) == list(table.columns)
+        assert clone.notes == table.notes
+        # numpy scalars unwrap to equal Python values; floats are exact.
+        assert clone.rows == [
+            {"name": "a", "n": 4, "value": 0.1 + 0.2},
+            {"name": "b", "n": 8, "value": 1.5},
+        ]
+
+    def test_json_round_trip_is_exact(self):
+        table = self._table()
+        clone = loads(dumps(table))
+        assert clone.rows[0]["value"] == table.rows[0]["value"]
+        assert dumps(clone) == dumps(table)
+
+    def test_rejects_non_scalar_cells(self):
+        from repro.serialization import table_to_dict
+        from repro.util.tables import Table
+
+        table = Table(title="bad", columns=["x"])
+        table.add_row(x=np.zeros(3))
+        with pytest.raises(SerializationError, match="ndarray"):
+            table_to_dict(table)
+
+    def test_wrong_kind_for_table(self):
+        from repro.serialization import table_from_dict
+
+        with pytest.raises(SerializationError):
+            table_from_dict({"kind": "instance"})
+
+    def test_non_finite_cells_are_strict_json(self):
+        from repro.serialization import table_from_dict, table_to_dict
+        from repro.util.tables import Table
+
+        table = Table(title="inf", columns=["v"])
+        table.add_row(v=float("inf"))
+        table.add_row(v=float("-inf"))
+        payload = table_to_dict(table)
+        # No bare Infinity/NaN tokens: strict parsers must accept it.
+        text = json.dumps(payload, allow_nan=False)
+        clone = table_from_dict(json.loads(text))
+        assert clone.rows[0]["v"] == float("inf")
+        assert clone.rows[1]["v"] == float("-inf")
+
+    def test_sentinel_like_strings_survive(self):
+        from repro.serialization import table_from_dict, table_to_dict
+        from repro.util.tables import Table
+
+        table = Table(title="strings", columns=["s"])
+        table.add_row(s="NaN")
+        table.add_row(s="Infinity")
+        clone = table_from_dict(table_to_dict(table))
+        assert clone.rows == [{"s": "NaN"}, {"s": "Infinity"}]
