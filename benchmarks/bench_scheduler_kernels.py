@@ -1,0 +1,271 @@
+"""Benchmark: vectorized scheduler kernels vs. the accumulator paths.
+
+Times every scheduler the PR-3 kernel layer rewired — first-fit,
+peeling, local search and ``sqrt_coloring`` — on the kernel path
+(:mod:`repro.core.kernels`) and on the PR-1 accumulator /
+subset-rebuild engine reference restored by
+:func:`repro.core.kernels.kernels_disabled`.  Outputs are asserted
+identical between the two paths, so the comparison is apples to
+apples.  A batched row compares :meth:`ContextBatch.first_fit_schedules`
+(lockstep over stacked gains) against the per-pair kernel loop.
+
+Shared engine state (cached gain matrices, signals) is warmed before
+timing — both paths read the same cache, and this benchmark measures
+the scheduler layer, not the PR-1 matrix build.  The kernel-only
+transposed-gains cache is **not** pre-warmed; the kernel timings pay
+for it.
+
+``sqrt_coloring`` is run with ``use_lp=False``: the LP solve is
+orthogonal to the interference machinery and costs the same on both
+paths.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_kernels.py
+    PYTHONPATH=src python benchmarks/bench_scheduler_kernels.py --sizes 64,256
+
+The script exits non-zero when the first-fit speedup at the largest
+``--sizes`` entry falls below ``--target`` (default 5x) — the PR-3
+acceptance gate.  ``--aux-sizes`` bounds the other (ungated, slower)
+workloads.
+
+Reference results (one run, default sizes)::
+
+    workload            n   reference      kernel   speedup
+    first_fit          64      4.9 ms      3.3 ms      1.5x
+    first_fit         256     53.7 ms     14.8 ms      3.6x
+    first_fit        1024   1182.6 ms    138.6 ms      8.5x
+    peeling            64      8.8 ms      6.9 ms      1.3x
+    peeling           256    188.6 ms     96.1 ms      2.0x
+    local_search       64      5.2 ms      3.3 ms      1.6x
+    local_search      256     81.0 ms     16.3 ms      5.0x
+    sqrt               64      6.3 ms      6.7 ms      0.9x
+    sqrt              256    117.6 ms     67.2 ms      1.7x
+    first_fit_batch4  256     66.1 ms     43.8 ms      1.5x
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.batch import ContextBatch
+from repro.core.context import clear_context_cache, get_context
+from repro.core.kernels import kernels_disabled
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+from repro.runner.artifacts import BenchReport, ShardResult, write_artifact
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.local_search import improve_schedule
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.util.tables import Table
+
+GATED_WORKLOAD = "first_fit"
+
+
+def _warm(instance, powers):
+    context = get_context(instance, powers)
+    context.gains_u
+    context.gains_v
+    context.signals
+    return context
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _colors(result):
+    return result[0].colors if isinstance(result, tuple) else result.colors
+
+
+def _workloads():
+    def first_fit(instance, powers):
+        return first_fit_schedule(instance, powers)
+
+    def peeling(instance, powers):
+        return peeling_schedule(instance, powers)
+
+    def local_search(instance, powers):
+        # The base schedule is path-independent (first-fit is
+        # bit-identical across paths), so compute it outside the timer.
+        base = first_fit_schedule(instance, powers)
+        return lambda: improve_schedule(instance, base)
+
+    def sqrt(instance, powers):
+        return sqrt_coloring(instance, rng=3, use_lp=False)
+
+    return {
+        "first_fit": first_fit,
+        "peeling": peeling,
+        "local_search": local_search,
+        "sqrt": sqrt,
+    }
+
+
+def run(sizes, aux_sizes, target, batch_pairs=4, seed=7, artifacts=None):
+    run_start = time.perf_counter()
+    workloads = _workloads()
+    rows = []
+    gated_speedup = None
+
+    for name, runner in workloads.items():
+        my_sizes = sizes if name == GATED_WORKLOAD else aux_sizes
+        for n in my_sizes:
+            instance = random_uniform_instance(n, rng=seed)
+            powers = SquareRootPower()(instance)
+            clear_context_cache()
+            _warm(instance, powers)
+            if name == "local_search":
+                prepared = runner(instance, powers)
+                t_kernel, rk = _time(prepared)
+                with kernels_disabled():
+                    t_reference, rr = _time(prepared)
+            else:
+                t_kernel, rk = _time(lambda: runner(instance, powers))
+                with kernels_disabled():
+                    t_reference, rr = _time(lambda: runner(instance, powers))
+            assert np.array_equal(_colors(rk), _colors(rr)), (
+                f"{name} outputs diverged at n={n}"
+            )
+            speedup = t_reference / t_kernel if t_kernel > 0 else float("inf")
+            rows.append((name, n, t_reference, t_kernel, speedup))
+            if name == GATED_WORKLOAD:
+                gated_speedup = speedup  # sizes ascend; keeps the largest n
+
+    # Batched first-fit: stacked lockstep kernel vs per-pair kernel loop.
+    if batch_pairs > 1 and aux_sizes:
+        n = aux_sizes[-1]
+        pairs = []
+        for index in range(batch_pairs):
+            instance = random_uniform_instance(n, rng=seed + 100 + index)
+            pairs.append((instance, SquareRootPower()(instance)))
+        clear_context_cache()
+        for instance, powers in pairs:
+            _warm(instance, powers)
+        batch = ContextBatch(pairs)
+        t_batch, schedules = _time(batch.first_fit_schedules)
+        t_loop, references = _time(
+            lambda: [first_fit_schedule(inst, p) for inst, p in pairs]
+        )
+        for schedule, reference in zip(schedules, references):
+            assert np.array_equal(schedule.colors, reference.colors), (
+                "batched first-fit diverged from per-pair schedules"
+            )
+        speedup = t_loop / t_batch if t_batch > 0 else float("inf")
+        rows.append((f"first_fit_batch{batch_pairs}", n, t_loop, t_batch, speedup))
+
+    print(f"{'workload':<18} {'n':>5} {'reference':>12} {'kernel':>11} {'speedup':>9}")
+    for name, n, reference, kernel, speedup in rows:
+        print(
+            f"{name:<18} {n:>5} {reference * 1e3:>10.1f} ms {kernel * 1e3:>8.1f} ms "
+            f"{speedup:>8.1f}x"
+        )
+
+    if artifacts is not None:
+        table = Table(
+            title="Scheduler kernels vs accumulator paths",
+            columns=[
+                "workload",
+                "n",
+                "reference_seconds",
+                "kernel_seconds",
+                "speedup",
+            ],
+        )
+        table.add_note(
+            f"gate: {GATED_WORKLOAD} >= {target}x at n={sizes[-1]}; "
+            "reference = PR-1 accumulator/subset-rebuild engine paths "
+            "(kernels_disabled); outputs asserted bit-identical"
+        )
+        shards = []
+        for name, n, reference, kernel, speedup in rows:
+            table.add_row(
+                workload=name,
+                n=n,
+                reference_seconds=reference,
+                kernel_seconds=kernel,
+                speedup=speedup,
+            )
+            shards.append(
+                ShardResult(
+                    key=f"{name}:n={n}",
+                    seed=seed,
+                    rows=1,
+                    seconds=reference + kernel,
+                )
+            )
+        report = BenchReport(
+            experiment="sched_kernels",
+            title="Vectorized scheduler kernel speedup",
+            mode="smoke",
+            table=table,
+            shards=shards,
+            run_wall_seconds=time.perf_counter() - run_start,
+            metric="speedup",
+        )
+        write_artifact(artifacts, report)
+
+    if gated_speedup is None:
+        print("FAIL: gated workload was not measured")
+        return 1
+    if gated_speedup < target:
+        print(
+            f"FAIL: {GATED_WORKLOAD} speedup {gated_speedup:.1f}x below "
+            f"{target}x at n={sizes[-1]}"
+        )
+        return 1
+    print(f"OK: {GATED_WORKLOAD} >= {target}x at n={sizes[-1]}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="64,256,1024",
+        help="comma-separated sizes for the gated first-fit workload (ascending)",
+    )
+    parser.add_argument(
+        "--aux-sizes",
+        default="64,256",
+        help="comma-separated sizes for the ungated workloads (ascending)",
+    )
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=5.0,
+        help="required first-fit speedup at the largest --sizes entry",
+    )
+    parser.add_argument(
+        "--batch-pairs",
+        type=int,
+        default=4,
+        help="pairs in the batched first-fit row (0/1 disables it)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_sched_kernels.json under DIR",
+    )
+    args = parser.parse_args(argv)
+    sizes = sorted(int(s) for s in args.sizes.split(","))
+    aux_sizes = sorted(int(s) for s in args.aux_sizes.split(",") if s)
+    return run(
+        sizes,
+        aux_sizes,
+        args.target,
+        batch_pairs=args.batch_pairs,
+        artifacts=args.artifacts,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,10 +57,15 @@ from repro.core import (
     InvalidScheduleError,
     ReproError,
     Schedule,
+    ScheduleKernel,
     batch_margins,
     batch_validate_schedules,
+    build_schedule,
     engine_disabled,
     get_context,
+    kernels_disabled,
+    peel_max_feasible_subset,
+    stacked_first_fit,
     is_feasible_partition,
     is_feasible_subset,
     scale_powers_for_noise,
@@ -148,6 +153,11 @@ __all__ = [
     "batch_validate_schedules",
     "get_context",
     "engine_disabled",
+    "ScheduleKernel",
+    "build_schedule",
+    "peel_max_feasible_subset",
+    "stacked_first_fit",
+    "kernels_disabled",
     # geometry
     "Metric",
     "EuclideanMetric",

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.context import InterferenceContext, maybe_context
 from repro.core.feasibility import feasible_subset_mask, sinr_margins
 from repro.core.instance import Instance
+from repro.core.kernels import kernels_enabled, peel_max_feasible_subset
 
 
 def greedy_max_feasible_subset(
@@ -36,12 +37,21 @@ def greedy_max_feasible_subset(
 
     When the shared interference engine is enabled (or an explicit
     *context* for ``(instance, powers)`` is passed), the peeling loop
-    runs on the cached gain matrices — same decisions, no per-round
-    matrix rebuilding.
+    runs on the cached gain matrices — by default via the compacting
+    submatrix kernel
+    :func:`repro.core.kernels.peel_max_feasible_subset` (bit-identical
+    decisions, one gather instead of one per round); under
+    :func:`repro.core.kernels.kernels_disabled` via the PR-1
+    per-round-rebuild reference
+    :meth:`InterferenceContext.greedy_max_feasible_subset`.
     """
     if context is None:
         context = maybe_context(instance, powers)
     if context is not None:
+        if kernels_enabled():
+            return peel_max_feasible_subset(
+                context, candidates=candidates, beta=beta, rtol=rtol
+            )
         return context.greedy_max_feasible_subset(
             candidates=candidates, beta=beta, rtol=rtol
         )

@@ -28,6 +28,14 @@ from repro.core.errors import (
     ReproError,
 )
 from repro.core.instance import Direction, Instance
+from repro.core.kernels import (
+    ScheduleKernel,
+    kernels_disabled,
+    kernels_enabled,
+    peel_max_feasible_subset,
+    set_kernels_enabled,
+    stacked_first_fit,
+)
 from repro.core.interference import (
     bidirectional_gain_matrices,
     bidirectional_interference,
@@ -42,7 +50,7 @@ from repro.core.feasibility import (
     scale_powers_for_noise,
     signal_strengths,
 )
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 
 __all__ = [
     "ReproError",
@@ -61,9 +69,16 @@ __all__ = [
     "set_engine_enabled",
     "cache_info",
     "clear_context_cache",
+    "ScheduleKernel",
+    "peel_max_feasible_subset",
+    "stacked_first_fit",
+    "kernels_enabled",
+    "kernels_disabled",
+    "set_kernels_enabled",
     "Direction",
     "Instance",
     "Schedule",
+    "build_schedule",
     "directed_gain_matrix",
     "directed_interference",
     "bidirectional_gain_matrices",

@@ -18,6 +18,12 @@ This module closes that gap:
   :func:`repro.core.context.get_context` caches per instance with a
   small LRU; the pool pins a batch's contexts for its lifetime so a
   sweep over hundreds of pairs cannot thrash that LRU.
+* :meth:`ContextBatch.first_fit_schedules` — batched **scheduling**,
+  not just batched validation: the stacked gains feed the vectorized
+  first-fit kernel (:func:`repro.core.kernels.stacked_first_fit`), so
+  one admission pass per order position colors every pair in lockstep,
+  emitting per-pair schedules bit-identical to scheduling each pair
+  alone.
 
 Numerical contract: the stacked path reproduces the per-context
 results bit-for-bit — gain matrices are the cached per-context arrays
@@ -41,7 +47,8 @@ from repro.core.context import (
 )
 from repro.core.errors import InvalidScheduleError
 from repro.core.instance import Instance
-from repro.core.schedule import Schedule
+from repro.core.kernels import first_fit_colors, stacked_first_fit
+from repro.core.schedule import Schedule, build_schedule
 
 PairLike = Tuple[Instance, np.ndarray]
 ColorsLike = Union[None, np.ndarray, Sequence[Optional[np.ndarray]]]
@@ -155,6 +162,7 @@ class ContextBatch:
         )
         self._signals: Optional[np.ndarray] = None
         self._gains: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._gains_t: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -212,6 +220,19 @@ class ContextBatch:
                 gains_v = np.stack([ctx.gains_v for ctx in self.contexts])
             self._gains = (gains_u, gains_v)
         return self._gains
+
+    def _stacked_gains_t(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked contiguous-transpose gains ``(B, n, n)`` for the
+        column-consuming scheduler kernels (see
+        :attr:`InterferenceContext.gains_ut`)."""
+        if self._gains_t is None:
+            gains_ut = np.stack([ctx.gains_ut for ctx in self.contexts])
+            if all(ctx.gains_ut is ctx.gains_vt for ctx in self.contexts):
+                gains_vt = gains_ut
+            else:
+                gains_vt = np.stack([ctx.gains_vt for ctx in self.contexts])
+            self._gains_t = (gains_ut, gains_vt)
+        return self._gains_t
 
     def _colors_array(self, colors: ColorsLike) -> Optional[np.ndarray]:
         if colors is None:
@@ -312,6 +333,85 @@ class ContextBatch:
         if isinstance(margins, np.ndarray) and margins.ndim == 2:
             return np.all(margins >= 1.0 - rtol, axis=1)
         return np.asarray([bool(np.all(m >= 1.0 - rtol)) for m in margins])
+
+    # ------------------------------------------------------------------
+    # Batched scheduling
+    # ------------------------------------------------------------------
+
+    def _first_fit_limits(
+        self, beta: Optional[float], rtol: float
+    ) -> List[np.ndarray]:
+        limits = []
+        for index, ctx in enumerate(self.contexts):
+            budget = ctx.budgets(beta=beta)
+            if np.any(budget < 0):
+                bad = int(np.argmax(budget < 0))
+                raise InvalidScheduleError(
+                    f"pair {index}: request {bad} cannot satisfy its SINR "
+                    "constraint even alone; scale the powers first "
+                    "(see scale_powers_for_noise)"
+                )
+            limits.append(budget * (1.0 + rtol))
+        return limits
+
+    def first_fit_schedules(
+        self,
+        orders: Optional[Sequence[Sequence[int]]] = None,
+        beta: Optional[float] = None,
+        rtol: float = 1e-9,
+    ) -> List[Schedule]:
+        """First-fit coloring of every pair in the batch.
+
+        Stacked batches run :func:`repro.core.kernels.stacked_first_fit`
+        over the ``(B, n, n)`` transposed gain stack — every order
+        position is one vectorized admission pass covering all pairs —
+        and each returned schedule is bit-identical to calling
+        :func:`repro.scheduling.firstfit.first_fit_schedule` on that
+        pair alone.  Ragged batches fall back to a per-pair
+        :class:`~repro.core.kernels.ScheduleKernel` loop (still the
+        kernel path, just not in lockstep).
+
+        Parameters
+        ----------
+        orders:
+            Optional per-pair processing orders (longest link first by
+            default, matching ``first_fit_schedule``).
+        beta, rtol:
+            As in ``first_fit_schedule``.
+        """
+        if orders is None:
+            order_list = [
+                np.argsort(-ctx.instance.link_distances, kind="stable")
+                for ctx in self.contexts
+            ]
+        else:
+            if len(orders) != len(self):
+                raise ValueError(
+                    f"{len(orders)} orders for {len(self)} pairs"
+                )
+            order_list = [np.asarray(order, dtype=int) for order in orders]
+        limits = self._first_fit_limits(beta, rtol)
+
+        if self.stacked:
+            gains_ut, gains_vt = self._stacked_gains_t()
+            colors = stacked_first_fit(
+                gains_ut,
+                gains_vt,
+                np.stack(limits),
+                np.stack(order_list),
+                finite=all(
+                    not ctx.has_infinite_gains for ctx in self.contexts
+                ),
+            )
+            return [
+                build_schedule(colors[index], ctx.powers)
+                for index, ctx in enumerate(self.contexts)
+            ]
+
+        return [
+            build_schedule(first_fit_colors(ctx, order, pair_limits), ctx.powers)
+            for ctx, order, pair_limits in zip(self.contexts, order_list, limits)
+        ]
 
     def validate_schedules(
         self,

@@ -154,7 +154,9 @@ class InterferenceContext:
             raise ValueError(f"noise must be >= 0, got {self.noise}")
         self._signals: Optional[np.ndarray] = None
         self._gains: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._gains_t: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._worst_gains: Optional[np.ndarray] = None
+        self._has_inf: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # Cached matrices
@@ -217,6 +219,55 @@ class InterferenceContext:
                 worst.setflags(write=False)
                 self._worst_gains = worst
         return self._worst_gains
+
+    def _gain_pair_t(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._gains_t is None:
+            gains_u, gains_v = self._gain_pair()
+            gains_ut = np.ascontiguousarray(gains_u.T)
+            gains_ut.setflags(write=False)
+            if gains_v is gains_u:
+                self._gains_t = (gains_ut, gains_ut)
+            else:
+                gains_vt = np.ascontiguousarray(gains_v.T)
+                gains_vt.setflags(write=False)
+                self._gains_t = (gains_ut, gains_vt)
+        return self._gains_t
+
+    @property
+    def gains_ut(self) -> np.ndarray:
+        """Contiguous transpose of :attr:`gains_u` (read-only, cached).
+
+        ``gains_ut[j]`` is the gain *column* of request ``j`` — what
+        every other request suffers when ``j`` transmits — laid out
+        contiguously.  Column-consuming hot loops (the scheduler
+        kernels, the accumulator's O(n) membership updates) read this
+        instead of strided ``gains_u[:, j]`` views, which cost one
+        cache miss per element on large instances.
+        """
+        return self._gain_pair_t()[0]
+
+    @property
+    def gains_vt(self) -> np.ndarray:
+        """Contiguous transpose of :attr:`gains_v` (read-only, cached;
+        aliases :attr:`gains_ut` in the directed variant)."""
+        return self._gain_pair_t()[1]
+
+    @property
+    def has_infinite_gains(self) -> bool:
+        """Does any gain entry equal ``inf`` (shared-node pairs)?
+
+        Computed once per context.  The accumulator and the scheduler
+        kernels take a cheaper all-finite fast path (no per-update
+        ``isfinite`` masking) when this is ``False`` — which is every
+        instance without shared-node pairs.
+        """
+        if self._has_inf is None:
+            gains_u, gains_v = self._gain_pair()
+            has_inf = not bool(np.all(np.isfinite(gains_u)))
+            if not has_inf and gains_v is not gains_u:
+                has_inf = not bool(np.all(np.isfinite(gains_v)))
+            self._has_inf = has_inf
+        return self._has_inf
 
     def budgets(
         self, beta: Optional[float] = None, noise: Optional[float] = None
@@ -480,16 +531,52 @@ class ClassAccumulator:
     def __contains__(self, request: int) -> bool:
         return bool(self._mask[int(request)])
 
-    def _accumulate_column(self, request: int, sign: int) -> None:
+    def _apply_columns(self, members: np.ndarray, sign: int) -> None:
+        """Accumulate the gain columns of *members* into the running
+        sums — one vectorized pass per endpoint, shared by single-add,
+        remove and bulk initialization.
+
+        Instances without shared-node pairs (the common case, detected
+        once via :attr:`InterferenceContext.has_infinite_gains`) skip
+        the per-update ``isfinite`` masking entirely: the finite sum is
+        a plain column (sum) add and the infinite counts stay zero.
+        Values are bit-identical either way (``np.where`` with an
+        all-true mask is the identity).
+        """
+        single = members.size == 1
+        finite_gains = not self.context.has_infinite_gains
         for fin, ninf, npos, gains in (
             (self._fin_u, self._ninf_u, self._npos_u, self.context.gains_u),
             (self._fin_v, self._ninf_v, self._npos_v, self.context.gains_v),
         ):
-            column = gains[:, request]
-            finite = np.isfinite(column)
-            np.add(fin, sign * np.where(finite, column, 0.0), out=fin)
-            np.add(ninf, sign * ~finite, out=ninf)
-            np.add(npos, sign * (finite & (column > 0)), out=npos)
+            if single:
+                columns = gains[:, members[0]]
+                if finite_gains:
+                    np.add(fin, sign * columns, out=fin)
+                    np.add(npos, sign * (columns > 0), out=npos)
+                else:
+                    finite = np.isfinite(columns)
+                    np.add(fin, sign * np.where(finite, columns, 0.0), out=fin)
+                    np.add(ninf, sign * ~finite, out=ninf)
+                    np.add(npos, sign * (finite & (columns > 0)), out=npos)
+            else:
+                columns = gains[:, members]
+                if finite_gains:
+                    np.add(fin, sign * columns.sum(axis=1), out=fin)
+                    np.add(npos, sign * (columns > 0).sum(axis=1), out=npos)
+                else:
+                    finite = np.isfinite(columns)
+                    np.add(
+                        fin,
+                        sign * np.where(finite, columns, 0.0).sum(axis=1),
+                        out=fin,
+                    )
+                    np.add(ninf, sign * (~finite).sum(axis=1), out=ninf)
+                    np.add(
+                        npos,
+                        sign * (finite & (columns > 0)).sum(axis=1),
+                        out=npos,
+                    )
             if self._directed:
                 break
 
@@ -500,17 +587,7 @@ class ClassAccumulator:
             raise ValueError("duplicate member in bulk initialization")
         self._mask[members] = True
         self._order.extend(int(i) for i in members)
-        for fin, ninf, npos, gains in (
-            (self._fin_u, self._ninf_u, self._npos_u, self.context.gains_u),
-            (self._fin_v, self._ninf_v, self._npos_v, self.context.gains_v),
-        ):
-            columns = gains[:, members]
-            finite = np.isfinite(columns)
-            np.add(fin, np.where(finite, columns, 0.0).sum(axis=1), out=fin)
-            np.add(ninf, (~finite).sum(axis=1), out=ninf)
-            np.add(npos, (finite & (columns > 0)).sum(axis=1), out=npos)
-            if self._directed:
-                break
+        self._apply_columns(members, +1)
 
     def add(self, request: int) -> None:
         """Add *request* to the class — O(n)."""
@@ -519,7 +596,7 @@ class ClassAccumulator:
             raise ValueError(f"request {request} is already a member")
         self._mask[request] = True
         self._order.append(request)
-        self._accumulate_column(request, +1)
+        self._apply_columns(np.asarray([request], dtype=int), +1)
 
     def remove(self, request: int) -> None:
         """Remove *request* from the class — O(n), exact even for
@@ -539,7 +616,7 @@ class ClassAccumulator:
             self._ninf_v.fill(0)
             self._npos_v.fill(0)
         else:
-            self._accumulate_column(request, -1)
+            self._apply_columns(np.asarray([request], dtype=int), -1)
 
     # -- queries -------------------------------------------------------
 

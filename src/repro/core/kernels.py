@@ -1,0 +1,938 @@
+"""Vectorized scheduling kernels on cached gain matrices.
+
+The schedulers in :mod:`repro.scheduling` share one inner loop: test
+whether a request may join a color class, then commit or move on.  With
+the PR-1 engine that loop ran one :class:`~repro.core.context.ClassAccumulator`
+query per *(request, class)* pair — O(n·C) interpreter-bound
+iterations, each issuing a handful of tiny NumPy calls, on top of gain
+matrices that are already fully cached.  This module keeps **every**
+class's state dense so the whole scan collapses into a constant number
+of vectorized passes:
+
+* :class:`ScheduleKernel` — all color classes of one
+  schedule-in-progress as ``(C, n)`` interference matrices per endpoint
+  (finite sums plus the accumulator's exact infinite/positive
+  contribution counts).  First-fit placement becomes **one** admission
+  check across every open class per request
+  (:meth:`~ScheduleKernel.first_fit_admit`), and local-search moves
+  become delta checks (:meth:`~ScheduleKernel.admissible_targets`) with
+  snapshot/restore rollback instead of per-move subset rebuilds.
+* :func:`peel_max_feasible_subset` — the greedy peeling primitive on a
+  compacting submatrix buffer: **bit-identical** decisions to
+  :meth:`InterferenceContext.greedy_max_feasible_subset` (same pairwise
+  row sums, same operation order) without re-gathering an O(k²) block
+  from the full gain matrices every round.
+* :func:`stacked_first_fit` — the first-fit kernel over stacked
+  ``(B, n, n)`` gains, scheduling a whole
+  :class:`~repro.core.batch.ContextBatch` of same-shape instances in
+  lockstep (one vectorized admission pass per order position covers all
+  ``B`` pairs).
+
+Numerical contract
+------------------
+
+:meth:`ScheduleKernel.first_fit_admit` reproduces the sequential
+``ClassAccumulator`` scan of the PR-1 engine **bit-for-bit**: class
+rows accumulate gain columns in the same insertion order with the same
+operations, interference is resolved with the same
+``interference_parts`` formula, and the comparisons are the same
+elementwise float ops — so the admitted class (and hence every
+first-fit schedule) is identical, enforced by the conformance suite
+and the determinism goldens.  :func:`peel_max_feasible_subset` is
+bit-identical too (fresh pairwise sums each round on compacted
+buffers).  The local-search delta checks are the one exception: like
+the accumulator itself they maintain sums incrementally, so they agree
+with from-scratch subset margins only up to floating-point accumulation
+order (~1e-16 relative, far inside the 1e-9 feasibility tolerance);
+``tests/core/test_kernels.py`` asserts the emitted colorings match the
+reference path exactly on the conformance grid.
+
+Disabling the kernels
+---------------------
+
+``with kernels_disabled(): ...`` routes the rewired schedulers back to
+their PR-1 accumulator/subset-rebuild engine paths (the conformance
+references), exactly like :func:`repro.core.context.engine_disabled`
+restores the pre-engine code.  The benchmark
+(``benchmarks/bench_scheduler_kernels.py``) uses it to time the
+reference paths honestly.
+
+When to use what
+----------------
+
+* One-off queries → the public wrappers / ``InterferenceContext``
+  methods (cached, vectorized, no state to manage).
+* One set growing/shrinking a request at a time →
+  :class:`~repro.core.context.ClassAccumulator` (O(n) membership
+  changes, O(k) feasibility probes).
+* *Many* classes probed per request (schedulers, searches) →
+  :class:`ScheduleKernel` (one vectorized pass over all classes).
+* Many same-shape instances → :func:`stacked_first_fit` via
+  :meth:`repro.core.batch.ContextBatch.first_fit_schedules`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.context import (
+    DEFAULT_RTOL,
+    InterferenceContext,
+    _margins_from,
+)
+
+__all__ = [
+    "ScheduleKernel",
+    "first_fit_colors",
+    "peel_max_feasible_subset",
+    "stacked_first_fit",
+    "kernels_enabled",
+    "set_kernels_enabled",
+    "kernels_disabled",
+]
+
+
+# ----------------------------------------------------------------------
+# Kernel toggle (mirrors the engine toggle in repro.core.context)
+# ----------------------------------------------------------------------
+
+_kernels_enabled = True
+
+
+def kernels_enabled() -> bool:
+    """Are the vectorized scheduler kernels active on the engine paths?"""
+    return _kernels_enabled
+
+
+def set_kernels_enabled(flag: bool) -> None:
+    """Globally enable/disable the kernel paths (disabled = the PR-1
+    accumulator / subset-rebuild engine paths)."""
+    global _kernels_enabled
+    _kernels_enabled = bool(flag)
+
+
+@contextmanager
+def kernels_disabled() -> Iterator[None]:
+    """Temporarily restore the accumulator-based engine paths."""
+    previous = _kernels_enabled
+    set_kernels_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernels_enabled(previous)
+
+
+def _resolve(
+    fin: np.ndarray, ninf: np.ndarray, npos: np.ndarray, finite: bool = False
+) -> np.ndarray:
+    """The accumulator's exact interference resolution: ``inf`` wins,
+    no positive contributor is an exact 0, else the clamped running sum
+    (bit-identical to ``ClassAccumulator.interference_parts``).
+
+    With *finite* the infinite counts are known to be all zero and the
+    ``inf`` overlay — then an identity — is skipped.
+    """
+    values = np.where(npos > 0, np.maximum(fin, 0.0), 0.0)
+    if finite:
+        return values
+    return np.where(ninf > 0, np.inf, values)
+
+
+class ScheduleKernel:
+    """Dense multi-class interference state for one schedule-in-progress.
+
+    Maintains, for every color class ``c`` and every request ``i`` of
+    the instance, the interference class ``c``'s members induce at
+    ``i`` — as ``(C, n)`` arrays per endpoint, using the same
+    finite-sum / infinite-count / positive-count bookkeeping as
+    :class:`~repro.core.context.ClassAccumulator` (so shared-node and
+    emptied-class cases stay exact).  On top of the per-class rows it
+    keeps per-request *own-class* state (each placed request's entry of
+    its own class row, maintained bitwise-equal), so member-side
+    admission checks run as one ``(n,)`` broadcast instead of a Python
+    loop over classes.
+
+    Parameters
+    ----------
+    context:
+        The shared :class:`InterferenceContext` (cached gain matrices).
+    beta, noise:
+        Defaults for margin-style checks; fall back to the context's.
+    capacity:
+        Initial number of preallocated class rows (grows by doubling).
+    """
+
+    def __init__(
+        self,
+        context: InterferenceContext,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+        capacity: int = 4,
+    ):
+        self.context = context
+        self.beta = context.beta if beta is None else float(beta)
+        self.noise = context.noise if noise is None else float(noise)
+        n = context.n
+        self._n = n
+        self._directed = context.gains_u is context.gains_v
+        self._finite = not context.has_infinite_gains
+        self._colors = np.full(n, -1, dtype=int)
+        self._sizes: List[int] = []
+        cap = max(1, int(capacity))
+        self._fin_u = np.zeros((cap, n))
+        self._ninf_u = np.zeros((cap, n), dtype=np.int64)
+        self._npos_u = np.zeros((cap, n), dtype=np.int64)
+        self._own_fin_u = np.zeros(n)
+        self._own_ninf_u = np.zeros(n, dtype=np.int64)
+        self._own_npos_u = np.zeros(n, dtype=np.int64)
+        if self._directed:
+            self._fin_v = self._fin_u
+            self._ninf_v = self._ninf_u
+            self._npos_v = self._npos_u
+            self._own_fin_v = self._own_fin_u
+            self._own_ninf_v = self._own_ninf_u
+            self._own_npos_v = self._own_npos_u
+        else:
+            self._fin_v = np.zeros((cap, n))
+            self._ninf_v = np.zeros((cap, n), dtype=np.int64)
+            self._npos_v = np.zeros((cap, n), dtype=np.int64)
+            self._own_fin_v = np.zeros(n)
+            self._own_ninf_v = np.zeros(n, dtype=np.int64)
+            self._own_npos_v = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Construction / introspection
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_colors(
+        cls,
+        context: InterferenceContext,
+        colors: np.ndarray,
+        beta: Optional[float] = None,
+        noise: Optional[float] = None,
+    ) -> "ScheduleKernel":
+        """A kernel seeded from a dense coloring (entries ``0 .. C-1``;
+        ``-1`` marks unplaced requests).  Class rows are bulk-seeded in
+        one vectorized pass per class."""
+        colors = np.asarray(colors, dtype=int).reshape(-1)
+        if colors.shape != (context.n,):
+            raise ValueError(
+                f"colors must have shape ({context.n},), got {colors.shape}"
+            )
+        num_classes = int(colors.max()) + 1 if colors.size and colors.max() >= 0 else 0
+        kernel = cls(context, beta=beta, noise=noise, capacity=max(1, num_classes))
+        for color in range(num_classes):
+            members = np.flatnonzero(colors == color)
+            kernel._sizes.append(int(members.size))
+            if members.size == 0:
+                continue
+            kernel._bulk_seed(color, members)
+        kernel._colors = colors.copy()
+        idx = np.flatnonzero(colors >= 0)
+        pairs = [
+            (kernel._own_fin_u, kernel._fin_u),
+            (kernel._own_ninf_u, kernel._ninf_u),
+            (kernel._own_npos_u, kernel._npos_u),
+        ]
+        if not kernel._directed:
+            pairs += [
+                (kernel._own_fin_v, kernel._fin_v),
+                (kernel._own_ninf_v, kernel._ninf_v),
+                (kernel._own_npos_v, kernel._npos_v),
+            ]
+        for own, rows in pairs:
+            own[idx] = rows[colors[idx], idx]
+        return kernel
+
+    @property
+    def n(self) -> int:
+        """Number of requests."""
+        return self._n
+
+    @property
+    def num_classes(self) -> int:
+        """Number of (open) color classes."""
+        return len(self._sizes)
+
+    @property
+    def colors(self) -> np.ndarray:
+        """Current color per request, ``-1`` for unplaced (read-only view)."""
+        view = self._colors.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def class_sizes(self) -> np.ndarray:
+        """Member count per class."""
+        return np.asarray(self._sizes, dtype=int)
+
+    # ------------------------------------------------------------------
+    # State updates
+    # ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        cap = self._fin_u.shape[0]
+        new_cap = max(1, 2 * cap)
+
+        def enlarge(arr: np.ndarray) -> np.ndarray:
+            out = np.zeros((new_cap, self._n), dtype=arr.dtype)
+            out[:cap] = arr
+            return out
+
+        self._fin_u = enlarge(self._fin_u)
+        self._ninf_u = enlarge(self._ninf_u)
+        self._npos_u = enlarge(self._npos_u)
+        if self._directed:
+            self._fin_v = self._fin_u
+            self._ninf_v = self._ninf_u
+            self._npos_v = self._npos_u
+        else:
+            self._fin_v = enlarge(self._fin_v)
+            self._ninf_v = enlarge(self._ninf_v)
+            self._npos_v = enlarge(self._npos_v)
+
+    def _endpoint_rows(self):
+        # gains is the row-major matrix (for bulk pairwise column
+        # sums), gains_t its contiguous transpose (for cache-friendly
+        # single-column reads); values are identical.
+        yield (
+            self._fin_u,
+            self._ninf_u,
+            self._npos_u,
+            self._own_fin_u,
+            self._own_ninf_u,
+            self._own_npos_u,
+            self.context.gains_u,
+            self.context.gains_ut,
+        )
+        if not self._directed:
+            yield (
+                self._fin_v,
+                self._ninf_v,
+                self._npos_v,
+                self._own_fin_v,
+                self._own_ninf_v,
+                self._own_npos_v,
+                self.context.gains_v,
+                self.context.gains_vt,
+            )
+
+    def _bulk_seed(self, color: int, members: np.ndarray) -> None:
+        """Seed class *color* with *members* in one vectorized pass
+        (same pairwise column sums as ``ClassAccumulator._bulk_add``)."""
+        for fin, ninf, npos, _, _, _, gains, _ in self._endpoint_rows():
+            columns = gains[:, members]
+            if self._finite:
+                np.add(fin[color], columns.sum(axis=1), out=fin[color])
+                np.add(npos[color], (columns > 0).sum(axis=1), out=npos[color])
+            else:
+                finite = np.isfinite(columns)
+                np.add(
+                    fin[color],
+                    np.where(finite, columns, 0.0).sum(axis=1),
+                    out=fin[color],
+                )
+                np.add(ninf[color], (~finite).sum(axis=1), out=ninf[color])
+                np.add(
+                    npos[color],
+                    (finite & (columns > 0)).sum(axis=1),
+                    out=npos[color],
+                )
+
+    def open_class(self) -> int:
+        """Open a fresh (empty) color class; returns its index."""
+        color = len(self._sizes)
+        if color >= self._fin_u.shape[0]:
+            self._grow()
+        self._sizes.append(0)
+        return color
+
+    def add(self, request: int, color: int) -> None:
+        """Place *request* into class *color* — O(n).
+
+        The class row accumulates the request's gain column with the
+        exact operations ``ClassAccumulator.add`` uses, so kernel and
+        accumulator state stay bitwise equal under the same insertion
+        sequence.
+        """
+        request = int(request)
+        color = int(color)
+        if self._colors[request] >= 0:
+            raise ValueError(f"request {request} is already placed")
+        if not 0 <= color < len(self._sizes):
+            raise ValueError(f"class {color} is not open")
+        peers = self._colors == color
+        for fin, ninf, npos, own_fin, own_ninf, own_npos, _, gains_t in (
+            self._endpoint_rows()
+        ):
+            column = gains_t[request]
+            if self._finite:
+                add_pos = column > 0
+                np.add(fin[color], column, out=fin[color])
+                np.add(npos[color], add_pos, out=npos[color])
+                np.add(own_fin, column, out=own_fin, where=peers)
+                np.add(own_npos, add_pos, out=own_npos, where=peers)
+            else:
+                finite = np.isfinite(column)
+                add_fin = np.where(finite, column, 0.0)
+                add_inf = ~finite
+                add_pos = finite & (column > 0)
+                np.add(fin[color], add_fin, out=fin[color])
+                np.add(ninf[color], add_inf, out=ninf[color])
+                np.add(npos[color], add_pos, out=npos[color])
+                np.add(own_fin, add_fin, out=own_fin, where=peers)
+                np.add(own_ninf, add_inf, out=own_ninf, where=peers)
+                np.add(own_npos, add_pos, out=own_npos, where=peers)
+            # The newcomer's own-class entry is an exact copy of its row
+            # cell (its peers' updates above never touch it: the gain
+            # diagonal is zero but the copy keeps this correct even so).
+            own_fin[request] = fin[color, request]
+            own_ninf[request] = ninf[color, request]
+            own_npos[request] = npos[color, request]
+        self._colors[request] = color
+        self._sizes[color] += 1
+
+    def remove(self, request: int) -> int:
+        """Remove *request* from its class — O(n); returns the class.
+
+        Exact for shared-node members (infinite counts) and for emptied
+        classes (rows reset to exact zero), mirroring
+        ``ClassAccumulator.remove``.
+        """
+        request = int(request)
+        color = int(self._colors[request])
+        if color < 0:
+            raise ValueError(f"request {request} is not placed")
+        self._colors[request] = -1
+        self._sizes[color] -= 1
+        emptied = self._sizes[color] == 0
+        peers = self._colors == color
+        for fin, ninf, npos, own_fin, own_ninf, own_npos, _, gains_t in (
+            self._endpoint_rows()
+        ):
+            if emptied:
+                fin[color].fill(0.0)
+                ninf[color].fill(0)
+                npos[color].fill(0)
+            else:
+                column = gains_t[request]
+                if self._finite:
+                    sub_pos = column > 0
+                    np.subtract(fin[color], column, out=fin[color])
+                    np.subtract(npos[color], sub_pos, out=npos[color])
+                    np.subtract(own_fin, column, out=own_fin, where=peers)
+                    np.subtract(own_npos, sub_pos, out=own_npos, where=peers)
+                else:
+                    finite = np.isfinite(column)
+                    sub_fin = np.where(finite, column, 0.0)
+                    sub_inf = ~finite
+                    sub_pos = finite & (column > 0)
+                    np.subtract(fin[color], sub_fin, out=fin[color])
+                    np.subtract(ninf[color], sub_inf, out=ninf[color])
+                    np.subtract(npos[color], sub_pos, out=npos[color])
+                    np.subtract(own_fin, sub_fin, out=own_fin, where=peers)
+                    np.subtract(own_ninf, sub_inf, out=own_ninf, where=peers)
+                    np.subtract(own_npos, sub_pos, out=own_npos, where=peers)
+            own_fin[request] = 0.0
+            own_ninf[request] = 0
+            own_npos[request] = 0
+        return color
+
+    def move(self, request: int, color: int) -> None:
+        """Move a placed *request* into class *color* (remove + add)."""
+        self.remove(request)
+        self.add(request, color)
+
+    def drop_empty_class(self, color: int) -> None:
+        """Delete an emptied class; higher class ids shift down by one
+        (matching a dense ``np.unique`` recompaction of the colors)."""
+        color = int(color)
+        if self._sizes[color] != 0:
+            raise ValueError(f"class {color} is not empty")
+        count = len(self._sizes)
+        for fin, ninf, npos, _, _, _, _, _ in self._endpoint_rows():
+            fin[color : count - 1] = fin[color + 1 : count]
+            fin[count - 1].fill(0.0)
+            ninf[color : count - 1] = ninf[color + 1 : count]
+            ninf[count - 1].fill(0)
+            npos[color : count - 1] = npos[color + 1 : count]
+            npos[count - 1].fill(0)
+        self._sizes.pop(color)
+        np.subtract(
+            self._colors, 1, out=self._colors, where=self._colors > color
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / rollback
+    # ------------------------------------------------------------------
+
+    def _row_arrays(self) -> List[np.ndarray]:
+        rows = [self._fin_u, self._ninf_u, self._npos_u]
+        if not self._directed:
+            rows += [self._fin_v, self._ninf_v, self._npos_v]
+        return rows
+
+    def _own_arrays(self) -> List[np.ndarray]:
+        own = [self._own_fin_u, self._own_ninf_u, self._own_npos_u]
+        if not self._directed:
+            own += [self._own_fin_v, self._own_ninf_v, self._own_npos_v]
+        return own
+
+    def snapshot(self) -> Dict[str, object]:
+        """An exact (bitwise) copy of the kernel state.  Restoring it
+        makes a failed sequence of moves perfectly side-effect-free —
+        no recompute, no accumulated rounding residue."""
+        return {
+            "colors": self._colors.copy(),
+            "sizes": list(self._sizes),
+            "rows": [arr[: len(self._sizes)].copy() for arr in self._row_arrays()],
+            "own": [arr.copy() for arr in self._own_arrays()],
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot` (bitwise; O(C·n) memcpy).
+
+        Rows are written into the kernel's *current* arrays, so a
+        restore stays correct even if :meth:`open_class` grew the
+        class-row allocation after the snapshot was taken (every row at
+        or above the snapshot's class count is reset to exact zero).
+        """
+        self._colors[:] = state["colors"]
+        self._sizes = list(state["sizes"])
+        count = len(self._sizes)
+        for arr, saved in zip(self._row_arrays(), state["rows"]):
+            arr[:count] = saved
+            arr[count:].fill(0)
+        for arr, saved in zip(self._own_arrays(), state["own"]):
+            arr[:] = saved
+
+    # ------------------------------------------------------------------
+    # Vectorized admission checks
+    # ------------------------------------------------------------------
+
+    def class_interference(self, request: int) -> np.ndarray:
+        """Worst-endpoint interference each class would induce at
+        *request* — ``(C,)``, resolved with the accumulator's exact
+        inf/zero semantics."""
+        request = int(request)
+        count = len(self._sizes)
+        res_u = _resolve(
+            self._fin_u[:count, request],
+            self._ninf_u[:count, request],
+            self._npos_u[:count, request],
+            self._finite,
+        )
+        if self._directed:
+            return res_u
+        res_v = _resolve(
+            self._fin_v[:count, request],
+            self._ninf_v[:count, request],
+            self._npos_v[:count, request],
+            self._finite,
+        )
+        return np.maximum(res_u, res_v)
+
+    def first_fit_admit(self, request: int, limits: np.ndarray) -> int:
+        """First class *request* can join under interference budgets
+        *limits*, or ``-1``.
+
+        *limits* is the per-request tolerance-scaled budget array
+        (``budget * (1 + rtol)``).  One vectorized pass evaluates the
+        candidate-budget check for **all** classes and the member-budget
+        delta check for **all** placed requests; decisions are
+        bit-identical to scanning the classes one
+        :class:`ClassAccumulator` at a time.
+        """
+        request = int(request)
+        count = len(self._sizes)
+        if count == 0:
+            return -1
+        cand_u = _resolve(
+            self._fin_u[:count, request],
+            self._ninf_u[:count, request],
+            self._npos_u[:count, request],
+            self._finite,
+        )
+        if self._directed:
+            cand = cand_u
+        else:
+            cand_v = _resolve(
+                self._fin_v[:count, request],
+                self._ninf_v[:count, request],
+                self._npos_v[:count, request],
+                self._finite,
+            )
+            cand = np.maximum(cand_u, cand_v)
+        admit = ~(cand > limits[request])
+        if not np.any(admit):
+            return -1
+        placed = self._colors >= 0
+        own_u = _resolve(
+            self._own_fin_u, self._own_ninf_u, self._own_npos_u, self._finite
+        )
+        viol = placed & ((own_u + self.context.gains_ut[request]) > limits)
+        if not self._directed:
+            own_v = _resolve(
+                self._own_fin_v, self._own_ninf_v, self._own_npos_v, self._finite
+            )
+            viol |= placed & (
+                (own_v + self.context.gains_vt[request]) > limits
+            )
+        if np.any(viol):
+            bad = np.bincount(self._colors[viol], minlength=count)[:count] > 0
+            admit &= ~bad
+            if not np.any(admit):
+                return -1
+        return int(np.argmax(admit))
+
+    def admissible_targets(
+        self, request: int, rtol: float = DEFAULT_RTOL
+    ) -> np.ndarray:
+        """Margin-style admissibility of *request* to every class —
+        ``(C,)`` bool.
+
+        A class is admissible when the request's own SINR margin
+        against the class *and* every member's margin with the
+        request's gain column added stay ``>= 1 - rtol`` (the
+        ``is_feasible_subset`` semantics local search uses).  If the
+        request is currently placed, its own class's entry is
+        meaningless and callers must skip it.
+        """
+        request = int(request)
+        count = len(self._sizes)
+        threshold = 1.0 - rtol
+        signals = self.context.signals
+        cand = self.class_interference(request)
+        cand_margins = _margins_from(
+            np.broadcast_to(signals[request], (count,)),
+            cand,
+            self.beta,
+            self.noise,
+        )
+        admissible = cand_margins >= threshold
+        if not np.any(admissible):
+            return admissible
+        placed = self._colors >= 0
+        own_u = _resolve(
+            self._own_fin_u, self._own_ninf_u, self._own_npos_u, self._finite
+        )
+        new_interf = own_u + self.context.gains_ut[request]
+        if not self._directed:
+            own_v = _resolve(
+                self._own_fin_v, self._own_ninf_v, self._own_npos_v, self._finite
+            )
+            new_interf = np.maximum(
+                new_interf, own_v + self.context.gains_vt[request]
+            )
+        member_margins = _margins_from(
+            signals, new_interf, self.beta, self.noise
+        )
+        viol = placed & ~(member_margins >= threshold)
+        if np.any(viol):
+            bad = np.bincount(self._colors[viol], minlength=count)[:count] > 0
+            admissible &= ~bad
+        return admissible
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScheduleKernel(C={len(self._sizes)}, n={self._n}, "
+            f"beta={self.beta}, noise={self.noise})"
+        )
+
+
+def first_fit_colors(
+    context: InterferenceContext,
+    order: np.ndarray,
+    limits: np.ndarray,
+) -> np.ndarray:
+    """The kernel first-fit admission loop for one context.
+
+    Shared by :func:`repro.scheduling.firstfit.first_fit_schedule` and
+    the ragged fallback of
+    :meth:`repro.core.batch.ContextBatch.first_fit_schedules`, so the
+    admission semantics live in exactly one place.  *limits* is the
+    tolerance-scaled budget array (``budget * (1 + rtol)``).
+    """
+    kernel = ScheduleKernel(context)
+    for req in order:
+        req = int(req)
+        color = kernel.first_fit_admit(req, limits)
+        if color < 0:
+            color = kernel.open_class()
+        kernel.add(req, color)
+    return kernel.colors
+
+
+# ----------------------------------------------------------------------
+# Greedy peeling on a compacting submatrix buffer
+# ----------------------------------------------------------------------
+
+
+def peel_max_feasible_subset(
+    context: InterferenceContext,
+    candidates: Optional[Sequence[int]] = None,
+    beta: Optional[float] = None,
+    rtol: float = DEFAULT_RTOL,
+) -> np.ndarray:
+    """A maximal feasible subset of *candidates* (peel worst margin,
+    then re-add) — bit-identical to
+    :meth:`InterferenceContext.greedy_max_feasible_subset`.
+
+    The reference implementation re-gathers an O(k²) gain block from
+    the full cached matrices every peeling round.  This kernel gathers
+    the block **once** and compacts it in place as requests are
+    peeled; each round's row sums run over a buffer with the same
+    values, order and contiguity as a fresh gather, so NumPy's pairwise
+    summation produces the same bits and every argmin/threshold
+    decision is preserved exactly.
+    """
+    if candidates is None:
+        idx = np.arange(context.n)
+    else:
+        idx = np.asarray([int(i) for i in candidates], dtype=int)
+    if idx.size == 0:
+        return np.asarray([], dtype=int)
+    if np.unique(idx).size != idx.size:
+        # Duplicate candidates name two copies of one request; the
+        # reference path defers to a from-scratch sub-instance there,
+        # so mirror it rather than de-duplicating silently.
+        return context.greedy_max_feasible_subset(
+            candidates=candidates, beta=beta, rtol=rtol
+        )
+    beta_v = context.beta if beta is None else float(beta)
+    noise = context.noise
+    gains_u, gains_v = context.gains_u, context.gains_v
+    directed = gains_v is gains_u
+    signals = context.signals
+    threshold = 1.0 - rtol
+
+    buf_u = gains_u[np.ix_(idx, idx)]
+    buf_v = buf_u if directed else gains_v[np.ix_(idx, idx)]
+    sig = signals[idx].copy()
+    order = idx.copy()
+    k = idx.size
+    dropped: List[int] = []
+
+    while k > 0:
+        interf = buf_u[:k, :k].sum(axis=1)
+        if not directed:
+            interf = np.maximum(interf, buf_v[:k, :k].sum(axis=1))
+        margins = _margins_from(sig[:k], interf, beta_v, noise)
+        if np.all(margins >= threshold):
+            break
+        p = int(np.argmin(margins))
+        dropped.append(int(order[p]))
+        for buf in (buf_u,) if directed else (buf_u, buf_v):
+            buf[p : k - 1, :k] = buf[p + 1 : k, :k]
+            buf[: k - 1, p : k - 1] = buf[: k - 1, p + 1 : k]
+        sig[p : k - 1] = sig[p + 1 : k]
+        order[p : k - 1] = order[p + 1 : k]
+        k -= 1
+
+    for req in reversed(dropped):
+        # Rebuild the (k+1, k+1) trial block so its row sums reproduce
+        # the reference's fresh pairwise summation bitwise.
+        t = k + 1
+        trial_sig = np.append(sig[:k], signals[req])
+        blocks: List[np.ndarray] = []
+        for gains, buf in (
+            ((gains_u, buf_u),) if directed else ((gains_u, buf_u), (gains_v, buf_v))
+        ):
+            tb = np.empty((t, t))
+            tb[:k, :k] = buf[:k, :k]
+            tb[:k, k] = gains[order[:k], req]
+            tb[k, :k] = gains[req, order[:k]]
+            tb[k, k] = gains[req, req]
+            blocks.append(tb)
+        interf = blocks[0].sum(axis=1)
+        if not directed:
+            interf = np.maximum(interf, blocks[1].sum(axis=1))
+        margins = _margins_from(trial_sig, interf, beta_v, noise)
+        if np.all(margins >= threshold):
+            for buf, tb in zip((buf_u,) if directed else (buf_u, buf_v), blocks):
+                buf[:k, k] = tb[:k, k]
+                buf[k, : k + 1] = tb[k, :]
+            sig[k] = trial_sig[k]
+            order[k] = req
+            k += 1
+
+    return np.asarray(sorted(int(i) for i in order[:k]), dtype=int)
+
+
+# ----------------------------------------------------------------------
+# Stacked (batched) first-fit over (B, n, n) gains
+# ----------------------------------------------------------------------
+
+
+def stacked_first_fit(
+    gains_ut: np.ndarray,
+    gains_vt: np.ndarray,
+    limits: np.ndarray,
+    orders: np.ndarray,
+    capacity: int = 4,
+    finite: Optional[bool] = None,
+) -> np.ndarray:
+    """First-fit colorings for a stack of instances in lockstep.
+
+    Parameters
+    ----------
+    gains_ut, gains_vt:
+        Stacked **transposed** gain matrices ``(B, n, n)`` —
+        ``gains_ut[b, j]`` is pair ``b``'s gain column of request ``j``
+        laid out contiguously (see
+        :attr:`InterferenceContext.gains_ut`).  Pass the same array
+        twice for the directed variant.
+    limits:
+        Tolerance-scaled interference budgets ``(B, n)``
+        (``budget * (1 + rtol)``).
+    orders:
+        Processing order per pair ``(B, n)``.
+    capacity:
+        Initial per-pair class-row allocation (grows by doubling).
+    finite:
+        Whether every gain entry is finite (no shared-node pairs).
+        Callers holding per-context state should pass
+        ``all(not ctx.has_infinite_gains ...)`` — that answer is cached
+        per context, while deriving it here costs a full O(B·n²) scan.
+
+    Returns
+    -------
+    ``(B, n)`` int colors.  Each slice is bit-identical to running the
+    :class:`ScheduleKernel` first-fit on that pair alone: all state
+    updates and comparisons are elementwise over the batch axis, so no
+    cross-pair accumulation order exists to differ.
+    """
+    num_pairs, n = orders.shape
+    directed = gains_vt is gains_ut
+    if finite is None:
+        finite = bool(np.all(np.isfinite(gains_ut)))
+        if finite and not directed:
+            finite = bool(np.all(np.isfinite(gains_vt)))
+    else:
+        finite = bool(finite)
+    b_ar = np.arange(num_pairs)
+    colors = np.full((num_pairs, n), -1, dtype=int)
+    num_classes = np.zeros(num_pairs, dtype=int)
+    cap = max(1, int(capacity))
+
+    def alloc(dtype):
+        return np.zeros((num_pairs, cap, n), dtype=dtype)
+
+    fin_u, ninf_u, npos_u = alloc(float), alloc(np.int64), alloc(np.int64)
+    own_fin_u = np.zeros((num_pairs, n))
+    own_ninf_u = np.zeros((num_pairs, n), dtype=np.int64)
+    own_npos_u = np.zeros((num_pairs, n), dtype=np.int64)
+    if directed:
+        fin_v, ninf_v, npos_v = fin_u, ninf_u, npos_u
+        own_fin_v, own_ninf_v, own_npos_v = own_fin_u, own_ninf_u, own_npos_u
+    else:
+        fin_v, ninf_v, npos_v = alloc(float), alloc(np.int64), alloc(np.int64)
+        own_fin_v = np.zeros((num_pairs, n))
+        own_ninf_v = np.zeros((num_pairs, n), dtype=np.int64)
+        own_npos_v = np.zeros((num_pairs, n), dtype=np.int64)
+
+    def grow():
+        nonlocal fin_u, ninf_u, npos_u, fin_v, ninf_v, npos_v, cap
+        new_cap = 2 * cap
+
+        def enlarge(arr):
+            out = np.zeros((num_pairs, new_cap, n), dtype=arr.dtype)
+            out[:, :cap] = arr
+            return out
+
+        fin_u, ninf_u, npos_u = enlarge(fin_u), enlarge(ninf_u), enlarge(npos_u)
+        if directed:
+            fin_v, ninf_v, npos_v = fin_u, ninf_u, npos_u
+        else:
+            fin_v, ninf_v, npos_v = (
+                enlarge(fin_v),
+                enlarge(ninf_v),
+                enlarge(npos_v),
+            )
+        cap = new_cap
+
+    def endpoints() -> List[Tuple]:
+        rows = [
+            (fin_u, ninf_u, npos_u, own_fin_u, own_ninf_u, own_npos_u, gains_ut)
+        ]
+        if not directed:
+            rows.append(
+                (fin_v, ninf_v, npos_v, own_fin_v, own_ninf_v, own_npos_v, gains_vt)
+            )
+        return rows
+
+    for step in range(n):
+        reqs = orders[:, step]
+        req_limits = limits[b_ar, reqs]  # (B,)
+        # Candidate-budget check across every open class of every pair.
+        cand_u = _resolve(
+            fin_u[b_ar, :, reqs],
+            ninf_u[b_ar, :, reqs],
+            npos_u[b_ar, :, reqs],
+            finite,
+        )  # (B, cap)
+        if directed:
+            cand = cand_u
+        else:
+            cand_v = _resolve(
+                fin_v[b_ar, :, reqs],
+                ninf_v[b_ar, :, reqs],
+                npos_v[b_ar, :, reqs],
+                finite,
+            )
+            cand = np.maximum(cand_u, cand_v)
+        open_mask = np.arange(cap)[None, :] < num_classes[:, None]
+        admit = open_mask & ~(cand > req_limits[:, None])
+        # Member-budget delta check across every placed request.
+        placed = colors >= 0
+        col_u = gains_ut[b_ar, reqs]  # (B, n): pair b's gain column of req_b
+        own_u = _resolve(own_fin_u, own_ninf_u, own_npos_u, finite)
+        viol = placed & ((own_u + col_u) > limits)
+        if not directed:
+            col_v = gains_vt[b_ar, reqs]
+            own_v = _resolve(own_fin_v, own_ninf_v, own_npos_v, finite)
+            viol |= placed & ((own_v + col_v) > limits)
+        if np.any(viol):
+            flat = (colors + cap * b_ar[:, None])[viol]
+            bad = np.bincount(flat, minlength=num_pairs * cap).reshape(
+                num_pairs, cap
+            ) > 0
+            admit &= ~bad
+        chosen = np.where(
+            admit.any(axis=1), np.argmax(admit, axis=1), num_classes
+        )
+        num_classes = np.maximum(num_classes, chosen + 1)
+        if np.any(num_classes > cap):
+            grow()
+        # Commit: accumulate the request's gain column into the chosen
+        # class row of each pair, update peers' own-class state, place.
+        peers = colors == chosen[:, None]  # (B, n)
+        for fin, ninf, npos, own_fin, own_ninf, own_npos, gains_t in endpoints():
+            column = gains_t[b_ar, reqs]  # (B, n)
+            if finite:
+                add_pos = column > 0
+                fin[b_ar, chosen] += column
+                npos[b_ar, chosen] += add_pos
+                np.add(own_fin, column, out=own_fin, where=peers)
+                np.add(own_npos, add_pos, out=own_npos, where=peers)
+            else:
+                col_finite = np.isfinite(column)
+                add_fin = np.where(col_finite, column, 0.0)
+                add_inf = ~col_finite
+                add_pos = col_finite & (column > 0)
+                fin[b_ar, chosen] += add_fin
+                ninf[b_ar, chosen] += add_inf
+                npos[b_ar, chosen] += add_pos
+                np.add(own_fin, add_fin, out=own_fin, where=peers)
+                np.add(own_ninf, add_inf, out=own_ninf, where=peers)
+                np.add(own_npos, add_pos, out=own_npos, where=peers)
+            own_fin[b_ar, reqs] = fin[b_ar, chosen, reqs]
+            own_ninf[b_ar, reqs] = ninf[b_ar, chosen, reqs]
+            own_npos[b_ar, reqs] = npos[b_ar, chosen, reqs]
+        colors[b_ar, reqs] = chosen
+
+    return colors

@@ -113,3 +113,29 @@ class Schedule:
         except InvalidScheduleError:
             return False
         return True
+
+
+def build_schedule(
+    colors: np.ndarray,
+    powers: np.ndarray,
+    copy_powers: bool = True,
+) -> Schedule:
+    """The shared constructor for scheduler outputs.
+
+    Every scheduler (engine, kernel and legacy paths alike) routes its
+    result through here so dtype/shape normalization and the structural
+    checks of :class:`Schedule` run exactly once, and so the emitted
+    schedule never aliases a caller-owned power array
+    (``copy_powers=True``, the default, takes a defensive copy; pass
+    ``False`` only when the array is already private to the caller).
+
+    The colors are always copied into a fresh writable array — some
+    producers (e.g. :class:`repro.core.kernels.ScheduleKernel`) hand
+    over read-only views, and the emitted schedule must be mutable and
+    independent of the producer's internal state either way.
+    """
+    colors = np.array(colors, dtype=int).reshape(-1)
+    powers = np.asarray(powers, dtype=float).reshape(-1)
+    if copy_powers:
+        powers = powers.copy()
+    return Schedule(colors=colors, powers=powers)

@@ -35,7 +35,7 @@ from repro.core.context import maybe_context
 from repro.core.errors import ReproError
 from repro.core.feasibility import feasible_subset_mask
 from repro.core.instance import Instance
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 from repro.power.base import PowerAssignment
 from repro.power.oblivious import SquareRootPower
 from repro.util.rng import RngLike, ensure_rng
@@ -164,4 +164,4 @@ def distributed_coloring(
             f"{int(pending.sum())} requests still pending after "
             f"{stats.slots} slots"
         )
-    return Schedule(colors=colors, powers=powers), stats
+    return build_schedule(colors, powers, copy_powers=False), stats

@@ -26,7 +26,7 @@ from repro.core.context import maybe_context
 from repro.core.errors import ReproError
 from repro.core.feasibility import is_feasible_subset
 from repro.core.instance import Instance
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 
 #: Hard cap: 3^16 subset-pair iterations is the practical ceiling.
 MAX_EXACT_N = 16
@@ -133,11 +133,11 @@ def exact_minimum_colors(
         color += 1
 
     if powers is not None:
-        schedule = Schedule(colors=assignment, powers=powers.copy())
+        schedule = build_schedule(assignment, powers)
     else:
         vec = np.ones(n)
         for c in range(opt):
             members = np.flatnonzero(assignment == c)
             vec[members] = free_powers(instance, members, beta=beta)
-        schedule = Schedule(colors=assignment, powers=vec)
+        schedule = build_schedule(assignment, vec, copy_powers=False)
     return opt, schedule

@@ -9,12 +9,18 @@ propositions.
 
 Two variants:
 
-* :func:`first_fit_schedule` — fixed power assignment; incremental
-  interference bookkeeping gives O(n^2) total work.  The bookkeeping
-  is a :class:`repro.core.context.ClassAccumulator` per class on the
-  shared :class:`~repro.core.context.InterferenceContext` (the legacy
-  private bookkeeping remains as the
-  :func:`~repro.core.context.engine_disabled` fallback).
+* :func:`first_fit_schedule` — fixed power assignment.  The default
+  path runs on the vectorized
+  :class:`repro.core.kernels.ScheduleKernel`: all color classes are
+  maintained simultaneously as dense ``(C, n)`` interference state, so
+  each request needs **one** admission check across every open class
+  instead of a Python loop over per-class accumulators.  The PR-1
+  per-class :class:`~repro.core.context.ClassAccumulator` scan remains
+  as the conformance reference under
+  :func:`~repro.core.kernels.kernels_disabled`, and the pre-engine
+  from-scratch bookkeeping under
+  :func:`~repro.core.context.engine_disabled`.  All three paths emit
+  bit-identical schedules.
 * :func:`first_fit_free_power_schedule` — powers are free per class;
   class feasibility is decided by power-control theory
   (:mod:`repro.analysis.power_control`) and each class receives its
@@ -40,7 +46,8 @@ from repro.core.interference import (
     bidirectional_gain_matrices,
     directed_gain_matrix,
 )
-from repro.core.schedule import Schedule
+from repro.core.kernels import first_fit_colors, kernels_enabled
+from repro.core.schedule import Schedule, build_schedule
 
 
 def _default_order(instance: Instance) -> np.ndarray:
@@ -51,7 +58,8 @@ def _default_order(instance: Instance) -> np.ndarray:
 @dataclass
 class _ClassState:
     """Legacy incremental bookkeeping for one color class (engine-off
-    path; the engine path uses :class:`ClassAccumulator` instead)."""
+    path; the engine path uses :class:`ClassAccumulator` or the
+    :class:`ScheduleKernel` instead)."""
 
     members: List[int]
     interference_u: np.ndarray  # running interference at each member (endpoint u)
@@ -70,6 +78,22 @@ def _check_budgets(
         )
 
 
+def _first_fit_kernel(
+    context: InterferenceContext,
+    powers: np.ndarray,
+    order: np.ndarray,
+    beta: float,
+    rtol: float,
+) -> Schedule:
+    """Kernel path: one vectorized admission check per request across
+    every open class (decision-identical to :func:`_first_fit_engine`)."""
+    signals = context.signals
+    budget = context.budgets(beta=beta)
+    _check_budgets(signals, budget, beta, context.noise)
+    limits = budget * (1.0 + rtol)
+    return build_schedule(first_fit_colors(context, order, limits), powers)
+
+
 def _first_fit_engine(
     context: InterferenceContext,
     powers: np.ndarray,
@@ -77,7 +101,8 @@ def _first_fit_engine(
     beta: float,
     rtol: float,
 ) -> Schedule:
-    """Engine path: per-class :class:`ClassAccumulator` bookkeeping."""
+    """Accumulator reference path: per-class :class:`ClassAccumulator`
+    bookkeeping, scanned one class at a time."""
     instance = context.instance
     noise = context.noise
     signals = context.signals
@@ -92,15 +117,17 @@ def _first_fit_engine(
     for req in order:
         placed = False
         for color, acc in enumerate(classes):
-            cand_u, cand_v = acc.interference_parts(np.asarray([req]))
-            if max(float(cand_u[0]), float(cand_v[0])) > budget[req] * tolerance:
-                continue
             members = acc.members
-            int_u, int_v = acc.interference_parts(members)
-            limits = budget[members] * tolerance
-            if np.any(int_u + gains_u[members, req] > limits):
+            # One resolution pass covers the candidate (last entry) and
+            # every member; values are identical to resolving them in
+            # two separate calls.
+            int_u, int_v = acc.interference_parts(np.append(members, req))
+            if max(float(int_u[-1]), float(int_v[-1])) > budget[req] * tolerance:
                 continue
-            if np.any(int_v + gains_v[members, req] > limits):
+            limits = budget[members] * tolerance
+            if np.any(int_u[:-1] + gains_u[members, req] > limits):
+                continue
+            if np.any(int_v[:-1] + gains_v[members, req] > limits):
                 continue
             acc.add(int(req))
             colors[req] = color
@@ -110,7 +137,7 @@ def _first_fit_engine(
             classes.append(context.accumulator(members=[int(req)], beta=beta))
             colors[req] = len(classes) - 1
 
-    return Schedule(colors=colors, powers=powers.copy())
+    return build_schedule(colors, powers)
 
 
 def first_fit_schedule(
@@ -140,6 +167,8 @@ def first_fit_schedule(
 
     context = maybe_context(instance, powers)
     if context is not None:
+        if kernels_enabled():
+            return _first_fit_kernel(context, powers, order, beta, rtol)
         return _first_fit_engine(context, powers, order, beta, rtol)
 
     if instance.direction is Direction.DIRECTED:
@@ -186,7 +215,7 @@ def first_fit_schedule(
             )
             colors[req] = len(classes) - 1
 
-    return Schedule(colors=colors, powers=powers.copy())
+    return build_schedule(colors, powers)
 
 
 def first_fit_free_power_schedule(
@@ -225,4 +254,4 @@ def first_fit_free_power_schedule(
     powers = np.ones(instance.n)
     for members in classes:
         powers[np.asarray(members)] = free_powers(instance, members, beta=beta)
-    return Schedule(colors=colors, powers=powers)
+    return build_schedule(colors, powers, copy_powers=False)

@@ -8,6 +8,22 @@ success the color disappears.  Repeats until a fixed point.
 The pass never increases the number of colors and never breaks
 feasibility, so it composes with every scheduler in this package
 (first-fit, peeling, LP pipeline, distributed protocol output).
+
+Move checks run, by default, as
+:class:`repro.core.kernels.ScheduleKernel` delta checks: the kernel
+keeps every class's interference state dense, so testing a move costs
+one vectorized pass (candidate margin against each class plus every
+member's margin with the candidate's gain column added) instead of
+rebuilding and re-validating the target subset from scratch, and a
+failed dissolution rolls back via an exact (bitwise) state snapshot.
+Under :func:`repro.core.kernels.kernels_disabled` — or with the engine
+off entirely — moves fall back to the subset-rebuild checks, with the
+per-target member lists hoisted per dissolution attempt instead of
+recomputed per (member, target) pair.  Kernel delta checks agree with
+the rebuild path up to floating-point accumulation order (the
+:class:`~repro.core.context.ClassAccumulator` contract, ~1e-16
+relative); the emitted colorings are asserted equal on the conformance
+grid in ``tests/core/test_kernels.py``.
 """
 
 from __future__ import annotations
@@ -19,7 +35,8 @@ import numpy as np
 from repro.core.context import InterferenceContext, maybe_context
 from repro.core.feasibility import is_feasible_subset
 from repro.core.instance import Instance
-from repro.core.schedule import Schedule
+from repro.core.kernels import ScheduleKernel, kernels_enabled
+from repro.core.schedule import Schedule, build_schedule
 
 
 def _subset_feasible(
@@ -42,25 +59,60 @@ def _try_empty_class(
     victim: int,
     beta: Optional[float],
 ) -> bool:
-    """Try to dissolve color class *victim* by moving its members.
+    """Subset-rebuild fallback: dissolve color class *victim* by moving
+    its members, re-validating each trial subset from scratch.
 
     Moves are committed member by member; on the first stuck member,
     every prior move is rolled back (all-or-nothing semantics keep the
-    invariant simple and the result a strict improvement).
+    invariant simple and the result a strict improvement).  Per-target
+    member lists are hoisted once per attempt and maintained in sorted
+    order as moves commit, so each trial costs one append instead of a
+    fresh ``np.flatnonzero`` scan.
     """
     members = np.flatnonzero(colors == victim)
     snapshot = colors.copy()
     targets = [c for c in np.unique(colors) if c != victim]
+    target_members = {c: np.flatnonzero(colors == c) for c in targets}
     for request in members:
         placed = False
         for target in targets:
-            trial = np.append(np.flatnonzero(colors == target), request)
+            trial = np.append(target_members[target], request)
             if _subset_feasible(instance, context, powers, trial, beta=beta):
                 colors[request] = target
+                current = target_members[target]
+                target_members[target] = np.insert(
+                    current, np.searchsorted(current, request), request
+                )
                 placed = True
                 break
         if not placed:
             colors[:] = snapshot
+            return False
+    return True
+
+
+def _try_empty_class_kernel(
+    kernel: ScheduleKernel, victim: int
+) -> bool:
+    """Kernel path: dissolve *victim* with vectorized delta checks.
+
+    One :meth:`ScheduleKernel.admissible_targets` pass per member
+    scores every potential target class at once; failed attempts
+    restore the pre-attempt state bitwise from a snapshot.
+    """
+    members = np.flatnonzero(kernel.colors == victim)
+    snapshot = kernel.snapshot()
+    targets = [int(c) for c in np.unique(kernel.colors) if c != victim]
+    for request in members:
+        admissible = kernel.admissible_targets(int(request))
+        placed = False
+        for target in targets:
+            if admissible[target]:
+                kernel.move(int(request), target)
+                placed = True
+                break
+        if not placed:
+            kernel.restore(snapshot)
             return False
     return True
 
@@ -90,25 +142,38 @@ def improve_schedule(
     colors = schedule.compacted().colors.copy()
     powers = schedule.powers
     context = maybe_context(instance, powers)
+    kernel: Optional[ScheduleKernel] = None
+    if context is not None and kernels_enabled():
+        kernel = ScheduleKernel.from_colors(context, colors, beta=beta)
     if max_rounds is None:
         max_rounds = int(np.unique(colors).size)
 
     for _ in range(max_rounds):
-        sizes = {c: int(np.sum(colors == c)) for c in np.unique(colors)}
+        current = kernel.colors if kernel is not None else colors
+        sizes = {c: int(np.sum(current == c)) for c in np.unique(current)}
         if len(sizes) <= 1:
             break
         # Try victims from the smallest class upward; stop the round at
         # the first success (classes change) or give up entirely.
         dissolved = False
         for victim in sorted(sizes, key=lambda c: (sizes[c], c)):
-            if _try_empty_class(instance, context, colors, powers, victim, beta):
-                dissolved = True
+            if kernel is not None:
+                dissolved = _try_empty_class_kernel(kernel, int(victim))
+            else:
+                dissolved = _try_empty_class(
+                    instance, context, colors, powers, victim, beta
+                )
+            if dissolved:
                 break
         if not dissolved:
             break
         # Re-compact so color ids stay dense.
-        _, colors = np.unique(colors, return_inverse=True)
+        if kernel is not None:
+            kernel.drop_empty_class(int(victim))
+        else:
+            _, colors = np.unique(colors, return_inverse=True)
 
-    improved = Schedule(colors=colors, powers=powers.copy())
+    final = kernel.colors if kernel is not None else colors
+    improved = build_schedule(final, powers)
     improved.validate(instance, beta=beta)
     return improved

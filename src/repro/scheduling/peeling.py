@@ -17,7 +17,7 @@ import numpy as np
 from repro.analysis.capacity import greedy_max_feasible_subset
 from repro.core.context import maybe_context
 from repro.core.instance import Instance
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 
 
 def peeling_schedule(
@@ -30,7 +30,10 @@ def peeling_schedule(
 
     The shared :class:`~repro.core.context.InterferenceContext` is
     fetched once (when the engine is enabled) so every extraction round
-    reuses the same cached gain matrices.
+    reuses the same cached gain matrices, and each extraction runs on
+    the compacting peel kernel
+    (:func:`repro.core.kernels.peel_max_feasible_subset`, bit-identical
+    decisions) via :func:`greedy_max_feasible_subset`.
     """
     powers = np.asarray(powers, dtype=float)
     context = maybe_context(instance, powers)
@@ -55,4 +58,4 @@ def peeling_schedule(
         chosen = set(int(i) for i in subset)
         remaining = [i for i in remaining if i not in chosen]
         color += 1
-    return Schedule(colors=colors, powers=powers.copy())
+    return build_schedule(colors, powers)

@@ -23,7 +23,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.instance import Instance
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 from repro.scheduling.firstfit import first_fit_schedule
 
 
@@ -73,7 +73,7 @@ def protocol_schedule(
     raw_colors = np.asarray([greedy[i] for i in range(instance.n)], dtype=int)
     raw_count = int(np.unique(raw_colors).size)
     if not repair:
-        return Schedule(colors=raw_colors, powers=powers.copy()), raw_count
+        return build_schedule(raw_colors, powers), raw_count
 
     # Repair: process classes in order, splitting each into feasible
     # subclasses via first-fit restricted to the class.
@@ -86,4 +86,4 @@ def protocol_schedule(
         for local, global_req in enumerate(members):
             final_colors[global_req] = next_color + int(sub_schedule.colors[local])
         next_color += sub_schedule.num_colors
-    return Schedule(colors=final_colors, powers=powers.copy()), raw_count
+    return build_schedule(final_colors, powers), raw_count

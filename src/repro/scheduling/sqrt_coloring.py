@@ -21,6 +21,13 @@ Structure (Section 5), per extracted color class:
 The extracted class is colored, removed, and the process repeats —
 "It is easy to see that such a greedy approach yields an O(log n)
 approximation for the optimal number of colors."
+
+The repair (step 3) and thinning (step 4) passes are the hot path;
+they run through :func:`greedy_max_feasible_subset`, which executes on
+the compacting peel kernel
+(:func:`repro.core.kernels.peel_max_feasible_subset`) when the engine
+is enabled — bit-identical peeling decisions without re-gathering an
+O(k²) gain block every round.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ from repro.core.interference import (
     bidirectional_gain_matrices,
     directed_gain_matrix,
 )
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 from repro.power.oblivious import SquareRootPower
 from repro.util.rng import RngLike, ensure_rng
 
@@ -255,4 +262,4 @@ def sqrt_coloring(
         color += 1
         stats.rounds += 1
 
-    return Schedule(colors=colors, powers=powers), stats
+    return build_schedule(colors, powers, copy_powers=False), stats

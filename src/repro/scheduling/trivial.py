@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.instance import Instance
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 from repro.power.base import PowerAssignment
 from repro.power.oblivious import SquareRootPower
 
@@ -40,4 +40,4 @@ def trivial_schedule(
     if power is None:
         power = SquareRootPower()
     powers = power(instance)
-    return Schedule(colors=np.arange(instance.n), powers=powers)
+    return build_schedule(np.arange(instance.n), powers, copy_powers=False)

@@ -1,0 +1,503 @@
+"""Tests for the vectorized scheduler kernels (repro.core.kernels).
+
+Three layers of guarantees:
+
+* **Golden equality** — every rewired scheduler (first-fit, peeling,
+  sqrt-coloring, local search, greedy subset extraction) emits
+  bit-identical ``colors`` arrays on the kernel path and the PR-1
+  accumulator/subset-rebuild reference path
+  (:func:`repro.core.kernels.kernels_disabled`), across directed and
+  bidirectional instances including shared-node (infinite-gain) and
+  trivial (zero-interference) edge cases.
+* **Property tests** — random add/remove/move sequences keep the
+  :class:`ScheduleKernel` state bitwise equal to one
+  :class:`ClassAccumulator` per class, and snapshot/restore is an exact
+  rollback.
+* **Batch conformance** — :meth:`ContextBatch.first_fit_schedules`
+  equals per-pair :func:`first_fit_schedule` on stacked and ragged
+  batches.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.capacity import greedy_max_feasible_subset
+from repro.core.batch import ContextBatch
+from repro.core.context import clear_context_cache, engine_disabled, get_context
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Direction, Instance
+from repro.core.kernels import (
+    ScheduleKernel,
+    kernels_disabled,
+    kernels_enabled,
+    peel_max_feasible_subset,
+)
+from repro.core.schedule import Schedule, build_schedule
+from repro.geometry.line import LineMetric
+from repro.instances.line_instances import equispaced_line_instance
+from repro.instances.random_instances import (
+    random_tree_metric_instance,
+    random_uniform_instance,
+)
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.local_search import improve_schedule
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.scheduling.trivial import trivial_schedule
+
+
+def _shared_node_instance(direction: Direction) -> Instance:
+    """Chain with shared nodes: consecutive requests have infinite
+    mutual gain (the inf bookkeeping edge case)."""
+    metric = LineMetric([0.0, 1.0, 2.5, 4.5, 7.0])
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    return Instance(
+        metric,
+        [p[0] for p in pairs],
+        [p[1] for p in pairs],
+        direction=direction,
+    )
+
+
+def _grid():
+    grid = {}
+    for direction in (Direction.DIRECTED, Direction.BIDIRECTIONAL):
+        tag = direction.value[:3]
+        for n in (1, 2, 8, 32):
+            grid[f"euclid-{tag}-n{n}"] = random_uniform_instance(
+                n, rng=100 + n, direction=direction
+            )
+            grid[f"line-{tag}-n{n}"] = equispaced_line_instance(
+                n, direction=direction
+            )
+        grid[f"tree-{tag}-n16"] = random_tree_metric_instance(
+            16, rng=216, direction=direction
+        )
+        grid[f"shared-node-{tag}"] = _shared_node_instance(direction)
+    return grid
+
+
+GRID = _grid()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+# ----------------------------------------------------------------------
+# Golden equality: kernel path vs accumulator reference path
+# ----------------------------------------------------------------------
+
+
+class TestKernelGoldenEquality:
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_first_fit_bit_identical(self, name):
+        instance = GRID[name]
+        powers = SquareRootPower()(instance)
+        kernel = first_fit_schedule(instance, powers)
+        with kernels_disabled():
+            reference = first_fit_schedule(instance, powers)
+        with engine_disabled():
+            legacy = first_fit_schedule(instance, powers)
+        np.testing.assert_array_equal(kernel.colors, reference.colors)
+        np.testing.assert_array_equal(kernel.colors, legacy.colors)
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_greedy_subset_bit_identical(self, name):
+        instance = GRID[name]
+        powers = SquareRootPower()(instance)
+        kernel = greedy_max_feasible_subset(instance, powers)
+        with kernels_disabled():
+            reference = greedy_max_feasible_subset(instance, powers)
+        np.testing.assert_array_equal(kernel, reference)
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_peeling_bit_identical(self, name):
+        instance = GRID[name]
+        powers = SquareRootPower()(instance)
+        kernel = peeling_schedule(instance, powers)
+        with kernels_disabled():
+            reference = peeling_schedule(instance, powers)
+        np.testing.assert_array_equal(kernel.colors, reference.colors)
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_sqrt_coloring_bit_identical(self, name):
+        instance = GRID[name]
+        kernel, _ = sqrt_coloring(instance, rng=42)
+        with kernels_disabled():
+            reference, _ = sqrt_coloring(instance, rng=42)
+        np.testing.assert_array_equal(kernel.colors, reference.colors)
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_local_search_matches_reference(self, name):
+        instance = GRID[name]
+        powers = SquareRootPower()(instance)
+        for base in (
+            first_fit_schedule(instance, powers),
+            trivial_schedule(instance),
+        ):
+            kernel = improve_schedule(instance, base)
+            with kernels_disabled():
+                reference = improve_schedule(instance, base)
+            np.testing.assert_array_equal(kernel.colors, reference.colors)
+
+    def test_greedy_explicit_candidates_and_beta(self):
+        instance = GRID["euclid-bid-n32"]
+        powers = SquareRootPower()(instance)
+        candidates = [3, 7, 0, 21, 14, 9, 30]
+        kernel = greedy_max_feasible_subset(
+            instance, powers, candidates=candidates, beta=instance.beta / 2
+        )
+        with kernels_disabled():
+            reference = greedy_max_feasible_subset(
+                instance, powers, candidates=candidates, beta=instance.beta / 2
+            )
+        np.testing.assert_array_equal(kernel, reference)
+
+    def test_peel_duplicate_candidates_defers_to_reference(self):
+        instance = GRID["euclid-bid-n8"]
+        powers = SquareRootPower()(instance)
+        context = get_context(instance, powers)
+        candidates = [0, 1, 1, 4]
+        kernel = peel_max_feasible_subset(context, candidates=candidates)
+        reference = context.greedy_max_feasible_subset(candidates=candidates)
+        np.testing.assert_array_equal(kernel, reference)
+
+    def test_peel_empty_candidates(self):
+        instance = GRID["euclid-bid-n8"]
+        powers = SquareRootPower()(instance)
+        context = get_context(instance, powers)
+        result = peel_max_feasible_subset(context, candidates=[])
+        assert result.size == 0
+
+    def test_toggle_restores_state(self):
+        assert kernels_enabled()
+        with kernels_disabled():
+            assert not kernels_enabled()
+            with kernels_disabled():
+                assert not kernels_enabled()
+            assert not kernels_enabled()
+        assert kernels_enabled()
+
+
+# ----------------------------------------------------------------------
+# Property tests: kernel state vs per-class accumulators
+# ----------------------------------------------------------------------
+
+
+class TestKernelStateProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        directed=st.booleans(),
+        shared=st.booleans(),
+    )
+    def test_random_ops_match_accumulators(self, seed, directed, shared):
+        """A random add/remove sequence leaves the kernel rows bitwise
+        equal to per-class ClassAccumulators fed the same sequence."""
+        rng = np.random.default_rng(seed)
+        direction = Direction.DIRECTED if directed else Direction.BIDIRECTIONAL
+        if shared:
+            instance = _shared_node_instance(direction)
+        else:
+            instance = random_uniform_instance(10, rng=seed, direction=direction)
+        powers = SquareRootPower()(instance)
+        clear_context_cache()
+        context = get_context(instance, powers)
+        kernel = ScheduleKernel(context)
+        accumulators = {}
+        for _ in range(40):
+            placed = np.flatnonzero(kernel.colors >= 0)
+            if placed.size and rng.uniform() < 0.35:
+                request = int(rng.choice(placed))
+                color = int(kernel.colors[request])
+                kernel.remove(request)
+                accumulators[color].remove(request)
+            else:
+                unplaced = np.flatnonzero(kernel.colors < 0)
+                if unplaced.size == 0:
+                    continue
+                request = int(rng.choice(unplaced))
+                if kernel.num_classes == 0 or rng.uniform() < 0.3:
+                    color = kernel.open_class()
+                    accumulators[color] = context.accumulator()
+                else:
+                    color = int(rng.integers(kernel.num_classes))
+                kernel.add(request, color)
+                accumulators[color].add(request)
+            everyone = np.arange(instance.n)
+            for color, acc in accumulators.items():
+                np.testing.assert_array_equal(
+                    kernel._fin_u[color], acc._fin_u,
+                    err_msg=f"fin_u diverged for class {color}",
+                )
+                np.testing.assert_array_equal(
+                    kernel._ninf_u[color], acc._ninf_u
+                )
+                np.testing.assert_array_equal(
+                    kernel._npos_u[color], acc._npos_u
+                )
+            # Resolved worst-endpoint interference agrees per request.
+            for request in everyone:
+                per_class = kernel.class_interference(int(request))
+                for color, acc in accumulators.items():
+                    assert per_class[color] == acc.interference([request])[0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_snapshot_restore_is_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = random_uniform_instance(9, rng=seed)
+        powers = SquareRootPower()(instance)
+        clear_context_cache()
+        context = get_context(instance, powers)
+        schedule = first_fit_schedule(instance, powers)
+        kernel = ScheduleKernel.from_colors(context, schedule.colors)
+        snap = kernel.snapshot()
+        reference = {
+            "colors": kernel.colors.copy(),
+            "fin_u": kernel._fin_u.copy(),
+            "ninf_u": kernel._ninf_u.copy(),
+            "npos_u": kernel._npos_u.copy(),
+            "own_fin_u": kernel._own_fin_u.copy(),
+            "sizes": list(kernel._sizes),
+        }
+        # Random mutations: moves, removals, additions, new classes.
+        for _ in range(12):
+            placed = np.flatnonzero(kernel.colors >= 0)
+            if placed.size == 0:
+                break
+            request = int(rng.choice(placed))
+            if rng.uniform() < 0.5 and kernel.num_classes > 1:
+                target = int(rng.integers(kernel.num_classes))
+                if target != kernel.colors[request]:
+                    kernel.move(request, target)
+            else:
+                kernel.remove(request)
+        kernel.restore(snap)
+        np.testing.assert_array_equal(kernel.colors, reference["colors"])
+        np.testing.assert_array_equal(kernel._fin_u, reference["fin_u"])
+        np.testing.assert_array_equal(kernel._ninf_u, reference["ninf_u"])
+        np.testing.assert_array_equal(kernel._npos_u, reference["npos_u"])
+        np.testing.assert_array_equal(
+            kernel._own_fin_u, reference["own_fin_u"]
+        )
+        assert list(kernel._sizes) == reference["sizes"]
+
+    def test_restore_survives_capacity_growth(self):
+        """Regression: restore() must write into the kernel's *current*
+        arrays — open_class() past capacity rebinds them, and a
+        snapshot taken before the growth must still roll back exactly
+        (including zeroing every row the rollback un-opens)."""
+        instance = random_uniform_instance(8, rng=11)
+        powers = SquareRootPower()(instance)
+        context = get_context(instance, powers)
+        kernel = ScheduleKernel(context, capacity=1)
+        kernel.add(0, kernel.open_class())
+        snap = kernel.snapshot()
+        expected_fin = kernel._fin_u[:1].copy()
+        # Force at least one growth past the snapshot.
+        for request in range(1, 6):
+            kernel.add(request, kernel.open_class())
+        assert kernel._fin_u.shape[0] > 1
+        kernel.restore(snap)
+        assert kernel.num_classes == 1
+        np.testing.assert_array_equal(kernel._fin_u[:1], expected_fin)
+        # Every un-opened row must be exact zero again, so the next
+        # open_class() hands out a clean class.
+        assert np.all(kernel._fin_u[1:] == 0.0)
+        assert np.all(kernel._npos_u[1:] == 0)
+        # Scheduling decisions after the rollback match a fresh kernel
+        # fed the same coloring.
+        fresh = ScheduleKernel.from_colors(context, kernel.colors)
+        limits = context.budgets() * (1.0 + 1e-9)
+        for request in range(1, 8):
+            assert kernel.first_fit_admit(request, limits) == (
+                fresh.first_fit_admit(request, limits)
+            )
+        # The next open_class() hands out a genuinely clean class.
+        color = kernel.open_class()
+        assert kernel.class_interference(7)[color] == 0.0
+
+    def test_add_remove_errors(self):
+        instance = random_uniform_instance(6, rng=3)
+        powers = SquareRootPower()(instance)
+        context = get_context(instance, powers)
+        kernel = ScheduleKernel(context)
+        color = kernel.open_class()
+        kernel.add(0, color)
+        with pytest.raises(ValueError):
+            kernel.add(0, color)
+        with pytest.raises(ValueError):
+            kernel.add(1, color + 5)
+        with pytest.raises(ValueError):
+            kernel.remove(2)
+        kernel.remove(0)
+        assert kernel.class_sizes[color] == 0
+        with pytest.raises(ValueError):
+            kernel.remove(0)
+
+    def test_emptied_class_is_exactly_zero(self):
+        instance = _shared_node_instance(Direction.BIDIRECTIONAL)
+        powers = np.ones(instance.n)
+        context = get_context(instance, powers)
+        kernel = ScheduleKernel(context)
+        color = kernel.open_class()
+        kernel.add(0, color)
+        kernel.add(2, color)
+        kernel.remove(0)
+        kernel.remove(2)
+        assert np.all(kernel._fin_u[color] == 0.0)
+        assert np.all(kernel._ninf_u[color] == 0)
+        assert np.all(kernel._npos_u[color] == 0)
+
+    def test_from_colors_matches_incremental_adds_membership(self):
+        instance = random_uniform_instance(12, rng=5)
+        powers = SquareRootPower()(instance)
+        context = get_context(instance, powers)
+        schedule = first_fit_schedule(instance, powers)
+        kernel = ScheduleKernel.from_colors(context, schedule.colors)
+        np.testing.assert_array_equal(kernel.colors, schedule.colors)
+        for color in range(kernel.num_classes):
+            assert kernel.class_sizes[color] == int(
+                np.sum(schedule.colors == color)
+            )
+        # Own-class state is an exact copy of the class rows.
+        idx = np.arange(instance.n)
+        np.testing.assert_array_equal(
+            kernel._own_fin_u, kernel._fin_u[schedule.colors, idx]
+        )
+
+
+# ----------------------------------------------------------------------
+# Batched first-fit
+# ----------------------------------------------------------------------
+
+
+class TestBatchedFirstFit:
+    @pytest.mark.parametrize(
+        "direction", [Direction.DIRECTED, Direction.BIDIRECTIONAL]
+    )
+    def test_stacked_matches_per_pair(self, direction):
+        pairs = []
+        for b in range(5):
+            instance = random_uniform_instance(24, rng=700 + b, direction=direction)
+            pairs.append((instance, SquareRootPower()(instance)))
+        batch = ContextBatch(pairs)
+        assert batch.stacked
+        schedules = batch.first_fit_schedules()
+        for (instance, powers), schedule in zip(pairs, schedules):
+            reference = first_fit_schedule(instance, powers)
+            np.testing.assert_array_equal(schedule.colors, reference.colors)
+            schedule.validate(instance)
+
+    def test_stacked_with_shared_nodes(self):
+        pairs = [
+            (_shared_node_instance(Direction.BIDIRECTIONAL), np.ones(4)),
+            (_shared_node_instance(Direction.BIDIRECTIONAL), np.full(4, 2.0)),
+        ]
+        batch = ContextBatch(pairs)
+        schedules = batch.first_fit_schedules()
+        for (instance, powers), schedule in zip(pairs, schedules):
+            reference = first_fit_schedule(instance, powers)
+            np.testing.assert_array_equal(schedule.colors, reference.colors)
+
+    def test_ragged_fallback_matches_per_pair(self):
+        pairs = []
+        for b, n in enumerate((6, 12, 9)):
+            instance = random_uniform_instance(n, rng=800 + b)
+            pairs.append((instance, SquareRootPower()(instance)))
+        batch = ContextBatch(pairs)
+        assert not batch.stacked
+        schedules = batch.first_fit_schedules()
+        for (instance, powers), schedule in zip(pairs, schedules):
+            reference = first_fit_schedule(instance, powers)
+            np.testing.assert_array_equal(schedule.colors, reference.colors)
+
+    def test_custom_orders_and_validation(self):
+        pairs = []
+        for b in range(3):
+            instance = random_uniform_instance(10, rng=900 + b)
+            pairs.append((instance, SquareRootPower()(instance)))
+        batch = ContextBatch(pairs)
+        orders = [np.arange(10)] * 3
+        schedules = batch.first_fit_schedules(orders=orders)
+        for (instance, powers), schedule in zip(pairs, schedules):
+            reference = first_fit_schedule(instance, powers, order=np.arange(10))
+            np.testing.assert_array_equal(schedule.colors, reference.colors)
+        with pytest.raises(ValueError):
+            batch.first_fit_schedules(orders=[np.arange(10)] * 2)
+
+    def test_unscalable_noise_raises(self):
+        metric = LineMetric([0.0, 10.0])
+        instance = Instance.bidirectional(metric, [(0, 1)], noise=1e6)
+        batch = ContextBatch([(instance, np.ones(1))])
+        with pytest.raises(InvalidScheduleError, match="pair 0"):
+            batch.first_fit_schedules()
+
+
+# ----------------------------------------------------------------------
+# Shared schedule constructor + context helpers
+# ----------------------------------------------------------------------
+
+
+class TestBuildSchedule:
+    def test_coerces_and_validates(self):
+        schedule = build_schedule([0.0, 1.0], np.asarray([1, 2]))
+        assert schedule.colors.dtype == np.asarray([0]).dtype
+        assert schedule.powers.dtype == float
+        with pytest.raises(InvalidScheduleError):
+            build_schedule([0, -1], np.ones(2))
+        with pytest.raises(InvalidScheduleError):
+            build_schedule([0, 1], np.zeros(2))
+
+    def test_copy_semantics(self):
+        powers = np.ones(3)
+        copied = build_schedule([0, 1, 2], powers)
+        assert copied.powers is not powers
+        powers[0] = 5.0
+        assert copied.powers[0] == 1.0
+        aliased = build_schedule([0, 1, 2], np.ones(3), copy_powers=False)
+        assert isinstance(aliased, Schedule)
+
+    def test_kernel_path_schedules_are_writable(self):
+        """Regression: the kernel paths hand build_schedule a read-only
+        colors view; the emitted schedule must be mutable like the
+        reference paths' output."""
+        instance = random_uniform_instance(8, rng=4)
+        powers = SquareRootPower()(instance)
+        for schedule in (
+            first_fit_schedule(instance, powers),
+            improve_schedule(instance, first_fit_schedule(instance, powers)),
+            ContextBatch([(instance, powers)]).first_fit_schedules()[0],
+        ):
+            assert schedule.colors.flags.writeable
+            schedule.colors[0] = schedule.colors[0]  # must not raise
+
+
+class TestContextKernelHelpers:
+    def test_has_infinite_gains(self):
+        instance = random_uniform_instance(6, rng=1)
+        context = get_context(instance, SquareRootPower()(instance))
+        assert not context.has_infinite_gains
+        shared = _shared_node_instance(Direction.BIDIRECTIONAL)
+        shared_context = get_context(shared, np.ones(shared.n))
+        assert shared_context.has_infinite_gains
+
+    def test_transposed_gains_match(self):
+        for direction in (Direction.DIRECTED, Direction.BIDIRECTIONAL):
+            instance = random_uniform_instance(8, rng=2, direction=direction)
+            context = get_context(instance, SquareRootPower()(instance))
+            np.testing.assert_array_equal(context.gains_ut, context.gains_u.T)
+            np.testing.assert_array_equal(context.gains_vt, context.gains_v.T)
+            assert context.gains_ut.flags["C_CONTIGUOUS"]
+            if direction is Direction.DIRECTED:
+                assert context.gains_vt is context.gains_ut
+            with pytest.raises(ValueError):
+                context.gains_ut[0, 0] = 1.0
