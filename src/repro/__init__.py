@@ -49,7 +49,9 @@ from repro.core import (
     ClassAccumulator,
     ContextBatch,
     ContextPool,
+    DenseBackend,
     Direction,
+    GainBackend,
     InfeasibleError,
     Instance,
     InterferenceContext,
@@ -58,13 +60,17 @@ from repro.core import (
     ReproError,
     Schedule,
     ScheduleKernel,
+    SparseBackend,
+    backend_scope,
     batch_margins,
     batch_validate_schedules,
     build_schedule,
+    default_backend,
     engine_disabled,
     get_context,
     kernels_disabled,
     peel_max_feasible_subset,
+    set_default_backend,
     stacked_first_fit,
     is_feasible_partition,
     is_feasible_subset,

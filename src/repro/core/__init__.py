@@ -16,10 +16,22 @@ from repro.core.context import (
     InterferenceContext,
     cache_info,
     clear_context_cache,
+    context_cache_limit,
     engine_disabled,
     engine_enabled,
     get_context,
+    set_context_cache_limit,
     set_engine_enabled,
+)
+from repro.core.gains import (
+    DenseBackend,
+    GainBackend,
+    SparseBackend,
+    backend_scope,
+    build_backend,
+    default_backend,
+    set_default_backend,
+    set_sparse_epsilon,
 )
 from repro.core.errors import (
     InfeasibleError,
@@ -69,6 +81,16 @@ __all__ = [
     "set_engine_enabled",
     "cache_info",
     "clear_context_cache",
+    "context_cache_limit",
+    "set_context_cache_limit",
+    "GainBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "build_backend",
+    "default_backend",
+    "set_default_backend",
+    "set_sparse_epsilon",
+    "backend_scope",
     "ScheduleKernel",
     "peel_max_feasible_subset",
     "stacked_first_fit",

@@ -15,9 +15,9 @@ This module closes that gap:
   to a loop over pooled per-pair contexts — still cached, just not
   stacked.
 * :class:`ContextPool` — a strong-reference working set of contexts.
-  :func:`repro.core.context.get_context` caches per instance with a
-  small LRU; the pool pins a batch's contexts for its lifetime so a
-  sweep over hundreds of pairs cannot thrash that LRU.
+  :func:`repro.core.context.get_context` caches through a small global
+  LRU; the pool pins a batch's contexts for its lifetime so a sweep
+  over hundreds of pairs cannot thrash that LRU.
 * :meth:`ContextBatch.first_fit_schedules` — batched **scheduling**,
   not just batched validation: the stacked gains feed the vectorized
   first-fit kernel (:func:`repro.core.kernels.stacked_first_fit`), so
@@ -46,6 +46,7 @@ from repro.core.context import (
     get_context,
 )
 from repro.core.errors import InvalidScheduleError
+from repro.core.gains import resolve_backend, resolve_sparse_epsilon
 from repro.core.instance import Instance
 from repro.core.kernels import first_fit_colors, stacked_first_fit
 from repro.core.schedule import Schedule, build_schedule
@@ -57,9 +58,9 @@ ColorsLike = Union[None, np.ndarray, Sequence[Optional[np.ndarray]]]
 class ContextPool:
     """A strong-reference working set of :class:`InterferenceContext`.
 
-    The global per-instance cache of :func:`get_context` holds at most
-    :data:`repro.core.context.MAX_CONTEXTS_PER_INSTANCE` contexts per
-    instance and only lives as long as the instance does.  A pool pins
+    The global cache of :func:`get_context` is a bounded LRU
+    (:func:`repro.core.context.context_cache_limit` contexts across all
+    instances) and only lives as long as the instances do.  A pool pins
     the contexts of a working set (a batch, a sweep, a simulation
     episode) so repeated passes hit warm gain matrices regardless of
     what else runs in between.
@@ -74,7 +75,7 @@ class ContextPool:
         if max_contexts is not None and max_contexts < 1:
             raise ValueError("max_contexts must be >= 1 or None")
         self.max_contexts = max_contexts
-        self._contexts: "OrderedDict[Tuple[int, bytes, float, float], InterferenceContext]" = (
+        self._contexts: "OrderedDict[Tuple, InterferenceContext]" = (
             OrderedDict()
         )
 
@@ -87,18 +88,42 @@ class ContextPool:
         powers: np.ndarray,
         beta: Optional[float] = None,
         noise: Optional[float] = None,
+        backend: Optional[str] = None,
+        sparse_epsilon: Optional[float] = None,
     ) -> InterferenceContext:
-        """The pooled context for ``(instance, powers)`` (pinned)."""
+        """The pooled context for ``(instance, powers)`` (pinned).
+
+        *backend* and *sparse_epsilon* default to the process-wide gain
+        backend settings; the resolved values are part of the pool key
+        (exactly like :func:`get_context`'s cache key), so a pool
+        filled while one backend configuration was active never serves
+        those contexts to a caller running under another.
+        """
         powers_arr = np.asarray(powers, dtype=float)
+        backend_name = resolve_backend(backend)
+        epsilon = (
+            resolve_sparse_epsilon(sparse_epsilon)
+            if backend_name == "sparse"
+            else 0.0
+        )
         key = (
             id(instance),
             powers_arr.tobytes(),
             instance.beta if beta is None else float(beta),
             instance.noise if noise is None else float(noise),
+            backend_name,
+            epsilon,
         )
         context = self._contexts.get(key)
         if context is None:
-            context = get_context(instance, powers_arr, beta=beta, noise=noise)
+            context = get_context(
+                instance,
+                powers_arr,
+                beta=beta,
+                noise=noise,
+                backend=backend_name,
+                sparse_epsilon=epsilon,
+            )
             self._contexts[key] = context
             if (
                 self.max_contexts is not None
@@ -110,10 +135,10 @@ class ContextPool:
         return context
 
     def warm(self, pairs: Sequence[PairLike]) -> "ContextPool":
-        """Prebuild gain matrices for every pair; returns ``self``."""
+        """Prebuild gain backends for every pair; returns ``self``."""
         for instance, powers in pairs:
             context = self.get(instance, powers)
-            context.gains_u  # noqa: B018 - touch to force the lazy build
+            context.backend  # noqa: B018 - touch to force the lazy build
             context.signals
         return self
 
@@ -156,8 +181,14 @@ class ContextBatch:
             self.pool.get(instance, powers) for instance, powers in pairs
         ]
         first = self.contexts[0]
+        # Stacking materializes (B, n, n) dense gains, so it requires
+        # same-shape pairs on the dense backend; sparse-backed batches
+        # take the pooled per-pair fallback (every query and the
+        # first-fit kernel are backend-generic there).
         self.stacked = all(
-            ctx.n == first.n and ctx.instance.direction is first.instance.direction
+            ctx.n == first.n
+            and ctx.instance.direction is first.instance.direction
+            and ctx.backend_name == "dense"
             for ctx in self.contexts
         )
         self._signals: Optional[np.ndarray] = None

@@ -33,6 +33,22 @@ Two levels of API
   suffer from the current member set, so membership changes cost O(n)
   and feasibility checks cost O(k) — no O(k^2) recompute.
 
+Gain backends
+-------------
+
+All gain-matrix access goes through a pluggable
+:class:`repro.core.gains.GainBackend` (``context.backend``): the
+default :class:`~repro.core.gains.DenseBackend` keeps the materialized
+``(n, n)`` arrays of the original engine, while
+:class:`~repro.core.gains.SparseBackend` stores ε-pruned CSR gains so
+instances at ``n >> 10^3`` fit in memory.  Select per context via
+``get_context(..., backend="sparse")``, or process-wide via
+:func:`repro.core.gains.set_default_backend` / the ``REPRO_BACKEND``
+environment variable.  The dense compatibility properties
+(:attr:`InterferenceContext.gains_u` and friends) still exist on every
+context, but on a sparse backend they *materialize* an O(n^2) array
+per call — hot paths use the backend primitives instead.
+
 Numerical contract
 ------------------
 
@@ -43,7 +59,11 @@ margins (and therefore every feasibility decision and every schedule)
 are identical with the engine on or off.  The accumulator is the one
 exception — it maintains sums incrementally, so its values agree with
 :func:`~repro.core.feasibility.sinr_margins` only up to floating-point
-accumulation order (tested to 1e-9 relative).
+accumulation order (tested to 1e-9 relative).  A lossless sparse
+backend (``epsilon = 0``, the default) preserves this contract exactly;
+a pruned one underestimates interference by at most the per-request
+:attr:`~repro.core.gains.GainBackend.pruned_mass_u` bound (see
+:mod:`repro.core.gains` for the certification story).
 
 Shared-node pairs (infinite gain) are tracked exactly: the accumulator
 counts infinite contributions separately from the finite sum, so
@@ -65,6 +85,7 @@ path honestly.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -74,12 +95,15 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.errors import InvalidScheduleError
-from repro.core.instance import Direction, Instance
-from repro.core.interference import (
-    _class_sum,
-    bidirectional_gain_matrices,
-    directed_gain_matrix,
+from repro.core.gains import (
+    DenseBackend,
+    GainBackend,
+    build_backend,
+    resolve_backend,
+    resolve_sparse_epsilon,
 )
+from repro.core.instance import Direction, Instance
+from repro.core.interference import _class_sum
 from repro.core.interference import interference as _interference_from_scratch
 
 #: Default relative tolerance for feasibility comparisons (kept in sync
@@ -87,8 +111,12 @@ from repro.core.interference import interference as _interference_from_scratch
 #: to avoid a circular import).
 DEFAULT_RTOL = 1e-9
 
-#: Cached contexts kept per instance (LRU on the power-vector key).
-MAX_CONTEXTS_PER_INSTANCE = 8
+#: Default bound on the total number of cached contexts across *all*
+#: instances (configurable via :func:`set_context_cache_limit` or the
+#: ``REPRO_CONTEXT_CACHE`` environment variable).  Long orchestrator
+#: runs over many instances stay at bounded memory instead of growing
+#: one cache per instance without limit.
+DEFAULT_CONTEXT_CACHE_LIMIT = 32
 
 
 def _margins_from(
@@ -119,10 +147,16 @@ class InterferenceContext:
     beta, noise:
         Defaults for the per-query overrides; fall back to the
         instance's values.
+    backend:
+        Gain-backend name (``"dense"``/``"sparse"``); ``None`` uses the
+        process default (:func:`repro.core.gains.default_backend`).
+    sparse_epsilon:
+        Pruning budget for the sparse backend (``None`` = the process
+        default; ignored by the dense backend).
 
     Notes
     -----
-    Gain matrices are built lazily on first use and shared read-only.
+    The gain backend is built lazily on first use and shared read-only.
     All query methods accept ``beta``/``noise`` overrides, so a single
     context serves the γ-rescaling machinery of §3.1 (e.g. the
     Theorem 15 repair pass at ``beta / 2``) without rebuilding
@@ -135,6 +169,8 @@ class InterferenceContext:
         powers: np.ndarray,
         beta: Optional[float] = None,
         noise: Optional[float] = None,
+        backend: Optional[str] = None,
+        sparse_epsilon: Optional[float] = None,
     ):
         powers = np.array(powers, dtype=float).reshape(-1)
         if powers.shape != (instance.n,):
@@ -152,20 +188,46 @@ class InterferenceContext:
             raise ValueError(f"beta must be > 0, got {self.beta}")
         if self.noise < 0:
             raise ValueError(f"noise must be >= 0, got {self.noise}")
+        self.backend_name = resolve_backend(backend)
+        self.sparse_epsilon = (
+            resolve_sparse_epsilon(sparse_epsilon)
+            if self.backend_name == "sparse"
+            else 0.0
+        )
         self._signals: Optional[np.ndarray] = None
-        self._gains: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        self._gains_t: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        self._worst_gains: Optional[np.ndarray] = None
-        self._has_inf: Optional[bool] = None
+        self._backend: Optional[GainBackend] = None
 
     # ------------------------------------------------------------------
-    # Cached matrices
+    # Cached gain backend
     # ------------------------------------------------------------------
 
     @property
     def n(self) -> int:
         """Number of requests."""
         return self.instance.n
+
+    @property
+    def directed(self) -> bool:
+        """Single-matrix (directed) variant?  Answerable without
+        building the gain backend."""
+        return self.instance.direction is Direction.DIRECTED
+
+    @property
+    def backend(self) -> GainBackend:
+        """The gain backend (built lazily on first use, then shared).
+
+        All interference math routes through its primitives; see
+        :mod:`repro.core.gains` for the protocol and the dense/sparse
+        implementations.
+        """
+        if self._backend is None:
+            self._backend = build_backend(
+                self.instance,
+                self.powers,
+                backend=self.backend_name,
+                sparse_epsilon=self.sparse_epsilon,
+            )
+        return self._backend
 
     @property
     def signals(self) -> np.ndarray:
@@ -176,98 +238,84 @@ class InterferenceContext:
             self._signals = signals
         return self._signals
 
-    def _gain_pair(self) -> Tuple[np.ndarray, np.ndarray]:
-        if self._gains is None:
-            if self.instance.direction is Direction.DIRECTED:
-                gains = directed_gain_matrix(self.instance, self.powers)
-                gains.setflags(write=False)
-                self._gains = (gains, gains)
-            else:
-                gains_u, gains_v = bidirectional_gain_matrices(
-                    self.instance, self.powers
-                )
-                gains_u.setflags(write=False)
-                gains_v.setflags(write=False)
-                self._gains = (gains_u, gains_v)
-        return self._gains
-
     @property
     def gains_u(self) -> np.ndarray:
         """Gain matrix at endpoint ``u`` (the single directed matrix in
-        the directed variant; read-only)."""
-        return self._gain_pair()[0]
+        the directed variant; read-only on the dense backend).
+
+        Compatibility property for dense-only consumers (stacked
+        batching, affectance analyses): on a sparse backend every
+        access **materializes** an O(n^2) array — hot paths use the
+        :attr:`backend` primitives instead.
+        """
+        backend = self.backend
+        if isinstance(backend, DenseBackend):
+            return backend.gains_u
+        return backend.dense_u()
 
     @property
     def gains_v(self) -> np.ndarray:
         """Gain matrix at endpoint ``v`` (aliases :attr:`gains_u` in the
-        directed variant; read-only)."""
-        return self._gain_pair()[1]
+        directed variant; see :attr:`gains_u` for the sparse caveat)."""
+        backend = self.backend
+        if isinstance(backend, DenseBackend):
+            return backend.gains_v
+        if backend.directed:
+            return backend.dense_u()
+        return backend.dense_v()
 
     @property
     def worst_gains(self) -> np.ndarray:
-        """Worst-endpoint gain matrix ``max(G_u, G_v)`` (read-only).
+        """Worst-endpoint gain matrix ``max(G_u, G_v)``.
 
-        This is the matrix affectance and conflict-graph analyses work
-        on; in the directed variant it is :attr:`gains_u` itself.
+        The matrix affectance and conflict-graph analyses work on; in
+        the directed variant it is :attr:`gains_u` itself.  Sparse
+        backends materialize it per call (see :attr:`gains_u`).
         """
-        if self._worst_gains is None:
-            gains_u, gains_v = self._gain_pair()
-            if gains_u is gains_v:
-                self._worst_gains = gains_u
-            else:
-                worst = np.maximum(gains_u, gains_v)
-                worst.setflags(write=False)
-                self._worst_gains = worst
-        return self._worst_gains
-
-    def _gain_pair_t(self) -> Tuple[np.ndarray, np.ndarray]:
-        if self._gains_t is None:
-            gains_u, gains_v = self._gain_pair()
-            gains_ut = np.ascontiguousarray(gains_u.T)
-            gains_ut.setflags(write=False)
-            if gains_v is gains_u:
-                self._gains_t = (gains_ut, gains_ut)
-            else:
-                gains_vt = np.ascontiguousarray(gains_v.T)
-                gains_vt.setflags(write=False)
-                self._gains_t = (gains_ut, gains_vt)
-        return self._gains_t
+        backend = self.backend
+        if isinstance(backend, DenseBackend):
+            return backend.worst_gains
+        if backend.directed:
+            return backend.dense_u()
+        return np.maximum(backend.dense_u(), backend.dense_v())
 
     @property
     def gains_ut(self) -> np.ndarray:
-        """Contiguous transpose of :attr:`gains_u` (read-only, cached).
+        """Contiguous transpose of :attr:`gains_u` (read-only, cached
+        on the dense backend; materialized per call on sparse).
 
         ``gains_ut[j]`` is the gain *column* of request ``j`` — what
         every other request suffers when ``j`` transmits — laid out
-        contiguously.  Column-consuming hot loops (the scheduler
-        kernels, the accumulator's O(n) membership updates) read this
-        instead of strided ``gains_u[:, j]`` views, which cost one
-        cache miss per element on large instances.
+        contiguously.  Column-consuming hot loops use
+        ``backend.col_u(j)``, which reads this layout on the dense
+        backend and a transposed CSR row on the sparse one.
         """
-        return self._gain_pair_t()[0]
+        backend = self.backend
+        if isinstance(backend, DenseBackend):
+            return backend.gains_ut
+        return backend.dense_ut()
 
     @property
     def gains_vt(self) -> np.ndarray:
-        """Contiguous transpose of :attr:`gains_v` (read-only, cached;
-        aliases :attr:`gains_ut` in the directed variant)."""
-        return self._gain_pair_t()[1]
+        """Contiguous transpose of :attr:`gains_v` (aliases
+        :attr:`gains_ut` in the directed variant)."""
+        backend = self.backend
+        if isinstance(backend, DenseBackend):
+            return backend.gains_vt
+        if backend.directed:
+            return backend.dense_ut()
+        return backend.dense_vt()
 
     @property
     def has_infinite_gains(self) -> bool:
         """Does any gain entry equal ``inf`` (shared-node pairs)?
 
-        Computed once per context.  The accumulator and the scheduler
-        kernels take a cheaper all-finite fast path (no per-update
-        ``isfinite`` masking) when this is ``False`` — which is every
-        instance without shared-node pairs.
+        Answered by the backend (computed once).  The accumulator and
+        the scheduler kernels take a cheaper all-finite fast path (no
+        per-update ``isfinite`` masking) when this is ``False`` — which
+        is every instance without shared-node pairs.
         """
-        if self._has_inf is None:
-            gains_u, gains_v = self._gain_pair()
-            has_inf = not bool(np.all(np.isfinite(gains_u)))
-            if not has_inf and gains_v is not gains_u:
-                has_inf = not bool(np.all(np.isfinite(gains_v)))
-            self._has_inf = has_inf
-        return self._has_inf
+        return self.backend.has_infinite_gains
 
     def budgets(
         self, beta: Optional[float] = None, noise: Optional[float] = None
@@ -301,7 +349,7 @@ class InterferenceContext:
             Restrict to these request indices (result aligned to the
             subset, like the module-level function).
         """
-        gains_u, gains_v = self._gain_pair()
+        backend = self.backend
         if subset is not None:
             idx = np.asarray(subset, dtype=int)
             if np.unique(idx).size != idx.size:
@@ -313,15 +361,16 @@ class InterferenceContext:
                 return _interference_from_scratch(
                     self.instance, self.powers, colors, idx
                 )
-            block = np.ix_(idx, idx)
             sub_colors = None if colors is None else np.asarray(colors)[idx]
-            interf = _class_sum(gains_u[block], sub_colors)
-            if gains_v is not gains_u:
-                interf = np.maximum(interf, _class_sum(gains_v[block], sub_colors))
+            interf = _class_sum(backend.block_u(idx), sub_colors)
+            if not backend.directed:
+                interf = np.maximum(
+                    interf, _class_sum(backend.block_v(idx), sub_colors)
+                )
             return interf
-        interf = _class_sum(gains_u, colors)
-        if gains_v is not gains_u:
-            interf = np.maximum(interf, _class_sum(gains_v, colors))
+        interf = backend.class_sum_u(colors)
+        if not backend.directed:
+            interf = np.maximum(interf, backend.class_sum_v(colors))
         return interf
 
     def margins(
@@ -452,10 +501,11 @@ class InterferenceContext:
         return np.asarray(sorted(current), dtype=int)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "built" if self._gains is not None else "lazy"
+        state = self._backend.name if self._backend is not None else "lazy"
         return (
             f"InterferenceContext(n={self.n}, "
-            f"direction={self.instance.direction.value}, gains={state})"
+            f"direction={self.instance.direction.value}, "
+            f"backend={self.backend_name}, gains={state})"
         )
 
 
@@ -499,7 +549,7 @@ class ClassAccumulator:
         self._fin_u = np.zeros(n)
         self._ninf_u = np.zeros(n, dtype=np.int64)
         self._npos_u = np.zeros(n, dtype=np.int64)
-        self._directed = context.gains_u is context.gains_v
+        self._directed = context.directed
         if self._directed:
             self._fin_v = self._fin_u
             self._ninf_v = self._ninf_u
@@ -534,7 +584,9 @@ class ClassAccumulator:
     def _apply_columns(self, members: np.ndarray, sign: int) -> None:
         """Accumulate the gain columns of *members* into the running
         sums — one vectorized pass per endpoint, shared by single-add,
-        remove and bulk initialization.
+        remove and bulk initialization.  Columns come from the gain
+        backend (``col_u``/``gather_cols_u``), so the same code runs on
+        dense and sparse gains.
 
         Instances without shared-node pairs (the common case, detected
         once via :attr:`InterferenceContext.has_infinite_gains`) skip
@@ -544,13 +596,26 @@ class ClassAccumulator:
         all-true mask is the identity).
         """
         single = members.size == 1
-        finite_gains = not self.context.has_infinite_gains
-        for fin, ninf, npos, gains in (
-            (self._fin_u, self._ninf_u, self._npos_u, self.context.gains_u),
-            (self._fin_v, self._ninf_v, self._npos_v, self.context.gains_v),
+        backend = self.context.backend
+        finite_gains = not backend.has_infinite_gains
+        for fin, ninf, npos, col, gather_cols in (
+            (
+                self._fin_u,
+                self._ninf_u,
+                self._npos_u,
+                backend.col_u,
+                backend.gather_cols_u,
+            ),
+            (
+                self._fin_v,
+                self._ninf_v,
+                self._npos_v,
+                backend.col_v,
+                backend.gather_cols_v,
+            ),
         ):
             if single:
-                columns = gains[:, members[0]]
+                columns = col(int(members[0]))
                 if finite_gains:
                     np.add(fin, sign * columns, out=fin)
                     np.add(npos, sign * (columns > 0), out=npos)
@@ -560,7 +625,7 @@ class ClassAccumulator:
                     np.add(ninf, sign * ~finite, out=ninf)
                     np.add(npos, sign * (finite & (columns > 0)), out=npos)
             else:
-                columns = gains[:, members]
+                columns = gather_cols(members)
                 if finite_gains:
                     np.add(fin, sign * columns.sum(axis=1), out=fin)
                     np.add(npos, sign * (columns > 0).sum(axis=1), out=npos)
@@ -711,8 +776,11 @@ class ClassAccumulator:
             return True
         members = np.asarray(self._order, dtype=int)
         interf_u, interf_v = self.interference_parts(members)
-        new_u = interf_u + self.context.gains_u[members, request]
-        new_v = interf_v + self.context.gains_v[members, request]
+        backend = self.context.backend
+        col_u = backend.col_u(request)
+        col_v = col_u if self._directed else backend.col_v(request)
+        new_u = interf_u + col_u[members]
+        new_v = interf_v + col_v[members]
         new_interf = np.maximum(new_u, new_v)
         member_margins = _margins_from(
             signals[members], new_interf, self.beta, self.noise
@@ -735,12 +803,34 @@ _engine_enabled = True
 #: Per-instance caches live *on the instance* (as the attribute named
 #: below): instance -> contexts -> instance is then a self-contained
 #: reference cycle the garbage collector can reclaim once the caller
-#: drops the instance.  (A module-level WeakKeyDictionary would never
-#: evict — each context holds a strong reference to its instance, which
-#: would keep the weak key alive forever.)  This WeakSet only tracks
-#: which instances carry a cache, for cache_info()/clear_context_cache.
+#: drops the instance.  (A module-level strong cache would pin every
+#: instance until eviction; a WeakKeyDictionary would never evict —
+#: each context holds a strong reference to its instance, which would
+#: keep the weak key alive forever.)  The WeakSet tracks which
+#: instances carry a cache, for cache_info()/clear_context_cache.
 _CACHE_ATTR = "_interference_context_cache"
 _cached_instances: "weakref.WeakSet[Instance]" = weakref.WeakSet()
+#: Global recency order over every cached context, as
+#: ``(id(instance), key) -> weakref(instance)``.  Holding only weak
+#: references keeps the GC story above intact while still letting
+#: :func:`get_context` enforce a *total* LRU bound across instances:
+#: when the bound is exceeded, the oldest entry's context is evicted
+#: from its instance's own cache dict.  Entries whose instance died
+#: are dropped lazily as they surface at the LRU head.
+_lru: "OrderedDict[Tuple[int, tuple], weakref.ref]" = OrderedDict()
+
+
+def _env_cache_limit() -> int:
+    raw = os.environ.get("REPRO_CONTEXT_CACHE", "")
+    if not raw.strip():
+        return DEFAULT_CONTEXT_CACHE_LIMIT
+    limit = int(raw)
+    if limit < 1:
+        raise ValueError(f"REPRO_CONTEXT_CACHE must be >= 1, got {raw!r}")
+    return limit
+
+
+_cache_limit = _env_cache_limit()
 _hits = 0
 _misses = 0
 
@@ -768,48 +858,101 @@ def engine_disabled() -> Iterator[None]:
         set_engine_enabled(previous)
 
 
+def context_cache_limit() -> int:
+    """Current bound on the total number of cached contexts."""
+    return _cache_limit
+
+
+def set_context_cache_limit(limit: int) -> None:
+    """Set the total-context LRU bound (evicting down immediately)."""
+    global _cache_limit
+    limit = int(limit)
+    if limit < 1:
+        raise ValueError(f"context cache limit must be >= 1, got {limit}")
+    with _lock:
+        _cache_limit = limit
+        _evict_over_limit()
+
+
+def _evict_over_limit() -> None:
+    """Evict least-recently-used contexts until within the bound.
+
+    Must hold ``_lock``.  Dead entries (instance already collected, so
+    its contexts are gone with it) are purged as they surface.
+    """
+    while len(_lru) > _cache_limit:
+        (_, key), ref = _lru.popitem(last=False)
+        inst = ref()
+        if inst is None:
+            continue
+        per_instance = getattr(inst, _CACHE_ATTR, None)
+        if per_instance is not None:
+            per_instance.pop(key, None)
+
+
 def get_context(
     instance: Instance,
     powers: np.ndarray,
     beta: Optional[float] = None,
     noise: Optional[float] = None,
+    backend: Optional[str] = None,
+    sparse_epsilon: Optional[float] = None,
 ) -> InterferenceContext:
     """The shared :class:`InterferenceContext` for ``(instance, powers)``.
 
     Contexts are cached per instance — on the instance object itself,
     so dropping the instance lets the garbage collector reclaim its
     contexts — under the *value* of the power vector plus the resolved
-    ``beta``/``noise`` defaults, with an LRU bound of
-    :data:`MAX_CONTEXTS_PER_INSTANCE`.  Gains ``beta``/``noise`` are
-    also per-query overrides on the returned context's methods, so
-    querying at a rescaled gain does not fragment the cache; passing
-    them *here* changes the context's defaults and therefore its cache
-    slot (callers that rely on instance defaults never receive a
-    context seeded with overrides).
+    ``beta``/``noise`` defaults and the resolved gain backend, with a
+    **global** LRU bound across all instances
+    (:func:`context_cache_limit`, default
+    :data:`DEFAULT_CONTEXT_CACHE_LIMIT`, env ``REPRO_CONTEXT_CACHE``) —
+    so long runs over many instances hold bounded gain-matrix memory.
+    Gains ``beta``/``noise`` are also per-query overrides on the
+    returned context's methods, so querying at a rescaled gain does not
+    fragment the cache; passing them *here* changes the context's
+    defaults and therefore its cache slot (callers that rely on
+    instance defaults never receive a context seeded with overrides).
     """
     global _hits, _misses
     powers_arr = np.asarray(powers, dtype=float)
+    backend_name = resolve_backend(backend)
+    epsilon = (
+        resolve_sparse_epsilon(sparse_epsilon)
+        if backend_name == "sparse"
+        else 0.0
+    )
     key = (
         powers_arr.tobytes(),
         instance.beta if beta is None else float(beta),
         instance.noise if noise is None else float(noise),
+        backend_name,
+        epsilon,
     )
     with _lock:
         per_instance = getattr(instance, _CACHE_ATTR, None)
         if per_instance is None:
-            per_instance = OrderedDict()
+            per_instance = {}
             setattr(instance, _CACHE_ATTR, per_instance)
             _cached_instances.add(instance)
         context = per_instance.get(key)
+        lru_key = (id(instance), key)
         if context is not None:
-            per_instance.move_to_end(key)
+            _lru[lru_key] = _lru.pop(lru_key, None) or weakref.ref(instance)
             _hits += 1
             return context
         _misses += 1
-        context = InterferenceContext(instance, powers_arr, beta=beta, noise=noise)
+        context = InterferenceContext(
+            instance,
+            powers_arr,
+            beta=beta,
+            noise=noise,
+            backend=backend_name,
+            sparse_epsilon=epsilon,
+        )
         per_instance[key] = context
-        while len(per_instance) > MAX_CONTEXTS_PER_INSTANCE:
-            per_instance.popitem(last=False)
+        _lru[lru_key] = weakref.ref(instance)
+        _evict_over_limit()
         return context
 
 
@@ -832,7 +975,8 @@ def maybe_context(
 
 
 def cache_info() -> Dict[str, int]:
-    """Cache statistics: hits, misses, live instances, live contexts."""
+    """Cache statistics: hits, misses, live instances, live contexts,
+    and the global LRU limit."""
     with _lock:
         caches = [
             getattr(inst, _CACHE_ATTR, None) for inst in _cached_instances
@@ -843,6 +987,7 @@ def cache_info() -> Dict[str, int]:
             "misses": _misses,
             "instances": len(caches),
             "contexts": sum(len(c) for c in caches),
+            "limit": _cache_limit,
         }
 
 
@@ -854,5 +999,6 @@ def clear_context_cache() -> None:
             if hasattr(inst, _CACHE_ATTR):
                 delattr(inst, _CACHE_ATTR)
         _cached_instances.clear()
+        _lru.clear()
         _hits = 0
         _misses = 0

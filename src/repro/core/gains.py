@@ -1,0 +1,859 @@
+"""Pluggable gain-matrix backends: dense reference and pruned sparse.
+
+Everything the interference engine computes reduces to a handful of
+access patterns on the gain matrices ``G_u``/``G_v`` — single columns
+(what one transmitter does to everyone), bulk column gathers (seeding a
+class), square sub-blocks (peeling a candidate set), cross blocks
+(prior interference of a selection at new candidates) and same-color
+row sums (validating a partition).  :class:`GainBackend` names exactly
+those primitives, and the engine layers
+(:class:`repro.core.context.InterferenceContext`,
+:class:`repro.core.context.ClassAccumulator`,
+:mod:`repro.core.kernels`, :class:`repro.core.batch.ContextBatch`, the
+schedulers) consume gains **only** through them.  Two implementations:
+
+* :class:`DenseBackend` — the materialized ``(n, n)`` arrays the engine
+  has always used.  Every primitive returns the exact expression the
+  pre-backend code evaluated (same gathers, same layouts), so the dense
+  path is bit-identical to historical behaviour.
+* :class:`SparseBackend` — CSR storage (plus CSR transposes for column
+  access) built **tiled**, a block of rows at a time, so an instance at
+  ``n = 16384`` never materializes a dense matrix (nor, on
+  coordinate-backed metrics, the underlying distance matrix — see
+  :meth:`repro.geometry.metric.Metric.distance_block`).  Rows are
+  ε-pruned: per row the smallest finite entries whose cumulative sum
+  stays within ``epsilon`` times the row's total finite mass are
+  dropped, and the dropped mass is recorded **per request** in
+  :attr:`~SparseBackend.pruned_mass_u` / ``_v``.
+
+Numerical contract
+------------------
+
+Sparse primitives gather the stored entries into dense scratch buffers
+of the **same shape** the dense primitive returns (pruned entries
+appear as ``0.0``) and callers apply the same reductions — so with
+``epsilon = 0`` (the default, which drops only exact zeros) every
+downstream value is bit-identical to the dense backend, and the whole
+test suite passes unchanged under ``REPRO_BACKEND=sparse``.
+
+With ``epsilon > 0`` the backend is a *conservative under-estimator*:
+any interference value it reports is a lower bound on the true value,
+too low by at most the per-request pruned mass.  A feasibility
+comparison ``interference <= limit`` can therefore flip (relative to
+the unpruned matrix) only when the value lands inside the
+``(limit - pruned_mass, limit]`` band; the scheduler kernels count
+those at-risk comparisons per kernel
+(:attr:`repro.core.kernels.ScheduleKernel.flip_risk_events`) and
+cumulatively per backend (:attr:`GainBackend.flip_risk_events`).  A
+run during which the counter did **not grow** is **certified** — its
+decisions (and hence its schedule) are exactly what the dense backend
+would have produced.  The backend counter is a running total shared by
+every kernel on the (cached) backend, so per-run certification through
+the scheduler wrappers reads it before and after (or calls
+:meth:`~GainBackend.reset_flip_risk` first)::
+
+    backend = get_context(instance, powers).backend
+    before = backend.flip_risk_events
+    schedule = first_fit_schedule(instance, powers)
+    certified = backend.flip_risk_events == before
+
+Selecting a backend
+-------------------
+
+The process-wide default is ``"dense"``; override it with the
+``REPRO_BACKEND`` environment variable, :func:`set_default_backend`, or
+temporarily with ``with backend_scope("sparse"): ...``.  Individual
+contexts accept an explicit ``backend=`` argument through
+:func:`repro.core.context.get_context`, and experiment specs carry a
+``backend`` field the orchestrator applies per run
+(:mod:`repro.runner`).  ``REPRO_SPARSE_EPSILON`` (or
+:func:`set_sparse_epsilon`) sets the default pruning budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+from scipy import sparse as _sp
+
+from repro.core.instance import Direction, Instance
+from repro.core.interference import (
+    _class_sum,
+    _safe_divide,
+    bidirectional_gain_matrices,
+    directed_gain_matrix,
+)
+
+__all__ = [
+    "BACKENDS",
+    "GainBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "build_backend",
+    "default_backend",
+    "set_default_backend",
+    "backend_scope",
+    "resolve_backend",
+    "default_sparse_epsilon",
+    "set_sparse_epsilon",
+    "resolve_sparse_epsilon",
+]
+
+#: Registered backend names.
+BACKENDS = ("dense", "sparse")
+
+#: Default number of gain-matrix rows materialized at once while
+#: building (or row-summing) a sparse backend; peak scratch memory is
+#: ``O(tile * n)`` instead of ``O(n^2)``.
+DEFAULT_TILE_ROWS = 512
+
+
+def _env_backend() -> str:
+    name = os.environ.get("REPRO_BACKEND", "dense").strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {BACKENDS}, got {name!r}"
+        )
+    return name
+
+
+def _env_epsilon() -> float:
+    raw = os.environ.get("REPRO_SPARSE_EPSILON", "0")
+    epsilon = float(raw)
+    if not 0.0 <= epsilon < 1.0:
+        raise ValueError(
+            f"REPRO_SPARSE_EPSILON must be in [0, 1), got {raw!r}"
+        )
+    return epsilon
+
+
+_default_backend = _env_backend()
+_default_epsilon = _env_epsilon()
+
+
+def default_backend() -> str:
+    """The process-wide default backend name."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend (``"dense"``/``"sparse"``)."""
+    global _default_backend
+    _default_backend = resolve_backend(name)
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Validate *name*, resolving ``None`` to the current default."""
+    if name is None:
+        return _default_backend
+    name = str(name).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    return name
+
+
+@contextmanager
+def backend_scope(name: Optional[str]) -> Iterator[str]:
+    """Temporarily switch the default backend (``None`` = leave as is)."""
+    global _default_backend
+    previous = _default_backend
+    if name is not None:
+        set_default_backend(name)
+    try:
+        yield _default_backend
+    finally:
+        _default_backend = previous
+
+
+def default_sparse_epsilon() -> float:
+    """The default per-row pruned-mass budget of sparse backends."""
+    return _default_epsilon
+
+
+def set_sparse_epsilon(epsilon: float) -> None:
+    """Set the default pruning budget (fraction of each row's finite
+    mass allowed to be dropped; ``0`` keeps every nonzero entry)."""
+    global _default_epsilon
+    _default_epsilon = resolve_sparse_epsilon(float(epsilon))
+
+
+def resolve_sparse_epsilon(epsilon: Optional[float]) -> float:
+    """Validate *epsilon*, resolving ``None`` to the current default."""
+    if epsilon is None:
+        return _default_epsilon
+    epsilon = float(epsilon)
+    if not 0.0 <= epsilon < 1.0:
+        raise ValueError(f"sparse epsilon must be in [0, 1), got {epsilon}")
+    return epsilon
+
+
+class GainBackend(abc.ABC):
+    """Access protocol for one pair of endpoint gain matrices.
+
+    Methods come in ``_u``/``_v`` pairs; in the directed variant the
+    ``_v`` member is the same object/value as ``_u`` (mirroring the
+    aliased matrices of the dense engine).  All return **dense** numpy
+    scratch arrays — never views a caller must not mutate, except where
+    a concrete class documents otherwise.
+    """
+
+    #: Backend name (``"dense"`` or ``"sparse"``).
+    name: str = "?"
+
+    #: Running total of feasibility comparisons that landed inside a
+    #: pruned-mass uncertainty band (see the module docstring).  Always
+    #: ``0`` for lossless backends; incremented by every scheduler
+    #: kernel sharing this backend, so per-run certification compares
+    #: before/after (or resets first) — each
+    #: :class:`~repro.core.kernels.ScheduleKernel` also keeps its own
+    #: per-run count.
+    flip_risk_events: int = 0
+
+    def reset_flip_risk(self) -> None:
+        """Reset the at-risk-comparison counter."""
+        self.flip_risk_events = 0
+
+    # -- shape / bookkeeping -------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of requests."""
+
+    @property
+    @abc.abstractmethod
+    def directed(self) -> bool:
+        """Is there a single (aliased) gain matrix?"""
+
+    @property
+    @abc.abstractmethod
+    def has_infinite_gains(self) -> bool:
+        """Does any entry equal ``inf`` (shared-node pairs)?"""
+
+    @property
+    @abc.abstractmethod
+    def pruned_mass_u(self) -> np.ndarray:
+        """Per-request upper bound on gain mass dropped from row ``i``
+        of ``G_u`` (exact zeros for lossless backends)."""
+
+    @property
+    @abc.abstractmethod
+    def pruned_mass_v(self) -> np.ndarray:
+        """Endpoint-``v`` counterpart of :attr:`pruned_mass_u`."""
+
+    @property
+    def pruned_bound(self) -> np.ndarray:
+        """Worst-endpoint pruned mass ``max(pm_u, pm_v)`` per request —
+        the additive uncertainty of any worst-endpoint interference
+        value this backend reports."""
+        if self.directed:
+            return self.pruned_mass_u
+        return np.maximum(self.pruned_mass_u, self.pruned_mass_v)
+
+    @property
+    def is_lossless(self) -> bool:
+        """Does this backend reproduce the full matrices exactly?"""
+        return not bool(
+            np.any(self.pruned_mass_u > 0) or np.any(self.pruned_mass_v > 0)
+        )
+
+    # -- primitives ----------------------------------------------------
+
+    @abc.abstractmethod
+    def col_u(self, j: int) -> np.ndarray:
+        """Column ``G_u[:, j]`` as a dense ``(n,)`` array: what request
+        *j* induces at every request's ``u`` endpoint."""
+
+    @abc.abstractmethod
+    def col_v(self, j: int) -> np.ndarray:
+        """Column ``G_v[:, j]``."""
+
+    @abc.abstractmethod
+    def row_u(self, i: int) -> np.ndarray:
+        """Row ``G_u[i, :]`` as a dense ``(n,)`` array."""
+
+    @abc.abstractmethod
+    def row_v(self, i: int) -> np.ndarray:
+        """Row ``G_v[i, :]``."""
+
+    @abc.abstractmethod
+    def gather_cols_u(self, members: np.ndarray) -> np.ndarray:
+        """Dense ``(n, k)`` gather ``G_u[:, members]``."""
+
+    @abc.abstractmethod
+    def gather_cols_v(self, members: np.ndarray) -> np.ndarray:
+        """Dense ``(n, k)`` gather ``G_v[:, members]``."""
+
+    @abc.abstractmethod
+    def block_u(self, idx: np.ndarray) -> np.ndarray:
+        """Dense ``(k, k)`` sub-block ``G_u[np.ix_(idx, idx)]`` (a fresh
+        writable buffer)."""
+
+    @abc.abstractmethod
+    def block_v(self, idx: np.ndarray) -> np.ndarray:
+        """Dense ``(k, k)`` sub-block of ``G_v``."""
+
+    @abc.abstractmethod
+    def cross_block_u(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Dense ``(len(rows), len(cols))`` gather
+        ``G_u[np.ix_(rows, cols)]``."""
+
+    @abc.abstractmethod
+    def cross_block_v(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Endpoint-``v`` counterpart of :meth:`cross_block_u`."""
+
+    @abc.abstractmethod
+    def class_sum_u(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        """Same-color row sums of ``G_u`` (all columns when *colors* is
+        ``None``) — cf. :func:`repro.core.interference._class_sum`."""
+
+    @abc.abstractmethod
+    def class_sum_v(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        """Same-color row sums of ``G_v``."""
+
+    # -- dense materialization (compat / analysis layers) --------------
+
+    @abc.abstractmethod
+    def dense_u(self) -> np.ndarray:
+        """The full ``(n, n)`` matrix ``G_u``.  O(n^2) memory — sparse
+        backends materialize it on every call; intended for the
+        analysis layers and small instances, never for hot loops."""
+
+    @abc.abstractmethod
+    def dense_v(self) -> np.ndarray:
+        """The full ``G_v`` (aliases :meth:`dense_u` when directed)."""
+
+    @abc.abstractmethod
+    def dense_ut(self) -> np.ndarray:
+        """Contiguous transpose of ``G_u`` (O(n^2) memory)."""
+
+    @abc.abstractmethod
+    def dense_vt(self) -> np.ndarray:
+        """Contiguous transpose of ``G_v``."""
+
+    # -- stats ---------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Stored nonzero entries across both endpoint matrices
+        (aliased matrices counted once)."""
+
+    @property
+    def density(self) -> float:
+        """``nnz`` per matrix entry (1.0 for dense storage)."""
+        matrices = 1 if self.directed else 2
+        return float(self.nnz) / float(matrices * self.n * self.n)
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Approximate bytes held by the gain storage."""
+
+
+class DenseBackend(GainBackend):
+    """The materialized ``(n, n)`` gain arrays (bit-exact reference).
+
+    Exposes the arrays themselves (:attr:`gains_u`, :attr:`gains_v`,
+    cached contiguous transposes :attr:`gains_ut`/:attr:`gains_vt` and
+    the worst-endpoint :attr:`worst_gains`) for the dense-only fast
+    paths (stacked batching, affectance analyses); every protocol
+    primitive evaluates the exact gather expression the engine used
+    before the backend split.
+    """
+
+    name = "dense"
+
+    def __init__(self, gains_u: np.ndarray, gains_v: np.ndarray):
+        self.flip_risk_events = 0
+        self._gains_u = gains_u
+        self._gains_v = gains_v
+        self._gains_t: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._worst: Optional[np.ndarray] = None
+        self._has_inf: Optional[bool] = None
+        self._zero_mass: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(cls, instance: Instance, powers: np.ndarray) -> "DenseBackend":
+        """Build from the shared gain-matrix builders (the exact arrays
+        the pre-backend engine cached)."""
+        if instance.direction is Direction.DIRECTED:
+            gains = directed_gain_matrix(instance, powers)
+            gains.setflags(write=False)
+            return cls(gains, gains)
+        gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+        gains_u.setflags(write=False)
+        gains_v.setflags(write=False)
+        return cls(gains_u, gains_v)
+
+    # -- the arrays ----------------------------------------------------
+
+    @property
+    def gains_u(self) -> np.ndarray:
+        """Gain matrix at endpoint ``u`` (read-only)."""
+        return self._gains_u
+
+    @property
+    def gains_v(self) -> np.ndarray:
+        """Gain matrix at endpoint ``v`` (aliases :attr:`gains_u` in
+        the directed variant; read-only)."""
+        return self._gains_v
+
+    def _transposes(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._gains_t is None:
+            gains_ut = np.ascontiguousarray(self._gains_u.T)
+            gains_ut.setflags(write=False)
+            if self._gains_v is self._gains_u:
+                self._gains_t = (gains_ut, gains_ut)
+            else:
+                gains_vt = np.ascontiguousarray(self._gains_v.T)
+                gains_vt.setflags(write=False)
+                self._gains_t = (gains_ut, gains_vt)
+        return self._gains_t
+
+    @property
+    def gains_ut(self) -> np.ndarray:
+        """Contiguous transpose of :attr:`gains_u` (read-only, cached);
+        ``gains_ut[j]`` is request ``j``'s gain column laid out
+        contiguously."""
+        return self._transposes()[0]
+
+    @property
+    def gains_vt(self) -> np.ndarray:
+        """Contiguous transpose of :attr:`gains_v` (read-only, cached;
+        aliases :attr:`gains_ut` in the directed variant)."""
+        return self._transposes()[1]
+
+    @property
+    def worst_gains(self) -> np.ndarray:
+        """Worst-endpoint gains ``max(G_u, G_v)`` (read-only, cached)."""
+        if self._worst is None:
+            if self._gains_v is self._gains_u:
+                self._worst = self._gains_u
+            else:
+                worst = np.maximum(self._gains_u, self._gains_v)
+                worst.setflags(write=False)
+                self._worst = worst
+        return self._worst
+
+    # -- protocol ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._gains_u.shape[0]
+
+    @property
+    def directed(self) -> bool:
+        return self._gains_v is self._gains_u
+
+    @property
+    def has_infinite_gains(self) -> bool:
+        if self._has_inf is None:
+            has_inf = not bool(np.all(np.isfinite(self._gains_u)))
+            if not has_inf and self._gains_v is not self._gains_u:
+                has_inf = not bool(np.all(np.isfinite(self._gains_v)))
+            self._has_inf = has_inf
+        return self._has_inf
+
+    @property
+    def pruned_mass_u(self) -> np.ndarray:
+        if self._zero_mass is None:
+            zeros = np.zeros(self.n)
+            zeros.setflags(write=False)
+            self._zero_mass = zeros
+        return self._zero_mass
+
+    pruned_mass_v = pruned_mass_u
+
+    def col_u(self, j: int) -> np.ndarray:
+        return self.gains_ut[j]
+
+    def col_v(self, j: int) -> np.ndarray:
+        return self.gains_vt[j]
+
+    def row_u(self, i: int) -> np.ndarray:
+        return self._gains_u[i]
+
+    def row_v(self, i: int) -> np.ndarray:
+        return self._gains_v[i]
+
+    def gather_cols_u(self, members: np.ndarray) -> np.ndarray:
+        return self._gains_u[:, members]
+
+    def gather_cols_v(self, members: np.ndarray) -> np.ndarray:
+        return self._gains_v[:, members]
+
+    def block_u(self, idx: np.ndarray) -> np.ndarray:
+        return self._gains_u[np.ix_(idx, idx)]
+
+    def block_v(self, idx: np.ndarray) -> np.ndarray:
+        return self._gains_v[np.ix_(idx, idx)]
+
+    def cross_block_u(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._gains_u[np.ix_(rows, cols)]
+
+    def cross_block_v(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._gains_v[np.ix_(rows, cols)]
+
+    def class_sum_u(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        return _class_sum(self._gains_u, colors)
+
+    def class_sum_v(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        return _class_sum(self._gains_v, colors)
+
+    def dense_u(self) -> np.ndarray:
+        return self._gains_u
+
+    def dense_v(self) -> np.ndarray:
+        return self._gains_v
+
+    def dense_ut(self) -> np.ndarray:
+        return self.gains_ut
+
+    def dense_vt(self) -> np.ndarray:
+        return self.gains_vt
+
+    @property
+    def nnz(self) -> int:
+        count = int(np.count_nonzero(self._gains_u))
+        if self._gains_v is not self._gains_u:
+            count += int(np.count_nonzero(self._gains_v))
+        return count
+
+    @property
+    def density(self) -> float:
+        return 1.0  # dense storage holds every entry regardless of value
+
+    @property
+    def nbytes(self) -> int:
+        total = self._gains_u.nbytes
+        if self._gains_v is not self._gains_u:
+            total += self._gains_v.nbytes
+        if self._gains_t is not None:
+            total += self._gains_t[0].nbytes
+            if self._gains_t[1] is not self._gains_t[0]:
+                total += self._gains_t[1].nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DenseBackend(n={self.n}, directed={self.directed})"
+
+
+def _prune_tile(
+    tile: np.ndarray, epsilon: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ε-pruning of one dense gain tile.
+
+    Returns ``(keep, pruned_mass)``: a boolean mask of entries to store
+    (every ``inf`` entry is always kept, exact zeros never are) and a
+    conservative per-row upper bound on the finite mass dropped.  The
+    rule drops the *smallest* finite entries of each row whose
+    cumulative sum stays within ``epsilon`` times the row's total
+    finite mass, so the bound is as tight as a sorted greedy allows.
+    """
+    finite = np.isfinite(tile)
+    positive = tile > 0
+    eligible = finite & positive
+    if epsilon <= 0.0:
+        return eligible | ~finite, np.zeros(tile.shape[0])
+    # Sort each row's eligible values ascending (ineligible entries sort
+    # last as +inf) and drop the longest prefix within the mass budget.
+    # The ordering and the cumulative mass run in float32 — the sort is
+    # the build's hottest pass and halves its memory traffic — which is
+    # sound because the *rule* (which smallest entries to drop) is ours
+    # to define: stored entries stay exact float64, and the recorded
+    # per-row bound below is widened past the worst-case float32
+    # accumulation error so it remains a true upper bound on the exact
+    # dropped mass.  Ties among equal values may drop in either order
+    # (identical mass either way); the result is deterministic for a
+    # given tile.
+    vals = np.where(eligible, tile, np.inf).astype(np.float32)
+    order = np.argsort(vals, axis=1)
+    svals = np.take_along_axis(vals, order, axis=1)
+    sfinite = np.isfinite(svals)
+    csum = np.cumsum(np.where(sfinite, svals, np.float32(0.0)), axis=1)
+    # Keep the budget slightly conservative so float32 rounding cannot
+    # push the dropped mass past epsilon times the true row mass.
+    budget = np.float32(epsilon * (1.0 - 1e-3)) * csum[:, -1]
+    drop_count = np.count_nonzero(sfinite & (csum <= budget[:, None]), axis=1)
+    pruned = np.where(
+        drop_count > 0,
+        np.take_along_axis(
+            csum, np.maximum(drop_count - 1, 0)[:, None], axis=1
+        )[:, 0].astype(float),
+        0.0,
+    )
+    # Widen the recorded bound past the sequential-float32-cumsum
+    # worst case (~n * eps32 relative), plus an absolute term covering
+    # float64 values that underflow to 0 in float32 (each < 1.2e-38),
+    # so it upper-bounds the exact float64 dropped mass.
+    n_cols = np.float64(tile.shape[1])
+    pruned = pruned * (1.0 + n_cols * 1.2e-7 + 1e-9) + np.where(
+        drop_count > 0, n_cols * 1.2e-38, 0.0
+    )
+    drop_sorted = np.arange(tile.shape[1])[None, :] < drop_count[:, None]
+    drop = np.zeros(tile.shape, dtype=bool)
+    np.put_along_axis(drop, order, drop_sorted, axis=1)
+    return (eligible & ~drop) | ~finite, pruned
+
+
+class SparseBackend(GainBackend):
+    """ε-pruned CSR gains with per-request dropped-mass bounds.
+
+    Storage is one CSR matrix per endpoint plus its transposed CSR (for
+    O(row) column access); both are assembled tile-by-tile through
+    :meth:`repro.geometry.metric.Metric.distance_block`, so neither the
+    gain nor the distance matrix is ever dense in memory.  See the
+    module docstring for the pruning rule and the exactness /
+    certification contract.
+    """
+
+    name = "sparse"
+
+    def __init__(
+        self,
+        csr_u: "_sp.csr_matrix",
+        csr_v: "_sp.csr_matrix",
+        pruned_mass_u: np.ndarray,
+        pruned_mass_v: np.ndarray,
+        epsilon: float,
+        has_infinite: bool,
+    ):
+        self.flip_risk_events = 0
+        self.epsilon = float(epsilon)
+        self._csr_u = csr_u
+        self._csr_v = csr_v
+        self._csr_ut = csr_u.T.tocsr()
+        self._csr_vt = (
+            self._csr_ut if csr_v is csr_u else csr_v.T.tocsr()
+        )
+        pruned_mass_u.setflags(write=False)
+        pruned_mass_v.setflags(write=False)
+        self._pruned_u = pruned_mass_u
+        self._pruned_v = pruned_mass_v
+        self._has_inf = bool(has_infinite)
+        self.tile_rows = DEFAULT_TILE_ROWS
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        instance: Instance,
+        powers: np.ndarray,
+        epsilon: Optional[float] = None,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+    ) -> "SparseBackend":
+        """Tiled CSR build for ``(instance, powers)``.
+
+        Gain values are computed with the exact elementwise operations
+        of the dense builders (:func:`directed_gain_matrix` /
+        :func:`bidirectional_gain_matrices`) applied to metric blocks,
+        so every *stored* entry is bit-identical to its dense
+        counterpart.
+        """
+        epsilon = resolve_sparse_epsilon(epsilon)
+        powers = np.asarray(powers, dtype=float).reshape(-1)
+        n = instance.n
+        tile_rows = max(1, int(tile_rows))
+        metric = instance.metric
+        alpha = instance.alpha
+        s, r = instance.senders, instance.receivers
+        directed = instance.direction is Direction.DIRECTED
+
+        def tile_gains(endpoint_nodes: np.ndarray, lo: int, hi: int) -> np.ndarray:
+            """Rows ``lo:hi`` of one endpoint's gain matrix."""
+            w = endpoint_nodes[lo:hi]
+            if directed:
+                loss = metric.loss_block(w, s, alpha)
+            else:
+                loss = np.minimum(
+                    metric.loss_block(w, s, alpha),
+                    metric.loss_block(w, r, alpha),
+                )
+            gains = _safe_divide(powers[None, :], loss)
+            gains[np.arange(hi - lo), np.arange(lo, hi)] = 0.0
+            return gains
+
+        def build_endpoint(endpoint_nodes: np.ndarray):
+            data, cols, row_nnz = [], [], []
+            pruned = np.empty(n)
+            has_inf = False
+            for lo in range(0, n, tile_rows):
+                hi = min(lo + tile_rows, n)
+                gains = tile_gains(endpoint_nodes, lo, hi)
+                keep, tile_pruned = _prune_tile(gains, epsilon)
+                pruned[lo:hi] = tile_pruned
+                kept_rows, kept_cols = np.nonzero(keep)
+                kept = gains[kept_rows, kept_cols]
+                if not has_inf and kept.size:
+                    has_inf = not bool(np.all(np.isfinite(kept)))
+                data.append(kept)
+                cols.append(kept_cols)
+                row_nnz.append(np.bincount(kept_rows, minlength=hi - lo))
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.concatenate(row_nnz), out=indptr[1:])
+            csr = _sp.csr_matrix(
+                (
+                    np.concatenate(data) if data else np.zeros(0),
+                    np.concatenate(cols) if cols else np.zeros(0, dtype=int),
+                    indptr,
+                ),
+                shape=(n, n),
+            )
+            return csr, pruned, has_inf
+
+        if directed:
+            csr_u, pruned_u, has_inf = build_endpoint(r)
+            csr_v, pruned_v = csr_u, pruned_u
+        else:
+            csr_u, pruned_u, inf_u = build_endpoint(s)
+            csr_v, pruned_v, inf_v = build_endpoint(r)
+            has_inf = inf_u or inf_v
+        return cls(csr_u, csr_v, pruned_u, pruned_v, epsilon, has_inf)
+
+    # -- protocol ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._csr_u.shape[0]
+
+    @property
+    def directed(self) -> bool:
+        return self._csr_v is self._csr_u
+
+    @property
+    def has_infinite_gains(self) -> bool:
+        return self._has_inf
+
+    @property
+    def pruned_mass_u(self) -> np.ndarray:
+        return self._pruned_u
+
+    @property
+    def pruned_mass_v(self) -> np.ndarray:
+        return self._pruned_v
+
+    @staticmethod
+    def _expand_row(csr: "_sp.csr_matrix", i: int) -> np.ndarray:
+        out = np.zeros(csr.shape[1])
+        lo, hi = csr.indptr[i], csr.indptr[i + 1]
+        out[csr.indices[lo:hi]] = csr.data[lo:hi]
+        return out
+
+    def col_u(self, j: int) -> np.ndarray:
+        return self._expand_row(self._csr_ut, int(j))
+
+    def col_v(self, j: int) -> np.ndarray:
+        return self._expand_row(self._csr_vt, int(j))
+
+    def row_u(self, i: int) -> np.ndarray:
+        return self._expand_row(self._csr_u, int(i))
+
+    def row_v(self, i: int) -> np.ndarray:
+        return self._expand_row(self._csr_v, int(i))
+
+    def gather_cols_u(self, members: np.ndarray) -> np.ndarray:
+        return self._csr_ut[members].toarray().T
+
+    def gather_cols_v(self, members: np.ndarray) -> np.ndarray:
+        return self._csr_vt[members].toarray().T
+
+    def block_u(self, idx: np.ndarray) -> np.ndarray:
+        return self._csr_u[idx][:, idx].toarray()
+
+    def block_v(self, idx: np.ndarray) -> np.ndarray:
+        return self._csr_v[idx][:, idx].toarray()
+
+    def cross_block_u(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._csr_u[rows][:, cols].toarray()
+
+    def cross_block_v(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._csr_v[rows][:, cols].toarray()
+
+    def _class_sum(
+        self, csr: "_sp.csr_matrix", colors: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Tiled same-color row sums: expand ``tile_rows`` rows to a
+        dense scratch and reduce exactly like the dense
+        :func:`~repro.core.interference._class_sum` (per-row pairwise
+        sums over length-``n`` buffers, so values are bit-identical to
+        running the dense code on the pruned matrix)."""
+        n = self.n
+        if colors is not None:
+            colors = np.asarray(colors)
+        out = np.empty(n)
+        tile = max(1, int(self.tile_rows))
+        for lo in range(0, n, tile):
+            hi = min(lo + tile, n)
+            dense_tile = csr[lo:hi].toarray()
+            if colors is None:
+                out[lo:hi] = dense_tile.sum(axis=1)
+                continue
+            same = colors[lo:hi, None] == colors[None, :]
+            same[np.arange(hi - lo), np.arange(lo, hi)] = False
+            out[lo:hi] = np.where(same, dense_tile, 0.0).sum(axis=1)
+        return out
+
+    def class_sum_u(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        return self._class_sum(self._csr_u, colors)
+
+    def class_sum_v(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        return self._class_sum(self._csr_v, colors)
+
+    def dense_u(self) -> np.ndarray:
+        return self._csr_u.toarray()
+
+    def dense_v(self) -> np.ndarray:
+        return self._csr_v.toarray()
+
+    def dense_ut(self) -> np.ndarray:
+        return self._csr_ut.toarray()
+
+    def dense_vt(self) -> np.ndarray:
+        return self._csr_vt.toarray()
+
+    @property
+    def nnz(self) -> int:
+        count = int(self._csr_u.nnz)
+        if self._csr_v is not self._csr_u:
+            count += int(self._csr_v.nnz)
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        seen = set()
+        for csr in (self._csr_u, self._csr_v, self._csr_ut, self._csr_vt):
+            if id(csr) in seen:
+                continue
+            seen.add(id(csr))
+            total += csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseBackend(n={self.n}, directed={self.directed}, "
+            f"epsilon={self.epsilon}, density={self.density:.4f})"
+        )
+
+
+def build_backend(
+    instance: Instance,
+    powers: np.ndarray,
+    backend: Optional[str] = None,
+    sparse_epsilon: Optional[float] = None,
+) -> GainBackend:
+    """Construct the gain backend for ``(instance, powers)``.
+
+    *backend* and *sparse_epsilon* default to the process-wide settings
+    (:func:`default_backend` / :func:`default_sparse_epsilon`).
+    """
+    name = resolve_backend(backend)
+    if name == "sparse":
+        return SparseBackend.build(instance, powers, epsilon=sparse_epsilon)
+    return DenseBackend.build(instance, powers)

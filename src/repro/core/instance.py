@@ -97,7 +97,11 @@ class Instance:
         self.beta = float(beta)
         self.noise = float(noise)
 
-        distances = metric.distance_matrix()[self.senders, self.receivers]
+        # pair_distances instead of a full-matrix gather: for
+        # coordinate-backed metrics this keeps huge instances (the
+        # sparse-backend regime, n >> 10^3) from materializing the
+        # O(n^2) distance matrix just to resolve n link lengths.
+        distances = metric.pair_distances(self.senders, self.receivers)
         if np.any(distances <= 0):
             bad = int(np.argmax(distances <= 0))
             raise InvalidInstanceError(

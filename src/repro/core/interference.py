@@ -27,6 +27,11 @@ from repro.core.instance import Direction, Instance
 
 def _safe_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
     """Elementwise ``numerator / denominator`` with ``x/0 -> inf``."""
+    if np.all(denominator > 0):
+        # Fast path (no shared-node pairs): a plain divide produces the
+        # identical values without the inf-fill and masked-divide
+        # passes.
+        return np.true_divide(numerator, denominator)
     out = np.full(np.broadcast(numerator, denominator).shape, np.inf)
     np.divide(numerator, denominator, out=out, where=denominator > 0)
     return out

@@ -177,8 +177,19 @@ class ScheduleKernel:
         self.noise = context.noise if noise is None else float(noise)
         n = context.n
         self._n = n
-        self._directed = context.gains_u is context.gains_v
-        self._finite = not context.has_infinite_gains
+        self._backend = context.backend
+        self._directed = context.directed
+        self._finite = not self._backend.has_infinite_gains
+        # Per-request pruned-mass bound of a lossy (sparse) backend;
+        # None on lossless backends so the certification bookkeeping in
+        # first_fit_admit costs nothing on the reference path.
+        pruned = self._backend.pruned_bound
+        self._pruned = pruned if bool(np.any(pruned > 0)) else None
+        #: At-risk admissions made by *this kernel* (see
+        #: :meth:`first_fit_admit`): the per-run certification counter.
+        #: The backend's :attr:`~repro.core.gains.GainBackend.flip_risk_events`
+        #: accumulates the same events across every kernel sharing it.
+        self.flip_risk_events = 0
         self._colors = np.full(n, -1, dtype=int)
         self._sizes: List[int] = []
         cap = max(1, int(capacity))
@@ -296,9 +307,11 @@ class ScheduleKernel:
             self._npos_v = enlarge(self._npos_v)
 
     def _endpoint_rows(self):
-        # gains is the row-major matrix (for bulk pairwise column
-        # sums), gains_t its contiguous transpose (for cache-friendly
-        # single-column reads); values are identical.
+        # gather_cols materializes bulk column gathers (for pairwise
+        # column sums), col single columns in cache-friendly layout;
+        # both come from the gain backend, so the same kernel runs on
+        # dense and sparse gains with identical values.
+        backend = self._backend
         yield (
             self._fin_u,
             self._ninf_u,
@@ -306,8 +319,8 @@ class ScheduleKernel:
             self._own_fin_u,
             self._own_ninf_u,
             self._own_npos_u,
-            self.context.gains_u,
-            self.context.gains_ut,
+            backend.gather_cols_u,
+            backend.col_u,
         )
         if not self._directed:
             yield (
@@ -317,15 +330,15 @@ class ScheduleKernel:
                 self._own_fin_v,
                 self._own_ninf_v,
                 self._own_npos_v,
-                self.context.gains_v,
-                self.context.gains_vt,
+                backend.gather_cols_v,
+                backend.col_v,
             )
 
     def _bulk_seed(self, color: int, members: np.ndarray) -> None:
         """Seed class *color* with *members* in one vectorized pass
         (same pairwise column sums as ``ClassAccumulator._bulk_add``)."""
-        for fin, ninf, npos, _, _, _, gains, _ in self._endpoint_rows():
-            columns = gains[:, members]
+        for fin, ninf, npos, _, _, _, gather_cols, _ in self._endpoint_rows():
+            columns = gather_cols(members)
             if self._finite:
                 np.add(fin[color], columns.sum(axis=1), out=fin[color])
                 np.add(npos[color], (columns > 0).sum(axis=1), out=npos[color])
@@ -366,10 +379,10 @@ class ScheduleKernel:
         if not 0 <= color < len(self._sizes):
             raise ValueError(f"class {color} is not open")
         peers = self._colors == color
-        for fin, ninf, npos, own_fin, own_ninf, own_npos, _, gains_t in (
+        for fin, ninf, npos, own_fin, own_ninf, own_npos, _, col in (
             self._endpoint_rows()
         ):
-            column = gains_t[request]
+            column = col(request)
             if self._finite:
                 add_pos = column > 0
                 np.add(fin[color], column, out=fin[color])
@@ -411,7 +424,7 @@ class ScheduleKernel:
         self._sizes[color] -= 1
         emptied = self._sizes[color] == 0
         peers = self._colors == color
-        for fin, ninf, npos, own_fin, own_ninf, own_npos, _, gains_t in (
+        for fin, ninf, npos, own_fin, own_ninf, own_npos, _, col in (
             self._endpoint_rows()
         ):
             if emptied:
@@ -419,7 +432,7 @@ class ScheduleKernel:
                 ninf[color].fill(0)
                 npos[color].fill(0)
             else:
-                column = gains_t[request]
+                column = col(request)
                 if self._finite:
                     sub_pos = column > 0
                     np.subtract(fin[color], column, out=fin[color])
@@ -546,6 +559,17 @@ class ScheduleKernel:
         delta check for **all** placed requests; decisions are
         bit-identical to scanning the classes one
         :class:`ClassAccumulator` at a time.
+
+        On a pruned (sparse) backend every interference value is a
+        conservative under-estimate, so rejections here are always
+        correct; only an *admission* can differ from the unpruned
+        matrices, and only when a value lands within the admitted
+        class's pruned-mass bound of its limit.  Each such at-risk
+        admission bumps this kernel's own ``flip_risk_events`` plus the
+        backend's cumulative ``backend.flip_risk_events`` — a run whose
+        kernel counter is zero (equivalently: the backend counter did
+        not grow during the run) is certified identical to the dense
+        backend's schedule.
         """
         request = int(request)
         count = len(self._sizes)
@@ -574,20 +598,42 @@ class ScheduleKernel:
         own_u = _resolve(
             self._own_fin_u, self._own_ninf_u, self._own_npos_u, self._finite
         )
-        viol = placed & ((own_u + self.context.gains_ut[request]) > limits)
-        if not self._directed:
+        new_u = own_u + self._backend.col_u(request)
+        viol = placed & (new_u > limits)
+        if self._directed:
+            new_v = new_u
+        else:
             own_v = _resolve(
                 self._own_fin_v, self._own_ninf_v, self._own_npos_v, self._finite
             )
-            viol |= placed & (
-                (own_v + self.context.gains_vt[request]) > limits
-            )
+            new_v = own_v + self._backend.col_v(request)
+            viol |= placed & (new_v > limits)
         if np.any(viol):
             bad = np.bincount(self._colors[viol], minlength=count)[:count] > 0
             admit &= ~bad
             if not np.any(admit):
                 return -1
-        return int(np.argmax(admit))
+        choice = int(np.argmax(admit))
+        if self._pruned is not None:
+            # Certification: is this admission provably what the
+            # unpruned matrices would decide?  Classes scanned before
+            # `choice` were rejected (always certain); the chosen class
+            # is at risk iff the candidate's or a member's comparison
+            # sits within the pruned-mass band of its limit.
+            pruned = self._pruned
+            risky = bool(cand[choice] + pruned[request] > limits[request])
+            if not risky:
+                members = np.flatnonzero(self._colors == choice)
+                lim = limits[members]
+                pru = pruned[members]
+                band = new_u[members] + pru > lim
+                if not self._directed:
+                    band |= new_v[members] + pru > lim
+                risky = bool(np.any(band))
+            if risky:
+                self.flip_risk_events += 1
+                self._backend.flip_risk_events += 1
+        return choice
 
     def admissible_targets(
         self, request: int, rtol: float = DEFAULT_RTOL
@@ -620,13 +666,13 @@ class ScheduleKernel:
         own_u = _resolve(
             self._own_fin_u, self._own_ninf_u, self._own_npos_u, self._finite
         )
-        new_interf = own_u + self.context.gains_ut[request]
+        new_interf = own_u + self._backend.col_u(request)
         if not self._directed:
             own_v = _resolve(
                 self._own_fin_v, self._own_ninf_v, self._own_npos_v, self._finite
             )
             new_interf = np.maximum(
-                new_interf, own_v + self.context.gains_vt[request]
+                new_interf, own_v + self._backend.col_v(request)
             )
         member_margins = _margins_from(
             signals, new_interf, self.beta, self.noise
@@ -696,6 +742,11 @@ def peel_max_feasible_subset(
         idx = np.asarray([int(i) for i in candidates], dtype=int)
     if idx.size == 0:
         return np.asarray([], dtype=int)
+    # Note: peeling is O(k^2) per round on the gathered block, O(k^3)
+    # over a full peel — at k in the many-thousands (sqrt_coloring's
+    # first distance bucket on huge instances) this pass, not gain
+    # storage, is the scaling wall.  A sub-cubic / stacked peel is the
+    # natural next kernel (see the PR-4 ROADMAP entry).
     if np.unique(idx).size != idx.size:
         # Duplicate candidates name two copies of one request; the
         # reference path defers to a from-scratch sub-instance there,
@@ -705,13 +756,13 @@ def peel_max_feasible_subset(
         )
     beta_v = context.beta if beta is None else float(beta)
     noise = context.noise
-    gains_u, gains_v = context.gains_u, context.gains_v
-    directed = gains_v is gains_u
+    backend = context.backend
+    directed = backend.directed
     signals = context.signals
     threshold = 1.0 - rtol
 
-    buf_u = gains_u[np.ix_(idx, idx)]
-    buf_v = buf_u if directed else gains_v[np.ix_(idx, idx)]
+    buf_u = backend.block_u(idx)
+    buf_v = buf_u if directed else backend.block_v(idx)
     sig = signals[idx].copy()
     order = idx.copy()
     k = idx.size
@@ -739,14 +790,22 @@ def peel_max_feasible_subset(
         t = k + 1
         trial_sig = np.append(sig[:k], signals[req])
         blocks: List[np.ndarray] = []
-        for gains, buf in (
-            ((gains_u, buf_u),) if directed else ((gains_u, buf_u), (gains_v, buf_v))
-        ):
+        endpoints = (
+            ((backend.col_u, backend.row_u, buf_u),)
+            if directed
+            else (
+                (backend.col_u, backend.row_u, buf_u),
+                (backend.col_v, backend.row_v, buf_v),
+            )
+        )
+        for col_fn, row_fn, buf in endpoints:
+            col = col_fn(req)
+            row = row_fn(req)
             tb = np.empty((t, t))
             tb[:k, :k] = buf[:k, :k]
-            tb[:k, k] = gains[order[:k], req]
-            tb[k, :k] = gains[req, order[:k]]
-            tb[k, k] = gains[req, req]
+            tb[:k, k] = col[order[:k]]
+            tb[k, :k] = row[order[:k]]
+            tb[k, k] = row[req]
             blocks.append(tb)
         interf = blocks[0].sum(axis=1)
         if not directed:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.gains import BACKENDS
 from repro.experiments.registry import get_registry
 from repro.runner.orchestrator import run_experiments
 from repro.util.tables import format_table
@@ -53,6 +54,15 @@ def main(argv=None) -> int:
         default=None,
         help="write one BENCH_<experiment>.json per experiment under DIR",
     )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help=(
+            "gain backend for every experiment without its own pin "
+            "(default: the process default, see REPRO_BACKEND)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     registry = get_registry()
@@ -74,6 +84,7 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             artifacts_dir=args.artifacts,
             on_report=_print_report,
+            backend=args.backend,
         )
     except KeyError as exc:
         # resolve_specs rejects unknown ids before any work starts.

@@ -50,3 +50,35 @@ class EuclideanMetric(Metric):
     def _compute_matrix(self) -> np.ndarray:
         diff = self._points[:, None, :] - self._points[None, :, :]
         return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    # Tiled access (see Metric.pair_distances / Metric.distance_block):
+    # computed straight from the coordinates with the exact elementwise
+    # operations of _compute_matrix — subtract, square, sum over the
+    # coordinate axis, sqrt — so every entry is bit-identical to the
+    # corresponding full-matrix entry without ever building the matrix.
+
+    def pair_distances(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        us = np.asarray(us, dtype=int)
+        vs = np.asarray(vs, dtype=int)
+        diff = self._points[us] - self._points[vs]
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    def distance_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        a = self._points[rows]
+        b = self._points[cols]
+        if self.dim < 8:
+            # Accumulate squared differences one coordinate at a time:
+            # (r, c) scratch per dimension instead of an (r, c, d)
+            # broadcast.  For fewer than 8 summands NumPy's axis-sum is
+            # a plain left-to-right reduction, so this accumulation
+            # order (and hence every bit) matches _compute_matrix.
+            total = np.zeros((a.shape[0], b.shape[0]))
+            for k in range(self.dim):
+                diff = a[:, k, None] - b[None, :, k]
+                diff *= diff
+                total += diff
+            return np.sqrt(total)
+        diff = a[:, None, :] - b[None, :, :]
+        return np.sqrt(np.sum(diff * diff, axis=-1))

@@ -6,7 +6,15 @@ zero self-distance; the triangle inequality is assumed (and can be
 verified with :func:`is_metric_matrix`).
 
 The hot path of the library works on the full ``(n, n)`` distance
-matrix, which subclasses may compute lazily and cache.
+matrix, which subclasses may compute lazily and cache.  For instances
+far beyond the dense regime (the sparse gain backend of
+:mod:`repro.core.gains`), :meth:`Metric.pair_distances` and
+:meth:`Metric.distance_block` expose *tiled* access: the defaults
+gather from the cached full matrix (bit-identical, no behaviour
+change), while coordinate-backed metrics such as
+:class:`repro.geometry.euclidean.EuclideanMetric` override them to
+compute entries directly — so a block of rows never forces the O(n^2)
+matrix into memory.
 """
 
 from __future__ import annotations
@@ -57,6 +65,43 @@ class Metric(abc.ABC):
         if alpha < 1:
             raise ValueError(f"path-loss exponent alpha must be >= 1, got {alpha}")
         return self.distance_matrix() ** alpha
+
+    def pair_distances(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Distances ``d(us[k], vs[k])`` for aligned index arrays.
+
+        The default gathers from the cached full matrix.  Metrics with
+        a coordinate representation override this to compute the values
+        directly (bit-identical entries) so that callers — e.g.
+        :class:`repro.core.instance.Instance` resolving its link
+        lengths — never force the O(n^2) matrix for a handful of pairs.
+        """
+        us = np.asarray(us, dtype=int)
+        vs = np.asarray(vs, dtype=int)
+        return self.distance_matrix()[us, vs]
+
+    def distance_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """The ``(len(rows), len(cols))`` distance block
+        ``d(rows[i], cols[j])``.
+
+        Same contract as :meth:`pair_distances`: the default is a
+        gather from the cached matrix, coordinate-backed metrics
+        compute the block directly with bit-identical entries.  This is
+        the primitive the tiled sparse gain build
+        (:class:`repro.core.gains.SparseBackend`) iterates over.
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        return self.distance_matrix()[np.ix_(rows, cols)]
+
+    def loss_block(
+        self, rows: np.ndarray, cols: np.ndarray, alpha: float
+    ) -> np.ndarray:
+        """Loss block ``d(rows[i], cols[j])**alpha`` (tiled
+        :meth:`loss_matrix`; same elementwise power, so entries match
+        the full loss matrix bit-for-bit)."""
+        if alpha < 1:
+            raise ValueError(f"path-loss exponent alpha must be >= 1, got {alpha}")
+        return self.distance_block(rows, cols) ** alpha
 
     def loss(self, u: int, v: int, alpha: float) -> float:
         """Loss ``l(u, v) = d(u, v)**alpha`` between two nodes."""

@@ -21,8 +21,12 @@ Schema (``format_version`` 1)::
       ],
       "timings": {"run_wall_seconds": 1.3, "total_shard_seconds": 2.2},
       "metrics": {"rows": 9, "ratio_mean": 1.4, ...},
-      "env": {"jobs": 4}
+      "env": {"jobs": 4, "backend": "dense"}
     }
+
+``env.backend`` names the gain backend the experiment ran on
+(``"dense"``/``"sparse"``, see :mod:`repro.core.gains`); artifacts
+written before the backend split are read back as ``"dense"``.
 
 ``run_wall_seconds`` is the wall time from the start of the
 orchestrator run until this experiment's results were complete (the
@@ -76,6 +80,7 @@ class BenchReport:
     run_wall_seconds: float = 0.0
     jobs: int = 1
     metric: Optional[str] = None
+    backend: str = "dense"
 
     @property
     def total_shard_seconds(self) -> float:
@@ -122,7 +127,7 @@ def bench_to_dict(report: BenchReport) -> Dict[str, Any]:
             "total_shard_seconds": report.total_shard_seconds,
         },
         "metrics": report.metrics(),
-        "env": {"jobs": report.jobs},
+        "env": {"jobs": report.jobs, "backend": report.backend},
     }
 
 
@@ -153,6 +158,7 @@ def bench_from_dict(payload: Dict[str, Any]) -> BenchReport:
         ),
         jobs=payload.get("env", {}).get("jobs", 1),
         metric=payload.get("metric_column"),
+        backend=payload.get("env", {}).get("backend", "dense"),
     )
     return report
 

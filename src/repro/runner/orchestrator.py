@@ -21,6 +21,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.gains import backend_scope, resolve_backend
 from repro.runner.artifacts import BenchReport, ShardResult, write_artifact
 from repro.runner.spec import ExperimentSpec, Shard, merge_tables
 from repro.util.tables import Table
@@ -57,13 +58,25 @@ def resolve_specs(
     return [registry[e] for e in chosen]
 
 
-def run_shard(spec_id: str, fast: bool, shard_index: int) -> Tuple[Table, float]:
-    """Execute one shard (in this process) and time it."""
+def run_shard(
+    spec_id: str,
+    fast: bool,
+    shard_index: int,
+    backend: Optional[str] = None,
+) -> Tuple[Table, float]:
+    """Execute one shard (in this process) and time it.
+
+    *backend* is the resolved gain-backend name for this shard; it is
+    applied process-locally (workers receive it explicitly, since the
+    parent's :func:`repro.core.gains.set_default_backend` state does
+    not cross the process boundary).
+    """
     spec = _registry()[spec_id]
     shard = spec.shards(fast)[shard_index]
     run = spec.resolve()
     start = time.perf_counter()
-    table = run(**shard.kwargs)
+    with backend_scope(backend):
+        table = run(**shard.kwargs)
     return table, time.perf_counter() - start
 
 
@@ -80,6 +93,7 @@ def run_experiments(
     jobs: int = 1,
     artifacts_dir: Optional[str] = None,
     on_report: Optional[Callable[[BenchReport], None]] = None,
+    backend: Optional[str] = None,
 ) -> List[BenchReport]:
     """Run experiments, in parallel across shards, and merge results.
 
@@ -105,6 +119,12 @@ def run_experiments(
         Optional callback invoked with each experiment's
         :class:`BenchReport` as soon as it is complete (the CLI uses
         this to stream tables).
+    backend:
+        Run-level gain-backend choice (the CLI ``--backend`` flag).  A
+        spec's own ``backend`` pin wins over this; ``None`` falls back
+        to the process default, so ``REPRO_BACKEND=sparse`` flips a
+        whole run.  The resolved name is recorded per experiment in
+        the artifact's ``env`` section.
 
     Returns
     -------
@@ -117,6 +137,11 @@ def run_experiments(
     plan: List[Tuple[ExperimentSpec, List[Shard]]] = [
         (spec, spec.shards(fast)) for spec in specs
     ]
+    # Resolve each spec's backend up front: spec pin > run-level choice
+    # > process default.  Workers receive the resolved name explicitly.
+    backends: Dict[str, str] = {
+        spec.id: resolve_backend(spec.backend or backend) for spec, _ in plan
+    }
 
     start = time.perf_counter()
     reports: List[BenchReport] = []
@@ -128,7 +153,9 @@ def run_experiments(
             def result_for(spec_id: str, shard_index: int) -> Tuple[Table, float]:
                 key = (spec_id, shard_index)
                 if key not in done:
-                    done[key] = run_shard(spec_id, fast, shard_index)
+                    done[key] = run_shard(
+                        spec_id, fast, shard_index, backend=backends[spec_id]
+                    )
                 return done[key]
         else:
             pool = stack.enter_context(
@@ -144,7 +171,11 @@ def run_experiments(
                     key = (spec.id, shard.index)
                     if key not in futures:
                         futures[key] = pool.submit(
-                            run_shard, spec.id, fast, shard.index
+                            run_shard,
+                            spec.id,
+                            fast,
+                            shard.index,
+                            backend=backends[spec.id],
                         )
 
             def result_for(spec_id: str, shard_index: int) -> Tuple[Table, float]:
@@ -169,6 +200,7 @@ def run_experiments(
                 run_wall_seconds=time.perf_counter() - start,
                 jobs=jobs,
                 metric=spec.metric,
+                backend=backends[spec.id],
             )
             if artifacts_dir is not None:
                 write_artifact(artifacts_dir, report)

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.gains import BACKENDS
 from repro.util.tables import Table
 
 #: Sharding strategies a spec may declare.
@@ -78,6 +79,12 @@ class ExperimentSpec:
     metric:
         Optional numeric column summarizing scheduler quality in the
         bench artifact (mean/min/max are recorded).
+    backend:
+        Optional gain-backend pin (``"dense"``/``"sparse"``) for every
+        shard of this experiment.  ``None`` (the default) follows the
+        run-level ``--backend`` choice, falling back to the process
+        default (:func:`repro.core.gains.default_backend`).  The
+        resolved name is recorded in the ``BENCH_*.json`` artifact.
     """
 
     id: str
@@ -88,12 +95,18 @@ class ExperimentSpec:
     seed: Optional[int] = None
     shard_by: Optional[str] = None
     metric: Optional[str] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shard_by not in SHARD_MODES:
             raise ValueError(
                 f"{self.id}: shard_by must be one of {SHARD_MODES}, "
                 f"got {self.shard_by!r}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"{self.id}: backend must be one of {BACKENDS} or None, "
+                f"got {self.backend!r}"
             )
         for mode_name, kwargs in (("full", self.full), ("fast", self.fast)):
             if "rng" in kwargs:

@@ -108,7 +108,8 @@ def _first_fit_engine(
     signals = context.signals
     budget = context.budgets(beta=beta)
     _check_budgets(signals, budget, beta, noise)
-    gains_u, gains_v = context.gains_u, context.gains_v
+    backend = context.backend
+    directed = context.directed
 
     classes: List[ClassAccumulator] = []
     colors = np.full(instance.n, -1, dtype=int)
@@ -116,6 +117,11 @@ def _first_fit_engine(
 
     for req in order:
         placed = False
+        # The request's gain columns (what it would add at every other
+        # request), fetched once per request from the backend — same
+        # values as the dense gains_u[members, req] gathers.
+        col_u = backend.col_u(int(req))
+        col_v = col_u if directed else backend.col_v(int(req))
         for color, acc in enumerate(classes):
             members = acc.members
             # One resolution pass covers the candidate (last entry) and
@@ -125,9 +131,9 @@ def _first_fit_engine(
             if max(float(int_u[-1]), float(int_v[-1])) > budget[req] * tolerance:
                 continue
             limits = budget[members] * tolerance
-            if np.any(int_u[:-1] + gains_u[members, req] > limits):
+            if np.any(int_u[:-1] + col_u[members] > limits):
                 continue
-            if np.any(int_v[:-1] + gains_v[members, req] > limits):
+            if np.any(int_v[:-1] + col_v[members] > limits):
                 continue
             acc.add(int(req))
             colors[req] = color

@@ -41,6 +41,7 @@ from scipy.optimize import linprog
 
 from repro.analysis.capacity import greedy_max_feasible_subset
 from repro.core.context import InterferenceContext, maybe_context
+from repro.core.gains import DenseBackend, GainBackend
 from repro.core.instance import Direction, Instance
 from repro.core.interference import (
     bidirectional_gain_matrices,
@@ -73,8 +74,7 @@ def _distance_classes(distances: np.ndarray) -> List[np.ndarray]:
 
 
 def _lp_select(
-    gains_u: np.ndarray,
-    gains_v: np.ndarray,
+    backend: GainBackend,
     candidates: np.ndarray,
     slack: np.ndarray,
     relax: float,
@@ -84,8 +84,8 @@ def _lp_select(
     """Solve the class LP and round; returns (chosen positions into
     *candidates*, LP objective)."""
     k = candidates.size
-    sub_u = gains_u[np.ix_(candidates, candidates)]
-    sub_v = gains_v[np.ix_(candidates, candidates)]
+    sub_u = backend.block_u(candidates)
+    sub_v = sub_u if backend.directed else backend.block_v(candidates)
     # Shared nodes produce infinite gains; clamp them so the LP stays
     # finite (an infinite column forces the corresponding x to 0 via a
     # huge coefficient).
@@ -117,8 +117,7 @@ def _lp_select(
 def _select_one_class(
     instance: Instance,
     remaining: np.ndarray,
-    gains_u: np.ndarray,
-    gains_v: np.ndarray,
+    backend: GainBackend,
     budgets: np.ndarray,
     beta: float,
     rng: np.random.Generator,
@@ -139,8 +138,11 @@ def _select_one_class(
         members = remaining[positions]
         if selected:
             sel = np.asarray(selected)
-            prior_u = gains_u[np.ix_(members, sel)].sum(axis=1)
-            prior_v = gains_v[np.ix_(members, sel)].sum(axis=1)
+            prior_u = backend.cross_block_u(members, sel).sum(axis=1)
+            if backend.directed:
+                prior_v = prior_u
+            else:
+                prior_v = backend.cross_block_v(members, sel).sum(axis=1)
             prior = np.maximum(prior_u, prior_v)
         else:
             prior = np.zeros(members.size)
@@ -156,7 +158,7 @@ def _select_one_class(
         if use_lp and candidates.size > 1:
             relax = 2.0**instance.alpha
             chosen_pos, objective = _lp_select(
-                gains_u, gains_v, candidates, slack, relax, rng, rounding_trials
+                backend, candidates, slack, relax, rng, rounding_trials
             )
             stats.lp_solves += 1
             stats.lp_objectives.append(objective)
@@ -224,14 +226,18 @@ def sqrt_coloring(
     powers = SquareRootPower()(instance)
     context = maybe_context(instance, powers)
     if context is not None:
-        gains_u, gains_v = context.gains_u, context.gains_v
+        backend = context.backend
         signals = context.signals
-    elif instance.direction is Direction.DIRECTED:
-        gains = directed_gain_matrix(instance, powers)
-        gains_u, gains_v = gains, gains
-        signals = powers / instance.link_losses
     else:
-        gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+        # Legacy (engine-off) path: wrap the from-scratch dense arrays
+        # in a DenseBackend so the selection code below is one path.
+        if instance.direction is Direction.DIRECTED:
+            gains = directed_gain_matrix(instance, powers)
+            backend = DenseBackend(gains, gains)
+        else:
+            backend = DenseBackend(
+                *bidirectional_gain_matrices(instance, powers)
+            )
         signals = powers / instance.link_losses
     budgets = signals / beta  # max tolerable interference per request
 
@@ -244,8 +250,7 @@ def sqrt_coloring(
         chosen = _select_one_class(
             instance,
             remaining,
-            gains_u,
-            gains_v,
+            backend,
             budgets,
             beta,
             rng,

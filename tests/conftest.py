@@ -16,6 +16,18 @@ def rng():
 
 
 @pytest.fixture
+def dense_backend():
+    """Pin the dense gain backend for tests that assert dense-only
+    machinery (stacked ``(B, n, n)`` batching, transpose aliasing,
+    read-only array views) — such tests must keep passing when the
+    suite runs under ``REPRO_BACKEND=sparse``."""
+    from repro.core.gains import backend_scope
+
+    with backend_scope("dense"):
+        yield
+
+
+@pytest.fixture
 def line_metric():
     """Five points on the line: 0, 1, 3, 6, 10."""
     return LineMetric([0.0, 1.0, 3.0, 6.0, 10.0])

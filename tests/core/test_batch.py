@@ -16,7 +16,9 @@ from repro.core.batch import (
 )
 from repro.core.context import get_context
 from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.geometry.line import LineMetric
 from repro.instances.random_instances import random_uniform_instance
 from repro.power.oblivious import SquareRootPower, UniformPower
 from repro.scheduling.firstfit import first_fit_schedule
@@ -35,7 +37,7 @@ def _pairs(n_values, direction="bidirectional", seed=0):
 
 class TestStacked:
     @pytest.mark.parametrize("direction", ["bidirectional", "directed"])
-    def test_margins_match_per_context_exactly(self, direction):
+    def test_margins_match_per_context_exactly(self, direction, dense_backend):
         pairs = _pairs([12, 12, 12], direction=direction)
         batch = ContextBatch(pairs)
         assert batch.stacked
@@ -72,7 +74,7 @@ class TestStacked:
             expected = get_context(instance, powers).margins(beta=0.5, noise=0.1)
             np.testing.assert_array_equal(row, expected)
 
-    def test_mixed_powers_same_instance(self):
+    def test_mixed_powers_same_instance(self, dense_backend):
         instance = random_uniform_instance(10, rng=5)
         pairs = [
             (instance, UniformPower()(instance)),
@@ -179,7 +181,7 @@ class TestPool:
         assert len(pool) == 2
         for instance, powers in pairs:
             context = pool.get(instance, powers)
-            assert context._gains is not None
+            assert context._backend is not None
 
     def test_lru_bound(self):
         pool = ContextPool(max_contexts=2)
@@ -197,8 +199,73 @@ class TestPool:
             assert ctx_a is ctx_b
 
 
+class TestRaggedScheduling:
+    """Satellite coverage: mixed-shape batches must route through the
+    pooled per-pair fallback and schedule exactly like per-pair
+    ``first_fit_schedule`` — including shared-node (infinite-gain)
+    pairs."""
+
+    def _shared_node_pair(self):
+        metric = LineMetric([0.0, 1.0, 2.5, 4.5, 7.0])
+        request_pairs = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        instance = Instance.bidirectional(metric, request_pairs)
+        return instance, np.ones(instance.n)
+
+    def test_mixed_shapes_route_through_pool(self):
+        pool = ContextPool()
+        pairs = _pairs([6, 11, 9], seed=70)
+        batch = ContextBatch(pairs, pool=pool)
+        assert not batch.stacked
+        # Every context of the batch is pinned in (and served from)
+        # the pool.
+        assert len(pool) == len(pairs)
+        for ctx, (instance, powers) in zip(batch.contexts, pairs):
+            assert pool.get(instance, powers) is ctx
+
+    def test_ragged_first_fit_matches_per_pair(self):
+        pairs = _pairs([6, 11, 9], seed=71)
+        batch = ContextBatch(pairs)
+        assert not batch.stacked
+        schedules = batch.first_fit_schedules()
+        for (instance, powers), schedule in zip(pairs, schedules):
+            reference = first_fit_schedule(instance, powers)
+            np.testing.assert_array_equal(schedule.colors, reference.colors)
+            np.testing.assert_array_equal(schedule.powers, reference.powers)
+            schedule.validate(instance)
+
+    def test_ragged_first_fit_with_shared_node_pair(self):
+        shared_instance, shared_powers = self._shared_node_pair()
+        pairs = _pairs([6, 9], seed=72) + [(shared_instance, shared_powers)]
+        batch = ContextBatch(pairs)
+        assert not batch.stacked  # 6 vs 9 vs 4 requests
+        schedules = batch.first_fit_schedules()
+        for (instance, powers), schedule in zip(pairs, schedules):
+            reference = first_fit_schedule(instance, powers)
+            np.testing.assert_array_equal(schedule.colors, reference.colors)
+        # The shared-node chain must never share colors between
+        # adjacent (infinite-gain) requests.
+        shared_colors = schedules[-1].colors
+        for i, j in ((0, 1), (1, 2), (2, 3)):
+            assert shared_colors[i] != shared_colors[j]
+
+    def test_ragged_validation_matches_per_pair(self):
+        shared_instance, shared_powers = self._shared_node_pair()
+        pairs = _pairs([6, 9], seed=73) + [(shared_instance, shared_powers)]
+        batch = ContextBatch(pairs)
+        schedules = batch.first_fit_schedules()
+        batch.validate_schedules(schedules)  # must not raise
+        # Corrupt the shared-node schedule: merging two adjacent
+        # requests into one color must be rejected, naming the pair.
+        bad = Schedule(
+            colors=schedules[-1].colors.copy(), powers=shared_powers
+        )
+        bad.colors[1] = bad.colors[0]
+        with pytest.raises(InvalidScheduleError, match="pair 2"):
+            batch.validate_schedules(schedules[:-1] + [bad])
+
+
 class TestConvenience:
-    def test_batch_margins_helper(self):
+    def test_batch_margins_helper(self, dense_backend):
         pairs = _pairs([7, 7], seed=50)
         margins = batch_margins(pairs)
         assert margins.shape == (2, 7)
@@ -209,7 +276,7 @@ class TestConvenience:
 
 
 class TestMixedColors:
-    def test_stacked_batch_accepts_none_entries(self):
+    def test_stacked_batch_accepts_none_entries(self, dense_backend):
         pairs = _pairs([8, 8], seed=60)
         schedule = first_fit_schedule(*pairs[1])
         batch = ContextBatch(pairs)

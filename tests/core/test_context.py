@@ -179,6 +179,89 @@ class TestContextCache:
         assert all(r() is None for r in refs), "instances leaked via cache"
         assert cache_info()["contexts"] == 0
 
+    def test_global_lru_bounds_total_contexts(self):
+        """Satellite regression: a long run over many instances must
+        not grow the context cache without limit — the global LRU keeps
+        the total live-context count at the configured bound."""
+        from repro.core.context import (
+            context_cache_limit,
+            set_context_cache_limit,
+        )
+
+        clear_context_cache()
+        previous = context_cache_limit()
+        try:
+            set_context_cache_limit(5)
+            instances = [
+                random_uniform_instance(4, rng=700 + i) for i in range(12)
+            ]
+            contexts = [
+                get_context(inst, SquareRootPower()(inst))
+                for inst in instances
+            ]
+            assert len(contexts) == 12  # all served
+            info = cache_info()
+            assert info["limit"] == 5
+            assert info["contexts"] <= 5
+            # The most recent contexts are the survivors: re-fetching
+            # them hits the cache (same object)...
+            for inst in instances[-5:]:
+                assert (
+                    get_context(inst, SquareRootPower()(inst))
+                    in contexts[-5:]
+                )
+            # ...while the evicted ones are rebuilt.
+            rebuilt = get_context(
+                instances[0], SquareRootPower()(instances[0])
+            )
+            assert rebuilt is not contexts[0]
+            # Shrinking the limit evicts immediately.
+            set_context_cache_limit(2)
+            assert cache_info()["contexts"] <= 2
+        finally:
+            set_context_cache_limit(previous)
+            clear_context_cache()
+
+    def test_lru_bound_does_not_leak_dropped_instances(self):
+        """The LRU tracker must hold only weak references: instances
+        dropped by the caller stay collectable even while under the
+        cache bound."""
+        import gc
+        import weakref as wr
+
+        from repro.core.context import (
+            context_cache_limit,
+            set_context_cache_limit,
+        )
+
+        clear_context_cache()
+        previous = context_cache_limit()
+        try:
+            set_context_cache_limit(64)  # far above what we create
+            refs = []
+            for seed in range(4):
+                inst = random_uniform_instance(4, rng=900 + seed)
+                get_context(inst, SquareRootPower()(inst)).margins()
+                refs.append(wr.ref(inst))
+            del inst
+            gc.collect()
+            assert all(r() is None for r in refs)
+            assert cache_info()["contexts"] == 0
+        finally:
+            set_context_cache_limit(previous)
+            clear_context_cache()
+
+    def test_backend_variants_get_distinct_cache_slots(self):
+        instance, powers = POOL["bidir"], POWERS["bidir"]
+        dense = get_context(instance, powers, backend="dense")
+        sparse = get_context(instance, powers, backend="sparse")
+        pruned = get_context(
+            instance, powers, backend="sparse", sparse_epsilon=0.01
+        )
+        assert dense is not sparse
+        assert sparse is not pruned
+        assert get_context(instance, powers, backend="sparse") is sparse
+
     def test_duplicate_subset_indices_match_legacy(self):
         """A repeated index in `subset` is two copies of one request;
         engine and legacy paths must agree on its (in)feasibility."""

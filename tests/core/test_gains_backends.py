@@ -1,0 +1,426 @@
+"""Conformance tests for the pluggable gain backends.
+
+Contracts under test (see :mod:`repro.core.gains`):
+
+* every backend primitive of a **lossless** sparse backend
+  (``epsilon = 0``) is bit-identical to the dense backend;
+* schedules computed under the sparse backend match the dense backend
+  exactly when the run is certified (``flip_risk_events == 0``), and in
+  particular always at ``epsilon = 0``;
+* a pruned backend under-estimates interference by at most the
+  recorded per-request pruned mass, and never by more than ``epsilon``
+  times the row mass;
+* tiled metric access (``pair_distances`` / ``distance_block``) is
+  bit-identical to full-matrix gathers;
+* backend selection (defaults, scopes, env plumbing, cache keying)
+  behaves as documented.
+"""
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.core import gains
+from repro.core.context import clear_context_cache, engine_disabled, get_context
+from repro.core.gains import (
+    DenseBackend,
+    SparseBackend,
+    backend_scope,
+    build_backend,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.core.instance import Direction, Instance
+from repro.geometry.euclidean import EuclideanMetric
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import (
+    clustered_instance,
+    random_uniform_instance,
+)
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.local_search import improve_schedule
+from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.sqrt_coloring import sqrt_coloring
+
+
+def _shared_node_instance(direction):
+    metric = LineMetric([0.0, 1.0, 2.5, 4.5, 7.0])
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    return Instance(
+        metric,
+        [p[0] for p in pairs],
+        [p[1] for p in pairs],
+        direction=direction,
+    )
+
+
+def _grid():
+    cases = {}
+    for direction in (Direction.DIRECTED, Direction.BIDIRECTIONAL):
+        tag = direction.value[:3]
+        inst = random_uniform_instance(24, rng=31, direction=direction)
+        cases[f"euclid-{tag}"] = (inst, SquareRootPower()(inst))
+        shared = _shared_node_instance(direction)
+        cases[f"shared-{tag}"] = (shared, np.ones(shared.n))
+    return cases
+
+
+GRID = _grid()
+
+
+@contextmanager
+def gains_epsilon(value):
+    previous = gains.default_sparse_epsilon()
+    gains.set_sparse_epsilon(value)
+    try:
+        yield
+    finally:
+        gains.set_sparse_epsilon(previous)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+class TestLosslessBitIdentity:
+    """Sparse at epsilon=0 must reproduce every dense primitive bitwise."""
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_primitives_match_dense(self, name):
+        instance, powers = GRID[name]
+        dense = build_backend(instance, powers, backend="dense")
+        sparse = build_backend(
+            instance, powers, backend="sparse", sparse_epsilon=0.0
+        )
+        assert sparse.is_lossless
+        assert sparse.directed == dense.directed
+        assert sparse.has_infinite_gains == dense.has_infinite_gains
+        np.testing.assert_array_equal(sparse.pruned_mass_u, 0.0)
+        n = instance.n
+        idx = np.arange(0, n, 2)
+        members = np.asarray([0, n - 1])
+        colors = np.arange(n) % 3
+        for endpoint in ("u", "v"):
+            def op(backend, method, *args, e=endpoint):
+                return getattr(backend, f"{method}_{e}")(*args)
+
+            for j in (0, n // 2, n - 1):
+                np.testing.assert_array_equal(
+                    op(dense, "col", j), op(sparse, "col", j)
+                )
+                np.testing.assert_array_equal(
+                    op(dense, "row", j), op(sparse, "row", j)
+                )
+            np.testing.assert_array_equal(
+                op(dense, "gather_cols", members),
+                op(sparse, "gather_cols", members),
+            )
+            np.testing.assert_array_equal(
+                op(dense, "block", idx), op(sparse, "block", idx)
+            )
+            np.testing.assert_array_equal(
+                op(dense, "cross_block", idx, members),
+                op(sparse, "cross_block", idx, members),
+            )
+            for c in (None, colors):
+                np.testing.assert_array_equal(
+                    op(dense, "class_sum", c), op(sparse, "class_sum", c)
+                )
+            np.testing.assert_array_equal(
+                op(dense, "dense", ), op(sparse, "dense", )
+            )
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_context_queries_match_dense(self, name):
+        instance, powers = GRID[name]
+        ctx_dense = get_context(instance, powers, backend="dense")
+        ctx_sparse = get_context(instance, powers, backend="sparse")
+        assert ctx_dense is not ctx_sparse  # distinct cache slots
+        np.testing.assert_array_equal(
+            ctx_dense.margins(), ctx_sparse.margins()
+        )
+        subset = np.arange(instance.n)[::2]
+        np.testing.assert_array_equal(
+            ctx_dense.budget_slack(subset), ctx_sparse.budget_slack(subset)
+        )
+        np.testing.assert_array_equal(
+            ctx_dense.greedy_max_feasible_subset(),
+            ctx_sparse.greedy_max_feasible_subset(),
+        )
+
+    def test_schedulers_match_dense_bitwise(self):
+        for direction in ("directed", "bidirectional"):
+            instance = random_uniform_instance(32, rng=77, direction=direction)
+            powers = SquareRootPower()(instance)
+            reference = {
+                "first_fit": first_fit_schedule(instance, powers).colors,
+                "peeling": peeling_schedule(instance, powers).colors,
+                "sqrt": sqrt_coloring(instance, rng=3, use_lp=False)[0].colors,
+                "local_search": improve_schedule(
+                    instance, first_fit_schedule(instance, powers)
+                ).colors,
+            }
+            clear_context_cache()
+            with backend_scope("sparse"):
+                assert default_backend() == "sparse"
+                results = {
+                    "first_fit": first_fit_schedule(instance, powers).colors,
+                    "peeling": peeling_schedule(instance, powers).colors,
+                    "sqrt": sqrt_coloring(instance, rng=3, use_lp=False)[
+                        0
+                    ].colors,
+                    "local_search": improve_schedule(
+                        instance, first_fit_schedule(instance, powers)
+                    ).colors,
+                }
+                backend = get_context(instance, powers).backend
+                assert isinstance(backend, SparseBackend)
+                assert backend.flip_risk_events == 0
+            for key, expected in reference.items():
+                np.testing.assert_array_equal(
+                    results[key], expected, err_msg=f"{direction}:{key}"
+                )
+
+
+class TestPrunedBackend:
+    def _pruned(self, instance, powers, epsilon):
+        dense = build_backend(instance, powers, backend="dense")
+        sparse = build_backend(
+            instance, powers, backend="sparse", sparse_epsilon=epsilon
+        )
+        return dense, sparse
+
+    def test_pruning_drops_mass_within_budget(self):
+        instance = clustered_instance(48, rng=5, direction="directed")
+        powers = SquareRootPower()(instance)
+        epsilon = 1e-3
+        dense, sparse = self._pruned(instance, powers, epsilon)
+        assert not sparse.is_lossless
+        assert sparse.nnz < dense.nnz  # pruning actually removed entries
+        full_dense = dense.class_sum_u(None)
+        full_sparse = sparse.class_sum_u(None)
+        gap = full_dense - full_sparse
+        assert np.all(gap >= -1e-12)  # never over-estimates
+        # Recorded bound dominates the real gap...
+        assert np.all(gap <= sparse.pruned_mass_u + 1e-12 * full_dense)
+        # ...and respects the epsilon budget.
+        assert np.all(sparse.pruned_mass_u <= epsilon * full_dense * (1 + 1e-6))
+
+    def test_infinite_entries_survive_pruning(self):
+        instance = _shared_node_instance(Direction.BIDIRECTIONAL)
+        powers = np.ones(instance.n)
+        _, sparse = self._pruned(instance, powers, 0.5)
+        assert sparse.has_infinite_gains
+        # Adjacent shared-node requests must still see infinite gain.
+        assert np.isinf(sparse.col_u(1)).any() or np.isinf(sparse.col_v(1)).any()
+        ctx = get_context(instance, powers, backend="sparse", sparse_epsilon=0.5)
+        slack = ctx.budget_slack(np.asarray([0, 1]))
+        assert np.all(np.isneginf(slack))
+
+    def test_certified_run_matches_dense(self):
+        """At-risk admissions are counted; a zero counter certifies the
+        sparse first-fit schedule equals the dense one."""
+        instance = random_uniform_instance(48, rng=11, direction="directed")
+        powers = SquareRootPower()(instance)
+        dense_colors = first_fit_schedule(instance, powers).colors
+        clear_context_cache()
+        # Small epsilon: pruning is active but far from any margin.
+        epsilon = 1e-5
+        ctx = get_context(
+            instance, powers, backend="sparse", sparse_epsilon=epsilon
+        )
+        assert not ctx.backend.is_lossless
+        ctx.backend.reset_flip_risk()
+        with backend_scope("sparse"), gains_epsilon(epsilon):
+            sparse_colors = first_fit_schedule(instance, powers).colors
+        assert ctx.backend.flip_risk_events == 0
+        np.testing.assert_array_equal(sparse_colors, dense_colors)
+
+    def test_certification_soundness_under_heavy_pruning(self):
+        """The certification contract: whenever a sparse run diverges
+        from the dense schedule, its flip-risk counter must be nonzero
+        (an uncounted divergence would be a soundness bug).  Across the
+        seed sweep heavy pruning must also trip the counter at least
+        once, so the property has teeth."""
+        epsilon = 0.3
+        any_risk = False
+        for seed in range(8):
+            instance = random_uniform_instance(
+                48, rng=400 + seed, direction="directed"
+            )
+            powers = SquareRootPower()(instance)
+            dense_colors = first_fit_schedule(instance, powers).colors
+            clear_context_cache()
+            ctx = get_context(
+                instance, powers, backend="sparse", sparse_epsilon=epsilon
+            )
+            ctx.backend.reset_flip_risk()
+            with backend_scope("sparse"), gains_epsilon(epsilon):
+                sparse_colors = first_fit_schedule(instance, powers).colors
+            risk = ctx.backend.flip_risk_events
+            any_risk = any_risk or risk > 0
+            if risk == 0:
+                np.testing.assert_array_equal(
+                    sparse_colors,
+                    dense_colors,
+                    err_msg=f"seed {seed}: uncertified divergence",
+                )
+        assert any_risk, "epsilon=0.3 never entered an uncertainty band"
+
+    def test_flip_risk_counts_per_run_and_cumulatively(self):
+        """Certification must be answerable per run: the kernel keeps
+        its own count while the shared backend accumulates, so repeated
+        runs on one cached context stay attributable."""
+        from repro.core.kernels import ScheduleKernel
+
+        instance = random_uniform_instance(48, rng=401, direction="directed")
+        powers = SquareRootPower()(instance)
+        epsilon = 0.3
+        ctx = get_context(
+            instance, powers, backend="sparse", sparse_epsilon=epsilon
+        )
+        with backend_scope("sparse"), gains_epsilon(epsilon):
+            first_fit_schedule(instance, powers)
+            first_run = ctx.backend.flip_risk_events
+            assert first_run > 0  # seed 401 trips the band (see above)
+            first_fit_schedule(instance, powers)
+        # The backend total accumulates run over run...
+        assert ctx.backend.flip_risk_events == 2 * first_run
+        # ...while a fresh kernel's own counter starts at zero and
+        # counts only its run.
+        kernel = ScheduleKernel(ctx)
+        assert kernel.flip_risk_events == 0
+        budget = ctx.budgets()
+        order = np.argsort(-instance.link_distances, kind="stable")
+        for req in order:
+            color = kernel.first_fit_admit(int(req), budget * (1.0 + 1e-9))
+            if color < 0:
+                color = kernel.open_class()
+            kernel.add(int(req), color)
+        assert kernel.flip_risk_events == first_run
+        assert ctx.backend.flip_risk_events == 3 * first_run
+
+    def test_context_pool_keys_on_sparse_epsilon(self):
+        """A pool must never serve a context built under a different
+        pruning budget (mirrors get_context's cache key)."""
+        from repro.core.batch import ContextPool
+
+        instance = random_uniform_instance(12, rng=21)
+        powers = SquareRootPower()(instance)
+        pool = ContextPool()
+        lossless = pool.get(instance, powers, backend="sparse")
+        assert lossless.sparse_epsilon == 0.0
+        with gains_epsilon(0.2):
+            pruned = pool.get(instance, powers, backend="sparse")
+        assert pruned is not lossless
+        assert pruned.sparse_epsilon == 0.2
+        explicit = pool.get(
+            instance, powers, backend="sparse", sparse_epsilon=0.2
+        )
+        assert explicit is pruned
+        assert len(pool) == 2
+
+
+class TestTiledMetricAccess:
+    def test_euclidean_blocks_bit_identical(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 50, size=(40, 2))
+        metric = EuclideanMetric(points)
+        full = metric.distance_matrix()
+        rows = np.asarray([0, 7, 39, 3])
+        cols = np.arange(40)
+        np.testing.assert_array_equal(
+            metric.distance_block(rows, cols), full[np.ix_(rows, cols)]
+        )
+        us = np.asarray([0, 5, 11])
+        vs = np.asarray([39, 2, 11])
+        np.testing.assert_array_equal(
+            metric.pair_distances(us, vs), full[us, vs]
+        )
+        np.testing.assert_array_equal(
+            metric.loss_block(rows, cols, 3.0),
+            metric.loss_matrix(3.0)[np.ix_(rows, cols)],
+        )
+
+    def test_default_metric_blocks_match(self):
+        metric = LineMetric([0.0, 1.0, 3.0, 6.0, 10.0])
+        full = metric.distance_matrix()
+        rows = np.asarray([1, 4])
+        cols = np.asarray([0, 2, 3])
+        np.testing.assert_array_equal(
+            metric.distance_block(rows, cols), full[np.ix_(rows, cols)]
+        )
+
+    def test_instance_link_distances_unchanged(self):
+        """Instance now resolves link lengths via pair_distances; the
+        values must match the historical full-matrix gather bitwise."""
+        instance = random_uniform_instance(16, rng=8)
+        expected = instance.metric.distance_matrix()[
+            instance.senders, instance.receivers
+        ]
+        np.testing.assert_array_equal(instance.link_distances, expected)
+
+    def test_sparse_build_never_builds_distance_matrix(self):
+        """The tiled CSR build must not materialize the metric's full
+        matrix (that is the whole point at n >> 10^3)."""
+        instance = random_uniform_instance(32, rng=12, direction="directed")
+        powers = SquareRootPower()(instance)
+        assert instance.metric._matrix_cache is None
+        backend = build_backend(instance, powers, backend="sparse")
+        backend.class_sum_u(None)
+        assert instance.metric._matrix_cache is None
+
+
+class TestBackendSelection:
+    def test_resolve_and_default(self):
+        assert resolve_backend(None) == default_backend()
+        assert resolve_backend("DENSE") == "dense"
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+        with pytest.raises(ValueError):
+            gains.resolve_sparse_epsilon(1.5)
+
+    def test_scope_restores_default(self):
+        before = default_backend()
+        with backend_scope("sparse"):
+            assert default_backend() == "sparse"
+            with backend_scope(None):  # None = leave as is
+                assert default_backend() == "sparse"
+        assert default_backend() == before
+
+    def test_set_default_backend_roundtrip(self):
+        before = default_backend()
+        try:
+            set_default_backend("sparse")
+            instance = random_uniform_instance(6, rng=3)
+            powers = SquareRootPower()(instance)
+            ctx = get_context(instance, powers)
+            assert ctx.backend_name == "sparse"
+            assert isinstance(ctx.backend, SparseBackend)
+        finally:
+            set_default_backend(before)
+
+    def test_engine_disabled_ignores_backend(self):
+        """The legacy (engine-off) path stays the dense from-scratch
+        reference regardless of the backend default."""
+        instance = random_uniform_instance(12, rng=9)
+        powers = SquareRootPower()(instance)
+        expected = first_fit_schedule(instance, powers).colors
+        with backend_scope("sparse"), engine_disabled():
+            legacy = first_fit_schedule(instance, powers).colors
+        np.testing.assert_array_equal(legacy, expected)
+
+    def test_dense_backend_reuses_context_arrays(self):
+        instance = random_uniform_instance(8, rng=2)
+        powers = SquareRootPower()(instance)
+        ctx = get_context(instance, powers, backend="dense")
+        backend = ctx.backend
+        assert isinstance(backend, DenseBackend)
+        assert ctx.gains_u is backend.gains_u
+        assert ctx.gains_ut is backend.gains_ut

@@ -384,7 +384,7 @@ class TestBatchedFirstFit:
     @pytest.mark.parametrize(
         "direction", [Direction.DIRECTED, Direction.BIDIRECTIONAL]
     )
-    def test_stacked_matches_per_pair(self, direction):
+    def test_stacked_matches_per_pair(self, direction, dense_backend):
         pairs = []
         for b in range(5):
             instance = random_uniform_instance(24, rng=700 + b, direction=direction)
@@ -490,7 +490,7 @@ class TestContextKernelHelpers:
         shared_context = get_context(shared, np.ones(shared.n))
         assert shared_context.has_infinite_gains
 
-    def test_transposed_gains_match(self):
+    def test_transposed_gains_match(self, dense_backend):
         for direction in (Direction.DIRECTED, Direction.BIDIRECTIONAL):
             instance = random_uniform_instance(8, rng=2, direction=direction)
             context = get_context(instance, SquareRootPower()(instance))

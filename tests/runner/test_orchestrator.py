@@ -68,6 +68,51 @@ class TestRegistry:
         assert derive_shard_seed(1234, 0) != derive_shard_seed(1234, 1)
         assert derive_shard_seed(1234, 0) != derive_shard_seed(4321, 0)
 
+    def test_spec_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentSpec(id="x", title="x", runner="m:f", backend="gpu")
+        # Valid pins are accepted.
+        spec = ExperimentSpec(id="x", title="x", runner="m:f", backend="sparse")
+        assert spec.backend == "sparse"
+
+
+class TestBackendPlumbing:
+    def test_run_records_backend_in_artifact(self, tmp_path):
+        reports = run_experiments(
+            ["e2"], fast=True, artifacts_dir=str(tmp_path), backend="sparse"
+        )
+        assert reports[0].backend == "sparse"
+        payload = json.loads(artifact_path(tmp_path, "e2").read_text())
+        assert payload["env"]["backend"] == "sparse"
+        assert read_artifact(artifact_path(tmp_path, "e2")).backend == "sparse"
+
+    def test_backend_choice_does_not_change_tables(self):
+        """Default sparse is lossless, so experiment tables must be
+        identical across backends."""
+        dense = run_experiments(["e2"], fast=True, backend="dense")
+        sparse = run_experiments(["e2"], fast=True, backend="sparse")
+        assert bench_to_dict(dense[0])["table"] == (
+            bench_to_dict(sparse[0])["table"]
+        )
+        assert dense[0].backend == "dense"
+        assert sparse[0].backend == "sparse"
+
+    def test_run_shard_applies_backend(self):
+        table_dense, _ = run_shard("e2", True, 0, backend="dense")
+        table_sparse, _ = run_shard("e2", True, 0, backend="sparse")
+        assert table_dense.rows == table_sparse.rows
+
+    def test_old_artifacts_read_as_dense(self):
+        report = BenchReport(
+            experiment="x",
+            title="t",
+            mode="fast",
+            table=Table(title="t", columns=["a"]),
+        )
+        payload = bench_to_dict(report)
+        del payload["env"]["backend"]  # pre-backend artifact
+        assert bench_from_dict(payload).backend == "dense"
+
 
 class TestDeterminism:
     # A representative subset keeps this test fast: sharded seeded

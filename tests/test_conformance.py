@@ -13,10 +13,13 @@ from-scratch computation), so a regression in either path — or any
 divergence in feasibility semantics between them — fails loudly.
 """
 
+import contextlib
+
 import numpy as np
 import pytest
 
 from repro.core.context import clear_context_cache, engine_disabled
+from repro.core.kernels import kernels_disabled
 from repro.core.feasibility import is_feasible_partition
 from repro.core.instance import Direction, Instance
 from repro.geometry.line import LineMetric
@@ -158,6 +161,64 @@ def test_gain_scaling_respects_target(engine_mode, instance_name):
     assert is_feasible_partition(
         instance, schedule.powers, schedule.colors, beta=target
     )
+
+
+#: The four engine/kernels toggle combinations: every scheduler must
+#: emit an *identical* schedule on each (kernels only matter when the
+#: engine is on, but the combination must still hold trivially).
+TOGGLE_COMBOS = {
+    "engine+kernels": (),
+    "engine-only": ("kernels",),
+    "legacy+kernels": ("engine",),
+    "legacy-only": ("engine", "kernels"),
+}
+
+
+def _toggle_stack(disabled):
+    stack = contextlib.ExitStack()
+    if "engine" in disabled:
+        stack.enter_context(engine_disabled())
+    if "kernels" in disabled:
+        stack.enter_context(kernels_disabled())
+    return stack
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize(
+    "instance_name",
+    sorted(
+        name
+        for name in GRID
+        if name.endswith(("n8", "n32")) or "shared-node" in name
+    ),
+)
+def test_all_toggle_combinations_emit_identical_schedules(
+    instance_name, scheduler_name
+):
+    """Satellite coverage: engine_disabled() and kernels_disabled()
+    nest in all four on/off combinations, and every combination must
+    produce the same schedule (randomized schedulers get identical
+    seeds per combination)."""
+    instance = GRID[instance_name]
+    if scheduler_name == "exact" and instance.n > MAX_EXACT_N:
+        pytest.skip(f"exact solver caps at n={MAX_EXACT_N}")
+    scheduler = SCHEDULERS[scheduler_name]
+    results = {}
+    for combo, disabled in TOGGLE_COMBOS.items():
+        clear_context_cache()
+        with _toggle_stack(disabled):
+            schedule = scheduler(instance, np.random.default_rng(99))
+        results[combo] = schedule.colors
+    reference = results["engine+kernels"]
+    for combo, colors in results.items():
+        np.testing.assert_array_equal(
+            colors,
+            reference,
+            err_msg=(
+                f"{scheduler_name} on {instance_name}: schedule under "
+                f"{combo} differs from engine+kernels"
+            ),
+        )
 
 
 @pytest.mark.parametrize(
