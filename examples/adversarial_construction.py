@@ -14,9 +14,8 @@ import numpy as np
 from repro import (
     FunctionPower,
     LinearPower,
+    Problem,
     UniformPower,
-    first_fit_free_power_schedule,
-    first_fit_schedule,
     lower_bound_instance_for,
 )
 
@@ -33,10 +32,9 @@ def main() -> None:
               f"{adv.link_lengths[-1]:.3g}")
         print(f"  gaps        : {adv.gaps[1]:.3g} .. {adv.gaps[-1]:.3g}")
 
-        oblivious = first_fit_schedule(instance, assignment(instance))
-        oblivious.validate(instance)
-        free = first_fit_free_power_schedule(instance)
-        free.validate(instance)
+        session = Problem(instance, powers=assignment).session()
+        oblivious = session.schedule("first_fit").validate()
+        free = session.schedule("first_fit_free_power").validate()
         print(f"  colors under {assignment.name:>10}: {oblivious.num_colors}")
         print(f"  colors under free powers: {free.num_colors}")
         print(f"  power spread of the free assignment: "

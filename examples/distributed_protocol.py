@@ -11,23 +11,19 @@ Run:  python examples/distributed_protocol.py [n] [seed]
 
 import sys
 
-from repro import clustered_instance, first_fit_schedule, SquareRootPower
-from repro.scheduling.distributed import distributed_coloring
+from repro import Problem, clustered_instance
 
 
 def main(n: int = 25, seed: int = 0) -> None:
     instance = clustered_instance(n, beta=0.8, rng=seed)
-    power = SquareRootPower()
+    session = Problem(instance).session()  # square-root powers by default
 
-    central = first_fit_schedule(instance, power(instance))
-    central.validate(instance)
+    central = session.schedule("first_fit").validate()
     print(f"centralized first-fit : {central.num_colors} colors")
 
     for policy in ("fixed", "backoff"):
-        schedule, stats = distributed_coloring(
-            instance, policy=policy, rng=seed
-        )
-        schedule.validate(instance)
+        result = session.schedule("distributed", policy=policy, rng=seed)
+        schedule, stats = result.validate().schedule, result.stats
         print(f"\ndistributed ({policy})")
         print(f"  colors (successful slots): {schedule.num_colors}")
         print(f"  protocol slots            : {stats.slots} "

@@ -18,7 +18,7 @@ import sys
 
 import numpy as np
 
-from repro import EuclideanMetric, Instance, sqrt_coloring, verify_schedule
+from repro import EuclideanMetric, Instance, Problem, verify_schedule
 
 
 def build_network(n_nodes: int, side: float, rng: np.random.Generator):
@@ -47,7 +47,8 @@ def main(epochs: int = 5, seed: int = 0) -> None:
         batch = int(rng.integers(8, 16))
         pairs = arrivals(metric, batch, rng)
         instance = Instance.bidirectional(metric, pairs, beta=0.8)
-        schedule, _ = sqrt_coloring(instance, rng=rng)
+        result = Problem(instance).session().schedule("sqrt_coloring", rng=rng)
+        schedule = result.schedule
         report = verify_schedule(instance, schedule)
         assert report.feasible, "scheduler emitted an infeasible schedule"
         # A request's latency is the slot its color occupies (1-based).

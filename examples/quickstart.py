@@ -13,15 +13,7 @@ import sys
 
 import numpy as np
 
-from repro import (
-    SquareRootPower,
-    first_fit_free_power_schedule,
-    first_fit_schedule,
-    random_uniform_instance,
-    sqrt_coloring,
-    trivial_schedule,
-    verify_schedule,
-)
+from repro import Problem, random_uniform_instance, verify_schedule
 
 
 def main(seed: int = 0) -> None:
@@ -31,21 +23,25 @@ def main(seed: int = 0) -> None:
     print(f"link lengths: {instance.link_distances.min():.2f} .. "
           f"{instance.link_distances.max():.2f}")
 
-    schedule, stats = sqrt_coloring(instance, rng=rng)
-    report = verify_schedule(instance, schedule)
+    session = Problem(instance).session()  # square-root powers by default
+    result = session.schedule("sqrt_coloring", rng=rng)
+    report = verify_schedule(instance, result.schedule)
+    stats = result.stats
     print(f"\nTheorem 15 LP coloring   : {report.summary()}")
     print(f"  rounds={stats.rounds}, LP solves={stats.lp_solves}, "
           f"class sizes={stats.class_sizes}")
 
-    powers = SquareRootPower()(instance)
-    ff = first_fit_schedule(instance, powers)
-    print(f"first-fit (sqrt powers)  : {verify_schedule(instance, ff).summary()}")
+    ff = session.schedule("first_fit")
+    print(f"first-fit (sqrt powers)  : "
+          f"{verify_schedule(instance, ff.schedule).summary()}")
 
-    free = first_fit_free_power_schedule(instance)
-    print(f"first-fit (free powers)  : {verify_schedule(instance, free).summary()}")
+    free = session.schedule("first_fit_free_power")
+    print(f"first-fit (free powers)  : "
+          f"{verify_schedule(instance, free.schedule).summary()}")
 
-    triv = trivial_schedule(instance)
-    print(f"trivial (1 color/request): {verify_schedule(instance, triv).summary()}")
+    triv = session.schedule("trivial")
+    print(f"trivial (1 color/request): "
+          f"{verify_schedule(instance, triv.schedule).summary()}")
 
 
 if __name__ == "__main__":

@@ -7,31 +7,51 @@ A faithful, fully constructive reproduction of
 
 Quickstart
 ----------
->>> from repro import (
-...     Instance, EuclideanMetric, SquareRootPower, sqrt_coloring,
-... )
+>>> from repro import Instance, EuclideanMetric, Problem
 >>> import numpy as np
 >>> rng = np.random.default_rng(0)
 >>> points = rng.uniform(0, 100, size=(20, 2))
 >>> pairs = [(2 * i, 2 * i + 1) for i in range(10)]
 >>> instance = Instance.bidirectional(EuclideanMetric(points), pairs)
->>> schedule, stats = sqrt_coloring(instance, rng=rng)
->>> schedule.validate(instance)  # raises if infeasible
->>> schedule.num_colors >= 1
+>>> session = Problem(instance).session()
+>>> result = session.schedule("sqrt_coloring", rng=rng)
+>>> result.validate().num_colors >= 1  # validate() raises if infeasible
 True
 
 Package map
 -----------
+``repro.api``         Problem / Session / ScheduleResult facade
 ``repro.core``        problem model, SINR feasibility, schedules
 ``repro.geometry``    metric spaces (Euclidean, line, tree, star, ...)
 ``repro.power``       oblivious + explicit power assignments
 ``repro.nodeloss``    §3.2 node-loss problem, §4 star analysis
 ``repro.embedding``   Lemma 6 tree ensembles, Lemma 9 star decomposition
 ``repro.scheduling``  first-fit, peeling, Theorem 15 LP coloring, baselines
+                      (resolved by name via ``repro.scheduling.registry``)
 ``repro.instances``   adversarial (Thm 1), nested, random generators
 ``repro.analysis``    power control, capacity, OPT bounds, verification
 ``repro.experiments`` one module per paper claim (E1 .. E10)
+
+The legacy free functions (``first_fit_schedule`` …) re-exported here
+are deprecation shims; see the README migration table.
 """
+
+from repro._deprecation import ReproDeprecationWarning
+from repro.api import (
+    BatchSession,
+    Problem,
+    Provenance,
+    ScheduleResult,
+    Session,
+    schedule_batch,
+)
+from repro.scheduling.registry import (
+    AlgorithmCapabilities,
+    AlgorithmSpec,
+    get_algorithm,
+    list_algorithms,
+    run_algorithm,
+)
 
 from repro.analysis import (
     achieved_gain,
@@ -138,6 +158,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # unified solver API
+    "Problem",
+    "Session",
+    "BatchSession",
+    "ScheduleResult",
+    "Provenance",
+    "schedule_batch",
+    "AlgorithmSpec",
+    "AlgorithmCapabilities",
+    "get_algorithm",
+    "list_algorithms",
+    "run_algorithm",
+    "ReproDeprecationWarning",
     # core
     "Instance",
     "Direction",

@@ -1,0 +1,91 @@
+"""Deprecation machinery for the legacy free-function API.
+
+PR 5 introduced the unified solver facade (:mod:`repro.api`) backed by
+the algorithm registry (:mod:`repro.scheduling.registry`).  The old
+package-level free functions (``repro.first_fit_schedule`` and
+friends) remain available as thin shims that delegate, bit-identically,
+to the same implementations the registry adapters call — but each shim
+announces itself with a :class:`ReproDeprecationWarning` so callers can
+migrate at their own pace.
+
+Warnings fire **exactly once per call site** (keyed by the caller's
+``(filename, lineno)``), independent of the process-wide warning
+filters' duplicate suppression — a loop calling a shim a million times
+produces one warning, while two distinct call sites produce two.
+
+The dedicated warning category (a :class:`DeprecationWarning` subclass)
+lets CI escalate *our* deprecations to errors without tripping over
+third-party ones::
+
+    python -m pytest -W error::repro._deprecation.ReproDeprecationWarning
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import warnings
+from typing import Callable, Set, Tuple, TypeVar
+
+__all__ = [
+    "ReproDeprecationWarning",
+    "deprecated_shim",
+    "reset_deprecation_registry",
+    "warn_deprecated",
+]
+
+F = TypeVar("F", bound=Callable)
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated entry point of this library was called."""
+
+
+#: Call sites that already warned, as ``(name, filename, lineno)``.
+_seen: Set[Tuple[str, str, int]] = set()
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which call sites warned (so tests can observe warnings
+    from a site that fired earlier in the process)."""
+    _seen.clear()
+
+
+def warn_deprecated(name: str, replacement: str, stacklevel: int = 2) -> None:
+    """Emit the once-per-call-site deprecation warning for *name*.
+
+    *stacklevel* identifies the frame of the deprecated call site the
+    same way :func:`warnings.warn` counts: ``2`` means the caller of
+    the function invoking ``warn_deprecated``.
+    """
+    frame = sys._getframe(stacklevel - 1)
+    key = (name, frame.f_code.co_filename, frame.f_lineno)
+    if key in _seen:
+        return
+    _seen.add(key)
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement} instead "
+        "(see the README migration table)",
+        ReproDeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def deprecated_shim(impl: F, name: str, replacement: str) -> F:
+    """Wrap *impl* so every call first warns (once per call site).
+
+    The wrapper forwards all arguments unchanged, so shimmed calls stay
+    bit-identical to calling the implementation directly.
+    """
+
+    @functools.wraps(impl)
+    def shim(*args, **kwargs):
+        warn_deprecated(name, replacement, stacklevel=3)
+        return impl(*args, **kwargs)
+
+    shim.__doc__ = (
+        f".. deprecated:: 1.1\n   Use {replacement} instead.\n\n"
+        + (impl.__doc__ or "")
+    )
+    shim.__wrapped__ = impl
+    return shim  # type: ignore[return-value]

@@ -1,0 +1,615 @@
+"""Unified solver API: ``Problem`` → ``Session`` → ``ScheduleResult``.
+
+The one coherent entry point over the whole engine stack
+(:class:`~repro.core.context.InterferenceContext`, the scheduler
+kernels, the pluggable gain backends and the batched
+:class:`~repro.core.batch.ContextBatch`):
+
+>>> from repro.api import Problem
+>>> session = Problem(instance).session()          # doctest: +SKIP
+>>> result = session.schedule("first_fit")         # doctest: +SKIP
+>>> result.schedule.num_colors                     # doctest: +SKIP
+>>> result.provenance.backend, result.provenance.certified  # doctest: +SKIP
+
+* :class:`Problem` — what to solve: the instance, the power choice (an
+  explicit vector, a :class:`~repro.power.base.PowerAssignment`, or
+  ``None`` for the paper's square-root assignment) and the gain-backend
+  preferences (``backend``/``sparse_epsilon``).
+* :class:`Session` — a reusable solving context.  It owns the cached
+  :class:`~repro.core.context.InterferenceContext` for its problem (a
+  strong reference, so the global context-cache LRU can never evict it
+  mid-schedule), resolves algorithms by name through
+  :mod:`repro.scheduling.registry`, and supports incremental workloads
+  via :meth:`~Session.add_requests` / :meth:`~Session.reschedule`.
+* :class:`ScheduleResult` — the schedule plus :class:`Provenance`:
+  which algorithm and parameters produced it, on which backend, with
+  the engine/kernel layers on or off, whether a pruned-sparse run is
+  *certified* bit-identical to dense (zero
+  :attr:`~repro.core.gains.GainBackend.flip_risk_events`), the wall
+  time, and any batched-execution fallback
+  (:class:`~repro.core.batch.BatchFallbackInfo`).
+* :class:`BatchSession` / :func:`schedule_batch` — the same facade
+  over many problems at once, stacking them through
+  :class:`~repro.core.batch.ContextBatch` when the algorithm has a
+  batched kernel.
+
+Every result is bit-identical to the legacy free functions (which are
+now deprecation shims around the very same implementations); the
+conformance suite asserts this on both dense and sparse backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.batch import BatchFallbackInfo, ContextBatch, ContextPool
+from repro.core.context import (
+    InterferenceContext,
+    engine_enabled,
+    get_context,
+    repin_context,
+)
+from repro.core.errors import InvalidScheduleError
+from repro.core.gains import (
+    GainBackend,
+    backend_scope,
+    default_sparse_epsilon,
+    resolve_backend,
+    resolve_sparse_epsilon,
+    set_sparse_epsilon,
+)
+from repro.core.instance import Instance
+from repro.core.kernels import kernels_enabled
+from repro.core.schedule import Schedule
+from repro.power.base import PowerAssignment
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.registry import AlgorithmSpec, get_algorithm
+from repro.util.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "BatchSession",
+    "Problem",
+    "Provenance",
+    "ScheduleResult",
+    "Session",
+    "schedule_batch",
+]
+
+PowersLike = Union[None, np.ndarray, Sequence[float], PowerAssignment]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How a :class:`ScheduleResult` was produced.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name the schedule came from.
+    params:
+        The algorithm-specific keyword arguments, as passed.
+    backend:
+        Resolved gain-backend name (``"dense"``/``"sparse"``).
+    sparse_epsilon:
+        Resolved pruning budget (``0.0`` on dense / lossless runs).
+    engine, kernels:
+        Whether the shared interference engine and the vectorized
+        scheduler kernels were active on the call path.
+    wall_seconds:
+        Wall time of the algorithm run.
+    flip_risk_events:
+        Growth of the backend's at-risk-comparison counter during the
+        run (always ``0`` on dense or lossless-sparse backends).
+    certified:
+        ``True`` — the run is provably bit-identical to the dense
+        backend (zero flip-risk events on a certifiable algorithm);
+        ``False`` — pruning may have changed a decision; ``None`` —
+        certification does not apply (engine off, or the algorithm's
+        decisions do not all route through the flip-risk-counting
+        kernel).
+    batch_fallback:
+        Why a batched entry point could not run in lockstep (``None``
+        for plain sessions and stacked batches).
+    """
+
+    algorithm: str
+    params: Dict[str, Any]
+    backend: str
+    sparse_epsilon: float
+    engine: bool
+    kernels: bool
+    wall_seconds: float
+    flip_risk_events: int = 0
+    certified: Optional[bool] = None
+    batch_fallback: Optional[BatchFallbackInfo] = None
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """A schedule plus the provenance of its computation."""
+
+    schedule: Schedule
+    instance: Instance
+    provenance: Provenance
+    stats: Any = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def colors(self) -> np.ndarray:
+        """The emitted coloring (delegates to the schedule)."""
+        return self.schedule.colors
+
+    @property
+    def powers(self) -> np.ndarray:
+        """The emitted powers (delegates to the schedule)."""
+        return self.schedule.powers
+
+    @property
+    def num_colors(self) -> int:
+        """Number of colors (the schedule length)."""
+        return self.schedule.num_colors
+
+    def validate(self, **kwargs: Any) -> "ScheduleResult":
+        """Validate against the originating instance; returns ``self``
+        so calls chain (raises
+        :class:`~repro.core.errors.InvalidScheduleError` otherwise)."""
+        self.schedule.validate(self.instance, **kwargs)
+        return self
+
+
+@dataclass
+class Problem:
+    """A scheduling problem plus execution preferences.
+
+    Parameters
+    ----------
+    instance:
+        The :class:`~repro.core.instance.Instance` to schedule.
+    powers:
+        ``None`` (the paper's square-root assignment), a
+        :class:`~repro.power.base.PowerAssignment`, or an explicit
+        positive power vector.  Self-powered algorithms (capability
+        ``needs_powers=False``) ignore it and emit their own powers.
+    backend, sparse_epsilon:
+        Gain-backend preference for every context the problem's
+        sessions create (``None`` follows the process defaults, see
+        :mod:`repro.core.gains`).  Validated eagerly so a typo fails at
+        construction, not deep inside ``get_context``.
+    """
+
+    instance: Instance
+    powers: PowersLike = None
+    backend: Optional[str] = None
+    sparse_epsilon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        resolve_backend(self.backend)
+        if self.sparse_epsilon is not None:
+            resolve_sparse_epsilon(self.sparse_epsilon)
+
+    def session(self) -> "Session":
+        """A fresh :class:`Session` for this problem."""
+        return Session(self)
+
+
+def _resolve_powers(
+    instance: Instance, powers: PowersLike
+) -> Tuple[np.ndarray, Optional[PowerAssignment]]:
+    """``(power vector, assignment-or-None)`` for a problem's powers."""
+    if powers is None:
+        assignment: Optional[PowerAssignment] = SquareRootPower()
+        return np.asarray(assignment(instance), dtype=float), assignment
+    if isinstance(powers, PowerAssignment):
+        return np.asarray(powers(instance), dtype=float), powers
+    return np.asarray(powers, dtype=float), None
+
+
+@contextmanager
+def _preference_scope(
+    backend: Optional[str], sparse_epsilon: Optional[float]
+) -> Iterator[None]:
+    """Make a problem's backend preferences the process defaults for
+    the duration of an algorithm run, so every ``get_context`` the
+    implementation issues resolves to the session's own context."""
+    with backend_scope(backend):
+        if sparse_epsilon is None:
+            yield
+        else:
+            previous = default_sparse_epsilon()
+            set_sparse_epsilon(sparse_epsilon)
+            try:
+                yield
+            finally:
+                set_sparse_epsilon(previous)
+
+
+class Session:
+    """A reusable solving context for one :class:`Problem`.
+
+    The session resolves the problem's powers once, owns (a strong
+    reference to) the shared
+    :class:`~repro.core.context.InterferenceContext` for
+    ``(instance, powers)`` and re-pins it in the global cache before
+    every fixed-power run — so cache-LRU eviction can neither
+    invalidate an active session nor force a cold gain-matrix rebuild
+    (nor divert certification counters) between its calls.
+    Self-powered algorithms (``needs_powers=False``) resolve their own
+    power vectors and therefore manage their own contexts.  Every
+    :meth:`schedule` call dispatches through the algorithm registry.
+    """
+
+    def __init__(self, problem: Union[Problem, Instance]):
+        if isinstance(problem, Instance):
+            problem = Problem(problem)
+        self.problem = problem
+        self._powers, self._assignment = _resolve_powers(
+            problem.instance, problem.powers
+        )
+        self._context: Optional[InterferenceContext] = None
+        self._last_algorithm: Optional[str] = None
+        self._last_params: Dict[str, Any] = {}
+        self.last_result: Optional[ScheduleResult] = None
+
+    # -- problem state -------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        """The current instance (grows via :meth:`add_requests`)."""
+        return self.problem.instance
+
+    @property
+    def powers(self) -> np.ndarray:
+        """The resolved fixed power vector of this session."""
+        return self._powers
+
+    @property
+    def context(self) -> InterferenceContext:
+        """The session's interference context (built once, pinned).
+
+        Built through :func:`~repro.core.context.get_context` under the
+        problem's backend preferences, so algorithm implementations
+        fetching the context for ``(instance, powers)`` resolve to this
+        very object.  With the engine disabled
+        (:func:`~repro.core.context.engine_disabled`) schedulers bypass
+        it, but the property stays usable for direct queries.
+        """
+        if self._context is None:
+            self._context = get_context(
+                self.problem.instance,
+                self._powers,
+                backend=self.problem.backend,
+                sparse_epsilon=self.problem.sparse_epsilon,
+            )
+        return self._context
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(
+        self, algorithm: str, rng: Any = None, **params: Any
+    ) -> ScheduleResult:
+        """Run *algorithm* (a registry name) on this session's problem.
+
+        Algorithm-specific keyword arguments pass through the
+        registry's normalized adapter (e.g. ``beta=``, ``order=``,
+        ``gamma_target=``, ``use_lp=``, ``schedule=`` for
+        ``local_search``).  Randomized algorithms take ``rng=``.
+        """
+        spec = get_algorithm(algorithm)
+        return self._run(spec, rng, params, batch_fallback=None)
+
+    def reschedule(
+        self, algorithm: Optional[str] = None, rng: Any = None, **params: Any
+    ) -> ScheduleResult:
+        """Re-run the last call on the current — possibly grown —
+        problem state.
+
+        With *algorithm* omitted, the last ``schedule()`` call is
+        replayed **including its parameters** (explicit *params* here
+        override individual ones).  Naming an *algorithm* starts fresh:
+        only the given *params* apply.
+        """
+        if algorithm is not None:
+            return self.schedule(algorithm, rng=rng, **params)
+        if self._last_algorithm is None:
+            raise ValueError(
+                "nothing to reschedule: call schedule(algorithm) first or "
+                "pass algorithm="
+            )
+        merged = {**self._last_params, **params}
+        return self.schedule(self._last_algorithm, rng=rng, **merged)
+
+    def add_requests(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        powers: Optional[Sequence[float]] = None,
+    ) -> "Session":
+        """Append requests (``(sender, receiver)`` node pairs on the
+        same metric) and invalidate the cached context.
+
+        When the problem's powers came from a
+        :class:`~repro.power.base.PowerAssignment` (or the default
+        square-root assignment) the vector is re-resolved for the grown
+        instance; with explicit powers, pass one power per new request
+        via *powers*.  Returns ``self`` for chaining; a following
+        :meth:`reschedule` recolors the grown instance.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return self
+        old = self.problem.instance
+        new_instance = Instance(
+            old.metric,
+            np.concatenate([old.senders, [int(p[0]) for p in pairs]]),
+            np.concatenate([old.receivers, [int(p[1]) for p in pairs]]),
+            direction=old.direction,
+            alpha=old.alpha,
+            beta=old.beta,
+            noise=old.noise,
+        )
+        if self._assignment is not None:
+            if powers is not None:
+                raise ValueError(
+                    "powers= conflicts with the problem's power assignment "
+                    f"({self._assignment!r}); the assignment re-resolves "
+                    "automatically"
+                )
+            new_powers: PowersLike = self._assignment
+        else:
+            if powers is None:
+                raise ValueError(
+                    "the problem was built with an explicit power vector; "
+                    f"pass powers= ({len(pairs)} values) for the new requests"
+                )
+            appended = np.asarray(powers, dtype=float).reshape(-1)
+            if appended.size != len(pairs):
+                raise ValueError(
+                    f"powers has {appended.size} entries for "
+                    f"{len(pairs)} new requests"
+                )
+            new_powers = np.concatenate([self._powers, appended])
+        self.problem = dataclasses.replace(
+            self.problem, instance=new_instance, powers=new_powers
+        )
+        self._powers, self._assignment = _resolve_powers(
+            new_instance, new_powers
+        )
+        self._context = None
+        return self
+
+    # -- internals -----------------------------------------------------
+
+    def _run(
+        self,
+        spec: AlgorithmSpec,
+        rng: Any,
+        params: Dict[str, Any],
+        batch_fallback: Optional[BatchFallbackInfo],
+    ) -> ScheduleResult:
+        engine = engine_enabled()
+        backend_obj: Optional[GainBackend] = None
+        # Fixed-power algorithms run on the session's (instance,
+        # powers) context: build it on first use, and re-pin it in the
+        # global cache so LRU eviction between calls can neither force
+        # a cold rebuild inside the implementation nor divert the
+        # flip-risk events onto a context we never read.  Self-powered
+        # algorithms (e.g. trivial, sqrt_coloring) resolve their own
+        # power vectors, so the session context is not built for them.
+        if engine and (
+            spec.capabilities.needs_powers or self._context is not None
+        ):
+            context = self.context
+            repin_context(context)
+            backend_obj = context.backend
+        before = backend_obj.flip_risk_events if backend_obj is not None else 0
+        start = time.perf_counter()
+        with _preference_scope(
+            self.problem.backend, self.problem.sparse_epsilon
+        ):
+            outcome = spec.run(
+                self.problem.instance,
+                powers=self._powers if spec.capabilities.needs_powers else None,
+                rng=rng,
+                **params,
+            )
+        wall = time.perf_counter() - start
+        delta = (
+            backend_obj.flip_risk_events - before
+            if backend_obj is not None
+            else 0
+        )
+        certified: Optional[bool] = None
+        if backend_obj is not None and spec.capabilities.certifiable:
+            certified = delta == 0
+        result = ScheduleResult(
+            schedule=outcome.schedule,
+            instance=self.problem.instance,
+            provenance=Provenance(
+                algorithm=spec.name,
+                params=dict(params),
+                backend=(
+                    backend_obj.name
+                    if backend_obj is not None
+                    else resolve_backend(self.problem.backend)
+                ),
+                sparse_epsilon=(
+                    self._context.sparse_epsilon
+                    if self._context is not None
+                    else resolve_sparse_epsilon(self.problem.sparse_epsilon)
+                ),
+                engine=engine,
+                kernels=kernels_enabled(),
+                wall_seconds=wall,
+                flip_risk_events=delta,
+                certified=certified,
+                batch_fallback=batch_fallback,
+            ),
+            stats=outcome.stats,
+            extras=dict(outcome.extras),
+        )
+        self._last_algorithm = spec.name
+        self._last_params = dict(params)
+        self.last_result = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(n={self.instance.n}, "
+            f"backend={resolve_backend(self.problem.backend)}, "
+            f"last={self._last_algorithm!r})"
+        )
+
+
+class BatchSession:
+    """The facade over many problems at once.
+
+    Algorithms with a batched kernel (capability ``supports_batch``,
+    currently ``first_fit``) run in lockstep over a
+    :class:`~repro.core.batch.ContextBatch`; everything else loops the
+    per-problem sessions, which is recorded as a
+    :class:`~repro.core.batch.BatchFallbackInfo` in each result's
+    provenance (as is the batch's own pooled fallback on ragged or
+    sparse-backed batches).
+
+    All problems must agree on the backend preferences (one batch, one
+    substrate).
+    """
+
+    def __init__(
+        self,
+        problems: Sequence[Union[Problem, Instance]],
+        pool: Optional[ContextPool] = None,
+    ):
+        if len(problems) == 0:
+            raise ValueError("a BatchSession needs at least one problem")
+        normalized = [
+            p if isinstance(p, Problem) else Problem(p) for p in problems
+        ]
+        prefs = {(p.backend, p.sparse_epsilon) for p in normalized}
+        if len(prefs) > 1:
+            raise ValueError(
+                "all problems of a BatchSession must share backend "
+                f"preferences, got {sorted(map(str, prefs))}"
+            )
+        self.problems: List[Problem] = normalized
+        self.sessions: List[Session] = [Session(p) for p in normalized]
+        self.pool = ContextPool() if pool is None else pool
+        self._batch: Optional[ContextBatch] = None
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def batch(self) -> ContextBatch:
+        """The underlying :class:`~repro.core.batch.ContextBatch`
+        (built lazily, contexts pinned in :attr:`pool`)."""
+        if self._batch is None:
+            first = self.problems[0]
+            self._batch = ContextBatch(
+                [(s.instance, s.powers) for s in self.sessions],
+                pool=self.pool,
+                backend=first.backend,
+                sparse_epsilon=first.sparse_epsilon,
+            )
+        return self._batch
+
+    def schedule(
+        self, algorithm: str = "first_fit", rng: Any = None, **params: Any
+    ) -> List[ScheduleResult]:
+        """Schedule every problem; one :class:`ScheduleResult` each."""
+        spec = get_algorithm(algorithm)
+        if spec.capabilities.deterministic and rng is not None:
+            raise TypeError(
+                f"algorithm {spec.name!r} is deterministic; rng= is not "
+                "accepted"
+            )
+        # The stacked path carries no rng, so only deterministic
+        # algorithms may take it; a future randomized batch kernel
+        # falls through to the per-session loop with spawned streams.
+        if spec.capabilities.supports_batch and spec.capabilities.deterministic:
+            return self._schedule_stacked(spec, params)
+        fallback = BatchFallbackInfo(
+            reasons=("no_batch_kernel",),
+            pairs=len(self),
+            detail=(
+                f"algorithm {spec.name!r} has no batched kernel; "
+                "problems were scheduled one session at a time"
+            ),
+        )
+        if spec.capabilities.deterministic:
+            rngs: List[Any] = [None] * len(self)
+        else:
+            rngs = list(spawn_rngs(ensure_rng(rng), len(self)))
+        return [
+            session._run(spec, child, dict(params), batch_fallback=fallback)
+            for session, child in zip(self.sessions, rngs)
+        ]
+
+    def _schedule_stacked(
+        self, spec: AlgorithmSpec, params: Dict[str, Any]
+    ) -> List[ScheduleResult]:
+        batch = self.batch
+        backends = [ctx.backend for ctx in batch.contexts]
+        before = [b.flip_risk_events for b in backends]
+        start = time.perf_counter()
+        schedules = batch.first_fit_schedules(**params)
+        wall = time.perf_counter() - start
+        results = []
+        for index, (session, schedule) in enumerate(
+            zip(self.sessions, schedules)
+        ):
+            delta = backends[index].flip_risk_events - before[index]
+            result = ScheduleResult(
+                schedule=schedule,
+                instance=session.instance,
+                provenance=Provenance(
+                    algorithm=spec.name,
+                    params=dict(params),
+                    backend=backends[index].name,
+                    sparse_epsilon=batch.contexts[index].sparse_epsilon,
+                    engine=True,
+                    kernels=True,
+                    wall_seconds=wall,
+                    flip_risk_events=delta,
+                    certified=(
+                        delta == 0 if spec.capabilities.certifiable else None
+                    ),
+                    batch_fallback=batch.fallback,
+                ),
+            )
+            session._last_algorithm = spec.name
+            session._last_params = dict(params)
+            session.last_result = result
+            results.append(result)
+        return results
+
+    def validate(self) -> "BatchSession":
+        """Batched validation of every session's latest result."""
+        schedules = []
+        for session in self.sessions:
+            if session.last_result is None:
+                raise InvalidScheduleError(
+                    "validate() needs a schedule per session; call "
+                    "schedule() first"
+                )
+            schedules.append(session.last_result.schedule)
+        self.batch.validate_schedules(schedules)
+        return self
+
+
+def schedule_batch(
+    problems: Sequence[Union[Problem, Instance]],
+    algorithm: str = "first_fit",
+    rng: Any = None,
+    pool: Optional[ContextPool] = None,
+    **params: Any,
+) -> List[ScheduleResult]:
+    """One-shot :meth:`BatchSession.schedule` over *problems*."""
+    return BatchSession(problems, pool=pool).schedule(
+        algorithm, rng=rng, **params
+    )

@@ -6,6 +6,7 @@ model, plus the schedule representation shared by all algorithms.
 """
 
 from repro.core.batch import (
+    BatchFallbackInfo,
     ContextBatch,
     ContextPool,
     batch_margins,
@@ -71,6 +72,7 @@ __all__ = [
     "InfeasibleError",
     "InterferenceContext",
     "ClassAccumulator",
+    "BatchFallbackInfo",
     "ContextBatch",
     "ContextPool",
     "batch_margins",

@@ -34,7 +34,9 @@ tests in ``tests/core/test_batch.py`` assert exact equality.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -53,6 +55,69 @@ from repro.core.schedule import Schedule, build_schedule
 
 PairLike = Tuple[Instance, np.ndarray]
 ColorsLike = Union[None, np.ndarray, Sequence[Optional[np.ndarray]]]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class BatchFallbackInfo:
+    """Why a :class:`ContextBatch` could not take the stacked fast path.
+
+    Attached as :attr:`ContextBatch.fallback` (``None`` when the batch
+    is stacked) and surfaced in
+    :class:`repro.api.Provenance.batch_fallback`, so the pooled
+    per-pair fallback is a *visible* property of a result instead of a
+    silent performance cliff.
+
+    Attributes
+    ----------
+    reasons:
+        Machine-readable reason tags, any of ``"ragged_n"`` (pairs
+        disagree on request count), ``"mixed_direction"`` (directed and
+        bidirectional pairs mixed), ``"sparse_backend"`` (a pair uses a
+        sparse gain backend — stacking would materialize dense
+        ``(B, n, n)`` gains).
+    pairs:
+        Batch size.
+    detail:
+        Human-readable one-liner (also the logged message).
+    """
+
+    reasons: Tuple[str, ...]
+    pairs: int
+    detail: str
+
+
+def _diagnose_fallback(contexts: List[InterferenceContext]) -> Optional[BatchFallbackInfo]:
+    """The :class:`BatchFallbackInfo` for *contexts*, or ``None`` when
+    the batch can stack.  Logged at ``WARNING`` for the sparse-backend
+    reason (the caller asked for batching but gets a per-pair loop) and
+    ``DEBUG`` for shape mismatches (ragged batches are routine)."""
+    first = contexts[0]
+    reasons = []
+    if any(ctx.n != first.n for ctx in contexts):
+        reasons.append("ragged_n")
+    if any(
+        ctx.instance.direction is not first.instance.direction
+        for ctx in contexts
+    ):
+        reasons.append("mixed_direction")
+    if any(ctx.backend_name != "dense" for ctx in contexts):
+        reasons.append("sparse_backend")
+    if not reasons:
+        return None
+    info = BatchFallbackInfo(
+        reasons=tuple(reasons),
+        pairs=len(contexts),
+        detail=(
+            f"ContextBatch of {len(contexts)} pairs falls back to pooled "
+            f"per-pair contexts ({', '.join(reasons)}); queries stay "
+            "correct but are not stacked into one (B, n, n) pass"
+        ),
+    )
+    level = logging.WARNING if "sparse_backend" in reasons else logging.DEBUG
+    logger.log(level, info.detail)
+    return info
 
 
 class ContextPool:
@@ -159,38 +224,44 @@ class ContextBatch:
     pool:
         Optional :class:`ContextPool` to pin the contexts in; a private
         pool is created when omitted.
+    backend, sparse_epsilon:
+        Optional gain-backend preference applied to every pair's
+        context (``None`` follows the process default, exactly like
+        :func:`repro.core.context.get_context`).
 
     Notes
     -----
-    When every pair has the same ``n`` and direction the batch is
-    *stacked*: queries run on one ``(B, n, n)`` gain stack.  Otherwise
-    (``stacked`` is ``False``) queries loop over the pooled contexts and
-    list-valued results are returned.  Either way the numbers are
-    identical to querying each pair's own context.
+    When every pair has the same ``n`` and direction on the dense
+    backend the batch is *stacked*: queries run on one ``(B, n, n)``
+    gain stack.  Otherwise ``stacked`` is ``False``, :attr:`fallback`
+    carries a :class:`BatchFallbackInfo` naming why, and queries loop
+    over the pooled contexts (list-valued results).  Either way the
+    numbers are identical to querying each pair's own context.
     """
 
     def __init__(
         self,
         pairs: Sequence[PairLike],
         pool: Optional[ContextPool] = None,
+        backend: Optional[str] = None,
+        sparse_epsilon: Optional[float] = None,
     ):
         if len(pairs) == 0:
             raise ValueError("a ContextBatch needs at least one pair")
         self.pool = ContextPool() if pool is None else pool
         self.contexts: List[InterferenceContext] = [
-            self.pool.get(instance, powers) for instance, powers in pairs
+            self.pool.get(
+                instance, powers, backend=backend, sparse_epsilon=sparse_epsilon
+            )
+            for instance, powers in pairs
         ]
-        first = self.contexts[0]
         # Stacking materializes (B, n, n) dense gains, so it requires
-        # same-shape pairs on the dense backend; sparse-backed batches
-        # take the pooled per-pair fallback (every query and the
-        # first-fit kernel are backend-generic there).
-        self.stacked = all(
-            ctx.n == first.n
-            and ctx.instance.direction is first.instance.direction
-            and ctx.backend_name == "dense"
-            for ctx in self.contexts
-        )
+        # same-shape pairs on the dense backend; other batches take the
+        # pooled per-pair fallback (every query and the first-fit
+        # kernel are backend-generic there), recorded as a structured
+        # :class:`BatchFallbackInfo` instead of a silent switch.
+        self.fallback = _diagnose_fallback(self.contexts)
+        self.stacked = self.fallback is None
         self._signals: Optional[np.ndarray] = None
         self._gains: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._gains_t: Optional[Tuple[np.ndarray, np.ndarray]] = None

@@ -821,12 +821,28 @@ _lru: "OrderedDict[Tuple[int, tuple], weakref.ref]" = OrderedDict()
 
 
 def _env_cache_limit() -> int:
+    """Validate ``REPRO_CONTEXT_CACHE`` at import (load) time.
+
+    A malformed value must fail here, with a message naming the
+    variable and the accepted form — not deep inside the first
+    :func:`get_context` call of a long run.
+    """
     raw = os.environ.get("REPRO_CONTEXT_CACHE", "")
     if not raw.strip():
         return DEFAULT_CONTEXT_CACHE_LIMIT
-    limit = int(raw)
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CONTEXT_CACHE must be a positive integer (the bound on "
+            f"cached interference contexts, default "
+            f"{DEFAULT_CONTEXT_CACHE_LIMIT}), got {raw!r}"
+        ) from None
     if limit < 1:
-        raise ValueError(f"REPRO_CONTEXT_CACHE must be >= 1, got {raw!r}")
+        raise ValueError(
+            f"REPRO_CONTEXT_CACHE must be >= 1 (the bound on cached "
+            f"interference contexts), got {raw!r}"
+        )
     return limit
 
 
@@ -954,6 +970,40 @@ def get_context(
         _lru[lru_key] = weakref.ref(instance)
         _evict_over_limit()
         return context
+
+
+def repin_context(context: InterferenceContext) -> None:
+    """Re-insert *context* as the cached entry for its key.
+
+    Long-lived owners of a context (:class:`repro.api.Session`) hold a
+    strong reference, but the global LRU may still have evicted its
+    cache slot — after which :func:`get_context` would silently
+    rebuild a *different* context with cold gain matrices (and a fresh
+    flip-risk counter).  Re-pinning restores the owned context as the
+    cache's entry (and marks it most-recently-used), so algorithm
+    implementations resolving ``get_context(instance, powers)`` reuse
+    the owner's warm state and the owner's certification counters see
+    every at-risk comparison of the run.
+    """
+    instance = context.instance
+    key = (
+        context.powers.tobytes(),
+        context.beta,
+        context.noise,
+        context.backend_name,
+        context.sparse_epsilon,
+    )
+    with _lock:
+        per_instance = getattr(instance, _CACHE_ATTR, None)
+        if per_instance is None:
+            per_instance = {}
+            setattr(instance, _CACHE_ATTR, per_instance)
+            _cached_instances.add(instance)
+        per_instance[key] = context
+        lru_key = (id(instance), key)
+        _lru.pop(lru_key, None)
+        _lru[lru_key] = weakref.ref(instance)
+        _evict_over_limit()
 
 
 def maybe_context(

@@ -113,6 +113,9 @@ DEFAULT_TILE_ROWS = 512
 
 
 def _env_backend() -> str:
+    """Validate ``REPRO_BACKEND`` at import (load) time, listing the
+    allowed values — a typo must not survive until the first
+    ``get_context`` call."""
     name = os.environ.get("REPRO_BACKEND", "dense").strip().lower()
     if name not in BACKENDS:
         raise ValueError(
@@ -122,8 +125,15 @@ def _env_backend() -> str:
 
 
 def _env_epsilon() -> float:
+    """Validate ``REPRO_SPARSE_EPSILON`` at import (load) time."""
     raw = os.environ.get("REPRO_SPARSE_EPSILON", "0")
-    epsilon = float(raw)
+    try:
+        epsilon = float(raw)
+    except ValueError:
+        raise ValueError(
+            "REPRO_SPARSE_EPSILON must be a float in [0, 1) (the sparse "
+            f"backend's per-row pruned-mass budget), got {raw!r}"
+        ) from None
     if not 0.0 <= epsilon < 1.0:
         raise ValueError(
             f"REPRO_SPARSE_EPSILON must be in [0, 1), got {raw!r}"

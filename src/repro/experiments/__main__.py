@@ -7,6 +7,7 @@ machine-readable ``BENCH_<experiment>.json`` artifact per experiment:
     python -m repro.experiments                       # run everything
     python -m repro.experiments e1 e2 e5              # selected experiments
     python -m repro.experiments --list                # show what exists
+    python -m repro.experiments --list-algorithms     # the algorithm registry
     python -m repro.experiments e3 --fast             # reduced smoke sizes
     python -m repro.experiments --jobs 4              # 4 worker processes
     python -m repro.experiments --fast --jobs 4 --artifacts out/
@@ -24,6 +25,7 @@ import sys
 from repro.core.gains import BACKENDS
 from repro.experiments.registry import get_registry
 from repro.runner.orchestrator import run_experiments
+from repro.scheduling.registry import list_algorithms
 from repro.util.tables import format_table
 
 
@@ -38,6 +40,11 @@ def main(argv=None) -> int:
         help="experiment ids (e1 .. e13, e3b); all when omitted",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--list-algorithms",
+        action="store_true",
+        help="list the scheduling-algorithm registry with capability flags",
+    )
     parser.add_argument(
         "--fast", action="store_true", help="reduced sizes (smoke run)"
     )
@@ -66,6 +73,17 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     registry = get_registry()
+    if args.list_algorithms:
+        specs = list_algorithms()
+        width = max(len(spec.name) for spec in specs)
+        flag_width = max(len(spec.capabilities.flags()) for spec in specs)
+        for spec in specs:
+            print(
+                f"{spec.name:<{width}}  "
+                f"[{spec.capabilities.flags():<{flag_width}}]  "
+                f"{spec.summary}"
+            )
+        return 0
     if args.list:
         for key in registry:
             print(key)

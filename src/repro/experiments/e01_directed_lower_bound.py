@@ -21,10 +21,7 @@ from repro.instances.adversarial import (
 from repro.power.base import ObliviousPowerAssignment
 from repro.power.oblivious import LinearPower, MeanPower, SquareRootPower, UniformPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.firstfit import (
-    first_fit_free_power_schedule,
-    first_fit_schedule,
-)
+from repro.scheduling.registry import run_algorithm
 from repro.util.tables import Table
 
 
@@ -91,9 +88,11 @@ def run_directed_lower_bound(
                     continue
             instance = adv.instance
             powers = assignment(instance)
-            oblivious = first_fit_schedule(instance, powers)
+            oblivious = run_algorithm(
+                "first_fit", instance, powers=powers
+            ).schedule
             oblivious.validate(instance)
-            free = first_fit_free_power_schedule(instance)
+            free = run_algorithm("first_fit_free_power", instance).schedule
             free.validate(instance)
             table.add_row(
                 assignment=assignment.name,
@@ -113,4 +112,5 @@ SPEC = ExperimentSpec(
     seed=None,
     shard_by="n_values",
     metric="ratio",
+    algorithms=("first_fit", "first_fit_free_power"),
 )

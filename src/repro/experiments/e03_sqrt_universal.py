@@ -27,11 +27,7 @@ from repro.instances.random_instances import (
 )
 from repro.power.oblivious import SquareRootPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.firstfit import (
-    first_fit_free_power_schedule,
-    first_fit_schedule,
-)
-from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -67,8 +63,8 @@ def run_theorem2_literal(
         for child in spawn_rngs(rng, trials):
             instance = one_color_feasible_instance(n, rng=child)
             powers = SquareRootPower()(instance)
-            ff = first_fit_schedule(instance, powers)
-            lp, _ = sqrt_coloring(instance, rng=child)
+            ff = run_algorithm("first_fit", instance, powers=powers).schedule
+            lp = run_algorithm("sqrt_coloring", instance, rng=child).schedule
             instances.extend((instance, instance))
             schedules.extend((ff, lp))
             ff_counts.append(ff.num_colors)
@@ -122,10 +118,16 @@ def run_sqrt_universal(
             instances, schedules = [], []
             for child in spawn_rngs(rng, trials):
                 instance = factory(n, child)
-                sched_lp, _ = sqrt_coloring(instance, rng=child)
+                sched_lp = run_algorithm(
+                    "sqrt_coloring", instance, rng=child
+                ).schedule
                 powers = SquareRootPower()(instance)
-                sched_ff = first_fit_schedule(instance, powers)
-                sched_free = first_fit_free_power_schedule(instance)
+                sched_ff = run_algorithm(
+                    "first_fit", instance, powers=powers
+                ).schedule
+                sched_free = run_algorithm(
+                    "first_fit_free_power", instance
+                ).schedule
                 instances.extend((instance, instance, instance))
                 schedules.extend((sched_lp, sched_ff, sched_free))
                 lp_counts.append(sched_lp.num_colors)
@@ -155,6 +157,7 @@ SPEC = ExperimentSpec(
     seed=1234,
     shard_by="n_values",
     metric="ratio",
+    algorithms=("sqrt_coloring", "first_fit", "first_fit_free_power"),
 )
 
 SPEC_THEOREM2 = ExperimentSpec(
@@ -166,4 +169,5 @@ SPEC_THEOREM2 = ExperimentSpec(
     seed=4321,
     shard_by="n_values",
     metric="colors_sqrt_lp",
+    algorithms=("sqrt_coloring", "first_fit"),
 )

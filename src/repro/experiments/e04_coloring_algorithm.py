@@ -18,10 +18,7 @@ from repro.analysis.bounds import opt_color_lower_bound
 from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
 from repro.power.oblivious import SquareRootPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.firstfit import first_fit_schedule
-from repro.scheduling.peeling import peeling_schedule
-from repro.scheduling.sqrt_coloring import sqrt_coloring
-from repro.scheduling.trivial import trivial_schedule
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -60,15 +57,23 @@ def run_coloring_algorithm(
             for child in spawn_rngs(rng, trials):
                 instance = factory(n, child)
                 powers = SquareRootPower()(instance)
-                sched_lp, _ = sqrt_coloring(instance, rng=child, use_lp=True)
+                sched_lp = run_algorithm(
+                    "sqrt_coloring", instance, rng=child, use_lp=True
+                ).schedule
                 sched_lp.validate(instance)
-                sched_greedy, _ = sqrt_coloring(instance, rng=child, use_lp=False)
+                sched_greedy = run_algorithm(
+                    "sqrt_coloring", instance, rng=child, use_lp=False
+                ).schedule
                 sched_greedy.validate(instance)
-                sched_ff = first_fit_schedule(instance, powers)
+                sched_ff = run_algorithm(
+                    "first_fit", instance, powers=powers
+                ).schedule
                 sched_ff.validate(instance)
-                sched_peel = peeling_schedule(instance, powers)
+                sched_peel = run_algorithm(
+                    "peeling", instance, powers=powers
+                ).schedule
                 sched_peel.validate(instance)
-                sched_triv = trivial_schedule(instance)
+                sched_triv = run_algorithm("trivial", instance).schedule
                 sched_triv.validate(instance)
                 results["lp"].append(sched_lp.num_colors)
                 results["greedy"].append(sched_greedy.num_colors)
@@ -102,4 +107,5 @@ SPEC = ExperimentSpec(
     seed=99,
     shard_by="n_values",
     metric="approx_factor",
+    algorithms=("sqrt_coloring", "first_fit", "peeling", "trivial"),
 )

@@ -21,11 +21,7 @@ import numpy as np
 from repro.instances.random_instances import random_uniform_instance
 from repro.power.oblivious import SquareRootPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.gain_scaling import (
-    densest_subset_at_gain,
-    rescale_gain_coloring,
-)
-from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -59,16 +55,23 @@ def run_gain_scaling(
     instances = [random_uniform_instance(n, beta=base_gamma, rng=c) for c in children]
     power = SquareRootPower()
     base_schedules = [
-        first_fit_schedule(inst, power(inst), beta=base_gamma) for inst in instances
+        run_algorithm(
+            "first_fit", inst, powers=power(inst), beta=base_gamma
+        ).schedule
+        for inst in instances
     ]
     for scale in scale_factors:
         gamma_target = base_gamma * scale
         blowups, colors_base, colors_new, densest = [], [], [], []
         for instance, base_sched in zip(instances, base_schedules):
             powers = power(instance)
-            rescaled = rescale_gain_coloring(instance, powers, gamma_target)
+            outcome = run_algorithm(
+                "gain_scaling", instance, powers=powers,
+                gamma_target=gamma_target,
+            )
+            rescaled = outcome.schedule
             rescaled.validate(instance, beta=gamma_target)
-            subset, _ = densest_subset_at_gain(instance, powers, gamma_target)
+            subset = outcome.extras["densest_subset"]
             colors_base.append(base_sched.num_colors)
             colors_new.append(rescaled.num_colors)
             blowups.append(rescaled.num_colors / base_sched.num_colors)
@@ -92,4 +95,5 @@ SPEC = ExperimentSpec(
     seed=7,
     shard_by=None,
     metric="blowup",
+    algorithms=("first_fit", "gain_scaling"),
 )

@@ -22,7 +22,7 @@ from repro.core.schedule import Schedule
 from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
 from repro.power.oblivious import SquareRootPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -99,9 +99,13 @@ def run_directed_vs_bidirectional(
             for child in spawn_rngs(rng, trials):
                 bidir = factory(n, child)
                 direct = bidir.with_direction(Direction.DIRECTED)
-                sched_d = first_fit_schedule(direct, power(direct))
+                sched_d = run_algorithm(
+                    "first_fit", direct, powers=power(direct)
+                ).schedule
                 sched_d.validate(direct)
-                sched_b = first_fit_schedule(bidir, power(bidir))
+                sched_b = run_algorithm(
+                    "first_fit", bidir, powers=power(bidir)
+                ).schedule
                 sched_b.validate(bidir)
                 sim_inst, sim_colors, sim_powers = (
                     simulate_bidirectional_by_directed(
@@ -112,7 +116,9 @@ def run_directed_vs_bidirectional(
                 if not sim_sched.is_feasible(sim_inst):
                     simulation_ok = False
                 double = doubled_directed_instance(bidir)
-                sched_2 = first_fit_schedule(double, power(double))
+                sched_2 = run_algorithm(
+                    "first_fit", double, powers=power(double)
+                ).schedule
                 sched_2.validate(double)
                 directed.append(sched_d.num_colors)
                 bidirectional.append(sched_b.num_colors)
@@ -137,4 +143,5 @@ SPEC = ExperimentSpec(
     seed=31,
     shard_by="n_values",
     metric="colors_bidirectional",
+    algorithms=("first_fit",),
 )

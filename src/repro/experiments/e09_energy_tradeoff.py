@@ -25,7 +25,7 @@ from repro.instances.random_instances import clustered_instance
 from repro.power.base import ObliviousPowerAssignment
 from repro.power.oblivious import LinearPower, SquareRootPower, UniformPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -66,7 +66,9 @@ def run_energy_tradeoff(
     for name, instance in scenarios:
         for assignment in assignments:
             powers = normalised_powers(assignment, instance)
-            schedule = first_fit_schedule(instance, powers)
+            schedule = run_algorithm(
+                "first_fit", instance, powers=powers
+            ).schedule
             schedule.validate(instance)
             energy = float(np.sum(powers))
             table.add_row(
@@ -86,4 +88,5 @@ SPEC = ExperimentSpec(
     seed=41,
     shard_by=None,
     metric="energy_per_color",
+    algorithms=("first_fit",),
 )

@@ -24,7 +24,7 @@ from repro.instances.nested import nested_instance
 from repro.instances.random_instances import random_uniform_instance
 from repro.core.instance import Direction
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.firstfit import first_fit_free_power_schedule
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -58,7 +58,7 @@ def run_iin_measure(
             ("random", random_inst),
         ):
             iin = in_interference_measure(instance)
-            schedule = first_fit_free_power_schedule(instance)
+            schedule = run_algorithm("first_fit_free_power", instance).schedule
             schedule.validate(instance)
             colors = schedule.num_colors
             table.add_row(
@@ -78,4 +78,5 @@ SPEC = ExperimentSpec(
     seed=51,
     shard_by="n_values",
     metric="iin_over_colors",
+    algorithms=("first_fit_free_power",),
 )

@@ -17,8 +17,7 @@ import numpy as np
 from repro.experiments.e03_sqrt_universal import InstanceFactory, default_families
 from repro.power.oblivious import SquareRootPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.distributed import distributed_coloring
-from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -55,9 +54,12 @@ def run_distributed(
             central, dist_colors, slots, att = [], [], [], []
             for child in spawn_rngs(rng, trials):
                 instance = factory(n, child)
-                baseline = first_fit_schedule(instance, power(instance))
+                baseline = run_algorithm(
+                    "first_fit", instance, powers=power(instance)
+                ).schedule
                 baseline.validate(instance)
-                schedule, stats = distributed_coloring(instance, rng=child)
+                outcome = run_algorithm("distributed", instance, rng=child)
+                schedule, stats = outcome.schedule, outcome.stats
                 schedule.validate(instance)
                 central.append(baseline.num_colors)
                 dist_colors.append(schedule.num_colors)
@@ -82,4 +84,5 @@ SPEC = ExperimentSpec(
     seed=61,
     shard_by="n_values",
     metric="distributed_overhead",
+    algorithms=("distributed", "first_fit"),
 )

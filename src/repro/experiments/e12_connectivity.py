@@ -21,10 +21,7 @@ from repro.instances.connectivity import (
 )
 from repro.power.oblivious import LinearPower, SquareRootPower, UniformPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.firstfit import (
-    first_fit_free_power_schedule,
-    first_fit_schedule,
-)
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -65,10 +62,12 @@ def run_connectivity(
             )
             row = {"placement": name, "n_nodes": n}
             for assignment in assignments:
-                schedule = first_fit_schedule(instance, assignment(instance))
+                schedule = run_algorithm(
+                    "first_fit", instance, powers=assignment(instance)
+                ).schedule
                 schedule.validate(instance)
                 row[assignment.name] = schedule.num_colors
-            free = first_fit_free_power_schedule(instance)
+            free = run_algorithm("first_fit_free_power", instance).schedule
             free.validate(instance)
             row["free_power"] = free.num_colors
             table.add_row(**row)
@@ -82,4 +81,5 @@ SPEC = ExperimentSpec(
     seed=71,
     shard_by="n_values",
     metric="free_power",
+    algorithms=("first_fit", "first_fit_free_power"),
 )

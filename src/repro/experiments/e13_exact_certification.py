@@ -15,10 +15,7 @@ import numpy as np
 from repro.instances.random_instances import clustered_instance, random_uniform_instance
 from repro.power.oblivious import SquareRootPower
 from repro.runner.spec import ExperimentSpec
-from repro.scheduling.exact import exact_minimum_colors
-from repro.scheduling.firstfit import first_fit_schedule
-from repro.scheduling.peeling import peeling_schedule
-from repro.scheduling.sqrt_coloring import sqrt_coloring
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng, spawn_rngs
 from repro.util.tables import Table
 
@@ -58,11 +55,15 @@ def run_exact_certification(
             for child in spawn_rngs(rng, trials):
                 instance = factory(n, child)
                 powers = SquareRootPower()(instance)
-                opt, _ = exact_minimum_colors(instance, powers)
-                ff = first_fit_schedule(instance, powers)
-                peel = peeling_schedule(instance, powers)
-                lp, _ = sqrt_coloring(instance, rng=child)
-                free_opt, _ = exact_minimum_colors(instance)
+                opt = run_algorithm(
+                    "exact", instance, powers=powers
+                ).extras["optimal_colors"]
+                ff = run_algorithm("first_fit", instance, powers=powers).schedule
+                peel = run_algorithm("peeling", instance, powers=powers).schedule
+                lp = run_algorithm("sqrt_coloring", instance, rng=child).schedule
+                free_opt = run_algorithm(
+                    "exact", instance, free_power=True
+                ).extras["optimal_colors"]
                 opts.append(opt)
                 ff_f.append(ff.num_colors / opt)
                 peel_f.append(peel.num_colors / opt)
@@ -87,4 +88,5 @@ SPEC = ExperimentSpec(
     seed=81,
     shard_by="n_values",
     metric="first_fit_factor",
+    algorithms=("exact", "first_fit", "peeling", "sqrt_coloring"),
 )

@@ -47,7 +47,7 @@ from repro.nodeloss.feasibility import nodeloss_margins
 from repro.nodeloss.instance import NodeLossInstance
 from repro.nodeloss.transform import node_gain_from_pair_gain
 from repro.power.oblivious import SquareRootPower
-from repro.scheduling.firstfit import first_fit_schedule
+from repro.scheduling.registry import run_algorithm
 from repro.util.rng import RngLike, ensure_rng
 
 
@@ -208,7 +208,9 @@ def sqrt_existence_pipeline(
             color += 1
         else:
             sub = instance.subset(chosen_arr)
-            sub_schedule = first_fit_schedule(sub, powers[chosen_arr], beta=beta)
+            sub_schedule = run_algorithm(
+                "first_fit", sub, powers=powers[chosen_arr], beta=beta
+            ).schedule
             for local, pair in enumerate(chosen_arr):
                 colors[pair] = color + int(sub_schedule.colors[local])
             color += sub_schedule.num_colors

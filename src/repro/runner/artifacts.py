@@ -21,12 +21,15 @@ Schema (``format_version`` 1)::
       ],
       "timings": {"run_wall_seconds": 1.3, "total_shard_seconds": 2.2},
       "metrics": {"rows": 9, "ratio_mean": 1.4, ...},
-      "env": {"jobs": 4, "backend": "dense"}
+      "env": {"jobs": 4, "backend": "dense", "algorithms": ["first_fit"]}
     }
 
 ``env.backend`` names the gain backend the experiment ran on
 (``"dense"``/``"sparse"``, see :mod:`repro.core.gains`); artifacts
 written before the backend split are read back as ``"dense"``.
+``env.algorithms`` lists the registry algorithms the experiment
+declares (:attr:`repro.runner.spec.ExperimentSpec.algorithms`); older
+artifacts read back with an empty tuple.
 
 ``run_wall_seconds`` is the wall time from the start of the
 orchestrator run until this experiment's results were complete (the
@@ -47,7 +50,7 @@ import json
 import math
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.serialization import (
     FORMAT_VERSION,
@@ -81,6 +84,9 @@ class BenchReport:
     jobs: int = 1
     metric: Optional[str] = None
     backend: str = "dense"
+    #: Registry algorithm names the experiment declares it exercises
+    #: (see :attr:`repro.runner.spec.ExperimentSpec.algorithms`).
+    algorithms: Tuple[str, ...] = ()
 
     @property
     def total_shard_seconds(self) -> float:
@@ -127,7 +133,11 @@ def bench_to_dict(report: BenchReport) -> Dict[str, Any]:
             "total_shard_seconds": report.total_shard_seconds,
         },
         "metrics": report.metrics(),
-        "env": {"jobs": report.jobs, "backend": report.backend},
+        "env": {
+            "jobs": report.jobs,
+            "backend": report.backend,
+            "algorithms": list(report.algorithms),
+        },
     }
 
 
@@ -159,6 +169,7 @@ def bench_from_dict(payload: Dict[str, Any]) -> BenchReport:
         jobs=payload.get("env", {}).get("jobs", 1),
         metric=payload.get("metric_column"),
         backend=payload.get("env", {}).get("backend", "dense"),
+        algorithms=tuple(payload.get("env", {}).get("algorithms", ())),
     )
     return report
 

@@ -201,6 +201,7 @@ def run_experiments(
                 jobs=jobs,
                 metric=spec.metric,
                 backend=backends[spec.id],
+                algorithms=tuple(spec.algorithms),
             )
             if artifacts_dir is not None:
                 write_artifact(artifacts_dir, report)

@@ -85,6 +85,11 @@ class ExperimentSpec:
         run-level ``--backend`` choice, falling back to the process
         default (:func:`repro.core.gains.default_backend`).  The
         resolved name is recorded in the ``BENCH_*.json`` artifact.
+    algorithms:
+        Names from :mod:`repro.scheduling.registry` this experiment
+        exercises.  Validated against the registry at spec construction
+        (a typo fails the import, not the run), listed by the CLI and
+        recorded in the artifact's ``env.algorithms``.
     """
 
     id: str
@@ -96,6 +101,7 @@ class ExperimentSpec:
     shard_by: Optional[str] = None
     metric: Optional[str] = None
     backend: Optional[str] = None
+    algorithms: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.shard_by not in SHARD_MODES:
@@ -103,6 +109,17 @@ class ExperimentSpec:
                 f"{self.id}: shard_by must be one of {SHARD_MODES}, "
                 f"got {self.shard_by!r}"
             )
+        if self.algorithms:
+            # Imported lazily: the registry pulls in the scheduler
+            # modules, which must stay importable without the runner.
+            from repro.scheduling.registry import algorithm_names
+
+            unknown = sorted(set(self.algorithms) - set(algorithm_names()))
+            if unknown:
+                raise ValueError(
+                    f"{self.id}: unknown algorithm(s) {unknown}; "
+                    f"registered: {sorted(algorithm_names())}"
+                )
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
                 f"{self.id}: backend must be one of {BACKENDS} or None, "

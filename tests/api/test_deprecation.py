@@ -1,0 +1,133 @@
+"""Legacy free-function shims: once-per-call-site warnings, bit-identity,
+and a clean (warning-free) internal stack."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro._deprecation import (
+    ReproDeprecationWarning,
+    reset_deprecation_registry,
+)
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+from repro.scheduling.firstfit import first_fit_schedule as _impl
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
+
+
+@pytest.fixture
+def instance():
+    return random_uniform_instance(10, rng=13)
+
+
+@pytest.fixture
+def powers(instance):
+    return SquareRootPower()(instance)
+
+
+class TestShims:
+    def test_category_is_a_deprecation_warning(self):
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+    def test_warns_once_per_call_site(self, instance, powers):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                repro.first_fit_schedule(instance, powers)  # one call site
+        ours = [
+            w for w in caught if issubclass(w.category, ReproDeprecationWarning)
+        ]
+        assert len(ours) == 1
+        assert "Session.schedule('first_fit')" in str(ours[0].message)
+
+    def test_two_call_sites_warn_twice(self, instance, powers):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.first_fit_schedule(instance, powers)
+            repro.first_fit_schedule(instance, powers)  # distinct line
+        ours = [
+            w for w in caught if issubclass(w.category, ReproDeprecationWarning)
+        ]
+        assert len(ours) == 2
+
+    def test_reset_rearms_a_call_site(self, instance, powers):
+        def call():
+            return repro.trivial_schedule(instance)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            call()
+            call()
+            reset_deprecation_registry()
+            call()
+        ours = [
+            w for w in caught if issubclass(w.category, ReproDeprecationWarning)
+        ]
+        assert len(ours) == 2
+
+    def test_shim_is_bit_identical_to_impl(self, instance, powers):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ReproDeprecationWarning)
+            shimmed = repro.first_fit_schedule(instance, powers)
+        ref = _impl(instance, powers)
+        np.testing.assert_array_equal(shimmed.colors, ref.colors)
+        np.testing.assert_array_equal(shimmed.powers, ref.powers)
+
+    def test_every_scheduling_export_is_shimmed(self):
+        import repro.scheduling as sched
+
+        for name in (
+            "trivial_schedule",
+            "first_fit_schedule",
+            "first_fit_free_power_schedule",
+            "peeling_schedule",
+            "rescale_gain_coloring",
+            "densest_subset_at_gain",
+            "sqrt_coloring",
+            "improve_schedule",
+            "distributed_coloring",
+            "exact_minimum_colors",
+            "protocol_schedule",
+        ):
+            shim = getattr(sched, name)
+            assert hasattr(shim, "__wrapped__"), name
+            assert "deprecated" in (shim.__doc__ or ""), name
+            # The top-level re-export is the same shim object.
+            if hasattr(repro, name):
+                assert getattr(repro, name) is shim, name
+
+
+class TestInternalStackIsClean:
+    """No internal module (runner, experiments, CLI) may trigger a shim."""
+
+    def test_orchestrator_run_is_warning_free(self):
+        from repro.runner.orchestrator import run_experiments
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            reports = run_experiments(["e9"], fast=True)
+        assert len(reports) == 1 and len(reports[0].table) > 0
+
+    def test_cli_listing_is_warning_free(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            assert main(["--list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "first_fit" in out and "certifiable" in out
+
+    def test_session_path_is_warning_free(self, instance):
+        from repro.api import Problem
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            Problem(instance).session().schedule("first_fit")

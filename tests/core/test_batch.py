@@ -291,3 +291,60 @@ class TestMixedColors:
         )
         feasible = batch.feasible(colors=[None, schedule.colors])
         assert feasible.shape == (2,)
+
+
+class TestFallbackInfo:
+    """The pooled-path switch is structured (BatchFallbackInfo), not
+    silent (satellite of the unified-API PR)."""
+
+    def test_stacked_batch_has_no_fallback(self, dense_backend):
+        batch = ContextBatch(_pairs([10, 10]))
+        assert batch.stacked
+        assert batch.fallback is None
+
+    def test_ragged_sizes_are_diagnosed(self, dense_backend):
+        batch = ContextBatch(_pairs([10, 6]))
+        assert not batch.stacked
+        assert batch.fallback is not None
+        assert batch.fallback.reasons == ("ragged_n",)
+        assert batch.fallback.pairs == 2
+        assert "pooled" in batch.fallback.detail
+
+    def test_mixed_direction_is_diagnosed(self, dense_backend):
+        pairs = _pairs([8], direction="bidirectional") + _pairs(
+            [8], direction="directed", seed=5
+        )
+        batch = ContextBatch(pairs)
+        assert batch.fallback.reasons == ("mixed_direction",)
+
+    def test_sparse_backend_is_diagnosed_and_logged(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.batch"):
+            batch = ContextBatch(_pairs([8, 8]), backend="sparse")
+        assert batch.fallback is not None
+        assert batch.fallback.reasons == ("sparse_backend",)
+        assert any(
+            "sparse_backend" in record.message for record in caplog.records
+        )
+
+    def test_multiple_reasons_compose(self, dense_backend):
+        pairs = _pairs([8]) + _pairs([6], direction="directed", seed=9)
+        batch = ContextBatch(pairs)
+        assert set(batch.fallback.reasons) == {"ragged_n", "mixed_direction"}
+
+    def test_ragged_shape_logs_at_debug_only(self, caplog, dense_backend):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.core.batch"):
+            ContextBatch(_pairs([10, 6]))
+        records = [
+            r for r in caplog.records if "ContextBatch" in r.message
+        ]
+        assert records and all(
+            r.levelno == logging.DEBUG for r in records
+        )
+
+    def test_backend_preference_threads_to_contexts(self):
+        batch = ContextBatch(_pairs([8]), backend="sparse", sparse_epsilon=0.0)
+        assert batch.contexts[0].backend_name == "sparse"

@@ -38,6 +38,7 @@ from repro.scheduling.firstfit import (
 from repro.scheduling.gain_scaling import rescale_gain_coloring
 from repro.scheduling.local_search import improve_schedule
 from repro.scheduling.peeling import peeling_schedule
+from repro.scheduling.protocol_model import protocol_schedule
 from repro.scheduling.sqrt_coloring import sqrt_coloring
 from repro.scheduling.trivial import trivial_schedule
 
@@ -113,6 +114,9 @@ def _schedulers():
         "exact": lambda instance, rng: exact_minimum_colors(
             instance, SquareRootPower()(instance)
         )[1],
+        "protocol_model": fixed_power(
+            lambda instance, powers: protocol_schedule(instance, powers)[0]
+        ),
     }
 
 
@@ -219,6 +223,77 @@ def test_all_toggle_combinations_emit_identical_schedules(
                 f"{combo} differs from engine+kernels"
             ),
         )
+
+
+#: Session.schedule equivalents of the legacy free-function calls
+#: above: ``(algorithm, session params)`` keyed like SCHEDULERS.  The
+#: registry facade must reproduce every legacy schedule bit-for-bit on
+#: both gain backends (epsilon=0 sparse is lossless, so zero
+#: flip-risk events are expected throughout).
+SESSION_CALLS = {
+    "trivial": ("trivial", {}),
+    "first_fit": ("first_fit", {}),
+    "first_fit_free_power": ("first_fit_free_power", {}),
+    "peeling": ("peeling", {}),
+    "gain_scaling": ("gain_scaling", {}),  # gamma_target added per instance
+    "sqrt_coloring": ("sqrt_coloring", {}),
+    "sqrt_coloring_no_lp": ("sqrt_coloring", {"use_lp": False}),
+    "local_search": ("local_search", {}),  # schedule= added per run
+    "distributed": ("distributed", {}),
+    "exact": ("exact", {}),
+    "protocol_model": ("protocol_model", {}),
+}
+
+
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+@pytest.mark.parametrize("scheduler_name", sorted(SESSION_CALLS))
+@pytest.mark.parametrize(
+    "instance_name",
+    sorted(
+        name
+        for name in GRID
+        if name.endswith(("n8", "n32")) or "shared-node" in name
+    ),
+)
+def test_session_matches_legacy_free_functions(
+    backend, instance_name, scheduler_name
+):
+    """Acceptance: every scheduler resolved through the registry and
+    called via Session.schedule emits the very schedule the legacy free
+    function emits — on the dense and the (lossless) sparse backend —
+    with zero flip-risk events."""
+    from repro.api import Problem
+
+    instance = GRID[instance_name]
+    if scheduler_name == "exact" and instance.n > MAX_EXACT_N:
+        pytest.skip(f"exact solver caps at n={MAX_EXACT_N}")
+    legacy = SCHEDULERS[scheduler_name](instance, np.random.default_rng(99))
+
+    clear_context_cache()
+    algorithm, params = SESSION_CALLS[scheduler_name]
+    params = dict(params)
+    session = Problem(instance, backend=backend).session()
+    rng = None
+    if scheduler_name in ("sqrt_coloring", "sqrt_coloring_no_lp", "distributed"):
+        rng = np.random.default_rng(99)
+    if scheduler_name == "gain_scaling":
+        params["gamma_target"] = 2.0 * instance.beta
+    if scheduler_name == "local_search":
+        params["schedule"] = session.schedule("first_fit")
+    result = session.schedule(algorithm, rng=rng, **params)
+
+    np.testing.assert_array_equal(
+        result.colors,
+        legacy.colors,
+        err_msg=(
+            f"{scheduler_name} via Session on {backend} differs from the "
+            f"legacy free function on {instance_name}"
+        ),
+    )
+    np.testing.assert_array_equal(result.powers, legacy.powers)
+    assert result.provenance.flip_risk_events == 0
+    assert result.provenance.backend == backend
+    clear_context_cache()
 
 
 @pytest.mark.parametrize(

@@ -4,19 +4,22 @@ import numpy as np
 
 from repro import (
     Direction,
+    Problem,
     SquareRootPower,
     UniformPower,
-    first_fit_free_power_schedule,
-    first_fit_schedule,
     lower_bound_instance_for,
     nested_instance,
     random_uniform_instance,
     scale_powers_for_noise,
     sinr_margins,
-    sqrt_coloring,
     verify_schedule,
 )
 from repro.experiments import sqrt_existence_pipeline
+from repro.scheduling.firstfit import (
+    first_fit_free_power_schedule,
+    first_fit_schedule,
+)
+from repro.scheduling.sqrt_coloring import sqrt_coloring
 
 
 class TestTheorem1EndToEnd:
@@ -87,6 +90,26 @@ class TestNoisePipeline:
         # Same coloring, scaled powers: still one factor for all.
         factors = noisy / schedule.powers
         assert np.allclose(factors, factors[0])
+
+
+class TestUnifiedApiPipeline:
+    """The Session facade drives the same pipelines end to end."""
+
+    def test_session_reproduces_theorem1_separation(self):
+        adv = lower_bound_instance_for(UniformPower(), 20)
+        session = Problem(adv.instance, powers=UniformPower()).session()
+        oblivious = session.schedule("first_fit").validate()
+        free = session.schedule("first_fit_free_power").validate()
+        assert oblivious.num_colors >= 3 * free.num_colors
+
+    def test_session_improvement_chain(self):
+        inst = random_uniform_instance(15, rng=42)
+        session = Problem(inst).session()
+        ff = session.schedule("first_fit")
+        improved = session.schedule("local_search", schedule=ff)
+        assert improved.validate().num_colors <= ff.num_colors
+        lp = session.schedule("sqrt_coloring", rng=42)
+        assert verify_schedule(inst, lp.schedule).feasible
 
 
 class TestDirectionInterplay:

@@ -1,6 +1,8 @@
 """Public API surface tests: everything advertised in __all__ exists
 and the README quickstart works."""
 
+import warnings
+
 import numpy as np
 
 import repro
@@ -21,9 +23,35 @@ class TestPublicSurface:
         instance = repro.Instance.bidirectional(
             repro.EuclideanMetric(points), pairs
         )
-        schedule, stats = repro.sqrt_coloring(instance, rng=rng)
+        session = repro.Problem(instance).session()
+        result = session.schedule("sqrt_coloring", rng=rng)
+        assert result.validate().num_colors >= 1
+        assert result.provenance.algorithm == "sqrt_coloring"
+
+    def test_legacy_quickstart_still_works_but_warns(self):
+        from repro._deprecation import reset_deprecation_registry
+
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, size=(20, 2))
+        pairs = [(2 * i, 2 * i + 1) for i in range(10)]
+        instance = repro.Instance.bidirectional(
+            repro.EuclideanMetric(points), pairs
+        )
+        reset_deprecation_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            schedule, stats = repro.sqrt_coloring(instance, rng=rng)
         schedule.validate(instance)
-        assert schedule.num_colors >= 1
+        assert any(
+            issubclass(w.category, repro.ReproDeprecationWarning)
+            for w in caught
+        )
+        reset_deprecation_registry()
+
+    def test_registry_surface(self):
+        names = repro.run_algorithm.__module__  # exported callables exist
+        assert names == "repro.scheduling.registry"
+        assert "first_fit" in [s.name for s in repro.list_algorithms()]
 
     def test_error_hierarchy(self):
         assert issubclass(repro.InvalidInstanceError, repro.ReproError)
