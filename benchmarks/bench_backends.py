@@ -14,10 +14,14 @@ physically meaningful scaling, where gains decay fast enough that
   backend would need roughly ``16x`` the reference memory
   (loss matrix + both gain layouts — tens of GB);
 * ``sqrt_coloring`` on the sparse backend at ``--sqrt-n`` (default
-  8192 — twice the practical dense ceiling; its greedy peel is O(k^3)
-  in the first distance bucket, so n=16384 costs hours on any backend
-  until a sub-cubic peel kernel lands.  CI passes a further reduced
-  size);
+  8192) and ``--sqrt-big-n`` (default 32768) — the incremental peel
+  kernel's unlock.  Under the old compacting peel (O(k^3) in the first
+  distance bucket) n=8192 took ~343 s; the incremental kernel is gated
+  to at least ``--sqrt-speedup`` (default 10x) faster than that
+  committed ``--sqrt-seed-seconds`` baseline, and the big run must fit
+  the RSS budget.  Both sqrt gates (and the big run itself) only
+  engage when ``--sqrt-n`` is at least 8192, so CI's reduced size
+  skips them;
 * a bit-exactness check: at ``--conf-n`` the lossless sparse backend
   (``epsilon=0``) must emit the *identical* first-fit schedule to the
   dense backend (hard failure otherwise), and a certified pruned run
@@ -33,6 +37,9 @@ Gates (exit non-zero on violation):
   extrapolated quadratically (``dense_seconds * (sparse_n/dense_n)^2``);
 * its peak RSS must stay within ``--rss-budget-mb`` (default 2048) — a
   budget the extrapolated dense run exceeds many times over;
+* sqrt_coloring at ``--sqrt-n`` (when >= 8192) must beat the committed
+  compacting-peel baseline by ``--sqrt-speedup``, and at
+  ``--sqrt-big-n`` must stay within the RSS budget;
 * the conformance workloads must match the dense schedule exactly.
 
 Run as a script::
@@ -44,7 +51,9 @@ Run as a script::
 Reference results (one run, defaults, see
 ``benchmarks/artifacts/BENCH_backends.json``): sparse first-fit at
 n=16384 runs in well under the dense n=4096 quadratic extrapolation at
-~3% stored density, inside a few hundred MB of RSS.
+~3% stored density, inside a few hundred MB of RSS; sqrt_coloring at
+n=8192 in ~18 s against the 343 s compacting-peel seed (~20x, same
+schedule), and at n=32768 in ~1 GB RSS.
 """
 
 from __future__ import annotations
@@ -218,7 +227,44 @@ def run(args) -> int:
     sparse_big = workload(
         "first_fit", "first_fit", args.sparse_n, "sparse", BENCH_EPSILON
     )
-    workload("sqrt_coloring", "sqrt", args.sqrt_n, "sparse", BENCH_EPSILON)
+    sqrt_result = workload(
+        "sqrt_coloring", "sqrt", args.sqrt_n, "sparse", BENCH_EPSILON
+    )
+    # The sqrt gates only engage at full size: CI runs a reduced
+    # --sqrt-n, where the seed baseline (a full-size measurement) says
+    # nothing and the big workload would dominate the job.
+    sqrt_full_size = args.sqrt_n >= 8192
+    if sqrt_full_size:
+        sqrt_budget = args.sqrt_seed_seconds / args.sqrt_speedup
+        print(
+            f"gate: sqrt_coloring n={args.sqrt_n}: "
+            f"{sqrt_result['seconds']:.2f}s vs budget {sqrt_budget:.2f}s "
+            f"(>= {args.sqrt_speedup:g}x over the {args.sqrt_seed_seconds:g}s "
+            "compacting-peel seed baseline)"
+        )
+        if sqrt_result["seconds"] > sqrt_budget:
+            failures.append(
+                f"sqrt_coloring at n={args.sqrt_n} took "
+                f"{sqrt_result['seconds']:.2f}s (> {sqrt_budget:.2f}s = "
+                f"{args.sqrt_seed_seconds:g}s seed / "
+                f"{args.sqrt_speedup:g}x budget)"
+            )
+        if args.sqrt_big_n > args.sqrt_n:
+            sqrt_big = workload(
+                "sqrt_coloring", "sqrt", args.sqrt_big_n, "sparse",
+                BENCH_EPSILON,
+            )
+            print(
+                f"gate: sqrt_coloring n={args.sqrt_big_n}: "
+                f"RSS {sqrt_big['peak_rss_mb']:.0f} MB vs budget "
+                f"{args.rss_budget_mb:g} MB"
+            )
+            if sqrt_big["peak_rss_mb"] > args.rss_budget_mb:
+                failures.append(
+                    f"sqrt_coloring at n={args.sqrt_big_n} peaked at "
+                    f"{sqrt_big['peak_rss_mb']:.0f} MB RSS "
+                    f"(> {args.rss_budget_mb:g} MB budget)"
+                )
 
     scale = (args.sparse_n / args.dense_n) ** 2
     budget_seconds = args.target_fraction * dense_ref["seconds"] * scale
@@ -272,6 +318,15 @@ def run(args) -> int:
             f"quadratic extrapolation and {args.rss_budget_mb} MB RSS; "
             "conformance workloads bit-identical to dense"
         )
+        if sqrt_full_size:
+            table.add_note(
+                f"gate: sqrt_coloring at n={args.sqrt_n} at least "
+                f"{args.sqrt_speedup:g}x faster than the "
+                f"{args.sqrt_seed_seconds:g}s compacting-peel seed "
+                f"baseline (incremental peel kernel); the "
+                f"n={args.sqrt_big_n} run within {args.rss_budget_mb:g} "
+                "MB RSS"
+            )
         table.add_note(
             "constant-density random geometric instances (directed, "
             "sqrt powers); each workload measured in its own spawned "
@@ -327,8 +382,29 @@ def main(argv=None) -> int:
         type=int,
         default=8192,
         help="sqrt_coloring size on the sparse backend (default 8192; "
-        "its peel is O(k^3), see the module docstring; CI passes a "
-        "reduced size)",
+        "the speed gate and the --sqrt-big-n workload only engage when "
+        "this is >= 8192, so CI's reduced size skips them)",
+    )
+    parser.add_argument(
+        "--sqrt-big-n",
+        type=int,
+        default=32768,
+        help="scaled sqrt_coloring size, RSS-gated (default 32768; "
+        "skipped when --sqrt-n is reduced or this does not exceed it)",
+    )
+    parser.add_argument(
+        "--sqrt-seed-seconds",
+        type=float,
+        default=343.0,
+        help="committed wall-time of the compacting-peel sqrt_coloring "
+        "run at n=8192 (the seed baseline the speed gate divides)",
+    )
+    parser.add_argument(
+        "--sqrt-speedup",
+        type=float,
+        default=10.0,
+        help="required speedup of sqrt_coloring at --sqrt-n over the "
+        "seed baseline (default 10x)",
     )
     parser.add_argument(
         "--conf-n",

@@ -37,10 +37,11 @@ def greedy_max_feasible_subset(
 
     When the shared interference engine is enabled (or an explicit
     *context* for ``(instance, powers)`` is passed), the peeling loop
-    runs on the cached gain matrices — by default via the compacting
-    submatrix kernel
-    :func:`repro.core.kernels.peel_max_feasible_subset` (bit-identical
-    decisions, one gather instead of one per round); under
+    runs on the cached gain matrices — by default via the incremental
+    kernel :func:`repro.core.kernels.peel_max_feasible_subset`
+    (identical decisions from maintained interference sums, O(k)
+    vectorized work per round; near-boundary decisions re-resolved
+    exactly and counted as ``peel_risk_events``); under
     :func:`repro.core.kernels.kernels_disabled` via the PR-1
     per-round-rebuild reference
     :meth:`InterferenceContext.greedy_max_feasible_subset`.

@@ -54,6 +54,7 @@ from repro.core.context import (
     engine_enabled,
     get_context,
     repin_context,
+    unpin_context,
 )
 from repro.core.errors import InvalidScheduleError
 from repro.core.gains import (
@@ -65,7 +66,12 @@ from repro.core.gains import (
     set_sparse_epsilon,
 )
 from repro.core.instance import Instance
-from repro.core.kernels import kernels_enabled
+from repro.core.kernels import (
+    PeelFallbackInfo,
+    kernels_enabled,
+    peel_fallback_records,
+    peel_risk_events,
+)
 from repro.core.schedule import Schedule
 from repro.power.base import PowerAssignment
 from repro.power.oblivious import SquareRootPower
@@ -116,6 +122,17 @@ class Provenance:
     batch_fallback:
         Why a batched entry point could not run in lockstep (``None``
         for plain sessions and stacked batches).
+    peel_risk_events:
+        Growth of the incremental peel's at-risk-decision counter
+        (:func:`repro.core.kernels.peel_risk_events`) during the run:
+        peel/stop/re-add comparisons that landed inside the
+        :data:`~repro.core.kernels.PEEL_RISK_RTOL` band and were
+        resolved by exact reference-order recomputation.  Always ``0``
+        when the run never peels (or the incremental peel is disabled).
+    peel_fallbacks:
+        :class:`~repro.core.kernels.PeelFallbackInfo` records emitted
+        during the run — peel calls (e.g. duplicate candidates) that
+        left the kernel path for the from-scratch reference.
     """
 
     algorithm: str
@@ -128,6 +145,8 @@ class Provenance:
     flip_risk_events: int = 0
     certified: Optional[bool] = None
     batch_fallback: Optional[BatchFallbackInfo] = None
+    peel_risk_events: int = 0
+    peel_fallbacks: Tuple[PeelFallbackInfo, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -379,6 +398,12 @@ class Session:
         self._powers, self._assignment = _resolve_powers(
             new_instance, new_powers
         )
+        # Release the old instance's cache slot eagerly: the context /
+        # cache-dict / instance reference cycle only dies under cycle
+        # GC, and until then the dead LRU entry would crowd out live
+        # contexts (see unpin_context).
+        if self._context is not None:
+            unpin_context(self._context)
         self._context = None
         return self
 
@@ -407,6 +432,11 @@ class Session:
             repin_context(context)
             backend_obj = context.backend
         before = backend_obj.flip_risk_events if backend_obj is not None else 0
+        # Peel counters are module totals (self-powered algorithms build
+        # contexts this session never sees), so snapshot-and-diff around
+        # the run — single scheduler thread, like the toggles.
+        peel_before = peel_risk_events()
+        fb_before = len(peel_fallback_records())
         start = time.perf_counter()
         with _preference_scope(
             self.problem.backend, self.problem.sparse_epsilon
@@ -448,6 +478,8 @@ class Session:
                 flip_risk_events=delta,
                 certified=certified,
                 batch_fallback=batch_fallback,
+                peel_risk_events=peel_risk_events() - peel_before,
+                peel_fallbacks=peel_fallback_records()[fb_before:],
             ),
             stats=outcome.stats,
             extras=dict(outcome.extras),

@@ -361,7 +361,16 @@ class InterferenceContext:
                 return _interference_from_scratch(
                     self.instance, self.powers, colors, idx
                 )
-            sub_colors = None if colors is None else np.asarray(colors)[idx]
+            if colors is None:
+                # Tiled per-row sums (bit-identical to gathering the
+                # block and reducing it) — no dense (k, k) scratch, so
+                # subset queries stay inside the sparse backend's
+                # memory budget at large k.
+                interf = backend.row_sums_u(idx)
+                if not backend.directed:
+                    interf = np.maximum(interf, backend.row_sums_v(idx))
+                return interf
+            sub_colors = np.asarray(colors)[idx]
             interf = _class_sum(backend.block_u(idx), sub_colors)
             if not backend.directed:
                 interf = np.maximum(
@@ -1004,6 +1013,39 @@ def repin_context(context: InterferenceContext) -> None:
         _lru.pop(lru_key, None)
         _lru[lru_key] = weakref.ref(instance)
         _evict_over_limit()
+
+
+def unpin_context(context: InterferenceContext) -> None:
+    """Drop *context*'s cache slot (the inverse of :func:`repin_context`).
+
+    Owners that replace their context (e.g.
+    :meth:`repro.api.Session.add_requests` growing the instance) must
+    release the old slot explicitly: the per-instance cache dict keeps
+    the context (and through it the old instance) alive in a reference
+    cycle until a *cycle* GC pass runs, and even after collection the
+    dead key would keep occupying one global-LRU slot until it drifted
+    to the eviction head — evicting still-live contexts early under
+    ``REPRO_CONTEXT_CACHE`` pressure.  A no-op if the cached entry for
+    the key is not *context* itself (never evicts a newer context that
+    legitimately took the slot).
+    """
+    instance = context.instance
+    key = (
+        context.powers.tobytes(),
+        context.beta,
+        context.noise,
+        context.backend_name,
+        context.sparse_epsilon,
+    )
+    with _lock:
+        per_instance = getattr(instance, _CACHE_ATTR, None)
+        if per_instance is None or per_instance.get(key) is not context:
+            return
+        del per_instance[key]
+        _lru.pop((id(instance), key), None)
+        if not per_instance:
+            delattr(instance, _CACHE_ATTR)
+            _cached_instances.discard(instance)
 
 
 def maybe_context(

@@ -17,11 +17,16 @@ of vectorized passes:
   (:meth:`~ScheduleKernel.first_fit_admit`), and local-search moves
   become delta checks (:meth:`~ScheduleKernel.admissible_targets`) with
   snapshot/restore rollback instead of per-move subset rebuilds.
-* :func:`peel_max_feasible_subset` — the greedy peeling primitive on a
-  compacting submatrix buffer: **bit-identical** decisions to
-  :meth:`InterferenceContext.greedy_max_feasible_subset` (same pairwise
-  row sums, same operation order) without re-gathering an O(k²) block
-  from the full gain matrices every round.
+* :func:`peel_max_feasible_subset` — the greedy peeling primitive on
+  incrementally maintained interference sums: **identical** decisions
+  to :meth:`InterferenceContext.greedy_max_feasible_subset` at O(k)
+  vectorized work per round (subtract the victim's gain column, rescan
+  margins) instead of the reference's O(k²) block recompute — O(k²)
+  total versus O(k³).  Decisions that land inside the
+  :data:`PEEL_RISK_RTOL` band of their boundary are re-resolved with
+  fresh reference-order row sums and counted as risk events;
+  ``peel_incremental_disabled()`` routes to the retained compacting
+  reference implementation.
 * :func:`stacked_first_fit` — the first-fit kernel over stacked
   ``(B, n, n)`` gains, scheduling a whole
   :class:`~repro.core.batch.ContextBatch` of same-shape instances in
@@ -38,9 +43,18 @@ operations, interference is resolved with the same
 ``interference_parts`` formula, and the comparisons are the same
 elementwise float ops — so the admitted class (and hence every
 first-fit schedule) is identical, enforced by the conformance suite
-and the determinism goldens.  :func:`peel_max_feasible_subset` is
-bit-identical too (fresh pairwise sums each round on compacted
-buffers).  The local-search delta checks are the one exception: like
+and the determinism goldens.  :func:`peel_max_feasible_subset`
+maintains interference sums incrementally, so raw margins agree with
+the reference only up to accumulation order — but every peel, stop,
+and re-add decision is made **identically**: comparisons within
+:data:`PEEL_RISK_RTOL` of their boundary (argmin ties, threshold
+crossings) are re-resolved from fresh row sums taken in the
+reference's own membership order (bitwise the reference's values) and
+surfaced as ``peel_risk_events`` in the result provenance.  Calls the
+incremental path cannot express (duplicate candidate indices) fall
+back to the from-scratch reference and are recorded as
+:class:`PeelFallbackInfo` entries.  The local-search delta checks are
+the remaining exception: like
 the accumulator itself they maintain sums incrementally, so they agree
 with from-scratch subset margins only up to floating-point accumulation
 order (~1e-16 relative, far inside the 1e-9 feasibility tolerance);
@@ -73,7 +87,9 @@ When to use what
 
 from __future__ import annotations
 
+import logging
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -85,6 +101,8 @@ from repro.core.context import (
 )
 
 __all__ = [
+    "PEEL_RISK_RTOL",
+    "PeelFallbackInfo",
     "ScheduleKernel",
     "first_fit_colors",
     "peel_max_feasible_subset",
@@ -92,7 +110,15 @@ __all__ = [
     "kernels_enabled",
     "set_kernels_enabled",
     "kernels_disabled",
+    "peel_incremental_enabled",
+    "set_peel_incremental_enabled",
+    "peel_incremental_disabled",
+    "peel_risk_events",
+    "peel_fallback_records",
+    "reset_peel_events",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +149,109 @@ def kernels_disabled() -> Iterator[None]:
         yield
     finally:
         set_kernels_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Incremental-peel toggle + peel provenance counters
+# ----------------------------------------------------------------------
+
+_peel_incremental_enabled = True
+
+#: Relative width of the incremental peel's decision-risk band.  A
+#: peel/stop/re-add comparison whose incrementally maintained margin
+#: lands within this relative distance of the decision boundary (the
+#: feasibility threshold, or the round's minimum margin for argmin
+#: ties) is *at risk* of differing from the reference's fresh-sum
+#: margins; the kernel then recomputes the implicated margins exactly
+#: (reference summation order) and counts one
+#: :func:`peel_risk_events` event.  The band is orders of magnitude
+#: wider than the drift a full peel can accumulate (a few ulps per
+#: subtraction), so out-of-band comparisons are certain.
+PEEL_RISK_RTOL = 1e-9
+
+
+def peel_incremental_enabled() -> bool:
+    """Is the incremental (sub-cubic) peel active inside
+    :func:`peel_max_feasible_subset`?"""
+    return _peel_incremental_enabled
+
+
+def set_peel_incremental_enabled(flag: bool) -> None:
+    """Globally enable/disable the incremental peel (disabled = the
+    O(k^3) compacting-buffer conformance reference)."""
+    global _peel_incremental_enabled
+    _peel_incremental_enabled = bool(flag)
+
+
+@contextmanager
+def peel_incremental_disabled() -> Iterator[None]:
+    """Temporarily restore the compacting-buffer peel reference
+    (mirrors :func:`kernels_disabled` /
+    :func:`repro.core.context.engine_disabled`)."""
+    previous = _peel_incremental_enabled
+    set_peel_incremental_enabled(False)
+    try:
+        yield
+    finally:
+        set_peel_incremental_enabled(previous)
+
+
+@dataclass(frozen=True)
+class PeelFallbackInfo:
+    """Why one :func:`peel_max_feasible_subset` call left the kernel
+    path (same shape as :class:`repro.core.batch.BatchFallbackInfo`).
+
+    Recorded via :func:`peel_fallback_records`, logged, and surfaced in
+    :class:`repro.api.Provenance.peel_fallbacks` — so the per-round
+    from-scratch fallback is a *visible* property of a result instead
+    of a silent performance cliff.
+
+    Attributes
+    ----------
+    reasons:
+        Machine-readable reason tags; currently only
+        ``"duplicate_candidates"`` (a repeated index names two copies
+        of one request, which the cached matrices' zero diagonal cannot
+        express).
+    candidates:
+        Size of the candidate list handed to the peel.
+    detail:
+        Human-readable one-liner (also the logged message).
+    """
+
+    reasons: Tuple[str, ...]
+    candidates: int
+    detail: str
+
+
+# Module-level peel provenance state.  The peel runs against whatever
+# context its caller resolved — including contexts built *inside*
+# self-powered algorithms (e.g. sqrt_coloring) that a Session never
+# sees — so per-run accounting snapshots these process-wide totals
+# before/after the run (single scheduler thread, like the toggles
+# above) instead of hanging counters off one backend object.
+_peel_risk_events = 0
+_peel_fallbacks: List[PeelFallbackInfo] = []
+
+
+def peel_risk_events() -> int:
+    """Running total of at-risk peel decisions (incremental margin
+    within :data:`PEEL_RISK_RTOL` of a decision boundary, resolved by
+    exact recomputation)."""
+    return _peel_risk_events
+
+
+def peel_fallback_records() -> Tuple[PeelFallbackInfo, ...]:
+    """Every :class:`PeelFallbackInfo` recorded since the last
+    :func:`reset_peel_events` (a snapshot tuple)."""
+    return tuple(_peel_fallbacks)
+
+
+def reset_peel_events() -> None:
+    """Reset the peel risk counter and the fallback record list."""
+    global _peel_risk_events
+    _peel_risk_events = 0
+    _peel_fallbacks.clear()
 
 
 def _resolve(
@@ -714,7 +843,7 @@ def first_fit_colors(
 
 
 # ----------------------------------------------------------------------
-# Greedy peeling on a compacting submatrix buffer
+# Greedy peeling: incremental (sub-cubic) kernel + compacting reference
 # ----------------------------------------------------------------------
 
 
@@ -725,16 +854,40 @@ def peel_max_feasible_subset(
     rtol: float = DEFAULT_RTOL,
 ) -> np.ndarray:
     """A maximal feasible subset of *candidates* (peel worst margin,
-    then re-add) — bit-identical to
+    then re-add), agreeing decision-for-decision with
     :meth:`InterferenceContext.greedy_max_feasible_subset`.
 
-    The reference implementation re-gathers an O(k²) gain block from
-    the full cached matrices every peeling round.  This kernel gathers
-    the block **once** and compacts it in place as requests are
-    peeled; each round's row sums run over a buffer with the same
-    values, order and contiguity as a fresh gather, so NumPy's pairwise
-    summation produces the same bits and every argmin/threshold
-    decision is preserved exactly.
+    By default this runs the **incremental** peel: per-candidate
+    interference sums are maintained under subtraction as requests are
+    peeled (O(n) per round instead of an O(k²) block re-sum, O(k·n +
+    k²) per full peel instead of O(k³)), victim selection is one
+    vectorized margin scan over the maintained sums per round, and on
+    a sparse backend the whole pass walks CSR rows/columns — no dense
+    ``(k, k)`` block is ever gathered.
+
+    Numerical contract
+    ------------------
+
+    Incremental subtraction changes the summation order, so maintained
+    margins can drift a few ulps from the reference's fresh pairwise
+    sums.  Decisions are still exact: any comparison whose maintained
+    margin lands within :data:`PEEL_RISK_RTOL` of its decision boundary
+    (the feasibility threshold, or the round minimum for argmin ties)
+    is re-resolved from **fresh row sums in the reference's own
+    summation order** — bitwise the reference's margins — and counted
+    as one :func:`peel_risk_events` event (surfaced per run in
+    :class:`repro.api.Provenance.peel_risk_events`).  Out-of-band
+    comparisons cannot flip: the band is orders of magnitude wider than
+    the drift a peel can accumulate.  ``with peel_incremental_disabled():``
+    routes this call to the PR-5 compacting-buffer implementation (one
+    block gather, bit-identical fresh sums every round) as the
+    conformance reference.
+
+    Duplicate candidate indices name two copies of one request, which
+    the cached matrices' zero diagonal cannot express; such calls fall
+    back to the from-scratch subset path, recording a logged
+    :class:`PeelFallbackInfo` (surfaced in
+    :class:`repro.api.Provenance.peel_fallbacks`).
     """
     if candidates is None:
         idx = np.arange(context.n)
@@ -742,18 +895,45 @@ def peel_max_feasible_subset(
         idx = np.asarray([int(i) for i in candidates], dtype=int)
     if idx.size == 0:
         return np.asarray([], dtype=int)
-    # Note: peeling is O(k^2) per round on the gathered block, O(k^3)
-    # over a full peel — at k in the many-thousands (sqrt_coloring's
-    # first distance bucket on huge instances) this pass, not gain
-    # storage, is the scaling wall.  A sub-cubic / stacked peel is the
-    # natural next kernel (see the PR-4 ROADMAP entry).
     if np.unique(idx).size != idx.size:
-        # Duplicate candidates name two copies of one request; the
-        # reference path defers to a from-scratch sub-instance there,
-        # so mirror it rather than de-duplicating silently.
+        info = PeelFallbackInfo(
+            reasons=("duplicate_candidates",),
+            candidates=int(idx.size),
+            detail=(
+                f"peel_max_feasible_subset over {idx.size} candidates "
+                "falls back to the from-scratch subset path: duplicate "
+                "candidate indices name two copies of one request, which "
+                "the cached matrices' zero diagonal cannot express"
+            ),
+        )
+        _peel_fallbacks.append(info)
+        logger.warning(info.detail)
         return context.greedy_max_feasible_subset(
             candidates=candidates, beta=beta, rtol=rtol
         )
+    if _peel_incremental_enabled:
+        return _peel_incremental(context, idx, beta, rtol)
+    return _peel_compacting(context, idx, beta, rtol)
+
+
+def _peel_compacting(
+    context: InterferenceContext,
+    idx: np.ndarray,
+    beta: Optional[float],
+    rtol: float,
+) -> np.ndarray:
+    """The compacting-buffer peel (conformance reference) —
+    bit-identical to
+    :meth:`InterferenceContext.greedy_max_feasible_subset`.
+
+    Gathers the O(k²) gain block **once** and compacts it in place as
+    requests are peeled; each round's row sums run over a buffer with
+    the same values, order and contiguity as a fresh gather, so NumPy's
+    pairwise summation produces the same bits and every
+    argmin/threshold decision is preserved exactly.  Cost is O(k²) per
+    round (O(k³) per full peel) — reach it via
+    :func:`peel_incremental_disabled`.
+    """
     beta_v = context.beta if beta is None else float(beta)
     noise = context.noise
     backend = context.backend
@@ -820,6 +1000,257 @@ def peel_max_feasible_subset(
             k += 1
 
     return np.asarray(sorted(int(i) for i in order[:k]), dtype=int)
+
+
+def _band(margin: float) -> float:
+    """Absolute half-width of the risk band around *margin*."""
+    return PEEL_RISK_RTOL * max(1.0, abs(margin))
+
+
+def _peel_incremental(
+    context: InterferenceContext,
+    idx: np.ndarray,
+    beta: Optional[float],
+    rtol: float,
+) -> np.ndarray:
+    """The incremental peel (see :func:`peel_max_feasible_subset`).
+
+    State per candidate position: the finite interference sum and the
+    infinite-contribution count per endpoint (``inf - inf`` is ``nan``,
+    so shared-node columns are tracked by count and resolved exactly,
+    like :func:`_resolve`).  Peeling subtracts the victim's gain column
+    from the maintained sums (O(n) per round); victim selection is a
+    vectorized margin scan over the maintained sums — O(k) NumPy work
+    per round instead of the reference's O(k^2) block recompute.  (A
+    lazy min-heap was tried first and lost badly: every removal shifts
+    every member's margin, so every key goes stale every round and the
+    per-entry Python revalidation costs more than one vectorized
+    scan.)  Any decision within the :data:`PEEL_RISK_RTOL` band of its
+    boundary is resolved by fresh reference-order row sums and counted
+    as a risk event.
+    """
+    global _peel_risk_events
+    beta_v = context.beta if beta is None else float(beta)
+    noise = context.noise
+    backend = context.backend
+    directed = backend.directed
+    signals = context.signals
+    threshold = 1.0 - rtol
+    k0 = idx.size
+    has_inf = backend.has_infinite_gains
+    sig = signals[idx]
+
+    def init_sums(row_sums_fn, cross_fn):
+        if not has_inf:
+            # Tiled per-row pairwise sums: bit-identical to the
+            # reference's first-round block row sums.
+            return row_sums_fn(idx), None
+        fin = np.empty(k0)
+        ninf = np.zeros(k0, dtype=np.int64)
+        tile = 512
+        for lo in range(0, k0, tile):
+            hi = min(lo + tile, k0)
+            block = cross_fn(idx[lo:hi], idx)
+            finite = np.isfinite(block)
+            fin[lo:hi] = np.where(finite, block, 0.0).sum(axis=1)
+            ninf[lo:hi] = (~finite).sum(axis=1)
+        return fin, ninf
+
+    fin_u, ninf_u = init_sums(backend.row_sums_u, backend.cross_block_u)
+    if directed:
+        fin_v, ninf_v = fin_u, ninf_u
+    else:
+        fin_v, ninf_v = init_sums(backend.row_sums_v, backend.cross_block_v)
+
+    endpoint_state = (
+        ((fin_u, ninf_u, backend.col_u, backend.row_u),)
+        if directed
+        else (
+            (fin_u, ninf_u, backend.col_u, backend.row_u),
+            (fin_v, ninf_v, backend.col_v, backend.row_v),
+        )
+    )
+
+    def margins_vec() -> np.ndarray:
+        """Current incremental margins for all positions, vectorized.
+
+        Inactive positions carry stale sums; callers mask them out.
+        """
+        interf: Optional[np.ndarray] = None
+        for fin, ninf, _, _ in endpoint_state:
+            part = np.maximum(fin, 0.0)
+            if ninf is not None:
+                part = np.where(ninf > 0, np.inf, part)
+            interf = part if interf is None else np.maximum(interf, part)
+        return _margins_from(sig, interf, beta_v, noise)
+
+    def exact_margin(g: int, member_globals: np.ndarray) -> float:
+        """Fresh margin of request *g* among *member_globals*, summed
+        in the reference's membership order — the same contiguous value
+        sequence (hence the same bits) the compacting reference
+        reduces for this row."""
+        interf = -np.inf
+        for _, _, _, row_fn in endpoint_state:
+            part = float(row_fn(g)[member_globals].sum())
+            if part > interf:
+                interf = part
+        if np.isinf(interf):
+            return 0.0
+        denom = beta_v * (interf + noise)
+        if denom > 0:
+            return float(signals[g]) / denom
+        return float("inf")
+
+    def near(a: float, b: float) -> bool:
+        if np.isinf(a) or np.isinf(b):
+            # Infinite (zero-denominator) and zero (shared-node)
+            # margins come from exact state — never at risk.
+            return False
+        return abs(a - b) <= PEEL_RISK_RTOL * max(1.0, abs(a), abs(b))
+
+    def subtract_column(g: int, active: np.ndarray) -> None:
+        for fin, ninf, col_fn, _ in endpoint_state:
+            vals = col_fn(g)[idx]
+            if ninf is None:
+                np.subtract(fin, vals, out=fin, where=active)
+            else:
+                finite = np.isfinite(vals)
+                np.subtract(
+                    fin, np.where(finite, vals, 0.0), out=fin, where=active
+                )
+                np.subtract(ninf, ~finite, out=ninf, where=active)
+
+    active = np.ones(k0, dtype=bool)
+    dropped: List[int] = []
+    k = k0
+    risk = 0
+
+    # --- peel phase ---------------------------------------------------
+    while k > 0:
+        m = margins_vec()
+        m[~active] = np.inf  # mask stale slots out of the argmin
+        p = int(np.argmin(m))
+        cur = float(m[p])
+        # If the minimum is inf, every active margin is inf as well, so
+        # the break below fires even when argmin lands on a masked slot.
+        at_threshold = near(cur, threshold)
+        if not at_threshold and cur >= threshold:
+            break  # the minimum is certainly feasible -> all are
+        # Contenders: every active entry whose margin lies within the
+        # risk band of the decision boundary — the round minimum
+        # (argmin ties), widened to the threshold when the stop/peel
+        # decision itself is at risk.
+        bound = max(cur, threshold) if at_threshold else cur
+        contenders = np.asarray([p])
+        if np.isfinite(bound):
+            mask = active & (m <= bound + _band(bound))
+            if mask.sum() > 1:
+                contenders = np.flatnonzero(mask)
+        if at_threshold or contenders.size > 1:
+            # Threshold-crossing or argmin-tie risk: resolve the
+            # implicated margins exactly and count the event.
+            risk += 1
+            member_globals = idx[active]
+            exact = sorted(
+                (exact_margin(int(idx[q]), member_globals), int(q))
+                for q in contenders
+            )
+            if exact[0][0] >= threshold:
+                break  # exact: every margin clears the threshold
+            victim = exact[0][1]
+        else:
+            victim = p
+        g = int(idx[victim])
+        dropped.append(g)
+        active[victim] = False
+        k -= 1
+        subtract_column(g, active)
+
+    # --- re-add phase -------------------------------------------------
+    # Membership order matters for the exact-resolution sums: the
+    # reference appends every accepted re-add at the end of its buffer.
+    order_list = [int(g) for g in idx[active]]
+    pos_of = {int(g): pos for pos, g in enumerate(idx)}
+
+    for g in reversed(dropped):
+        pos = pos_of[g]
+        positions = np.flatnonzero(active)
+        member_globals = idx[positions]
+        trial_globals = np.asarray(order_list + [g], dtype=int)
+        mem_interf: Optional[np.ndarray] = None
+        req_interf = -np.inf
+        commits = []
+        for fin, ninf, col_fn, row_fn in endpoint_state:
+            col_all = col_fn(g)[idx]  # (k0,) by candidate position
+            colv = col_all[positions]
+            rowv = row_fn(g)[member_globals]
+            if ninf is None:
+                part = np.maximum(fin[positions] + colv, 0.0)
+                r_fin = float(rowv.sum())
+                r_ninf = 0
+            else:
+                cfin = np.isfinite(colv)
+                e_fin = fin[positions] + np.where(cfin, colv, 0.0)
+                e_ninf = ninf[positions] + (~cfin)
+                part = np.where(e_ninf > 0, np.inf, np.maximum(e_fin, 0.0))
+                rfinite = np.isfinite(rowv)
+                r_fin = float(np.where(rfinite, rowv, 0.0).sum())
+                r_ninf = int((~rfinite).sum())
+            commits.append((fin, ninf, col_all, r_fin, r_ninf))
+            r_part = np.inf if r_ninf > 0 else max(r_fin, 0.0)
+            mem_interf = (
+                part if mem_interf is None else np.maximum(mem_interf, part)
+            )
+            if r_part > req_interf:
+                req_interf = r_part
+        mem_margins = _margins_from(sig[positions], mem_interf, beta_v, noise)
+        if np.isinf(req_interf):
+            req_margin = 0.0
+        else:
+            denom = beta_v * (req_interf + noise)
+            req_margin = (
+                float(signals[g]) / denom if denom > 0 else float("inf")
+            )
+        margins_all = np.append(mem_margins, req_margin)
+        tol = PEEL_RISK_RTOL * np.maximum(1.0, np.abs(margins_all))
+        at_risk = np.isfinite(margins_all) & (
+            np.abs(margins_all - threshold) <= tol
+        )
+        ok = bool(np.all(margins_all[~at_risk] >= threshold))
+        if np.any(at_risk):
+            risk += 1
+            if ok:
+                for j in np.flatnonzero(at_risk):
+                    gq = (
+                        g
+                        if j == mem_margins.size
+                        else int(member_globals[j])
+                    )
+                    if exact_margin(gq, trial_globals) < threshold:
+                        ok = False
+                        break
+        if ok:
+            for fin, ninf, col_all, r_fin, r_ninf in commits:
+                if ninf is None:
+                    np.add(fin, col_all, out=fin, where=active)
+                else:
+                    cfin = np.isfinite(col_all)
+                    np.add(
+                        fin,
+                        np.where(cfin, col_all, 0.0),
+                        out=fin,
+                        where=active,
+                    )
+                    np.add(ninf, ~cfin, out=ninf, where=active)
+                fin[pos] = r_fin
+                if ninf is not None:
+                    ninf[pos] = r_ninf
+            active[pos] = True
+            order_list.append(g)
+            k += 1
+
+    _peel_risk_events += risk
+    return np.asarray(sorted(order_list), dtype=int)
 
 
 # ----------------------------------------------------------------------

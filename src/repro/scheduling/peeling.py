@@ -31,9 +31,11 @@ def peeling_schedule(
     The shared :class:`~repro.core.context.InterferenceContext` is
     fetched once (when the engine is enabled) so every extraction round
     reuses the same cached gain matrices, and each extraction runs on
-    the compacting peel kernel
-    (:func:`repro.core.kernels.peel_max_feasible_subset`, bit-identical
-    decisions) via :func:`greedy_max_feasible_subset`.
+    the incremental peel kernel
+    (:func:`repro.core.kernels.peel_max_feasible_subset`, identical
+    decisions from maintained interference sums; tolerance-window
+    decisions are re-resolved exactly and counted as risk events) via
+    :func:`greedy_max_feasible_subset`.
     """
     powers = np.asarray(powers, dtype=float)
     context = maybe_context(instance, powers)

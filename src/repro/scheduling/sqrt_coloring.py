@@ -24,10 +24,12 @@ approximation for the optimal number of colors."
 
 The repair (step 3) and thinning (step 4) passes are the hot path;
 they run through :func:`greedy_max_feasible_subset`, which executes on
-the compacting peel kernel
+the incremental peel kernel
 (:func:`repro.core.kernels.peel_max_feasible_subset`) when the engine
-is enabled — bit-identical peeling decisions without re-gathering an
-O(k²) gain block every round.
+is enabled — identical peeling decisions from maintained interference
+sums, O(k) vectorized work per round instead of re-gathering an O(k²)
+gain block (tolerance-window decisions are re-resolved exactly and
+surfaced as ``peel_risk_events`` in the result provenance).
 """
 
 from __future__ import annotations
@@ -138,11 +140,14 @@ def _select_one_class(
         members = remaining[positions]
         if selected:
             sel = np.asarray(selected)
-            prior_u = backend.cross_block_u(members, sel).sum(axis=1)
+            # Tiled per-row sums: bit-identical to gathering the
+            # (members, sel) block, without materializing it (and
+            # CSR-native on the sparse backend).
+            prior_u = backend.row_sums_u(members, sel)
             if backend.directed:
                 prior_v = prior_u
             else:
-                prior_v = backend.cross_block_v(members, sel).sum(axis=1)
+                prior_v = backend.row_sums_v(members, sel)
             prior = np.maximum(prior_u, prior_v)
         else:
             prior = np.zeros(members.size)

@@ -72,10 +72,31 @@ class TestSessionSchedule:
         assert prov.flip_risk_events == 0
         assert prov.certified is True  # dense, certifiable algorithm
         assert prov.batch_fallback is None
+        assert prov.peel_risk_events == 0  # first-fit never peels
+        assert prov.peel_fallbacks == ()
 
     def test_non_certifiable_algorithm_has_no_verdict(self, instance):
         result = Problem(instance).session().schedule("peeling")
         assert result.provenance.certified is None
+
+    def test_peel_counters_scoped_per_run(self, instance):
+        """Peel provenance is a per-run delta of the module totals, so
+        events from earlier runs must not bleed into later results."""
+        from repro.core import kernels
+
+        session = Problem(instance).session()
+        first = session.schedule("peeling")
+        assert first.provenance.peel_risk_events >= 0
+        assert first.provenance.peel_fallbacks == ()
+        total = kernels.peel_risk_events()
+        second = session.schedule("peeling")
+        # Same instance, same peel: the per-run delta equals the first
+        # run's count, not the accumulated total.
+        assert (
+            second.provenance.peel_risk_events
+            == first.provenance.peel_risk_events
+        )
+        assert kernels.peel_risk_events() >= total
 
     def test_params_recorded(self, instance):
         result = (

@@ -124,6 +124,53 @@ class TestCertificationUnderEviction:
         assert session._context is not None
 
 
+class TestAddRequestsReleasesOldContext:
+    """Growing a session must not leak the old instance's cache slot.
+
+    ``add_requests`` replaces the session's instance; the old context /
+    cache-dict / instance reference cycle only dies under *cycle* GC,
+    so without an eager release the dead LRU entry would keep crowding
+    out live contexts until collection happens to run."""
+
+    def test_old_slot_released_without_gc(self):
+        set_context_cache_limit(4)
+        session = Problem(random_uniform_instance(6, rng=50)).session()
+        session.schedule("first_fit")
+        before = cache_info()["contexts"]
+        assert before >= 1
+        gc.disable()
+        try:
+            session.add_requests([(0, 3)])
+            # The stale entry is gone immediately — no cycle GC needed.
+            assert cache_info()["contexts"] == before - 1
+        finally:
+            gc.enable()
+
+    def test_repeated_growth_under_pressure(self):
+        set_context_cache_limit(3)
+        session = Problem(random_uniform_instance(6, rng=52)).session()
+        gc.disable()
+        try:
+            for i in range(6):
+                session.schedule("first_fit")
+                session.add_requests([(0, 3 + (i % 5))])
+            session.schedule("first_fit")
+            # Only the live context occupies a slot; without the eager
+            # release the dead entries would pile up to the limit.
+            assert cache_info()["contexts"] == 1
+        finally:
+            gc.enable()
+
+    def test_grown_session_schedules_correctly(self):
+        session = Problem(random_uniform_instance(6, rng=53)).session()
+        session.schedule("first_fit")
+        session.add_requests([(0, 5), (2, 9)])
+        result = session.reschedule()
+        assert result.colors.size == 8
+        ref = first_fit_schedule(session.instance, session.powers)
+        np.testing.assert_array_equal(result.colors, ref.colors)
+
+
 class TestWeakrefRecencyGcSafety:
     def test_dead_sessions_release_their_instances(self):
         set_context_cache_limit(4)

@@ -137,6 +137,50 @@ class TestLosslessBitIdentity:
             )
 
     @pytest.mark.parametrize("name", sorted(GRID))
+    def test_row_sums_match_block_gather(self, name):
+        """row_sums_{u,v} must equal the dense block-gather row sums
+        bitwise — on every backend, with and without a column subset,
+        including infinite (shared-node) rows."""
+        instance, powers = GRID[name]
+        dense = build_backend(instance, powers, backend="dense")
+        sparse = build_backend(
+            instance, powers, backend="sparse", sparse_epsilon=0.0
+        )
+        n = instance.n
+        rows = np.arange(n)
+        cols = np.asarray(sorted({0, n - 1, n // 2}))
+        for backend in (dense, sparse):
+            for endpoint in ("u", "v"):
+                block = getattr(backend, f"cross_block_{endpoint}")
+                sums = getattr(backend, f"row_sums_{endpoint}")
+                np.testing.assert_array_equal(
+                    sums(rows), block(rows, rows).sum(axis=1)
+                )
+                np.testing.assert_array_equal(
+                    sums(rows, cols), block(rows, cols).sum(axis=1)
+                )
+                np.testing.assert_array_equal(
+                    sums(rows[::2]), block(rows[::2], rows[::2]).sum(axis=1)
+                )
+        # And sparse agrees with dense bitwise at epsilon=0.
+        np.testing.assert_array_equal(
+            dense.row_sums_u(rows), sparse.row_sums_u(rows)
+        )
+        np.testing.assert_array_equal(
+            dense.row_sums_v(rows, cols), sparse.row_sums_v(rows, cols)
+        )
+
+    def test_row_sums_tiling_invariant(self):
+        """Tiled accumulation must not change the bits: shrinking the
+        tile to 1 row yields the same sums."""
+        instance, powers = GRID["euclid-bid"]
+        dense = build_backend(instance, powers, backend="dense")
+        rows = np.arange(instance.n)
+        expected = dense.row_sums_u(rows)
+        dense.tile_rows = 1
+        np.testing.assert_array_equal(dense.row_sums_u(rows), expected)
+
+    @pytest.mark.parametrize("name", sorted(GRID))
     def test_context_queries_match_dense(self, name):
         instance, powers = GRID[name]
         ctx_dense = get_context(instance, powers, backend="dense")

@@ -1,0 +1,284 @@
+"""Conformance tests for the incremental peel kernel.
+
+Contracts under test (see :func:`repro.core.kernels.peel_max_feasible_subset`):
+
+* the incremental peel returns exactly the same subset as the retained
+  compacting reference (``peel_incremental_disabled()``) and as the
+  PR-1 from-scratch reference, across the conformance grid — directed
+  and bidirectional instances, shared nodes (infinite gains), candidate
+  subsets, beta overrides, and epsilon-pruned sparse backends;
+* tolerance-window decisions (argmin ties, threshold crossings) are
+  resolved exactly and counted as ``peel_risk_events``;
+* heap/argmin tie-breaking is deterministic (golden subset, stable
+  across repeats);
+* duplicate candidates produce a structured, logged
+  :class:`~repro.core.kernels.PeelFallbackInfo` instead of a silent
+  fallback;
+* on a sparse backend the peel never gathers a dense ``(k, k)`` block.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gains
+from repro.core.context import clear_context_cache, get_context
+from repro.core.gains import backend_scope, build_backend
+from repro.core.instance import Direction, Instance
+from repro.core.kernels import (
+    PeelFallbackInfo,
+    peel_fallback_records,
+    peel_incremental_disabled,
+    peel_incremental_enabled,
+    peel_max_feasible_subset,
+    peel_risk_events,
+    reset_peel_events,
+)
+from repro.geometry.line import LineMetric
+from repro.instances.random_instances import random_uniform_instance
+from repro.power.oblivious import SquareRootPower
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_context_cache()
+    reset_peel_events()
+    yield
+    clear_context_cache()
+    reset_peel_events()
+
+
+def _shared_node_instance(direction):
+    metric = LineMetric([0.0, 1.0, 2.5, 4.5, 7.0])
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    return Instance(
+        metric,
+        [p[0] for p in pairs],
+        [p[1] for p in pairs],
+        direction=direction,
+    )
+
+
+def _mirror_pair_instance():
+    # Two mirror-image unit links: single-term interference sums are
+    # bitwise equal, so the argmin tie (first occurrence) path must
+    # fire as soon as beta makes the pair infeasible.
+    metric = LineMetric([0.0, 1.0, 3.0, 4.0])
+    return Instance(metric, [0, 2], [1, 3], direction=Direction.BIDIRECTIONAL)
+
+
+def _mirror_quad_instance():
+    metric = LineMetric([0.0, 1.0, 3.0, 4.0, 6.0, 7.0, 9.0, 10.0])
+    return Instance(
+        metric, [0, 2, 4, 6], [1, 3, 5, 7], direction=Direction.BIDIRECTIONAL
+    )
+
+
+def _both_ways(context, candidates=None, beta=None):
+    incremental = peel_max_feasible_subset(
+        context, candidates=candidates, beta=beta
+    )
+    assert peel_incremental_enabled()
+    with peel_incremental_disabled():
+        assert not peel_incremental_enabled()
+        reference = peel_max_feasible_subset(
+            context, candidates=candidates, beta=beta
+        )
+    scratch = context.greedy_max_feasible_subset(
+        candidates=candidates, beta=beta
+    )
+    np.testing.assert_array_equal(incremental, reference)
+    np.testing.assert_array_equal(incremental, scratch)
+    return incremental
+
+
+class TestGridConformance:
+    @pytest.mark.parametrize(
+        "direction", [Direction.DIRECTED, Direction.BIDIRECTIONAL]
+    )
+    def test_random_instances_match_reference(self, direction):
+        rng = np.random.default_rng(1234)
+        for seed in range(8):
+            inst = random_uniform_instance(
+                16, rng=seed, direction=direction
+            )
+            powers = SquareRootPower()(inst)
+            ctx = get_context(inst, powers)
+            _both_ways(ctx)
+            k = int(rng.integers(1, inst.n + 1))
+            subset = np.sort(rng.choice(inst.n, size=k, replace=False))
+            _both_ways(ctx, candidates=subset)
+            _both_ways(ctx, candidates=subset, beta=0.5)
+
+    @pytest.mark.parametrize(
+        "direction", [Direction.DIRECTED, Direction.BIDIRECTIONAL]
+    )
+    def test_shared_nodes_infinite_gains(self, direction):
+        inst = _shared_node_instance(direction)
+        ctx = get_context(inst, np.ones(inst.n))
+        assert ctx.backend.has_infinite_gains
+        result = _both_ways(ctx)
+        # A chain sharing consecutive nodes admits at most every other
+        # request, whatever the peel order.
+        assert result.size <= 2
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.05])
+    def test_sparse_backend_matches_its_own_reference(self, epsilon):
+        previous = gains.default_sparse_epsilon()
+        gains.set_sparse_epsilon(epsilon)
+        try:
+            with backend_scope("sparse"):
+                for seed in range(4):
+                    inst = random_uniform_instance(14, rng=seed)
+                    powers = SquareRootPower()(inst)
+                    ctx = get_context(inst, powers)
+                    assert ctx.backend.name == "sparse"
+                    _both_ways(ctx)
+        finally:
+            gains.set_sparse_epsilon(previous)
+
+    def test_trivial_sizes(self):
+        inst = random_uniform_instance(3, rng=9)
+        ctx = get_context(inst, SquareRootPower()(inst))
+        np.testing.assert_array_equal(
+            peel_max_feasible_subset(ctx, candidates=[]), []
+        )
+        _both_ways(ctx, candidates=[1])
+        _both_ways(ctx, candidates=[2, 0])
+
+
+class TestPropertyConformance:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 20),
+        directed=st.booleans(),
+        beta_override=st.one_of(
+            st.none(), st.floats(0.1, 4.0, allow_nan=False)
+        ),
+    )
+    def test_incremental_matches_reference(
+        self, seed, n, directed, beta_override
+    ):
+        direction = (
+            Direction.DIRECTED if directed else Direction.BIDIRECTIONAL
+        )
+        inst = random_uniform_instance(n, rng=seed, direction=direction)
+        powers = SquareRootPower()(inst)
+        ctx = get_context(inst, powers)
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, n + 1))
+        subset = np.sort(rng.choice(n, size=k, replace=False))
+        _both_ways(ctx, candidates=subset, beta=beta_override)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), chain=st.integers(2, 7))
+    def test_shared_node_chains(self, seed, chain):
+        rng = np.random.default_rng(seed)
+        coords = np.cumsum(rng.uniform(0.5, 3.0, size=chain + 1))
+        metric = LineMetric(coords)
+        pairs = [(i, i + 1) for i in range(chain)]
+        inst = Instance(
+            metric,
+            [p[0] for p in pairs],
+            [p[1] for p in pairs],
+            direction=Direction.BIDIRECTIONAL,
+        )
+        ctx = get_context(inst, np.ones(chain))
+        _both_ways(ctx)
+
+
+class TestRiskEventsAndDeterminism:
+    def test_exact_tie_counted_and_golden(self):
+        inst = _mirror_pair_instance()
+        ctx = get_context(inst, np.ones(inst.n))
+        first = _both_ways(ctx, beta=10.0)
+        events = peel_risk_events()
+        # Mirror-image links have bitwise-tied margins: the exact
+        # tie-resolution path must have fired.
+        assert events > 0
+        # Golden: the tie resolves to the reference's first-occurrence
+        # argmin — request 0 is peeled, request 1 survives.
+        np.testing.assert_array_equal(first, [1])
+        again = peel_max_feasible_subset(ctx, beta=10.0)
+        np.testing.assert_array_equal(first, again)
+        assert peel_risk_events() == 2 * events
+
+    def test_quad_ties_deterministic_golden(self):
+        inst = _mirror_quad_instance()
+        ctx = get_context(inst, np.ones(inst.n))
+        result = _both_ways(ctx, beta=8.0)
+        assert peel_risk_events() > 0
+        np.testing.assert_array_equal(result, [0, 3])
+
+    def test_no_risk_on_well_separated_instance(self):
+        inst = random_uniform_instance(10, rng=3)
+        ctx = get_context(inst, SquareRootPower()(inst))
+        peel_max_feasible_subset(ctx)
+        # Generic random geometry has no exact ties and no margins
+        # within 1e-9 of the threshold.
+        assert peel_risk_events() == 0
+
+    def test_counter_reset(self):
+        inst = _mirror_pair_instance()
+        ctx = get_context(inst, np.ones(inst.n))
+        peel_max_feasible_subset(ctx, beta=10.0)
+        assert peel_risk_events() > 0
+        reset_peel_events()
+        assert peel_risk_events() == 0
+        assert peel_fallback_records() == ()
+
+
+class TestDuplicateFallback:
+    def test_structured_record_and_log(self, caplog):
+        inst = random_uniform_instance(6, rng=5)
+        ctx = get_context(inst, SquareRootPower()(inst))
+        with caplog.at_level(logging.WARNING, logger="repro.core.kernels"):
+            result = peel_max_feasible_subset(
+                ctx, candidates=[0, 1, 1, 3, 4]
+            )
+        records = peel_fallback_records()
+        assert len(records) == 1
+        info = records[0]
+        assert isinstance(info, PeelFallbackInfo)
+        assert info.reasons == ("duplicate_candidates",)
+        assert info.candidates == 5
+        assert info.detail in caplog.text
+        expected = ctx.greedy_max_feasible_subset(
+            candidates=[0, 1, 1, 3, 4]
+        )
+        np.testing.assert_array_equal(result, expected)
+
+    def test_unique_candidates_record_nothing(self):
+        inst = random_uniform_instance(6, rng=5)
+        ctx = get_context(inst, SquareRootPower()(inst))
+        peel_max_feasible_subset(ctx, candidates=[0, 1, 3, 4])
+        assert peel_fallback_records() == ()
+
+
+class TestSparseNeverDensifies:
+    def test_peel_avoids_block_gathers(self, monkeypatch):
+        inst = random_uniform_instance(12, rng=11)
+        powers = SquareRootPower()(inst)
+        backend = build_backend(
+            inst, powers, backend="sparse", sparse_epsilon=0.0
+        )
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "incremental peel gathered a dense block on the sparse "
+                "backend"
+            )
+
+        monkeypatch.setattr(type(backend), "block_u", _boom)
+        monkeypatch.setattr(type(backend), "block_v", _boom)
+        with backend_scope("sparse"):
+            ctx = get_context(inst, powers)
+        assert ctx.backend.name == "sparse"
+        monkeypatch.setattr(type(ctx.backend), "block_u", _boom)
+        monkeypatch.setattr(type(ctx.backend), "block_v", _boom)
+        result = peel_max_feasible_subset(ctx)
+        assert result.size >= 1
