@@ -1,0 +1,329 @@
+"""Benchmark: online admission vs. rebuild-per-arrival, plus serve throughput.
+
+The PR-7 serving layer exists for one reason: before it, every arrival
+tore down the pinned ``(instance, powers)`` context and rebuilt the
+O(n^2) gain matrices from scratch.  With in-place backend growth an
+arrival is one tile-fill of the appended row/column block plus a single
+O(n) vectorized admission against the live kernel.  This benchmark
+measures (and gates) that unlock at steady state:
+
+* **incremental**: a live session held at ``--n`` active requests
+  (default 4096); each step admits one arrival through
+  ``Session.add_requests`` and departs the oldest request, so n is
+  constant.  Reports arrivals/sec and p50/p99 per-admission latency.
+* **rebuild-per-arrival**: the pre-PR behavior — every arrival builds
+  a cold context for the grown instance and replays all admissions.
+  Amortized over ``--baseline-arrivals`` arrivals (few: each one costs
+  a full O(n^2) rebuild).
+* **serve**: the same steady-state stream pushed through the asyncio
+  ``repro.serve`` front-end (bounded queue, worker admission), so the
+  queueing layer's overhead is visible next to the raw session numbers.
+
+Gate (exit non-zero on violation): mean incremental admission must be
+at least ``--speedup`` (default 10x) faster than mean
+rebuild-per-arrival admission.  The rebuild path is O(n^2) against the
+incremental path's O(n), so the gate engages at every size CI runs.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --n 512 --artifacts out/
+
+Reference results (one run, defaults, see
+``benchmarks/artifacts/BENCH_serve.json``): at n=4096 steady state the
+incremental path admits hundreds of arrivals/sec at p50 well under
+100 ms while a single rebuild-per-arrival step costs seconds — three
+orders of magnitude over the 10x gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+
+def _make_instance(n: int, seed: int):
+    """Constant-density random geometric instance (directed), same
+    shape as bench_backends."""
+    from repro.instances.random_instances import random_uniform_instance
+
+    side = 2.0 * float(np.sqrt(n))
+    return random_uniform_instance(
+        n,
+        side=side,
+        max_link_fraction=min(1.0, 4.0 / side),
+        direction="directed",
+        rng=seed,
+    )
+
+
+def _pair_stream(instance, seed):
+    """Random arrival pairs over the instance's metric nodes."""
+    rng = np.random.default_rng(seed)
+    metric_size = instance.metric.n
+    while True:
+        s = int(rng.integers(0, metric_size))
+        r = int(rng.integers(0, metric_size))
+        if s != r:
+            yield (s, r)
+
+
+def _percentiles(latencies):
+    lat = np.asarray(latencies, dtype=np.float64)
+    return {
+        "mean_ms": float(lat.mean() * 1e3),
+        "p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "p99_ms": float(np.percentile(lat, 99) * 1e3),
+    }
+
+
+def measure_incremental(n: int, arrivals: int, seed: int) -> dict:
+    """Steady-state arrival/departure stream on one live session."""
+    from repro.api import Problem
+
+    instance = _make_instance(n, seed)
+    session = Problem(instance, backend="dense").session()
+    session.ensure_live()
+    pairs = _pair_stream(instance, seed + 1)
+    fifo = list(session.handles)
+    latencies = []
+    start = time.perf_counter()
+    for _ in range(arrivals):
+        pair = next(pairs)
+        t0 = time.perf_counter()
+        handle = session.add_requests([pair])[0]
+        latencies.append(time.perf_counter() - t0)
+        # Depart the oldest request: n stays at steady state.
+        session.remove_requests([fifo.pop(0)])
+        fifo.append(handle)
+    elapsed = time.perf_counter() - start
+    session.live_result().validate()
+    return {
+        "workload": "incremental",
+        "n": n,
+        "arrivals": arrivals,
+        "arrivals_per_sec": arrivals / elapsed,
+        **_percentiles(latencies),
+    }
+
+
+def measure_rebuild(n: int, arrivals: int, seed: int) -> dict:
+    """The pre-growth behavior: cold context + full admission replay
+    for every single arrival."""
+    from repro.api import Problem
+    from repro.core.context import clear_context_cache
+    from repro.core.instance import Instance
+
+    instance = _make_instance(n, seed)
+    pairs = _pair_stream(instance, seed + 1)
+    latencies = []
+    start = time.perf_counter()
+    for _ in range(arrivals):
+        s, r = next(pairs)
+        t0 = time.perf_counter()
+        instance = Instance(
+            instance.metric,
+            np.concatenate([instance.senders, [s]]),
+            np.concatenate([instance.receivers, [r]]),
+            direction=instance.direction,
+            alpha=instance.alpha,
+        )
+        clear_context_cache()
+        Problem(instance, backend="dense").session().ensure_live()
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - start
+    return {
+        "workload": "rebuild-per-arrival",
+        "n": n,
+        "arrivals": arrivals,
+        "arrivals_per_sec": arrivals / elapsed,
+        **_percentiles(latencies),
+    }
+
+
+def measure_serve(n: int, arrivals: int, seed: int) -> dict:
+    """The same steady-state stream through the asyncio front-end."""
+    from repro.api import Problem
+    from repro.serve import ScheduleServer, ServeConfig
+
+    instance = _make_instance(n, seed)
+    pairs = _pair_stream(instance, seed + 1)
+
+    async def main():
+        async with ScheduleServer() as server:
+            session = server.add_session(
+                "bench", Problem(instance, backend="dense"),
+                ServeConfig(queue_capacity=128),
+            )
+            session.ensure_live()
+            fifo = list(session.handles)
+            start = time.perf_counter()
+            for _ in range(arrivals):
+                decision = await server.submit("bench", next(pairs))
+                server.remove("bench", fifo.pop(0))
+                fifo.append(decision.handle)
+            elapsed = time.perf_counter() - start
+            stats = server.stats("bench")
+        return {
+            "workload": "serve",
+            "n": n,
+            "arrivals": arrivals,
+            "arrivals_per_sec": arrivals / elapsed,
+            "mean_ms": stats["mean_latency_s"] * 1e3,
+            "p50_ms": stats["p50_latency_s"] * 1e3,
+            "p99_ms": stats["p99_latency_s"] * 1e3,
+        }
+
+    return asyncio.run(main())
+
+
+def run(args) -> int:
+    rows = []
+    failures = []
+    run_start = time.perf_counter()
+
+    def show(result):
+        rows.append(result)
+        print(
+            f"{result['workload']:<22} n={result['n']:<6} "
+            f"arrivals={result['arrivals']:<5} "
+            f"{result['arrivals_per_sec']:>10.1f}/s "
+            f"p50={result['p50_ms']:>8.3f} ms p99={result['p99_ms']:>8.3f} ms"
+        )
+        return result
+
+    incremental = show(
+        measure_incremental(args.n, args.arrivals, args.seed)
+    )
+    rebuild = show(
+        measure_rebuild(args.n, args.baseline_arrivals, args.seed)
+    )
+    serve = show(measure_serve(args.n, args.arrivals, args.seed))
+
+    speedup = rebuild["mean_ms"] / incremental["mean_ms"]
+    print(
+        f"\ngate: incremental admission {incremental['mean_ms']:.3f} ms "
+        f"vs rebuild-per-arrival {rebuild['mean_ms']:.3f} ms "
+        f"= {speedup:.1f}x (required >= {args.speedup:g}x)"
+    )
+    if speedup < args.speedup:
+        failures.append(
+            f"incremental admission is only {speedup:.1f}x faster than "
+            f"rebuild-per-arrival (< {args.speedup:g}x) at n={args.n}"
+        )
+    # The queueing layer must not erase the win.
+    if serve["arrivals_per_sec"] < 0.5 * incremental["arrivals_per_sec"]:
+        failures.append(
+            "serve throughput fell below half the raw incremental rate "
+            f"({serve['arrivals_per_sec']:.1f}/s vs "
+            f"{incremental['arrivals_per_sec']:.1f}/s)"
+        )
+
+    if args.artifacts is not None:
+        from repro.runner.artifacts import (
+            BenchReport,
+            ShardResult,
+            write_artifact,
+        )
+        from repro.util.tables import Table
+
+        table = Table(
+            title="Online serving: incremental admission at steady state",
+            columns=[
+                "workload",
+                "n",
+                "arrivals",
+                "arrivals_per_sec",
+                "mean_ms",
+                "p50_ms",
+                "p99_ms",
+            ],
+        )
+        table.add_note(
+            f"gate: mean incremental admission >= {args.speedup:g}x faster "
+            f"than rebuild-per-arrival at n={args.n} steady state "
+            f"(measured {speedup:.1f}x)"
+        )
+        table.add_note(
+            "steady state: each step admits one arrival and departs the "
+            "oldest active request, so n is constant; dense backend, "
+            "constant-density directed instances, sqrt powers"
+        )
+        shards = []
+        for row in rows:
+            table.add_row(**row)
+            shards.append(
+                ShardResult(
+                    key=f"{row['workload']}:n={row['n']}",
+                    seed=args.seed,
+                    rows=1,
+                    seconds=row["arrivals"] / row["arrivals_per_sec"],
+                )
+            )
+        report = BenchReport(
+            experiment="serve",
+            title="Online serving layer at steady state",
+            mode="full" if args.n >= 4096 else "smoke",
+            table=table,
+            shards=shards,
+            run_wall_seconds=time.perf_counter() - run_start,
+            metric="arrivals_per_sec",
+            backend="dense",
+            algorithms=("first_fit",),
+        )
+        path = write_artifact(args.artifacts, report)
+        print(f"wrote {path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: all serve gates passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=4096,
+        help="steady-state active request count (default 4096)",
+    )
+    parser.add_argument(
+        "--arrivals",
+        type=int,
+        default=256,
+        help="measured arrivals for the incremental/serve workloads "
+        "(default 256)",
+    )
+    parser.add_argument(
+        "--baseline-arrivals",
+        type=int,
+        default=4,
+        help="arrivals for the rebuild-per-arrival baseline (default 4; "
+        "each one costs a full O(n^2) context rebuild)",
+    )
+    parser.add_argument(
+        "--speedup",
+        type=float,
+        default=10.0,
+        help="required incremental-over-rebuild admission speedup "
+        "(default 10x)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory to write BENCH_serve.json into",
+    )
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

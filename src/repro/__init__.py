@@ -41,6 +41,8 @@ from repro.api import (
     BatchSession,
     Problem,
     Provenance,
+    RequestHandle,
+    RequestHandles,
     ScheduleResult,
     Session,
     schedule_batch,
@@ -164,6 +166,8 @@ __all__ = [
     "BatchSession",
     "ScheduleResult",
     "Provenance",
+    "RequestHandle",
+    "RequestHandles",
     "schedule_batch",
     "AlgorithmSpec",
     "AlgorithmCapabilities",

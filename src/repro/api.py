@@ -48,15 +48,17 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro.core.batch import BatchFallbackInfo, ContextBatch, ContextPool
 from repro.core.context import (
+    DEFAULT_RTOL,
     InterferenceContext,
     engine_enabled,
     get_context,
     repin_context,
     unpin_context,
 )
-from repro.core.errors import InvalidScheduleError
+from repro.core.errors import InvalidInstanceError, InvalidScheduleError
 from repro.core.gains import (
     GainBackend,
     backend_scope,
@@ -68,11 +70,12 @@ from repro.core.gains import (
 from repro.core.instance import Instance
 from repro.core.kernels import (
     PeelFallbackInfo,
+    ScheduleKernel,
     kernels_enabled,
     peel_fallback_records,
     peel_risk_events,
 )
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, build_schedule
 from repro.power.base import PowerAssignment
 from repro.power.oblivious import SquareRootPower
 from repro.scheduling.registry import AlgorithmSpec, get_algorithm
@@ -82,10 +85,17 @@ __all__ = [
     "BatchSession",
     "Problem",
     "Provenance",
+    "RequestHandle",
+    "RequestHandles",
     "ScheduleResult",
     "Session",
     "schedule_batch",
 ]
+
+#: Sentinel distinguishing "argument not passed" from an explicit
+#: ``None`` (``reschedule(rng=None)`` must *clear* a recorded rng, not
+#: silently replay it).
+_UNSET = object()
 
 PowersLike = Union[None, np.ndarray, Sequence[float], PowerAssignment]
 
@@ -133,6 +143,15 @@ class Provenance:
         :class:`~repro.core.kernels.PeelFallbackInfo` records emitted
         during the run — peel calls (e.g. duplicate candidates) that
         left the kernel path for the from-scratch reference.
+    incremental:
+        ``True`` when the schedule came from the live online kernel
+        (:meth:`Session.live_result`) — colors were assigned one
+        arrival at a time on grown-in-place state — rather than from a
+        batch algorithm run over the full instance.
+    arrivals, departures:
+        Total requests the session has admitted via
+        :meth:`Session.add_requests` / removed via
+        :meth:`Session.remove_requests` up to this result.
     """
 
     algorithm: str
@@ -147,6 +166,57 @@ class Provenance:
     batch_fallback: Optional[BatchFallbackInfo] = None
     peel_risk_events: int = 0
     peel_fallbacks: Tuple[PeelFallbackInfo, ...] = ()
+    incremental: bool = False
+    arrivals: int = 0
+    departures: int = 0
+
+
+@dataclass(frozen=True)
+class RequestHandle:
+    """A stable identity for one request admitted to a :class:`Session`.
+
+    The handle survives :meth:`Session.rebuild` compactions (dense
+    array indices do not — a departure shifts everyone behind it), so
+    callers track *their* request across an arrival/departure stream
+    and hand it back to :meth:`Session.remove_requests`.
+    """
+
+    uid: int
+    sender: int
+    receiver: int
+
+
+class RequestHandles(list):
+    """The list of :class:`RequestHandle` returned by
+    :meth:`Session.add_requests`.
+
+    Compatibility shim: ``add_requests`` used to return the session
+    itself for chaining (``session.add_requests(...).reschedule()``).
+    Unknown attribute access forwards to the owning session with a
+    :class:`~repro._deprecation.ReproDeprecationWarning`, so the old
+    chaining idiom keeps working while migrating callers see exactly
+    where they rely on it.
+    """
+
+    def __init__(self, handles: Sequence[RequestHandle], session: "Session"):
+        super().__init__(handles)
+        self._session = session
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        session = self.__dict__.get("_session")
+        if session is None or not hasattr(session, name):
+            raise AttributeError(name)
+        warn_deprecated(
+            f"Session.add_requests(...).{name}",
+            replacement=(
+                "the Session itself (add_requests now returns "
+                "RequestHandles, not the session)"
+            ),
+            stacklevel=3,
+        )
+        return getattr(session, name)
 
 
 @dataclass(frozen=True)
@@ -273,7 +343,19 @@ class Session:
         self._context: Optional[InterferenceContext] = None
         self._last_algorithm: Optional[str] = None
         self._last_params: Dict[str, Any] = {}
+        self._last_rng: Any = None
         self.last_result: Optional[ScheduleResult] = None
+        # Incremental serving state: stable request uids -> current
+        # dense index (initial requests get uids 0..n-1), tombstoned
+        # indices awaiting compaction, and the live online kernel.
+        n = problem.instance.n
+        self._uid_to_index: Dict[int, int] = {uid: uid for uid in range(n)}
+        self._uid_seq: int = n
+        self._departed: set = set()
+        self._kernel: Optional[ScheduleKernel] = None
+        self._limits: Optional[np.ndarray] = None
+        self._arrivals: int = 0
+        self._departures: int = 0
 
     # -- problem state -------------------------------------------------
 
@@ -286,6 +368,39 @@ class Session:
     def powers(self) -> np.ndarray:
         """The resolved fixed power vector of this session."""
         return self._powers
+
+    @property
+    def arrivals(self) -> int:
+        """Requests admitted via :meth:`add_requests` so far."""
+        return self._arrivals
+
+    @property
+    def departures(self) -> int:
+        """Requests removed via :meth:`remove_requests` so far."""
+        return self._departures
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently present (arrivals minus departures plus
+        the initial instance)."""
+        return len(self._uid_to_index)
+
+    @property
+    def handles(self) -> List[RequestHandle]:
+        """Live :class:`RequestHandle` for every active request, in
+        current index order (includes the initial requests, whose uids
+        are ``0 .. n0-1``)."""
+        inst = self.problem.instance
+        return [
+            RequestHandle(
+                uid=uid,
+                sender=int(inst.senders[idx]),
+                receiver=int(inst.receivers[idx]),
+            )
+            for uid, idx in sorted(
+                self._uid_to_index.items(), key=lambda kv: kv[1]
+            )
+        ]
 
     @property
     def context(self) -> InterferenceContext:
@@ -318,54 +433,92 @@ class Session:
         registry's normalized adapter (e.g. ``beta=``, ``order=``,
         ``gamma_target=``, ``use_lp=``, ``schedule=`` for
         ``local_search``).  Randomized algorithms take ``rng=``.
+
+        Pending departures (see :meth:`remove_requests`) are compacted
+        away first via :meth:`rebuild` — batch algorithms run over the
+        whole instance, so tombstoned requests must not participate.
         """
+        if self._departed:
+            self.rebuild()
         spec = get_algorithm(algorithm)
         return self._run(spec, rng, params, batch_fallback=None)
 
     def reschedule(
-        self, algorithm: Optional[str] = None, rng: Any = None, **params: Any
+        self,
+        algorithm: Optional[str] = None,
+        rng: Any = _UNSET,
+        **params: Any,
     ) -> ScheduleResult:
         """Re-run the last call on the current — possibly grown —
         problem state.
 
         With *algorithm* omitted, the last ``schedule()`` call is
-        replayed **including its parameters** (explicit *params* here
-        override individual ones).  Naming an *algorithm* starts fresh:
-        only the given *params* apply.
+        replayed **including its parameters and its rng** (explicit
+        *params* here override individual ones; pass ``rng=`` — even
+        ``rng=None`` — to override the recorded one, so replayed
+        randomized runs are reproducible by default).  Naming an
+        *algorithm* starts fresh: only the given *params* apply.
         """
         if algorithm is not None:
-            return self.schedule(algorithm, rng=rng, **params)
+            return self.schedule(
+                algorithm, rng=None if rng is _UNSET else rng, **params
+            )
         if self._last_algorithm is None:
             raise ValueError(
                 "nothing to reschedule: call schedule(algorithm) first or "
                 "pass algorithm="
             )
         merged = {**self._last_params, **params}
+        if rng is _UNSET:
+            rng = self._last_rng
         return self.schedule(self._last_algorithm, rng=rng, **merged)
 
     def add_requests(
         self,
         pairs: Sequence[Tuple[int, int]],
         powers: Optional[Sequence[float]] = None,
-    ) -> "Session":
+    ) -> "RequestHandles":
         """Append requests (``(sender, receiver)`` node pairs on the
-        same metric) and invalidate the cached context.
+        same metric) and grow the cached context **in place**.
+
+        An already-built context (and its gain backend) extends via
+        :meth:`~repro.core.context.InterferenceContext.extend_to` —
+        only the new rows/columns of the gain matrices are computed, so
+        an arrival costs O(n) instead of the former O(n^2) cold
+        rebuild, bit-identically (at ``epsilon = 0``) to one.  If the
+        session's live online kernel is active (see
+        :meth:`live_result`), each new request is immediately admitted
+        with one O(n) vectorized first-fit check.
 
         When the problem's powers came from a
         :class:`~repro.power.base.PowerAssignment` (or the default
         square-root assignment) the vector is re-resolved for the grown
         instance; with explicit powers, pass one power per new request
-        via *powers*.  Returns ``self`` for chaining; a following
-        :meth:`reschedule` recolors the grown instance.
+        via *powers*.  Sender/receiver indices are validated against
+        the metric up front, naming the offending pair.
+
+        Returns the new requests' stable :class:`RequestHandle` list
+        (hand them back to :meth:`remove_requests`).  The historical
+        return-``self`` chaining still works through a deprecation shim
+        on the returned :class:`RequestHandles`.
         """
-        pairs = list(pairs)
+        pairs = [(int(p[0]), int(p[1])) for p in pairs]
         if not pairs:
-            return self
+            return RequestHandles([], self)
         old = self.problem.instance
+        metric_size = old.metric.n
+        for pos, (sender, receiver) in enumerate(pairs):
+            for role, node in (("sender", sender), ("receiver", receiver)):
+                if not 0 <= node < metric_size:
+                    raise InvalidInstanceError(
+                        f"new request {pos} ({sender}, {receiver}): {role} "
+                        f"index {node} is out of range for a metric with "
+                        f"{metric_size} nodes (valid: 0..{metric_size - 1})"
+                    )
         new_instance = Instance(
             old.metric,
-            np.concatenate([old.senders, [int(p[0]) for p in pairs]]),
-            np.concatenate([old.receivers, [int(p[1]) for p in pairs]]),
+            np.concatenate([old.senders, [p[0] for p in pairs]]),
+            np.concatenate([old.receivers, [p[1] for p in pairs]]),
             direction=old.direction,
             alpha=old.alpha,
             beta=old.beta,
@@ -392,20 +545,231 @@ class Session:
                     f"{len(pairs)} new requests"
                 )
             new_powers = np.concatenate([self._powers, appended])
+        n_old = old.n
+        resolved, assignment = _resolve_powers(new_instance, new_powers)
+        # Oblivious assignments are elementwise over link losses, so
+        # re-resolving preserves the existing powers bit-for-bit — the
+        # contract in-place growth needs.  A (hypothetical) assignment
+        # whose powers depend on the whole instance falls back to the
+        # historical full invalidation: drop the context (and kernel)
+        # and rebuild cold on next use.
+        grow_in_place = np.array_equal(resolved[:n_old], self._powers)
         self.problem = dataclasses.replace(
             self.problem, instance=new_instance, powers=new_powers
         )
-        self._powers, self._assignment = _resolve_powers(
-            new_instance, new_powers
-        )
-        # Release the old instance's cache slot eagerly: the context /
-        # cache-dict / instance reference cycle only dies under cycle
-        # GC, and until then the dead LRU entry would crowd out live
-        # contexts (see unpin_context).
+        self._powers, self._assignment = resolved, assignment
+        if grow_in_place and self._context is not None:
+            # The context cache keys on (id(instance), power bytes) —
+            # release the old slot, grow, take the new slot.
+            unpin_context(self._context)
+            self._context.extend_to(new_instance, resolved)
+            repin_context(self._context)
+            if self._kernel is not None:
+                self._admit_arrivals(range(n_old, new_instance.n))
+        else:
+            # Release the old instance's cache slot eagerly: the
+            # context / cache-dict / instance reference cycle only dies
+            # under cycle GC, and until then the dead LRU entry would
+            # crowd out live contexts (see unpin_context).
+            if self._context is not None:
+                unpin_context(self._context)
+            self._context = None
+            self._kernel = None
+            self._limits = None
+        handles = []
+        for offset, (sender, receiver) in enumerate(pairs):
+            uid = self._uid_seq
+            self._uid_seq += 1
+            self._uid_to_index[uid] = n_old + offset
+            handles.append(
+                RequestHandle(uid=uid, sender=sender, receiver=receiver)
+            )
+        self._arrivals += len(pairs)
+        return RequestHandles(handles, self)
+
+    def remove_requests(
+        self, handles: Sequence[Union[RequestHandle, int]]
+    ) -> "Session":
+        """Remove previously admitted requests by handle (or uid).
+
+        On the live online kernel a departure is the kernel's existing
+        exact O(n) remove — no context invalidation, no re-coloring of
+        anyone else.  The request's storage slot is tombstoned until
+        the next :meth:`rebuild` (or batch :meth:`schedule` /
+        :meth:`reschedule`, which compact automatically); tombstoned
+        requests are not members of any class, so they contribute no
+        interference.  Returns ``self`` for chaining.
+        """
+        uids = []
+        seen = set()
+        for handle in handles:
+            uid = handle.uid if isinstance(handle, RequestHandle) else int(handle)
+            if uid in seen:
+                raise ValueError(f"duplicate handle (uid={uid}) in removal")
+            seen.add(uid)
+            if uid not in self._uid_to_index:
+                raise KeyError(
+                    f"unknown or already-removed request handle (uid={uid})"
+                )
+            uids.append(uid)
+        for uid in uids:
+            index = self._uid_to_index.pop(uid)
+            if self._kernel is not None and self._kernel.colors[index] >= 0:
+                self._kernel.remove(index)
+            self._departed.add(index)
+        self._departures += len(uids)
+        return self
+
+    def rebuild(self) -> "Session":
+        """Compact departures away and drop to a cold context — the
+        historical :meth:`add_requests` behavior, now explicit.
+
+        The instance shrinks to the active requests (handles stay
+        valid; dense indices are remapped), powers are re-resolved (or
+        sliced, for explicit vectors), and the cached context and live
+        kernel are discarded so the next use rebuilds from scratch.
+        """
+        if not self._uid_to_index:
+            raise InvalidScheduleError(
+                "cannot rebuild a session with zero active requests"
+            )
+        old = self.problem.instance
+        active = np.asarray(sorted(self._uid_to_index.values()), dtype=int)
+        if self._departed:
+            new_instance = old.subset(active)
+            if self._assignment is not None:
+                new_powers: PowersLike = self._assignment
+            else:
+                new_powers = self._powers[active]
+            self.problem = dataclasses.replace(
+                self.problem, instance=new_instance, powers=new_powers
+            )
+            self._powers, self._assignment = _resolve_powers(
+                new_instance, new_powers
+            )
+            index_to_uid = {
+                index: uid for uid, index in self._uid_to_index.items()
+            }
+            self._uid_to_index = {
+                index_to_uid[index]: position
+                for position, index in enumerate(active)
+            }
+            self._departed = set()
         if self._context is not None:
             unpin_context(self._context)
         self._context = None
+        self._kernel = None
+        self._limits = None
         return self
+
+    # -- live online kernel --------------------------------------------
+
+    def _compute_limits(self, context: InterferenceContext) -> np.ndarray:
+        budgets = context.budgets()
+        if np.any(budgets < 0):
+            bad = int(np.argmax(budgets < 0))
+            raise InvalidScheduleError(
+                f"request {bad} cannot meet beta={context.beta} even "
+                "alone (negative interference budget)"
+            )
+        return budgets * (1.0 + DEFAULT_RTOL)
+
+    def _admit_arrivals(self, indices: Sequence[int]) -> None:
+        """Extend the live kernel to the grown context and first-fit
+        admit *indices* in arrival order — one O(n) vectorized
+        admission check each (a fresh class opens when none fits, so
+        every arrival is placed)."""
+        kernel = self._kernel
+        context = self.context
+        kernel.extend_to(context.n)
+        self._limits = self._compute_limits(context)
+        for index in indices:
+            color = kernel.first_fit_admit(int(index), self._limits)
+            if color < 0:
+                color = kernel.open_class()
+            kernel.add(int(index), color)
+
+    def ensure_live(self) -> ScheduleKernel:
+        """The session's live online first-fit kernel, built on first
+        use by admitting every active request in arrival (index) order.
+
+        Once live, :meth:`add_requests` admits each arrival with a
+        single O(n) vectorized check and :meth:`remove_requests`
+        departs members exactly — the kernel state is never replayed.
+        Note the *online* admission order (arrival order) is not the
+        batch ``first_fit`` default (longest links first); the stream
+        of colors equals what a fresh arrival-order replay would emit.
+        """
+        if self._kernel is None:
+            context = self.context
+            repin_context(context)
+            kernel = ScheduleKernel(context)
+            self._limits = self._compute_limits(context)
+            self._kernel = kernel
+            for index in range(context.n):
+                if index in self._departed:
+                    continue
+                color = kernel.first_fit_admit(index, self._limits)
+                if color < 0:
+                    color = kernel.open_class()
+                kernel.add(index, color)
+        return self._kernel
+
+    def color_of(self, handle: Union[RequestHandle, int]) -> int:
+        """The live kernel's current color class of *handle*."""
+        uid = handle.uid if isinstance(handle, RequestHandle) else int(handle)
+        index = self._uid_to_index.get(uid)
+        if index is None:
+            raise KeyError(
+                f"unknown or already-removed request handle (uid={uid})"
+            )
+        return int(self.ensure_live().colors[index])
+
+    def live_result(self) -> ScheduleResult:
+        """A :class:`ScheduleResult` for the live kernel's current
+        coloring over the **active** requests.
+
+        Builds the kernel on first use (see :meth:`ensure_live`).  The
+        provenance records ``incremental=True`` plus the session's
+        arrival/departure totals; ``certified`` reflects the kernel's
+        own flip-risk counter (always certified on lossless backends).
+        """
+        start = time.perf_counter()
+        kernel = self.ensure_live()
+        context = self.context
+        active = np.asarray(sorted(self._uid_to_index.values()), dtype=int)
+        if active.size == 0:
+            raise InvalidScheduleError(
+                "no active requests: every request has departed"
+            )
+        colors = np.asarray(kernel.colors)[active]
+        schedule = build_schedule(colors, self._powers[active]).compacted()
+        instance = (
+            self.problem.instance
+            if active.size == self.problem.instance.n
+            else self.problem.instance.subset(active)
+        )
+        wall = time.perf_counter() - start
+        result = ScheduleResult(
+            schedule=schedule,
+            instance=instance,
+            provenance=Provenance(
+                algorithm="first_fit_online",
+                params={},
+                backend=context.backend.name,
+                sparse_epsilon=context.sparse_epsilon,
+                engine=engine_enabled(),
+                kernels=kernels_enabled(),
+                wall_seconds=wall,
+                flip_risk_events=kernel.flip_risk_events,
+                certified=kernel.flip_risk_events == 0,
+                incremental=True,
+                arrivals=self._arrivals,
+                departures=self._departures,
+            ),
+        )
+        self.last_result = result
+        return result
 
     # -- internals -----------------------------------------------------
 
@@ -480,12 +844,15 @@ class Session:
                 batch_fallback=batch_fallback,
                 peel_risk_events=peel_risk_events() - peel_before,
                 peel_fallbacks=peel_fallback_records()[fb_before:],
+                arrivals=self._arrivals,
+                departures=self._departures,
             ),
             stats=outcome.stats,
             extras=dict(outcome.extras),
         )
         self._last_algorithm = spec.name
         self._last_params = dict(params)
+        self._last_rng = rng
         self.last_result = result
         return result
 

@@ -101,6 +101,7 @@ from repro.core.gains import (
     build_backend,
     resolve_backend,
     resolve_sparse_epsilon,
+    validate_growth,
 )
 from repro.core.instance import Direction, Instance
 from repro.core.interference import _class_sum
@@ -316,6 +317,41 @@ class InterferenceContext:
         is every instance without shared-node pairs.
         """
         return self.backend.has_infinite_gains
+
+    def extend_to(self, instance: Instance, powers: np.ndarray) -> None:
+        """Grow this context in place to ``(instance, powers)``.
+
+        The new pair must extend the current one (same metric object,
+        variant and alpha; existing requests and powers bit-unchanged
+        as a prefix — see :func:`repro.core.gains.validate_growth`).
+        An already-built gain backend grows via
+        :meth:`~repro.core.gains.GainBackend.append_requests` — only
+        the new rows/columns are computed, O(n) per arrival instead of
+        an O(n^2) cold rebuild, and (at ``epsilon = 0``) bit-identical
+        to one.  Signals are recomputed lazily; being elementwise, the
+        recomputed prefix is bit-identical too.
+
+        Cache discipline: the context cache keys on ``id(instance)``
+        and the power bytes, both of which change here.  Long-lived
+        owners (:class:`repro.api.Session`) must
+        :func:`unpin_context` **before** calling this and
+        :func:`repin_context` **after**, so the old slot is released
+        and the grown context takes the new key's slot.
+        """
+        powers = np.array(powers, dtype=float).reshape(-1)
+        if powers.shape != (instance.n,):
+            raise InvalidScheduleError(
+                f"powers must have shape ({instance.n},), got {powers.shape}"
+            )
+        if np.any(powers <= 0):
+            raise InvalidScheduleError("all powers must be strictly positive")
+        validate_growth(self.instance, self.powers, instance, powers)
+        if self._backend is not None:
+            self._backend.append_requests(instance, powers)
+        self.instance = instance
+        powers.setflags(write=False)
+        self.powers = powers
+        self._signals = None
 
     def budgets(
         self, beta: Optional[float] = None, noise: Optional[float] = None
@@ -662,6 +698,71 @@ class ClassAccumulator:
         self._mask[members] = True
         self._order.extend(int(i) for i in members)
         self._apply_columns(members, +1)
+
+    def extend_to(self, n_new: int) -> None:
+        """Grow the accumulator to a context that has grown to *n_new*
+        requests (see :meth:`InterferenceContext.extend_to`).
+
+        Existing per-request sums are untouched — the new requests'
+        rows only gain columns for the *new* requests, none of which is
+        a member yet — and the new requests' entries are seeded in one
+        vectorized pass over the members' gain block at the new rows
+        (same finite/infinite bookkeeping as :meth:`_apply_columns`),
+        so the accumulator keeps answering "what would this request
+        suffer if it joined?" for arrivals without any replay.
+        """
+        n_new = int(n_new)
+        n_old = self._mask.size
+        if n_new < n_old:
+            raise ValueError(
+                f"cannot shrink accumulator from n={n_old} to n={n_new}"
+            )
+        if self.context.n != n_new:
+            raise ValueError(
+                f"context has n={self.context.n}, expected {n_new}; grow "
+                "the context (InterferenceContext.extend_to) first"
+            )
+        if n_new == n_old:
+            return
+
+        def grow(arr: np.ndarray) -> np.ndarray:
+            out = np.zeros(n_new, dtype=arr.dtype)
+            out[:n_old] = arr
+            return out
+
+        self._mask = grow(self._mask)
+        self._fin_u = grow(self._fin_u)
+        self._ninf_u = grow(self._ninf_u)
+        self._npos_u = grow(self._npos_u)
+        if self._directed:
+            self._fin_v = self._fin_u
+            self._ninf_v = self._ninf_u
+            self._npos_v = self._npos_u
+        else:
+            self._fin_v = grow(self._fin_v)
+            self._ninf_v = grow(self._ninf_v)
+            self._npos_v = grow(self._npos_v)
+        if not self._order:
+            return
+        members = np.asarray(self._order, dtype=int)
+        tail = np.arange(n_old, n_new)
+        backend = self.context.backend
+        finite_gains = not backend.has_infinite_gains
+        for fin, ninf, npos, cross_block in (
+            (self._fin_u, self._ninf_u, self._npos_u, backend.cross_block_u),
+            (self._fin_v, self._ninf_v, self._npos_v, backend.cross_block_v),
+        ):
+            block = cross_block(tail, members)
+            if finite_gains:
+                fin[tail] = block.sum(axis=1)
+                npos[tail] = (block > 0).sum(axis=1)
+            else:
+                finite = np.isfinite(block)
+                fin[tail] = np.where(finite, block, 0.0).sum(axis=1)
+                ninf[tail] = (~finite).sum(axis=1)
+                npos[tail] = (finite & (block > 0)).sum(axis=1)
+            if self._directed:
+                break
 
     def add(self, request: int) -> None:
         """Add *request* to the class — O(n)."""

@@ -102,6 +102,7 @@ __all__ = [
     "default_sparse_epsilon",
     "set_sparse_epsilon",
     "resolve_sparse_epsilon",
+    "validate_growth",
 ]
 
 #: Registered backend names.
@@ -202,6 +203,103 @@ def resolve_sparse_epsilon(epsilon: Optional[float]) -> float:
     return epsilon
 
 
+def _gain_block(
+    instance: Instance,
+    powers: np.ndarray,
+    endpoint_nodes: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """One endpoint's gain sub-block ``G[rows][:, cols]``.
+
+    Computed from :meth:`~repro.geometry.metric.Metric.loss_block`
+    tiles with the exact elementwise operations of the full-matrix
+    builders (:func:`~repro.core.interference.directed_gain_matrix` /
+    :func:`~repro.core.interference.bidirectional_gain_matrices`), so
+    every entry is bit-identical to its full-matrix counterpart —
+    including the zero diagonal where a row and column name the same
+    request.  This is the one primitive both the tiled sparse build and
+    the growable appends (:meth:`GainBackend.append_requests`) fill
+    their storage from.
+    """
+    metric = instance.metric
+    alpha = instance.alpha
+    w = endpoint_nodes[rows]
+    if instance.direction is Direction.DIRECTED:
+        loss = metric.loss_block(w, instance.senders[cols], alpha)
+    else:
+        loss = np.minimum(
+            metric.loss_block(w, instance.senders[cols], alpha),
+            metric.loss_block(w, instance.receivers[cols], alpha),
+        )
+    gains = _safe_divide(powers[cols][None, :], loss)
+    diagonal = rows[:, None] == cols[None, :]
+    if np.any(diagonal):
+        gains[diagonal] = 0.0
+    return gains
+
+
+def validate_growth(
+    old_instance: Instance,
+    old_powers: np.ndarray,
+    new_instance: Instance,
+    new_powers: np.ndarray,
+) -> None:
+    """Check that ``(new_instance, new_powers)`` extends the old pair
+    *in place*: same metric object, variant and alpha; the existing
+    requests (and their powers, bitwise) unchanged as a prefix; only
+    new requests appended.  Raises :class:`ValueError` naming the first
+    violated condition — the contract every
+    :meth:`GainBackend.append_requests` (and the context/kernel growth
+    built on it) relies on for bit-identity with a cold rebuild.
+    """
+    if new_instance.metric is not old_instance.metric:
+        raise ValueError(
+            "growth must keep the same metric object; rebuild instead of "
+            "appending when the metric changes"
+        )
+    if new_instance.direction is not old_instance.direction:
+        raise ValueError(
+            f"growth cannot change the problem variant "
+            f"({old_instance.direction.value} -> {new_instance.direction.value})"
+        )
+    if new_instance.alpha != old_instance.alpha:
+        raise ValueError(
+            f"growth cannot change alpha "
+            f"({old_instance.alpha} -> {new_instance.alpha})"
+        )
+    n_old = old_instance.n
+    if new_instance.n < n_old:
+        raise ValueError(
+            f"growth cannot shrink the instance "
+            f"(n={old_instance.n} -> n={new_instance.n})"
+        )
+    if not (
+        np.array_equal(new_instance.senders[:n_old], old_instance.senders)
+        and np.array_equal(
+            new_instance.receivers[:n_old], old_instance.receivers
+        )
+    ):
+        raise ValueError(
+            "growth must keep the existing request pairs unchanged as a "
+            "prefix of the new instance"
+        )
+    new_powers = np.asarray(new_powers, dtype=float).reshape(-1)
+    if new_powers.shape != (new_instance.n,):
+        raise ValueError(
+            f"powers must have shape ({new_instance.n},), "
+            f"got {new_powers.shape}"
+        )
+    if not np.array_equal(
+        new_powers[:n_old], np.asarray(old_powers, dtype=float)
+    ):
+        raise ValueError(
+            "growth must keep the powers of existing requests bit-identical "
+            "(oblivious assignments are elementwise, so re-resolving them "
+            "preserves the prefix; explicit vectors must be appended to)"
+        )
+
+
 class GainBackend(abc.ABC):
     """Access protocol for one pair of endpoint gain matrices.
 
@@ -227,6 +325,25 @@ class GainBackend(abc.ABC):
     def reset_flip_risk(self) -> None:
         """Reset the at-risk-comparison counter."""
         self.flip_risk_events = 0
+
+    # -- growth --------------------------------------------------------
+
+    def append_requests(self, instance: Instance, powers: np.ndarray) -> None:
+        """Grow the backend in place to ``(instance, powers)``, which
+        must extend the pair the backend was built from (see
+        :func:`validate_growth`): same metric/variant/alpha, existing
+        requests and powers bit-unchanged as a prefix, new requests
+        appended.  Only the new rows and columns are computed (from
+        :func:`_gain_block` tiles), so an arrival costs ``O(n)`` gain
+        entries per endpoint instead of the ``O(n^2)`` cold rebuild —
+        and with ``epsilon = 0`` the grown storage is **bit-identical**
+        to a cold build of the grown pair.
+
+        Backends that cannot grow raise :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support in-place growth"
+        )
 
     # -- shape / bookkeeping -------------------------------------------
 
@@ -420,19 +537,154 @@ class DenseBackend(GainBackend):
         self._worst: Optional[np.ndarray] = None
         self._has_inf: Optional[bool] = None
         self._zero_mass: Optional[np.ndarray] = None
+        # Growth state (populated by build(); raw-constructed backends
+        # cannot grow because they do not know their instance).
+        self._instance: Optional[Instance] = None
+        self._powers: Optional[np.ndarray] = None
+        self._buf_u: Optional[np.ndarray] = None
+        self._buf_v: Optional[np.ndarray] = None
+        self._buf_ut: Optional[np.ndarray] = None
+        self._buf_vt: Optional[np.ndarray] = None
 
     @classmethod
     def build(cls, instance: Instance, powers: np.ndarray) -> "DenseBackend":
         """Build from the shared gain-matrix builders (the exact arrays
         the pre-backend engine cached)."""
+        powers = np.asarray(powers, dtype=float).reshape(-1)
         if instance.direction is Direction.DIRECTED:
             gains = directed_gain_matrix(instance, powers)
             gains.setflags(write=False)
-            return cls(gains, gains)
-        gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+            backend = cls(gains, gains)
+        else:
+            gains_u, gains_v = bidirectional_gain_matrices(instance, powers)
+            gains_u.setflags(write=False)
+            gains_v.setflags(write=False)
+            backend = cls(gains_u, gains_v)
+        backend._instance = instance
+        backend._powers = powers
+        return backend
+
+    # -- growth --------------------------------------------------------
+
+    def _ensure_capacity(self, n_new: int) -> None:
+        """Guarantee the backing buffers hold at least ``n_new`` rows
+        and columns, doubling capacity on reallocation so a stream of
+        single-request appends reallocates ``O(log n)`` times (amortized
+        O(1) copied entries per appended entry)."""
+        if self._buf_u is not None and self._buf_u.shape[0] >= n_new:
+            return
+        n_old = self.n
+        cap = max(n_new, 2 * n_old)
+        directed = self.directed
+        buf_u = np.zeros((cap, cap))
+        buf_u[:n_old, :n_old] = self._gains_u
+        self._buf_u = buf_u
+        if directed:
+            self._buf_v = buf_u
+        else:
+            buf_v = np.zeros((cap, cap))
+            buf_v[:n_old, :n_old] = self._gains_v
+            self._buf_v = buf_v
+
+    def append_requests(self, instance: Instance, powers: np.ndarray) -> None:
+        if self._instance is None:
+            raise ValueError(
+                "this DenseBackend was constructed from raw arrays; only "
+                "backends built via DenseBackend.build(...) can grow"
+            )
+        validate_growth(self._instance, self._powers, instance, powers)
+        powers = np.asarray(powers, dtype=float).reshape(-1)
+        n_old, n_new = self.n, instance.n
+        if n_new == n_old:
+            self._instance, self._powers = instance, powers
+            return
+        self._ensure_capacity(n_new)
+        new_idx = np.arange(n_old, n_new)
+        all_idx = np.arange(n_new)
+        tile = DEFAULT_TILE_ROWS
+        new_inf = False
+        if instance.direction is Direction.DIRECTED:
+            targets = ((self._buf_u, instance.receivers),)
+        else:
+            targets = (
+                (self._buf_u, instance.senders),
+                (self._buf_v, instance.receivers),
+            )
+        for buf, nodes in targets:
+            # Top-right block: what the arrivals induce at existing rows.
+            for lo in range(0, n_old, tile):
+                hi = min(lo + tile, n_old)
+                block = _gain_block(
+                    instance, powers, nodes, np.arange(lo, hi), new_idx
+                )
+                new_inf = new_inf or not bool(np.all(np.isfinite(block)))
+                buf[lo:hi, n_old:n_new] = block
+            # Bottom rows: the arrivals' full rows over everyone.
+            for lo in range(n_old, n_new, tile):
+                hi = min(lo + tile, n_new)
+                block = _gain_block(
+                    instance, powers, nodes, np.arange(lo, hi), all_idx
+                )
+                new_inf = new_inf or not bool(np.all(np.isfinite(block)))
+                buf[lo:hi, :n_new] = block
+        gains_u = self._buf_u[:n_new, :n_new]
         gains_u.setflags(write=False)
-        gains_v.setflags(write=False)
-        return cls(gains_u, gains_v)
+        if self._buf_v is self._buf_u:
+            gains_v = gains_u
+        else:
+            gains_v = self._buf_v[:n_new, :n_new]
+            gains_v.setflags(write=False)
+        self._gains_u, self._gains_v = gains_u, gains_v
+        if self._gains_t is not None:
+            # Extend the materialized transposes in place: dropping
+            # them would make the next col_u/col_v after every arrival
+            # re-transpose the whole O(n^2) matrix, turning the O(n)
+            # admission path quadratic.
+            self._grow_transposes(n_old, n_new)
+        self._worst = None
+        self._zero_mass = None
+        if new_inf:
+            self._has_inf = True
+        # else: False stays False (old and new entries all finite) and
+        # None stays lazily recomputed over the grown matrix.
+        self._instance, self._powers = instance, powers
+
+    def _grow_transposes(self, n_old: int, n_new: int) -> None:
+        """Extend the cached contiguous transposes to ``n_new`` from
+        the freshly appended buffer blocks (pure element reordering, so
+        trivially bit-identical to re-transposing the grown matrix).
+        The transpose buffers share the main buffers' capacity, so a
+        single-append stream reallocates them O(log n) times too."""
+        cap = self._buf_u.shape[0]
+        ut_old, vt_old = self._gains_t
+        if self._buf_ut is None or self._buf_ut.shape[0] < n_new:
+            buf_ut = np.zeros((cap, cap))
+            buf_ut[:n_old, :n_old] = ut_old
+            self._buf_ut = buf_ut
+            if self._buf_v is self._buf_u:
+                self._buf_vt = buf_ut
+            else:
+                buf_vt = np.zeros((cap, cap))
+                buf_vt[:n_old, :n_old] = vt_old
+                self._buf_vt = buf_vt
+        pairs = (
+            ((self._buf_ut, self._buf_u),)
+            if self._buf_vt is self._buf_ut
+            else ((self._buf_ut, self._buf_u), (self._buf_vt, self._buf_v))
+        )
+        for buf_t, buf in pairs:
+            # New rows of T = new columns of G; new columns of T (above
+            # the new rows) = new rows of G.  No overlap, full coverage.
+            buf_t[n_old:n_new, :n_new] = buf[:n_new, n_old:n_new].T
+            buf_t[:n_old, n_old:n_new] = buf[n_old:n_new, :n_old].T
+        gains_ut = self._buf_ut[:n_new, :n_new]
+        gains_ut.setflags(write=False)
+        if self._buf_vt is self._buf_ut:
+            self._gains_t = (gains_ut, gains_ut)
+        else:
+            gains_vt = self._buf_vt[:n_new, :n_new]
+            gains_vt.setflags(write=False)
+            self._gains_t = (gains_ut, gains_vt)
 
     # -- the arrays ----------------------------------------------------
 
@@ -645,6 +897,55 @@ def _prune_tile(
     return (eligible & ~drop) | ~finite, pruned
 
 
+def _assemble_csr(
+    instance: Instance,
+    powers: np.ndarray,
+    endpoint_nodes: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    epsilon: float,
+    tile_rows: int,
+) -> Tuple["_sp.csr_matrix", np.ndarray, bool]:
+    """ε-pruned CSR of one endpoint's gain sub-block ``G[rows][:, cols]``
+    (column indices relative to *cols*), assembled ``tile_rows`` rows of
+    dense scratch at a time from :func:`_gain_block`.
+
+    Returns ``(csr, pruned_mass, has_infinite)`` with ``pruned_mass``
+    the per-row bound from :func:`_prune_tile`.  Shared by the cold
+    :meth:`SparseBackend.build` (full square block) and the growable
+    appends (top-right and bottom strips).
+    """
+    data, col_chunks, row_nnz = [], [], []
+    pruned = np.zeros(rows.size)
+    has_inf = False
+    for lo in range(0, rows.size, tile_rows):
+        hi = min(lo + tile_rows, rows.size)
+        gains = _gain_block(instance, powers, endpoint_nodes, rows[lo:hi], cols)
+        keep, tile_pruned = _prune_tile(gains, epsilon)
+        pruned[lo:hi] = tile_pruned
+        kept_rows, kept_cols = np.nonzero(keep)
+        kept = gains[kept_rows, kept_cols]
+        if not has_inf and kept.size:
+            has_inf = not bool(np.all(np.isfinite(kept)))
+        data.append(kept)
+        col_chunks.append(kept_cols)
+        row_nnz.append(np.bincount(kept_rows, minlength=hi - lo))
+    indptr = np.zeros(rows.size + 1, dtype=np.int64)
+    if row_nnz:
+        np.cumsum(np.concatenate(row_nnz), out=indptr[1:])
+    csr = _sp.csr_matrix(
+        (
+            np.concatenate(data) if data else np.zeros(0),
+            np.concatenate(col_chunks)
+            if col_chunks
+            else np.zeros(0, dtype=int),
+            indptr,
+        ),
+        shape=(rows.size, cols.size),
+    )
+    return csr, pruned, has_inf
+
+
 class SparseBackend(GainBackend):
     """ε-pruned CSR gains with per-request dropped-mass bounds.
 
@@ -681,6 +982,10 @@ class SparseBackend(GainBackend):
         self._pruned_v = pruned_mass_v
         self._has_inf = bool(has_infinite)
         self.tile_rows = DEFAULT_TILE_ROWS
+        # Growth state (populated by build(); raw-constructed backends
+        # cannot grow because they do not know their instance).
+        self._instance: Optional[Instance] = None
+        self._powers: Optional[np.ndarray] = None
 
     # -- construction --------------------------------------------------
 
@@ -704,50 +1009,19 @@ class SparseBackend(GainBackend):
         powers = np.asarray(powers, dtype=float).reshape(-1)
         n = instance.n
         tile_rows = max(1, int(tile_rows))
-        metric = instance.metric
-        alpha = instance.alpha
         s, r = instance.senders, instance.receivers
         directed = instance.direction is Direction.DIRECTED
-
-        def tile_gains(endpoint_nodes: np.ndarray, lo: int, hi: int) -> np.ndarray:
-            """Rows ``lo:hi`` of one endpoint's gain matrix."""
-            w = endpoint_nodes[lo:hi]
-            if directed:
-                loss = metric.loss_block(w, s, alpha)
-            else:
-                loss = np.minimum(
-                    metric.loss_block(w, s, alpha),
-                    metric.loss_block(w, r, alpha),
-                )
-            gains = _safe_divide(powers[None, :], loss)
-            gains[np.arange(hi - lo), np.arange(lo, hi)] = 0.0
-            return gains
+        all_cols = np.arange(n)
 
         def build_endpoint(endpoint_nodes: np.ndarray):
-            data, cols, row_nnz = [], [], []
-            pruned = np.empty(n)
-            has_inf = False
-            for lo in range(0, n, tile_rows):
-                hi = min(lo + tile_rows, n)
-                gains = tile_gains(endpoint_nodes, lo, hi)
-                keep, tile_pruned = _prune_tile(gains, epsilon)
-                pruned[lo:hi] = tile_pruned
-                kept_rows, kept_cols = np.nonzero(keep)
-                kept = gains[kept_rows, kept_cols]
-                if not has_inf and kept.size:
-                    has_inf = not bool(np.all(np.isfinite(kept)))
-                data.append(kept)
-                cols.append(kept_cols)
-                row_nnz.append(np.bincount(kept_rows, minlength=hi - lo))
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(np.concatenate(row_nnz), out=indptr[1:])
-            csr = _sp.csr_matrix(
-                (
-                    np.concatenate(data) if data else np.zeros(0),
-                    np.concatenate(cols) if cols else np.zeros(0, dtype=int),
-                    indptr,
-                ),
-                shape=(n, n),
+            csr, pruned, has_inf = _assemble_csr(
+                instance,
+                powers,
+                endpoint_nodes,
+                all_cols,
+                all_cols,
+                epsilon,
+                tile_rows,
             )
             return csr, pruned, has_inf
 
@@ -758,7 +1032,84 @@ class SparseBackend(GainBackend):
             csr_u, pruned_u, inf_u = build_endpoint(s)
             csr_v, pruned_v, inf_v = build_endpoint(r)
             has_inf = inf_u or inf_v
-        return cls(csr_u, csr_v, pruned_u, pruned_v, epsilon, has_inf)
+        backend = cls(csr_u, csr_v, pruned_u, pruned_v, epsilon, has_inf)
+        backend._instance = instance
+        backend._powers = powers
+        return backend
+
+    def append_requests(self, instance: Instance, powers: np.ndarray) -> None:
+        """Append the new requests' CSR rows and extend every existing
+        row with the new columns, tile-by-tile.
+
+        With ``epsilon = 0`` the kept set of each entry is independent
+        of its row context (keep positive finite and ``inf``, drop exact
+        zeros), so the grown CSR storage — data, indices, indptr and
+        the transposed matrices — is **bit-identical** to a cold
+        :meth:`build` of the grown pair.  With ``epsilon > 0`` the
+        appended block of each existing row is pruned *on its own* (its
+        dropped mass, at most ``epsilon`` times the block's finite mass,
+        is added to the row's recorded bound): a cold rebuild would
+        re-prune whole rows against their grown mass and may keep a
+        different set, so grown and cold storages can differ — but the
+        backend remains a conservative under-estimator with a true
+        per-row pruned-mass upper bound, which is all certification
+        needs.
+        """
+        if self._instance is None:
+            raise ValueError(
+                "this SparseBackend was constructed from raw matrices; "
+                "only backends built via SparseBackend.build(...) can grow"
+            )
+        validate_growth(self._instance, self._powers, instance, powers)
+        powers = np.asarray(powers, dtype=float).reshape(-1)
+        n_old, n_new = self.n, instance.n
+        if n_new == n_old:
+            self._instance, self._powers = instance, powers
+            return
+        epsilon = self.epsilon
+        tile = max(1, int(self.tile_rows))
+        old_idx = np.arange(n_old)
+        new_idx = np.arange(n_old, n_new)
+        all_idx = np.arange(n_new)
+
+        def extend_endpoint(csr_old, pruned_old, endpoint_nodes):
+            right, extra_pruned, inf_right = _assemble_csr(
+                instance, powers, endpoint_nodes, old_idx, new_idx,
+                epsilon, tile,
+            )
+            bottom, pruned_new, inf_bottom = _assemble_csr(
+                instance, powers, endpoint_nodes, new_idx, all_idx,
+                epsilon, tile,
+            )
+            top = _sp.hstack([csr_old, right], format="csr")
+            csr = _sp.vstack([top, bottom], format="csr")
+            csr.sort_indices()
+            pruned = np.concatenate(
+                [np.asarray(pruned_old) + extra_pruned, pruned_new]
+            )
+            pruned.setflags(write=False)
+            return csr, pruned, inf_right or inf_bottom
+
+        if instance.direction is Direction.DIRECTED:
+            csr_u, pruned_u, new_inf = extend_endpoint(
+                self._csr_u, self._pruned_u, instance.receivers
+            )
+            csr_v, pruned_v = csr_u, pruned_u
+        else:
+            csr_u, pruned_u, inf_u = extend_endpoint(
+                self._csr_u, self._pruned_u, instance.senders
+            )
+            csr_v, pruned_v, inf_v = extend_endpoint(
+                self._csr_v, self._pruned_v, instance.receivers
+            )
+            new_inf = inf_u or inf_v
+        self._csr_u, self._csr_v = csr_u, csr_v
+        self._csr_ut = csr_u.T.tocsr()
+        self._csr_vt = self._csr_ut if csr_v is csr_u else csr_v.T.tocsr()
+        self._pruned_u, self._pruned_v = pruned_u, pruned_v
+        if new_inf:
+            self._has_inf = True
+        self._instance, self._powers = instance, powers
 
     # -- protocol ------------------------------------------------------
 

@@ -435,6 +435,100 @@ class ScheduleKernel:
             self._ninf_v = enlarge(self._ninf_v)
             self._npos_v = enlarge(self._npos_v)
 
+    def extend_to(self, n_new: int) -> None:
+        """Grow the kernel to a context that has grown to *n_new*
+        requests (see :meth:`InterferenceContext.extend_to`) — the live
+        state survives arrivals with no replay.
+
+        Existing per-class and own-class entries are untouched (the new
+        requests are not members of anything yet, so no existing sum
+        changes); the new requests' class-row entries are seeded in one
+        vectorized pass per nonempty class over the members' gain block
+        at the new rows — the same per-row pairwise column sums as
+        :meth:`_bulk_seed`, so a subsequent :meth:`first_fit_admit` of
+        an arrival sees exactly the state a freshly seeded kernel
+        would.  The all-finite fast path and the pruned-mass bound are
+        re-resolved from the (grown) backend, since arrivals can
+        introduce shared-node pairs or pruned rows that did not exist
+        at construction; an instance that *was* all-finite has zero
+        infinite counts everywhere, so flipping the flag is exact.
+        """
+        n_new = int(n_new)
+        n_old = self._n
+        if n_new < n_old:
+            raise ValueError(
+                f"cannot shrink kernel from n={n_old} to n={n_new}"
+            )
+        if self.context.n != n_new:
+            raise ValueError(
+                f"context has n={self.context.n}, expected {n_new}; grow "
+                "the context (InterferenceContext.extend_to) first"
+            )
+        if n_new == n_old:
+            return
+        self._finite = not self._backend.has_infinite_gains
+        pruned = self._backend.pruned_bound
+        self._pruned = pruned if bool(np.any(pruned > 0)) else None
+        cap = self._fin_u.shape[0]
+
+        def enlarge_rows(arr: np.ndarray) -> np.ndarray:
+            out = np.zeros((cap, n_new), dtype=arr.dtype)
+            out[:, :n_old] = arr
+            return out
+
+        def enlarge_own(arr: np.ndarray) -> np.ndarray:
+            out = np.zeros(n_new, dtype=arr.dtype)
+            out[:n_old] = arr
+            return out
+
+        self._fin_u = enlarge_rows(self._fin_u)
+        self._ninf_u = enlarge_rows(self._ninf_u)
+        self._npos_u = enlarge_rows(self._npos_u)
+        self._own_fin_u = enlarge_own(self._own_fin_u)
+        self._own_ninf_u = enlarge_own(self._own_ninf_u)
+        self._own_npos_u = enlarge_own(self._own_npos_u)
+        if self._directed:
+            self._fin_v = self._fin_u
+            self._ninf_v = self._ninf_u
+            self._npos_v = self._npos_u
+            self._own_fin_v = self._own_fin_u
+            self._own_ninf_v = self._own_ninf_u
+            self._own_npos_v = self._own_npos_u
+        else:
+            self._fin_v = enlarge_rows(self._fin_v)
+            self._ninf_v = enlarge_rows(self._ninf_v)
+            self._npos_v = enlarge_rows(self._npos_v)
+            self._own_fin_v = enlarge_own(self._own_fin_v)
+            self._own_ninf_v = enlarge_own(self._own_ninf_v)
+            self._own_npos_v = enlarge_own(self._own_npos_v)
+        colors = np.full(n_new, -1, dtype=int)
+        colors[:n_old] = self._colors
+        self._colors = colors
+        self._n = n_new
+        tail = np.arange(n_old, n_new)
+        backend = self._backend
+        for fin, ninf, npos, cross_block in (
+            (self._fin_u, self._ninf_u, self._npos_u, backend.cross_block_u),
+            (self._fin_v, self._ninf_v, self._npos_v, backend.cross_block_v),
+        ):
+            for color, size in enumerate(self._sizes):
+                if size == 0:
+                    continue
+                members = np.flatnonzero(self._colors == color)
+                block = cross_block(tail, members)
+                if self._finite:
+                    fin[color, n_old:] = block.sum(axis=1)
+                    npos[color, n_old:] = (block > 0).sum(axis=1)
+                else:
+                    finite = np.isfinite(block)
+                    fin[color, n_old:] = np.where(finite, block, 0.0).sum(
+                        axis=1
+                    )
+                    ninf[color, n_old:] = (~finite).sum(axis=1)
+                    npos[color, n_old:] = (finite & (block > 0)).sum(axis=1)
+            if self._directed:
+                break
+
     def _endpoint_rows(self):
         # gather_cols materializes bulk column gathers (for pairwise
         # column sums), col single columns in cache-friendly layout;

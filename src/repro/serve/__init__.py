@@ -1,0 +1,34 @@
+"""Asyncio serving layer for live interference scheduling.
+
+``repro.serve`` multiplexes many :class:`repro.Session` objects behind
+bounded arrival queues with admission control, producer backpressure,
+and graceful drain.  Every admission is the O(n) incremental path — the
+grown gain context is extended in place, never rebuilt.
+
+Quickstart
+----------
+>>> import asyncio
+>>> from repro import Problem
+>>> from repro.serve import ScheduleServer, ServeConfig
+>>>
+>>> async def main(instance):
+...     async with ScheduleServer() as server:
+...         server.add_session("cell-a", Problem(instance),
+...                            ServeConfig(queue_capacity=32))
+...         decision = await server.submit("cell-a", (0, 1))
+...         return decision.color
+"""
+
+from repro.serve.service import (
+    AdmissionDecision,
+    ScheduleServer,
+    ServeConfig,
+    SessionStats,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "ScheduleServer",
+    "ServeConfig",
+    "SessionStats",
+]

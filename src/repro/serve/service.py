@@ -1,0 +1,372 @@
+"""Bounded-queue asyncio front-end over live scheduling sessions.
+
+Architecture
+------------
+One :class:`ScheduleServer` owns any number of named sessions.  Each
+session gets
+
+* a bounded :class:`asyncio.Queue` of pending arrivals,
+* a single worker task that drains the queue and admits each arrival
+  through the session's live kernel (``Session.add_requests`` → one
+  O(n) vectorized admission, no context rebuild),
+* admission control: arrivals are rejected up front when the session
+  is at its ``max_requests`` cap, and — under the ``"shed"`` overflow
+  policy — when the queue is full.
+
+Under the default ``"wait"`` policy a full queue instead blocks the
+producer inside :meth:`ScheduleServer.submit` (backpressure).  All
+session state is touched only from the event loop thread, so no locks
+are needed: the worker serializes arrivals per session, and departures
+run inline between queue items.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api import Problem, RequestHandle, Session
+
+__all__ = [
+    "AdmissionDecision",
+    "ScheduleServer",
+    "ServeConfig",
+    "SessionStats",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Per-session queueing and admission-control knobs.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Bound on the arrival queue.  With ``overflow="wait"`` a full
+        queue blocks producers in :meth:`ScheduleServer.submit`; with
+        ``overflow="shed"`` the arrival is rejected immediately.
+    max_requests:
+        Cap on the session's *active* request count.  Arrivals that
+        would exceed it are rejected with reason ``"capacity"``.
+        ``None`` means unbounded.
+    overflow:
+        ``"wait"`` (backpressure, the default) or ``"shed"``.
+    on_admit:
+        Optional async consumer invoked by the worker after every
+        decision.  A slow consumer slows the worker, which fills the
+        queue and propagates backpressure to producers.
+    """
+
+    queue_capacity: int = 64
+    max_requests: Optional[int] = None
+    overflow: str = "wait"
+    on_admit: Optional[Callable[["AdmissionDecision"], Awaitable[None]]] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ValueError("max_requests must be >= 1 or None")
+        if self.overflow not in ("wait", "shed"):
+            raise ValueError(
+                f"overflow must be 'wait' or 'shed', got {self.overflow!r}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one submitted arrival.
+
+    ``accepted`` arrivals carry the stable :class:`RequestHandle` and
+    the color class the live kernel admitted them into.  Rejected
+    arrivals carry ``reason`` (``"capacity"``, ``"queue_full"``, or
+    ``"closed"``) and a handle/color of ``None``/``-1``.  ``latency_s``
+    is wall time from submit to decision, queue wait included.
+    """
+
+    session: str
+    handle: Optional[RequestHandle]
+    color: int
+    accepted: bool
+    reason: Optional[str]
+    latency_s: float
+
+
+@dataclass
+class SessionStats:
+    """Running counters for one served session."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected_capacity: int = 0
+    rejected_queue: int = 0
+    departures: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    first_submit: Optional[float] = None
+    last_decision: Optional[float] = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        lat = np.asarray(self.latencies_s, dtype=np.float64)
+        elapsed = (
+            self.last_decision - self.first_submit
+            if self.first_submit is not None
+            and self.last_decision is not None
+            and self.last_decision > self.first_submit
+            else None
+        )
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected_capacity": self.rejected_capacity,
+            "rejected_queue": self.rejected_queue,
+            "departures": self.departures,
+            "arrivals_per_sec": (
+                self.admitted / elapsed if elapsed else None
+            ),
+            "mean_latency_s": float(lat.mean()) if lat.size else None,
+            "p50_latency_s": float(np.percentile(lat, 50)) if lat.size else None,
+            "p99_latency_s": float(np.percentile(lat, 99)) if lat.size else None,
+        }
+
+
+@dataclass
+class _Arrival:
+    pair: Tuple[int, int]
+    power: Optional[float]
+    future: "asyncio.Future[AdmissionDecision]"
+    submitted_at: float
+
+
+class _Served:
+    """One session plus its queue, worker, and counters."""
+
+    def __init__(self, name: str, session: Session, config: ServeConfig):
+        self.name = name
+        self.session = session
+        self.config = config
+        self.queue: "asyncio.Queue[_Arrival]" = asyncio.Queue(
+            maxsize=config.queue_capacity
+        )
+        self.worker: Optional[asyncio.Task] = None
+        self.stats = SessionStats()
+
+
+class ScheduleServer:
+    """Multiplex live sessions behind bounded arrival queues.
+
+    Use as an async context manager (or call :meth:`aclose` yourself)::
+
+        async with ScheduleServer() as server:
+            server.add_session("cell-a", Problem(instance))
+            decision = await server.submit("cell-a", (sender, receiver))
+
+    All methods must be called from the owning event loop.
+    """
+
+    def __init__(self, default_config: Optional[ServeConfig] = None):
+        self._default_config = default_config or ServeConfig()
+        self._served: Dict[str, _Served] = {}
+        self._closed = False
+
+    # -- session lifecycle -------------------------------------------------
+
+    def add_session(
+        self,
+        name: str,
+        problem: Union[Problem, Session],
+        config: Optional[ServeConfig] = None,
+    ) -> Session:
+        """Register *problem* under *name* and start its worker."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if name in self._served:
+            raise ValueError(f"session {name!r} already registered")
+        session = (
+            problem if isinstance(problem, Session) else problem.session()
+        )
+        served = _Served(name, session, config or self._default_config)
+        served.worker = asyncio.get_running_loop().create_task(
+            self._drain_queue(served), name=f"repro-serve-{name}"
+        )
+        self._served[name] = served
+        return session
+
+    def session(self, name: str) -> Session:
+        return self._lookup(name).session
+
+    def sessions(self) -> List[str]:
+        return list(self._served)
+
+    def _lookup(self, name: str) -> _Served:
+        try:
+            return self._served[name]
+        except KeyError:
+            raise KeyError(f"no session named {name!r}") from None
+
+    # -- arrivals ----------------------------------------------------------
+
+    async def submit(
+        self,
+        name: str,
+        pair: Tuple[int, int],
+        power: Optional[float] = None,
+    ) -> AdmissionDecision:
+        """Submit one arrival and await its admission decision.
+
+        Applies admission control up front (n-cap, then queue policy),
+        then parks the arrival on the session's bounded queue.  Under
+        ``overflow="wait"`` a full queue suspends this coroutine until
+        the worker frees a slot — that suspension *is* the
+        backpressure signal to the producer.
+        """
+        served = self._lookup(name)
+        now = time.perf_counter()
+        served.stats.submitted += 1
+        if served.stats.first_submit is None:
+            served.stats.first_submit = now
+
+        if self._closed:
+            return self._reject(served, "closed", now)
+        if self._at_capacity(served):
+            served.stats.rejected_capacity += 1
+            return self._reject(served, "capacity", now)
+
+        arrival = _Arrival(
+            pair=(int(pair[0]), int(pair[1])),
+            power=None if power is None else float(power),
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=now,
+        )
+        if served.config.overflow == "shed":
+            try:
+                served.queue.put_nowait(arrival)
+            except asyncio.QueueFull:
+                served.stats.rejected_queue += 1
+                return self._reject(served, "queue_full", now)
+        else:
+            await served.queue.put(arrival)
+        return await arrival.future
+
+    def remove(
+        self, name: str, handles: Union[RequestHandle, int, list]
+    ) -> None:
+        """Depart *handles* from the named session, exactly, in place."""
+        served = self._lookup(name)
+        if not isinstance(handles, list):
+            handles = [handles]
+        served.session.remove_requests(handles)
+        served.stats.departures += len(handles)
+
+    def _at_capacity(self, served: _Served) -> bool:
+        cap = served.config.max_requests
+        if cap is None:
+            return False
+        # Queued-but-unadmitted arrivals count against the cap so a
+        # burst cannot overshoot it while the worker catches up.
+        return served.session.active_requests + served.queue.qsize() >= cap
+
+    def _reject(
+        self, served: _Served, reason: str, submitted_at: float
+    ) -> AdmissionDecision:
+        now = time.perf_counter()
+        served.stats.last_decision = now
+        return AdmissionDecision(
+            session=served.name,
+            handle=None,
+            color=-1,
+            accepted=False,
+            reason=reason,
+            latency_s=now - submitted_at,
+        )
+
+    # -- worker ------------------------------------------------------------
+
+    async def _drain_queue(self, served: _Served) -> None:
+        while True:
+            arrival = await served.queue.get()
+            try:
+                decision = self._admit(served, arrival)
+                if not arrival.future.done():
+                    arrival.future.set_result(decision)
+                if served.config.on_admit is not None:
+                    await served.config.on_admit(decision)
+            except Exception as exc:  # surface to the producer, keep serving
+                if not arrival.future.done():
+                    arrival.future.set_exception(exc)
+            finally:
+                served.queue.task_done()
+
+    def _admit(self, served: _Served, arrival: _Arrival) -> AdmissionDecision:
+        session = served.session
+        cap = served.config.max_requests
+        if cap is not None and session.active_requests >= cap:
+            served.stats.rejected_capacity += 1
+            return self._reject(served, "capacity", arrival.submitted_at)
+        session.ensure_live()
+        powers = None if arrival.power is None else [arrival.power]
+        handle = session.add_requests([arrival.pair], powers=powers)[0]
+        color = session.color_of(handle)
+        now = time.perf_counter()
+        served.stats.admitted += 1
+        served.stats.latencies_s.append(now - arrival.submitted_at)
+        served.stats.last_decision = now
+        return AdmissionDecision(
+            session=served.name,
+            handle=handle,
+            color=color,
+            accepted=True,
+            reason=None,
+            latency_s=now - arrival.submitted_at,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Counters and latency percentiles, per session or for all."""
+        if name is not None:
+            return self._lookup(name).stats.snapshot()
+        return {n: s.stats.snapshot() for n, s in self._served.items()}
+
+    def pending(self, name: str) -> int:
+        return self._lookup(name).queue.qsize()
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def drain(self, name: Optional[str] = None) -> None:
+        """Wait until the named queue (or every queue) is fully admitted."""
+        targets = (
+            [self._lookup(name)] if name is not None
+            else list(self._served.values())
+        )
+        await asyncio.gather(*(s.queue.join() for s in targets))
+
+    async def aclose(self) -> None:
+        """Drain every queue, then stop the workers.
+
+        New ``submit`` calls are rejected with reason ``"closed"``
+        as soon as this starts; arrivals already queued are still
+        admitted before the workers stop.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        for served in self._served.values():
+            if served.worker is not None:
+                served.worker.cancel()
+        for served in self._served.values():
+            if served.worker is not None:
+                try:
+                    await served.worker
+                except asyncio.CancelledError:
+                    pass
+
+    async def __aenter__(self) -> "ScheduleServer":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()

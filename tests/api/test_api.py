@@ -195,7 +195,8 @@ class TestIncremental:
 
     def test_add_nothing_is_a_noop(self, instance):
         session = Problem(instance).session()
-        assert session.add_requests([]) is session
+        handles = session.add_requests([])
+        assert list(handles) == []
         assert session.instance is instance
 
     def test_reschedule_replays_last_params(self, instance):

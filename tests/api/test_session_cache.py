@@ -127,22 +127,26 @@ class TestCertificationUnderEviction:
 class TestAddRequestsReleasesOldContext:
     """Growing a session must not leak the old instance's cache slot.
 
-    ``add_requests`` replaces the session's instance; the old context /
-    cache-dict / instance reference cycle only dies under *cycle* GC,
-    so without an eager release the dead LRU entry would keep crowding
-    out live contexts until collection happens to run."""
+    ``add_requests`` now extends the pinned context in place: the old
+    cache key is released eagerly (no cycle GC needed) and the same —
+    grown — context object is re-pinned under the new key, so the live
+    slot count never drifts and no dead entries crowd out the LRU."""
 
-    def test_old_slot_released_without_gc(self):
+    def test_old_slot_moved_without_gc(self):
         set_context_cache_limit(4)
         session = Problem(random_uniform_instance(6, rng=50)).session()
         session.schedule("first_fit")
         before = cache_info()["contexts"]
         assert before >= 1
+        context = session.context
         gc.disable()
         try:
             session.add_requests([(0, 3)])
-            # The stale entry is gone immediately — no cycle GC needed.
-            assert cache_info()["contexts"] == before - 1
+            # The stale key is gone immediately — no cycle GC needed —
+            # and the grown context re-occupies exactly one slot.
+            assert cache_info()["contexts"] == before
+            assert session._context is context
+            assert context.n == 7
         finally:
             gc.enable()
 
