@@ -77,6 +77,7 @@ from repro.core.kernels import (
 )
 from repro.core.schedule import Schedule, build_schedule
 from repro.power.base import PowerAssignment
+from repro.resilience.faults import FaultPlan
 from repro.power.oblivious import SquareRootPower
 from repro.scheduling.registry import AlgorithmSpec, get_algorithm
 from repro.util.rng import ensure_rng, spawn_rngs
@@ -356,6 +357,10 @@ class Session:
         self._limits: Optional[np.ndarray] = None
         self._arrivals: int = 0
         self._departures: int = 0
+        # Fault-injection hook (tests / chaos harness; see
+        # repro.resilience.faults).  None in production.
+        self._fault_plan: Optional["FaultPlan"] = None
+        self._fault_key: Optional[str] = None
 
     # -- problem state -------------------------------------------------
 
@@ -505,6 +510,7 @@ class Session:
         pairs = [(int(p[0]), int(p[1])) for p in pairs]
         if not pairs:
             return RequestHandles([], self)
+        self._fire_fault("add_requests:pre")
         old = self.problem.instance
         metric_size = old.metric.n
         for pos, (sender, receiver) in enumerate(pairs):
@@ -576,6 +582,10 @@ class Session:
             self._context = None
             self._kernel = None
             self._limits = None
+        # Instance, context and kernel have grown, but the arrivals are
+        # not yet uid-accounted: a fault here leaves the session
+        # genuinely half-mutated (what recover() must repair).
+        self._fire_fault("add_requests:grown")
         handles = []
         for offset, (sender, receiver) in enumerate(pairs):
             uid = self._uid_seq
@@ -661,6 +671,112 @@ class Session:
         self._kernel = None
         self._limits = None
         return self
+
+    # -- fault tolerance -----------------------------------------------
+
+    def set_fault_hook(
+        self, plan: Optional[FaultPlan], key: Optional[str] = None
+    ) -> "Session":
+        """Install (or clear, with ``None``) a deterministic
+        :class:`~repro.resilience.FaultPlan` on this session.
+
+        The plan fires at ``site="session"`` with *key* (typically the
+        serving-layer session name) at the documented injection points
+        — currently ``phase="add_requests:pre"`` (before any mutation)
+        and ``phase="add_requests:grown"`` (instance/context/kernel
+        grown, arrival not yet accounted).  Test/chaos tooling only.
+        """
+        self._fault_plan = plan
+        self._fault_key = key
+        return self
+
+    def _fire_fault(self, phase: str) -> None:
+        if self._fault_plan is not None:
+            self._fault_plan.fire(
+                "session", key=self._fault_key, phase=phase
+            )
+
+    @property
+    def live_kernel(self) -> Optional[ScheduleKernel]:
+        """The live online kernel, or ``None`` when not built yet (see
+        :meth:`ensure_live`).  Supervisors snapshot it
+        (:meth:`~repro.core.kernels.ScheduleKernel.snapshot`) before a
+        risky mutation and hand the snapshot to :meth:`recover`."""
+        return self._kernel
+
+    def check_consistency(self) -> Optional[str]:
+        """``None`` when the session's bookkeeping is structurally
+        sound, else a description of the damage.
+
+        The invariant: every request row of the current instance is
+        either uid-accounted (active) or tombstoned (departed).  An
+        exception escaping mid-:meth:`add_requests` — uids are assigned
+        *last* — breaks exactly this, so the check is a reliable
+        damage detector for supervisors.  The live kernel, when built,
+        must also span the instance.
+        """
+        n = self.problem.instance.n
+        accounted = len(self._uid_to_index) + len(self._departed)
+        if accounted != n:
+            return (
+                f"instance has {n} request rows but only {accounted} are "
+                "accounted (active + departed): an admission was "
+                "interrupted mid-mutation"
+            )
+        if self._kernel is not None and len(self._kernel.colors) != n:
+            return (
+                f"live kernel spans {len(self._kernel.colors)} requests "
+                f"but the instance has {n}"
+            )
+        return None
+
+    def recover(
+        self, kernel_snapshot: Optional[Dict[str, object]] = None
+    ) -> str:
+        """Repair the session after an exception escaped a mutating
+        call, choosing the cheapest sufficient action.  Returns what
+        was done:
+
+        ``"snapshot"``
+            No structural damage and *kernel_snapshot* (taken from
+            :attr:`live_kernel` before the mutation) restored bitwise —
+            the O(C·n) transactional-rollback fast path.
+        ``"rekernel"``
+            No structural damage but the snapshot could not be applied
+            (kernel since grown/dropped, or no snapshot given): the
+            live kernel is discarded and replays lazily on next use.
+        ``"rebuild"``
+            Structural damage (orphaned half-admitted rows): the
+            orphans are tombstoned and :meth:`rebuild` compacts the
+            session back to its accounted requests — equivalent to a
+            cold rebuild from the active set.
+
+        After any of these the session satisfies
+        :meth:`check_consistency` and subsequent scheduling is
+        bit-identical to a freshly built session over the same active
+        requests.
+        """
+        if self.check_consistency() is not None:
+            n = self.problem.instance.n
+            accounted = set(self._uid_to_index.values())
+            orphans = set(range(n)) - accounted - self._departed
+            # Tombstoning the orphans turns "interrupted admission"
+            # into "departure awaiting compaction" — rebuild() already
+            # knows how to heal that, and it discards the (possibly
+            # also damaged) context and kernel with the same stroke.
+            self._departed |= orphans
+            self.rebuild()
+            return "rebuild"
+        if self._kernel is not None and kernel_snapshot is not None:
+            try:
+                self._kernel.restore(kernel_snapshot)
+                return "snapshot"
+            except ValueError:
+                # Snapshot predates kernel growth; fall through.
+                pass
+        self._kernel = None
+        self._limits = None
+        return "rekernel"
 
     # -- live online kernel --------------------------------------------
 

@@ -723,6 +723,7 @@ class ScheduleKernel:
         makes a failed sequence of moves perfectly side-effect-free —
         no recompute, no accumulated rounding residue."""
         return {
+            "n": int(self._colors.shape[0]),
             "colors": self._colors.copy(),
             "sizes": list(self._sizes),
             "rows": [arr[: len(self._sizes)].copy() for arr in self._row_arrays()],
@@ -736,7 +737,21 @@ class ScheduleKernel:
         restore stays correct even if :meth:`open_class` grew the
         class-row allocation after the snapshot was taken (every row at
         or above the snapshot's class count is reset to exact zero).
+
+        A snapshot does **not** survive request-dimension growth: a
+        kernel built over a grown instance has strictly more columns
+        than the snapshot recorded, and rolling those away would need
+        the old instance back.  Restoring across an ``n`` change raises
+        ``ValueError`` — callers (see :meth:`repro.api.Session.recover`)
+        must fall back to a rebuild instead.
         """
+        saved_n = state.get("n", int(np.asarray(state["colors"]).shape[0]))
+        if saved_n != self._colors.shape[0]:
+            raise ValueError(
+                f"kernel snapshot holds {saved_n} requests but the kernel "
+                f"now has {self._colors.shape[0]}; snapshots cannot be "
+                "restored across instance growth — rebuild instead"
+            )
         self._colors[:] = state["colors"]
         self._sizes = list(state["sizes"])
         count = len(self._sizes)

@@ -24,6 +24,7 @@ import sys
 
 from repro.core.gains import BACKENDS
 from repro.experiments.registry import get_registry
+from repro.resilience.policy import RetryPolicy
 from repro.runner.orchestrator import run_experiments
 from repro.scheduling.registry import list_algorithms
 from repro.util.tables import format_table
@@ -70,6 +71,46 @@ def main(argv=None) -> int:
             "(default: the process default, see REPRO_BACKEND)"
         ),
     )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry a failing shard up to N attempts, then quarantine it "
+            "into the artifact's 'failures' section (default: fail fast "
+            "on the first error, as always)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-base-delay",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help=(
+            "backoff before the first retry; doubles per retry "
+            "(default 0.05; only meaningful with --max-attempts)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-shard result deadline; a late shard counts as a failed "
+            "attempt and its stuck worker is reclaimed (requires "
+            "--jobs > 1 to preempt; implies a retry policy)"
+        ),
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help=(
+            "ignore shard checkpoints from an interrupted run with the "
+            "same --artifacts directory (default: resume them)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     registry = get_registry()
@@ -90,9 +131,29 @@ def main(argv=None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.max_attempts is not None and args.max_attempts < 1:
+        parser.error("--max-attempts must be >= 1")
+    retry = None
+    if args.max_attempts is not None or args.shard_deadline is not None:
+        retry = RetryPolicy(
+            max_attempts=args.max_attempts or 1,
+            base_delay=args.retry_base_delay,
+            deadline=args.shard_deadline,
+        )
+
+    had_failures = False
 
     def _print_report(report) -> None:
+        nonlocal had_failures
         print(format_table(report.table))
+        for failure in report.failures:
+            had_failures = True
+            print(
+                f"  QUARANTINED shard {failure.key} "
+                f"({failure.error_type} after {failure.attempts} "
+                f"attempt(s)): {failure.error}",
+                file=sys.stderr,
+            )
         print()
 
     try:
@@ -103,11 +164,13 @@ def main(argv=None) -> int:
             artifacts_dir=args.artifacts,
             on_report=_print_report,
             backend=args.backend,
+            retry=retry,
+            resume=not args.no_resume,
         )
     except KeyError as exc:
         # resolve_specs rejects unknown ids before any work starts.
         parser.error(str(exc).strip("'\""))
-    return 0
+    return 1 if had_failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

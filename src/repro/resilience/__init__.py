@@ -1,0 +1,39 @@
+"""Fault-tolerant execution primitives.
+
+``repro.resilience`` holds the policy and fault-injection layer the
+execution front-ends (:mod:`repro.runner` and :mod:`repro.serve`) share:
+
+* :class:`RetryPolicy` — per-shard retry-with-exponential-backoff and
+  result-deadline policy for the orchestrator.  The default
+  (``max_attempts=1``) preserves the historical fail-fast behavior.
+* :class:`ShardFailure` — the structured record a quarantined shard
+  leaves in its experiment's :class:`~repro.runner.artifacts.BenchReport`
+  instead of aborting sibling experiments.
+* :class:`FaultPlan` / :class:`FaultSpec` — a deterministic, seedable
+  fault-injection harness.  Plans are activated through explicit
+  injection points (the orchestrator's shard execution and checkpoint
+  loop, the serve worker's admission path and
+  :meth:`repro.api.Session.add_requests`), so every retry, quarantine,
+  resume and rollback path is exercised by *injected* faults in the test
+  suite rather than assumed.
+
+Nothing in this package is imported on any hot path unless a policy or
+plan is actually supplied.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KILL_EXIT,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.resilience.policy import RetryPolicy, ShardFailure
+
+__all__ = [
+    "FAULT_KILL_EXIT",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "ShardFailure",
+]

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the execution layers.
+
+A :class:`FaultPlan` is a picklable list of :class:`FaultSpec` triggers
+plus per-site occurrence counters.  Code under test calls
+:meth:`FaultPlan.fire` at explicit *injection points*; when the
+occurrence index at that point matches a spec, the plan acts:
+
+``"raise"``
+    raise :class:`InjectedFault` (an ordinary exception — exercises
+    retry, quarantine and rollback paths),
+``"delay"``
+    sleep ``delay_s`` seconds (exercises deadline paths),
+``"kill"``
+    ``SIGKILL`` the current process (exercises ``BrokenProcessPool``
+    recovery when fired inside a pool worker, and checkpoint/resume
+    when fired in the orchestrator parent).
+
+Injection points in the tree
+----------------------------
+* ``site="shard"``, ``key="<spec_id>:<shard_index>"`` — inside
+  :func:`repro.runner.orchestrator.run_shard`, with ``index`` set to
+  the shard's **attempt number** (explicit, so firing stays
+  deterministic across worker processes and pool rebuilds).
+* ``site="checkpoint"``, ``key="<spec_id>:<shard_index>"`` — in the
+  orchestrator parent, right after that shard's checkpoint is written.
+* ``site="session"``, ``key="<session name>"``,
+  ``phase="add_requests:pre" | "add_requests:grown"`` — inside
+  :meth:`repro.api.Session.add_requests` (installed by the serve layer
+  via :meth:`repro.api.Session.set_fault_hook`): ``pre`` fires before
+  any mutation, ``grown`` fires after the instance/context have grown
+  but before the arrival is fully accounted — a genuinely half-mutated
+  session.
+
+Determinism: occurrence counters are keyed ``(site, key, phase)`` and
+advance by exactly one per :meth:`fire` call, so a plan replays
+identically for an identical call sequence.  :meth:`FaultPlan.seeded`
+derives pseudo-random occurrence indices from a seed for soak-style
+tests without giving up replayability.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Exit status a ``"kill"`` fault dies with (SIGKILL), exposed so tests
+#: can assert the process terminated by injection rather than crashed.
+FAULT_KILL_EXIT = -signal.SIGKILL
+
+_KINDS = ("raise", "delay", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``"raise"`` fault throws at its injection point."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic trigger of a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    site:
+        Injection-point family (``"shard"``, ``"checkpoint"``,
+        ``"session"``, ...).
+    kind:
+        ``"raise"``, ``"delay"`` or ``"kill"`` (see module docstring).
+    key:
+        Optional site-specific key filter (shard id, session name);
+        ``None`` matches every key at the site.
+    at:
+        Occurrence indices (0-based) at which the fault fires — for the
+        ``"shard"`` site these are *attempt numbers*, elsewhere they
+        count :meth:`FaultPlan.fire` calls per ``(site, key, phase)``.
+    phase:
+        Optional sub-point filter within a site (e.g.
+        ``"add_requests:grown"``); ``None`` matches every phase.
+    delay_s:
+        Sleep duration for ``"delay"`` faults.
+    message:
+        Text carried by the :class:`InjectedFault` of ``"raise"`` faults.
+    """
+
+    site: str
+    kind: str = "raise"
+    key: Optional[str] = None
+    at: Tuple[int, ...] = (0,)
+    phase: Optional[str] = None
+    delay_s: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        object.__setattr__(self, "at", tuple(int(a) for a in self.at))
+        if any(a < 0 for a in self.at):
+            raise ValueError(f"at indices must be >= 0, got {self.at}")
+        if self.kind == "delay" and self.delay_s <= 0:
+            raise ValueError("delay faults need delay_s > 0")
+
+    def matches(
+        self, site: str, key: Optional[str], phase: Optional[str], index: int
+    ) -> bool:
+        return (
+            self.site == site
+            and (self.key is None or self.key == key)
+            and (self.phase is None or self.phase == phase)
+            and index in self.at
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of fault triggers plus occurrence counters.
+
+    Plans are picklable (counters included) so the orchestrator can
+    ship them into pool workers; the ``"shard"`` site sidesteps
+    cross-process counter drift entirely by passing the attempt number
+    explicitly.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    #: Per-``(site, key, phase)`` occurrence counters (mutable state).
+    counts: Dict[Tuple[str, Optional[str], Optional[str]], int] = field(
+        default_factory=dict
+    )
+    #: Total faults this plan instance has fired (per process).
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        site: str,
+        kind: str = "raise",
+        key: Optional[str] = None,
+        phase: Optional[str] = None,
+        occurrences: int = 1,
+        horizon: int = 64,
+        delay_s: float = 0.0,
+    ) -> "FaultPlan":
+        """A plan whose firing indices are drawn deterministically from
+        *seed*: *occurrences* distinct indices in ``[0, horizon)``.
+
+        Reproducible chaos: the same seed always yields the same plan,
+        so a failure found by a seeded soak run replays exactly.
+        """
+        import numpy as np
+
+        if occurrences < 1:
+            raise ValueError("occurrences must be >= 1")
+        if horizon < occurrences:
+            raise ValueError("horizon must be >= occurrences")
+        rng = np.random.default_rng(seed)
+        at = tuple(
+            sorted(
+                int(i)
+                for i in rng.choice(horizon, size=occurrences, replace=False)
+            )
+        )
+        return cls(
+            specs=(
+                FaultSpec(
+                    site=site,
+                    kind=kind,
+                    key=key,
+                    at=at,
+                    phase=phase,
+                    delay_s=delay_s,
+                    message=f"injected fault (seed={seed})",
+                ),
+            )
+        )
+
+    def fire(
+        self,
+        site: str,
+        key: Optional[str] = None,
+        phase: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> None:
+        """Hit the injection point ``(site, key, phase)``.
+
+        With *index* omitted the plan's own per-point occurrence
+        counter supplies it (and advances by one); the orchestrator
+        passes the shard attempt number explicitly instead.  Acts on
+        the first matching spec: raises, sleeps, or kills the process.
+        """
+        if index is None:
+            counter_key = (site, key, phase)
+            index = self.counts.get(counter_key, 0)
+            self.counts[counter_key] = index + 1
+        for spec in self.specs:
+            if not spec.matches(site, key, phase, index):
+                continue
+            self.fired += 1
+            if spec.kind == "delay":
+                time.sleep(spec.delay_s)
+                return
+            if spec.kind == "kill":
+                # SIGKILL, not sys.exit: the point is to simulate an
+                # OOM-killed / power-lost process that gets no chance
+                # to clean up.
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedFault(
+                f"{spec.message} [site={site} key={key} phase={phase} "
+                f"occurrence={index}]"
+            )
+
+    def reset(self) -> None:
+        """Zero the occurrence counters (new run, same triggers)."""
+        self.counts.clear()
+        self.fired = 0
+
+
+def fault_points(specs: Sequence[FaultSpec]) -> List[str]:
+    """Human-readable summary of a plan's triggers (for logs/tests)."""
+    return [
+        f"{s.site}:{s.key or '*'}:{s.phase or '*'}@{','.join(map(str, s.at))}"
+        f"->{s.kind}"
+        for s in specs
+    ]

@@ -1,0 +1,125 @@
+"""Retry policies and structured shard-failure records.
+
+A :class:`RetryPolicy` describes how the orchestrator treats a failing
+shard: how many attempts it gets, how long to back off between them,
+and how long to wait for a worker's result before declaring the attempt
+dead.  A :class:`ShardFailure` is what remains of a shard that exhausted
+its attempts — the experiment's report carries it (and the run
+continues) instead of the whole multi-experiment run aborting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-shard retry, backoff and deadline policy.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts a shard gets before it is quarantined.  The
+        default ``1`` is the historical fail-fast behavior: the first
+        failure is final (it still becomes a structured
+        :class:`ShardFailure` instead of an exception that aborts
+        sibling experiments, unless retries are entirely disabled at
+        the call site).
+    base_delay:
+        Seconds slept before the first retry.  Subsequent retries back
+        off exponentially: retry ``k`` (1-based) waits
+        ``base_delay * backoff ** (k - 1)`` seconds, capped at
+        :attr:`max_delay`.
+    deadline:
+        Per-shard result deadline in seconds, or ``None`` for no limit.
+        With worker processes (``jobs > 1``) a shard whose result does
+        not arrive within the deadline counts as a failed attempt and
+        the worker pool is rebuilt to reclaim the stuck worker.
+        In-process runs (``jobs == 1``) cannot preempt a running shard,
+        so the deadline is not enforced there.
+    backoff:
+        Exponential backoff multiplier between retries (default 2.0).
+    max_delay:
+        Upper bound on any single backoff sleep (default 30 s).
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 0.05
+    deadline: Optional[float] = None
+    backoff: float = 2.0
+    max_delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be positive or None, got {self.deadline}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+
+    def delay_before_retry(self, failures: int) -> float:
+        """Backoff sleep (seconds) after the *failures*-th failure
+        (1-based): ``base_delay * backoff ** (failures - 1)``, capped
+        at :attr:`max_delay`."""
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        return min(
+            self.base_delay * self.backoff ** (failures - 1), self.max_delay
+        )
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """A quarantined shard: what failed, how, and how often.
+
+    Attached to the owning experiment's
+    :class:`~repro.runner.artifacts.BenchReport` (and serialized into
+    its ``BENCH_*.json`` under ``"failures"``) so a partially failed
+    run still produces a complete, diffable artifact for every healthy
+    shard.
+    """
+
+    #: The shard's human-readable key (e.g. ``"n=256"``).
+    key: str
+    #: The shard's index within its experiment.
+    shard_index: int
+    #: The derived shard seed (``None`` for seedless experiments).
+    seed: Optional[int]
+    #: Exception type name (``"BrokenProcessPool"``, ``"TimeoutError"``,
+    #: ``"InjectedFault"``, ...).
+    error_type: str
+    #: The stringified exception (empty for worker-death failures).
+    error: str
+    #: Attempts consumed before quarantine.
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "shard_index": self.shard_index,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ShardFailure":
+        return cls(
+            key=payload["key"],
+            shard_index=int(payload["shard_index"]),
+            seed=payload.get("seed"),
+            error_type=payload.get("error_type", "Exception"),
+            error=payload.get("error", ""),
+            attempts=int(payload.get("attempts", 1)),
+        )

@@ -13,10 +13,17 @@ from repro.runner.artifacts import (
     BenchReport,
     ShardResult,
     artifact_path,
+    atomic_write_text,
     bench_from_dict,
     bench_to_dict,
+    checkpoint_dir,
+    checkpoint_path,
+    clear_checkpoints,
     read_artifact,
+    read_checkpoint,
+    validate_artifacts_dir,
     write_artifact,
+    write_checkpoint,
 )
 from repro.runner.orchestrator import (
     available_experiments,
@@ -39,10 +46,17 @@ __all__ = [
     "BenchReport",
     "ShardResult",
     "artifact_path",
+    "atomic_write_text",
     "bench_to_dict",
     "bench_from_dict",
+    "checkpoint_dir",
+    "checkpoint_path",
+    "clear_checkpoints",
     "write_artifact",
     "read_artifact",
+    "read_checkpoint",
+    "validate_artifacts_dir",
+    "write_checkpoint",
     "available_experiments",
     "resolve_specs",
     "run_experiments",

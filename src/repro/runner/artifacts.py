@@ -16,7 +16,13 @@ Schema (``format_version`` 1)::
       "mode": "fast" | "full" (or a benchmark-defined label, e.g. "smoke"),
       "table": {<repro.serialization table payload>},
       "shards": [
-        {"key": "n=10", "seed": 123..., "rows": 3, "seconds": 0.41},
+        {"key": "n=10", "seed": 123..., "rows": 3, "seconds": 0.41,
+         "attempts": 1, "resumed": false},
+        ...
+      ],
+      "failures": [
+        {"key": "n=20", "shard_index": 1, "seed": 456...,
+         "error_type": "InjectedFault", "error": "...", "attempts": 3},
         ...
       ],
       "timings": {"run_wall_seconds": 1.3, "total_shard_seconds": 2.2},
@@ -29,7 +35,13 @@ Schema (``format_version`` 1)::
 written before the backend split are read back as ``"dense"``.
 ``env.algorithms`` lists the registry algorithms the experiment
 declares (:attr:`repro.runner.spec.ExperimentSpec.algorithms`); older
-artifacts read back with an empty tuple.
+artifacts read back with an empty tuple.  ``shards[*].attempts`` /
+``shards[*].resumed`` and the top-level ``failures`` list (quarantined
+shards, see :class:`repro.resilience.ShardFailure`) arrived with the
+fault-tolerant runner; artifacts written before it read back with
+``attempts=1``, ``resumed=False`` and no failures.  All artifact and
+checkpoint writes are atomic (temp file + ``os.replace``), so readers
+never observe a truncated file.
 
 ``run_wall_seconds`` is the wall time from the start of the
 orchestrator run until this experiment's results were complete (the
@@ -48,10 +60,13 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import pathlib
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.resilience.policy import ShardFailure
 from repro.serialization import (
     FORMAT_VERSION,
     SerializationError,
@@ -69,6 +84,11 @@ class ShardResult:
     seed: Optional[int]
     rows: int
     seconds: float
+    #: Attempts the shard consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: ``True`` when the result was loaded from a checkpoint of an
+    #: earlier, interrupted run instead of being re-executed.
+    resumed: bool = False
 
 
 @dataclass
@@ -87,6 +107,10 @@ class BenchReport:
     #: Registry algorithm names the experiment declares it exercises
     #: (see :attr:`repro.runner.spec.ExperimentSpec.algorithms`).
     algorithms: Tuple[str, ...] = ()
+    #: Shards quarantined after exhausting their retry budget (see
+    #: :class:`repro.resilience.RetryPolicy`); the merged table holds
+    #: only the healthy shards' rows.  Older artifacts read back empty.
+    failures: List[ShardFailure] = field(default_factory=list)
 
     @property
     def total_shard_seconds(self) -> float:
@@ -125,9 +149,12 @@ def bench_to_dict(report: BenchReport) -> Dict[str, Any]:
                 "seed": shard.seed,
                 "rows": shard.rows,
                 "seconds": shard.seconds,
+                "attempts": shard.attempts,
+                "resumed": shard.resumed,
             }
             for shard in report.shards
         ],
+        "failures": [failure.to_dict() for failure in report.failures],
         "timings": {
             "run_wall_seconds": report.run_wall_seconds,
             "total_shard_seconds": report.total_shard_seconds,
@@ -160,8 +187,14 @@ def bench_from_dict(payload: Dict[str, Any]) -> BenchReport:
                 seed=shard["seed"],
                 rows=shard["rows"],
                 seconds=shard["seconds"],
+                attempts=int(shard.get("attempts", 1)),
+                resumed=bool(shard.get("resumed", False)),
             )
             for shard in payload.get("shards", [])
+        ],
+        failures=[
+            ShardFailure.from_dict(entry)
+            for entry in payload.get("failures", [])
         ],
         run_wall_seconds=payload.get("timings", {}).get(
             "run_wall_seconds", 0.0
@@ -179,15 +212,46 @@ def artifact_path(directory: Union[str, pathlib.Path], experiment: str) -> pathl
     return pathlib.Path(directory) / f"BENCH_{experiment}.json"
 
 
+def atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write *text* to *path* atomically.
+
+    The payload goes to a temporary file **in the same directory**
+    (same filesystem, so the final ``os.replace`` is atomic); readers
+    therefore only ever observe either the previous complete file or
+    the new complete file.  A crash — even ``SIGKILL`` — mid-write
+    leaves at worst a stray ``*.tmp`` file, never a truncated artifact.
+    """
+    path = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def write_artifact(
     directory: Union[str, pathlib.Path], report: BenchReport
 ) -> pathlib.Path:
-    """Write *report* under *directory* (created if missing)."""
+    """Write *report* under *directory* (created if missing).
+
+    The write is atomic (temp file + ``os.replace``): an interrupted
+    run never leaves a truncated or half-serialized ``BENCH_*.json``.
+    """
     path = artifact_path(directory, report.experiment)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
+    atomic_write_text(
+        path,
         json.dumps(bench_to_dict(report), indent=2, allow_nan=False) + "\n",
-        encoding="utf-8",
     )
     return path
 
@@ -196,3 +260,141 @@ def read_artifact(path: Union[str, pathlib.Path]) -> BenchReport:
     """Load one ``BENCH_*.json`` artifact."""
     payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
     return bench_from_dict(payload)
+
+
+def validate_artifacts_dir(directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Fail fast if *directory* cannot hold artifacts.
+
+    Creates the directory (parents included) and round-trips a probe
+    file through the same atomic-replace path artifacts use.  Called by
+    :func:`repro.runner.orchestrator.run_experiments` **before any
+    shard is submitted**, so an unusable output location surfaces as an
+    immediate, clearly worded error instead of a crash after hours of
+    compute at the first write.
+    """
+    path = pathlib.Path(directory)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        probe = path / f".write-probe-{os.getpid()}"
+        atomic_write_text(probe, "probe\n")
+        probe.unlink()
+    except OSError as exc:
+        raise ValueError(
+            f"artifacts_dir {str(directory)!r} is not a writable directory "
+            f"({exc}); fix the path/permissions before launching the run"
+        ) from exc
+    return path
+
+
+# ----------------------------------------------------------------------
+# Shard checkpoints (interrupted-run resume)
+# ----------------------------------------------------------------------
+#
+# Completed shard tables persist under
+# ``<artifacts_dir>/.checkpoints/<experiment>/shard_<k>.json`` so an
+# interrupted run restarts only its unfinished shards.  Per-shard
+# seeding is derived from the spec alone, so a resumed run's merged
+# table is bit-identical to an uninterrupted one.  Checkpoints are
+# deleted once the experiment's final artifact is written.
+
+
+def checkpoint_dir(
+    directory: Union[str, pathlib.Path], experiment: str
+) -> pathlib.Path:
+    """``<directory>/.checkpoints/<experiment>``."""
+    return pathlib.Path(directory) / ".checkpoints" / experiment
+
+
+def checkpoint_path(
+    directory: Union[str, pathlib.Path], experiment: str, shard_index: int
+) -> pathlib.Path:
+    """The checkpoint file for one shard."""
+    return checkpoint_dir(directory, experiment) / f"shard_{shard_index}.json"
+
+
+def write_checkpoint(
+    directory: Union[str, pathlib.Path],
+    experiment: str,
+    shard_index: int,
+    key: str,
+    seed: Optional[int],
+    table: Table,
+    seconds: float,
+    attempts: int = 1,
+) -> pathlib.Path:
+    """Atomically persist one completed shard's table."""
+    path = checkpoint_path(directory, experiment, shard_index)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "shard_checkpoint",
+        "experiment": experiment,
+        "shard_index": shard_index,
+        "key": key,
+        "seed": seed,
+        "seconds": seconds,
+        "attempts": attempts,
+        "table": table_to_dict(table),
+    }
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, allow_nan=False) + "\n"
+    )
+    return path
+
+
+def read_checkpoint(
+    directory: Union[str, pathlib.Path],
+    experiment: str,
+    shard_index: int,
+    key: str,
+    seed: Optional[int],
+) -> Optional[Tuple[Table, float, int]]:
+    """Load a shard checkpoint, or ``None`` when absent or stale.
+
+    A checkpoint only resumes when its recorded ``(experiment, key,
+    seed)`` matches the current spec's shard — a spec change between
+    runs silently invalidates old checkpoints instead of splicing
+    mismatched rows into the merged table.  Unreadable/corrupt files
+    are likewise treated as absent (the shard simply re-runs).
+    """
+    path = checkpoint_path(directory, experiment, shard_index)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        payload.get("kind") != "shard_checkpoint"
+        or payload.get("format_version") != FORMAT_VERSION
+        or payload.get("experiment") != experiment
+        or payload.get("key") != key
+        or payload.get("seed") != seed
+    ):
+        return None
+    try:
+        table = table_from_dict(payload["table"])
+    except (KeyError, SerializationError):
+        return None
+    return (
+        table,
+        float(payload.get("seconds", 0.0)),
+        int(payload.get("attempts", 1)),
+    )
+
+
+def clear_checkpoints(
+    directory: Union[str, pathlib.Path], experiment: str
+) -> None:
+    """Drop an experiment's checkpoint directory (after its final
+    artifact landed)."""
+    target = checkpoint_dir(directory, experiment)
+    if not target.is_dir():
+        return
+    for entry in target.glob("*.json"):
+        try:
+            entry.unlink()
+        except OSError:
+            pass
+    try:
+        target.rmdir()
+    except OSError:
+        pass

@@ -1,8 +1,7 @@
-"""Parallel experiment orchestrator.
+"""Parallel experiment orchestrator with fault-tolerant execution.
 
-Replaces the hand-rolled sequential loops of the old CLI: experiments
-are expanded into :class:`~repro.runner.spec.Shard` units (per size,
-with deterministically derived seeds), fanned out over a
+Experiments are expanded into :class:`~repro.runner.spec.Shard` units
+(per size, with deterministically derived seeds), fanned out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`, and merged back into
 one table per experiment **in shard order** — so the result is
 bit-identical whether the run used one worker or many.
@@ -11,20 +10,74 @@ Workers re-resolve the shard from the experiment registry by
 ``(spec_id, mode, shard_index)``; only small picklable identifiers
 cross the process boundary on the way in and a plain
 :class:`~repro.util.tables.Table` on the way out.
+
+Fault tolerance (see :mod:`repro.resilience`)
+---------------------------------------------
+Supplying a :class:`~repro.resilience.RetryPolicy` (run-level, or
+pinned per spec via :attr:`~repro.runner.spec.ExperimentSpec.retry`)
+turns shard failures from run-aborting exceptions into managed events:
+
+* an ordinary shard exception is retried with exponential backoff, up
+  to ``max_attempts``; a shard that exhausts its budget is
+  *quarantined* — the run continues and the experiment's
+  :class:`~repro.runner.artifacts.BenchReport` carries a structured
+  :class:`~repro.resilience.ShardFailure` instead of rows for it;
+* a dead worker (OOM kill → ``BrokenProcessPool``) rebuilds the pool.
+  The breakage cannot be attributed to a specific shard while several
+  are in flight, so the scheduler falls back to *serial probing*: the
+  remaining shards run one at a time, where a repeat kill identifies
+  the poison shard exactly — it alone accumulates attempts and is
+  quarantined, while innocent shards never lose retry budget to a
+  sibling's crash;
+* with ``jobs > 1`` a shard whose result does not arrive within the
+  policy's ``deadline`` counts as a failed attempt and the pool is
+  rebuilt to reclaim the stuck worker (``jobs == 1`` cannot preempt a
+  running shard, so deadlines are not enforced in-process).
+
+With no policy configured anywhere, behavior is exactly historical:
+the first failure propagates and aborts the run (fail-fast).  The
+default policy ``RetryPolicy()`` itself has ``max_attempts=1`` — it
+adds quarantine-instead-of-abort but no retries.
+
+Checkpoint / resume
+-------------------
+When ``artifacts_dir`` is given, every completed shard's table is
+persisted atomically under ``<artifacts_dir>/.checkpoints/<id>/`` and
+deleted once the experiment's final ``BENCH_<id>.json`` lands.  A run
+that died mid-way (crash, ``SIGKILL``, power loss) restarts with only
+its unfinished shards re-executing; because per-shard seeds derive
+from the spec alone, the resumed artifact is bit-identical to an
+uninterrupted run's.  Resumed shards are flagged ``resumed=True`` in
+the artifact's ``shards`` section.
 """
 
 from __future__ import annotations
 
-import contextlib
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.gains import backend_scope, resolve_backend
-from repro.runner.artifacts import BenchReport, ShardResult, write_artifact
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy, ShardFailure
+from repro.runner.artifacts import (
+    BenchReport,
+    ShardResult,
+    clear_checkpoints,
+    read_checkpoint,
+    validate_artifacts_dir,
+    write_artifact,
+    write_checkpoint,
+)
 from repro.runner.spec import ExperimentSpec, Shard, merge_tables
 from repro.util.tables import Table
+
+#: ``(spec id, shard index)`` — the unit the scheduler tracks.
+_ShardKey = Tuple[str, int]
 
 
 def _registry() -> "Dict[str, ExperimentSpec]":
@@ -63,14 +116,25 @@ def run_shard(
     fast: bool,
     shard_index: int,
     backend: Optional[str] = None,
+    attempt: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[Table, float]:
     """Execute one shard (in this process) and time it.
 
     *backend* is the resolved gain-backend name for this shard; it is
     applied process-locally (workers receive it explicitly, since the
     parent's :func:`repro.core.gains.set_default_backend` state does
-    not cross the process boundary).
+    not cross the process boundary).  *attempt* is the 0-based retry
+    attempt — it does not influence the computation (shard seeds come
+    from the spec alone, so retries are bit-identical), only the
+    deterministic *fault_plan* injection point ``("shard",
+    "<spec_id>:<shard_index>")``, which fires **before** any work so an
+    injected crash never leaves a half-computed table behind.
     """
+    if fault_plan is not None:
+        fault_plan.fire(
+            "shard", key=f"{spec_id}:{shard_index}", index=int(attempt)
+        )
     spec = _registry()[spec_id]
     shard = spec.shards(fast)[shard_index]
     run = spec.resolve()
@@ -87,6 +151,240 @@ def _init_worker(sys_path: List[str]) -> None:
             sys.path.append(entry)
 
 
+@dataclass
+class _Outcome:
+    """Terminal state of one shard: a table or a quarantine record."""
+
+    table: Optional[Table]
+    seconds: float
+    attempts: int
+    resumed: bool = False
+    failure: Optional[ShardFailure] = None
+
+
+class _ShardScheduler:
+    """Retry/deadline/pool-recovery engine behind ``run_experiments``.
+
+    ``jobs == 1`` executes shards in-process; otherwise shards run on a
+    :class:`ProcessPoolExecutor` that is rebuilt whenever it breaks (a
+    worker died) or a shard result misses its deadline (the worker is
+    stuck).  After an *unattributed* breakage — several shards were in
+    flight, any of them may have killed the worker — the scheduler
+    degrades to serial probing for the rest of the run: one shard in
+    flight at a time, so every further failure is attributable and only
+    the culprit spends retry budget.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        fast: bool,
+        backends: Dict[str, str],
+        policies: Dict[str, Optional[RetryPolicy]],
+        fault_plan: Optional[FaultPlan],
+    ):
+        self.jobs = jobs
+        self.fast = fast
+        self.backends = backends
+        self.policies = policies
+        self.fault_plan = fault_plan
+        self.work: Dict[_ShardKey, Shard] = {}
+        self.unresolved: set = set()
+        self.serial = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[_ShardKey, object] = {}
+        self._failures: Dict[_ShardKey, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def prime(self, work: Dict[_ShardKey, Shard]) -> None:
+        """Register *work* and (for pool runs) submit all of it."""
+        self.work = dict(work)
+        self.unresolved = set(work)
+        if self.jobs > 1 and self.work:
+            self._pool = self._new_pool()
+            for key in self.work:
+                self._submit(key)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        )
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken/hogged pool; resubmit survivors unless the
+        scheduler has degraded to serial probing."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # wait=False: a stuck or dying worker must not block
+            # recovery; orphaned workers exit on their own.
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._futures.clear()
+        self._pool = self._new_pool()
+        if not self.serial:
+            for key in sorted(self.unresolved):
+                self._submit(key)
+
+    def _submit(self, key: _ShardKey) -> None:
+        spec_id, shard_index = key
+        self._futures[key] = self._pool.submit(
+            run_shard,
+            spec_id,
+            self.fast,
+            shard_index,
+            backend=self.backends[spec_id],
+            attempt=self._failures.get(key, 0),
+            fault_plan=self.fault_plan,
+        )
+
+    # -- failure accounting ------------------------------------------------
+
+    def _record_failure(
+        self, key: _ShardKey, exc: BaseException
+    ) -> Optional[_Outcome]:
+        """Count one failed attempt; quarantine when the budget is gone.
+
+        Returns the quarantine :class:`_Outcome`, or ``None`` when the
+        shard gets another attempt.  With no policy configured the
+        exception propagates unchanged — the historical fail-fast run
+        abort.
+        """
+        spec_id, shard_index = key
+        policy = self.policies[spec_id]
+        if policy is None:
+            raise exc
+        failures = self._failures.get(key, 0) + 1
+        self._failures[key] = failures
+        if failures < policy.max_attempts:
+            return None
+        shard = self.work[key]
+        return _Outcome(
+            table=None,
+            seconds=0.0,
+            attempts=failures,
+            failure=ShardFailure(
+                key=shard.key,
+                shard_index=shard_index,
+                seed=shard.seed,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                attempts=failures,
+            ),
+        )
+
+    def _backoff(self, key: _ShardKey) -> None:
+        policy = self.policies[key[0]]
+        delay = policy.delay_before_retry(self._failures[key])
+        if delay > 0:
+            time.sleep(delay)
+
+    def _finish(self, key: _ShardKey) -> None:
+        self.unresolved.discard(key)
+        self._futures.pop(key, None)
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, key: _ShardKey) -> _Outcome:
+        """Block until *key* has a terminal outcome (table or
+        quarantine), retrying and recovering the pool as needed."""
+        if self.jobs == 1:
+            return self._resolve_inline(key)
+        return self._resolve_pool(key)
+
+    def _resolve_inline(self, key: _ShardKey) -> _Outcome:
+        spec_id, shard_index = key
+        while True:
+            attempt = self._failures.get(key, 0)
+            try:
+                table, seconds = run_shard(
+                    spec_id,
+                    self.fast,
+                    shard_index,
+                    backend=self.backends[spec_id],
+                    attempt=attempt,
+                    fault_plan=self.fault_plan,
+                )
+            except Exception as exc:
+                outcome = self._record_failure(key, exc)
+                if outcome is not None:
+                    self._finish(key)
+                    return outcome
+                self._backoff(key)
+                continue
+            self._finish(key)
+            return _Outcome(table, seconds, attempts=attempt + 1)
+
+    def _resolve_pool(self, key: _ShardKey) -> _Outcome:
+        spec_id, _ = key
+        while True:
+            future = self._futures.get(key)
+            if future is None:
+                self._submit(key)
+                future = self._futures[key]
+            policy = self.policies[spec_id]
+            deadline = policy.deadline if policy is not None else None
+            try:
+                table, seconds = future.result(timeout=deadline)
+            except FuturesTimeout:
+                # The worker is stuck past the shard's deadline.
+                # Attribution is exact (it is this shard's own budget),
+                # and the pool must be rebuilt either way to reclaim
+                # the hogged worker.
+                outcome = self._record_failure(
+                    key,
+                    TimeoutError(
+                        f"shard result exceeded deadline of {deadline:g}s"
+                    ),
+                )
+                if outcome is not None:
+                    self._finish(key)
+                    self._rebuild_pool()
+                    return outcome
+                self._rebuild_pool()
+                self._backoff(key)
+            except BrokenProcessPool as exc:
+                if self.serial:
+                    # Serial probing: this shard was alone in flight,
+                    # so the worker death is provably its doing.
+                    outcome = self._record_failure(key, exc)
+                    self._rebuild_pool()
+                    if outcome is not None:
+                        self._finish(key)
+                        return outcome
+                    self._backoff(key)
+                else:
+                    # Several shards in flight — any of them may have
+                    # killed the worker.  Charge nobody; rerun the
+                    # survivors one at a time so the next death has
+                    # exactly one suspect.
+                    self.serial = True
+                    self._rebuild_pool()
+            except Exception as exc:
+                # An ordinary exception raised *by* the shard: exact
+                # attribution, pool intact.
+                self._futures.pop(key, None)
+                outcome = self._record_failure(key, exc)
+                if outcome is not None:
+                    self._finish(key)
+                    return outcome
+                self._backoff(key)
+            else:
+                self._finish(key)
+                return _Outcome(
+                    table,
+                    seconds,
+                    attempts=self._failures.get(key, 0) + 1,
+                )
+
+
 def run_experiments(
     experiment_ids: Optional[Sequence[str]] = None,
     fast: bool = False,
@@ -94,6 +392,9 @@ def run_experiments(
     artifacts_dir: Optional[str] = None,
     on_report: Optional[Callable[[BenchReport], None]] = None,
     backend: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    resume: bool = True,
 ) -> List[BenchReport]:
     """Run experiments, in parallel across shards, and merge results.
 
@@ -114,7 +415,10 @@ def run_experiments(
         from the specs alone).
     artifacts_dir:
         When given, one ``BENCH_<id>.json`` per experiment is written
-        there (see :mod:`repro.runner.artifacts`).
+        there (see :mod:`repro.runner.artifacts`).  The directory is
+        validated (creatable + writable) **before any shard is
+        submitted**, and completed shards are checkpointed under
+        ``<artifacts_dir>/.checkpoints/`` for crash resume.
     on_report:
         Optional callback invoked with each experiment's
         :class:`BenchReport` as soon as it is complete (the CLI uses
@@ -125,6 +429,22 @@ def run_experiments(
         to the process default, so ``REPRO_BACKEND=sparse`` flips a
         whole run.  The resolved name is recorded per experiment in
         the artifact's ``env`` section.
+    retry:
+        Run-level :class:`~repro.resilience.RetryPolicy`.  A spec's
+        own ``retry`` pin wins over this.  With **no** policy anywhere
+        (the default) failures propagate exactly as they always have;
+        any configured policy instead retries with backoff and
+        quarantines exhausted shards into
+        :attr:`BenchReport.failures`.
+    fault_plan:
+        Deterministic :class:`~repro.resilience.FaultPlan` driven
+        through the ``"shard"`` (worker-side, attempt-indexed) and
+        ``"checkpoint"`` (parent-side) injection points.  Test/chaos
+        tooling only; ``None`` in production.
+    resume:
+        Load shard checkpoints left by an interrupted run with the
+        same *artifacts_dir* (default ``True``).  Stale checkpoints —
+        key or seed no longer matching the spec — are ignored.
 
     Returns
     -------
@@ -137,75 +457,123 @@ def run_experiments(
     plan: List[Tuple[ExperimentSpec, List[Shard]]] = [
         (spec, spec.shards(fast)) for spec in specs
     ]
-    # Resolve each spec's backend up front: spec pin > run-level choice
-    # > process default.  Workers receive the resolved name explicitly.
+    # Resolve each spec's backend and retry policy up front: spec pin >
+    # run-level choice > default.  Workers receive the resolved
+    # backend name explicitly.
     backends: Dict[str, str] = {
         spec.id: resolve_backend(spec.backend or backend) for spec, _ in plan
     }
+    policies: Dict[str, Optional[RetryPolicy]] = {
+        spec.id: (spec.retry if spec.retry is not None else retry)
+        for spec, _ in plan
+    }
+    if artifacts_dir is not None:
+        # Fail fast: a run can compute for hours — an unusable output
+        # directory must abort before the first shard, not at the
+        # first write.
+        validate_artifacts_dir(artifacts_dir)
 
     start = time.perf_counter()
     reports: List[BenchReport] = []
-    # Memoized per (spec id, shard index): duplicate experiment ids in
-    # the request reuse one computation instead of re-running shards.
-    done: Dict[Tuple[str, int], Tuple[Table, float]] = {}
-    with contextlib.ExitStack() as stack:
-        if jobs == 1:
-            def result_for(spec_id: str, shard_index: int) -> Tuple[Table, float]:
-                key = (spec_id, shard_index)
-                if key not in done:
-                    done[key] = run_shard(
-                        spec_id, fast, shard_index, backend=backends[spec_id]
-                    )
-                return done[key]
-        else:
-            pool = stack.enter_context(
-                ProcessPoolExecutor(
-                    max_workers=jobs,
-                    initializer=_init_worker,
-                    initargs=(list(sys.path),),
-                )
-            )
-            futures: Dict[Tuple[str, int], object] = {}
-            for spec, shards in plan:
-                for shard in shards:
-                    key = (spec.id, shard.index)
-                    if key not in futures:
-                        futures[key] = pool.submit(
-                            run_shard,
-                            spec.id,
-                            fast,
-                            shard.index,
-                            backend=backends[spec.id],
-                        )
-
-            def result_for(spec_id: str, shard_index: int) -> Tuple[Table, float]:
-                return futures[(spec_id, shard_index)].result()
-
+    # Terminal outcome per (spec id, shard index): duplicate experiment
+    # ids in the request reuse one computation, and checkpoint-resumed
+    # shards never re-execute.
+    outcomes: Dict[_ShardKey, _Outcome] = {}
+    if artifacts_dir is not None and resume:
         for spec, shards in plan:
-            shard_outputs = [result_for(spec.id, shard.index) for shard in shards]
+            for shard in shards:
+                key = (spec.id, shard.index)
+                if key in outcomes:
+                    continue
+                loaded = read_checkpoint(
+                    artifacts_dir, spec.id, shard.index, shard.key, shard.seed
+                )
+                if loaded is not None:
+                    table, seconds, attempts = loaded
+                    outcomes[key] = _Outcome(
+                        table, seconds, attempts=attempts, resumed=True
+                    )
+
+    scheduler = _ShardScheduler(jobs, fast, backends, policies, fault_plan)
+    work: Dict[_ShardKey, Shard] = {}
+    for spec, shards in plan:
+        for shard in shards:
+            key = (spec.id, shard.index)
+            if key not in outcomes and key not in work:
+                work[key] = shard
+    scheduler.prime(work)
+    try:
+        for spec, shards in plan:
+            shard_results: List[ShardResult] = []
+            failures: List[ShardFailure] = []
+            tables: List[Table] = []
+            for shard in shards:
+                key = (spec.id, shard.index)
+                if key not in outcomes:
+                    outcomes[key] = scheduler.resolve(key)
+                    outcome = outcomes[key]
+                    if (
+                        artifacts_dir is not None
+                        and outcome.failure is None
+                    ):
+                        write_checkpoint(
+                            artifacts_dir,
+                            spec.id,
+                            shard.index,
+                            shard.key,
+                            shard.seed,
+                            outcome.table,
+                            outcome.seconds,
+                            attempts=outcome.attempts,
+                        )
+                        if fault_plan is not None:
+                            fault_plan.fire(
+                                "checkpoint", key=f"{spec.id}:{shard.index}"
+                            )
+                outcome = outcomes[key]
+                if outcome.failure is not None:
+                    failures.append(outcome.failure)
+                    continue
+                tables.append(outcome.table)
+                shard_results.append(
+                    ShardResult(
+                        key=shard.key,
+                        seed=shard.seed,
+                        rows=len(outcome.table),
+                        seconds=outcome.seconds,
+                        attempts=outcome.attempts,
+                        resumed=outcome.resumed,
+                    )
+                )
+            if tables:
+                merged = merge_tables(tables)
+            else:
+                # Every shard quarantined: an empty (but well-formed)
+                # table keeps the artifact and the sibling experiments
+                # flowing.
+                merged = Table(title=spec.title, columns=[])
+                merged.add_note(
+                    "all shards quarantined; see the 'failures' section"
+                )
             report = BenchReport(
                 experiment=spec.id,
                 title=spec.title,
                 mode=mode,
-                table=merge_tables([table for table, _ in shard_outputs]),
-                shards=[
-                    ShardResult(
-                        key=shard.key,
-                        seed=shard.seed,
-                        rows=len(table),
-                        seconds=seconds,
-                    )
-                    for shard, (table, seconds) in zip(shards, shard_outputs)
-                ],
+                table=merged,
+                shards=shard_results,
                 run_wall_seconds=time.perf_counter() - start,
                 jobs=jobs,
                 metric=spec.metric,
                 backend=backends[spec.id],
                 algorithms=tuple(spec.algorithms),
+                failures=failures,
             )
             if artifacts_dir is not None:
                 write_artifact(artifacts_dir, report)
+                clear_checkpoints(artifacts_dir, spec.id)
             reports.append(report)
             if on_report is not None:
                 on_report(report)
+    finally:
+        scheduler.close()
     return reports

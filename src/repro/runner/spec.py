@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.core.gains import BACKENDS
+from repro.resilience.policy import RetryPolicy
 from repro.util.tables import Table
 
 #: Sharding strategies a spec may declare.
@@ -90,6 +91,12 @@ class ExperimentSpec:
         exercises.  Validated against the registry at spec construction
         (a typo fails the import, not the run), listed by the CLI and
         recorded in the artifact's ``env.algorithms``.
+    retry:
+        Optional per-shard :class:`~repro.resilience.RetryPolicy` pin
+        for this experiment.  ``None`` (the default) follows the
+        run-level policy passed to
+        :func:`~repro.runner.orchestrator.run_experiments`, falling
+        back to fail-fast (``max_attempts=1``).
     """
 
     id: str
@@ -102,6 +109,7 @@ class ExperimentSpec:
     metric: Optional[str] = None
     backend: Optional[str] = None
     algorithms: Tuple[str, ...] = ()
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.shard_by not in SHARD_MODES:
@@ -124,6 +132,11 @@ class ExperimentSpec:
             raise ValueError(
                 f"{self.id}: backend must be one of {BACKENDS} or None, "
                 f"got {self.backend!r}"
+            )
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"{self.id}: retry must be a RetryPolicy or None, "
+                f"got {self.retry!r}"
             )
         for mode_name, kwargs in (("full", self.full), ("fast", self.fast)):
             if "rng" in kwargs:

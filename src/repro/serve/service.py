@@ -18,6 +18,28 @@ producer inside :meth:`ScheduleServer.submit` (backpressure).  All
 session state is touched only from the event loop thread, so no locks
 are needed: the worker serializes arrivals per session, and departures
 run inline between queue items.
+
+Fault tolerance
+---------------
+The worker supervises every admission (see
+:meth:`repro.api.Session.recover`): before mutating, it snapshots the
+live kernel; an exception escaping ``add_requests`` triggers a
+transactional rollback — bitwise snapshot restore when the kernel state
+is intact, an automatic compacting rebuild when the session was left
+half-mutated.  Either way the session stays structurally consistent and
+the *next* arrival schedules bit-identically to a cold rebuild over the
+same active set.  Recoveries are counted in
+:attr:`SessionStats.recoveries` and flag the session ``degraded`` until
+an admission succeeds again; if recovery itself fails the session is
+marked ``broken`` and further arrivals are rejected with reason
+``"degraded"``.
+
+Per-request deadlines (:attr:`ServeConfig.request_deadline_s`) bound
+the time an arrival may wait for its decision: an arrival still queued
+when its deadline fires is rejected with reason ``"deadline"``.  The
+event loop is single-threaded and admission is synchronous, so a
+deadline timer can never fire mid-admission — the worker cancels it
+before touching the session.
 """
 
 from __future__ import annotations
@@ -30,6 +52,7 @@ from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.api import Problem, RequestHandle, Session
+from repro.resilience.faults import FaultPlan
 
 __all__ = [
     "AdmissionDecision",
@@ -59,12 +82,29 @@ class ServeConfig:
         Optional async consumer invoked by the worker after every
         decision.  A slow consumer slows the worker, which fills the
         queue and propagates backpressure to producers.
+    request_deadline_s:
+        Per-request decision deadline (seconds from submit), or
+        ``None`` for no limit.  An arrival whose deadline fires while
+        it is still queued is rejected with reason ``"deadline"``
+        (counted in :attr:`SessionStats.rejected_deadline`).
+    admit_retries:
+        Extra admission attempts after a recovered failure (default 0:
+        the first failure is recovered, then surfaced to the producer).
+        Retries re-run the same arrival against the healed session —
+        useful when faults are transient.
+    fault_plan:
+        Deterministic :class:`~repro.resilience.FaultPlan` installed on
+        the session at registration (fires at ``site="session"`` with
+        the session's name as key).  Test/chaos tooling only.
     """
 
     queue_capacity: int = 64
     max_requests: Optional[int] = None
     overflow: str = "wait"
     on_admit: Optional[Callable[["AdmissionDecision"], Awaitable[None]]] = None
+    request_deadline_s: Optional[float] = None
+    admit_retries: int = 0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -75,6 +115,15 @@ class ServeConfig:
             raise ValueError(
                 f"overflow must be 'wait' or 'shed', got {self.overflow!r}"
             )
+        if self.request_deadline_s is not None and self.request_deadline_s <= 0:
+            raise ValueError(
+                "request_deadline_s must be positive or None, "
+                f"got {self.request_deadline_s}"
+            )
+        if self.admit_retries < 0:
+            raise ValueError(
+                f"admit_retries must be >= 0, got {self.admit_retries}"
+            )
 
 
 @dataclass(frozen=True)
@@ -83,9 +132,10 @@ class AdmissionDecision:
 
     ``accepted`` arrivals carry the stable :class:`RequestHandle` and
     the color class the live kernel admitted them into.  Rejected
-    arrivals carry ``reason`` (``"capacity"``, ``"queue_full"``, or
-    ``"closed"``) and a handle/color of ``None``/``-1``.  ``latency_s``
-    is wall time from submit to decision, queue wait included.
+    arrivals carry ``reason`` (``"capacity"``, ``"queue_full"``,
+    ``"deadline"``, ``"degraded"``, or ``"closed"``) and a handle/color
+    of ``None``/``-1``.  ``latency_s`` is wall time from submit to
+    decision, queue wait included.
     """
 
     session: str
@@ -104,7 +154,14 @@ class SessionStats:
     admitted: int = 0
     rejected_capacity: int = 0
     rejected_queue: int = 0
+    rejected_deadline: int = 0
     departures: int = 0
+    #: Supervised-admission recoveries (snapshot restores + rebuilds).
+    recoveries: int = 0
+    #: True from a recovery until the next successful admission.
+    degraded: bool = False
+    #: True when recovery itself failed; the session no longer admits.
+    broken: bool = False
     latencies_s: List[float] = field(default_factory=list)
     first_submit: Optional[float] = None
     last_decision: Optional[float] = None
@@ -123,7 +180,11 @@ class SessionStats:
             "admitted": self.admitted,
             "rejected_capacity": self.rejected_capacity,
             "rejected_queue": self.rejected_queue,
+            "rejected_deadline": self.rejected_deadline,
             "departures": self.departures,
+            "recoveries": self.recoveries,
+            "degraded": self.degraded,
+            "broken": self.broken,
             "arrivals_per_sec": (
                 self.admitted / elapsed if elapsed else None
             ),
@@ -139,6 +200,8 @@ class _Arrival:
     power: Optional[float]
     future: "asyncio.Future[AdmissionDecision]"
     submitted_at: float
+    #: Pending deadline timer, cancelled by the worker before admission.
+    expire_handle: Optional[asyncio.TimerHandle] = None
 
 
 class _Served:
@@ -189,11 +252,41 @@ class ScheduleServer:
             problem if isinstance(problem, Session) else problem.session()
         )
         served = _Served(name, session, config or self._default_config)
+        if served.config.fault_plan is not None:
+            session.set_fault_hook(served.config.fault_plan, key=name)
         served.worker = asyncio.get_running_loop().create_task(
             self._drain_queue(served), name=f"repro-serve-{name}"
         )
         self._served[name] = served
         return session
+
+    async def remove_session(self, name: str) -> Session:
+        """Unregister *name*: stop its worker, reject everything still
+        queued (reason ``"closed"``, pending deadline timers cancelled)
+        and return the — still usable — :class:`Session`."""
+        served = self._lookup(name)
+        del self._served[name]
+        if served.worker is not None:
+            served.worker.cancel()
+            try:
+                await served.worker
+            except asyncio.CancelledError:
+                pass
+            served.worker = None
+        while True:
+            try:
+                arrival = served.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if arrival.expire_handle is not None:
+                arrival.expire_handle.cancel()
+                arrival.expire_handle = None
+            if not arrival.future.done():
+                arrival.future.set_result(
+                    self._reject(served, "closed", arrival.submitted_at)
+                )
+            served.queue.task_done()
+        return served.session
 
     def session(self, name: str) -> Session:
         return self._lookup(name).session
@@ -221,7 +314,11 @@ class ScheduleServer:
         then parks the arrival on the session's bounded queue.  Under
         ``overflow="wait"`` a full queue suspends this coroutine until
         the worker frees a slot — that suspension *is* the
-        backpressure signal to the producer.
+        backpressure signal to the producer.  With
+        :attr:`ServeConfig.request_deadline_s` set, an arrival still
+        undecided when the deadline fires is rejected with reason
+        ``"deadline"`` (the deadline clock starts here, so queue wait
+        — including backpressure wait — counts against it).
         """
         served = self._lookup(name)
         now = time.perf_counter()
@@ -231,6 +328,8 @@ class ScheduleServer:
 
         if self._closed:
             return self._reject(served, "closed", now)
+        if served.stats.broken:
+            return self._reject(served, "degraded", now)
         if self._at_capacity(served):
             served.stats.rejected_capacity += 1
             return self._reject(served, "capacity", now)
@@ -241,15 +340,40 @@ class ScheduleServer:
             future=asyncio.get_running_loop().create_future(),
             submitted_at=now,
         )
+        if served.config.request_deadline_s is not None:
+            arrival.expire_handle = asyncio.get_running_loop().call_later(
+                served.config.request_deadline_s,
+                self._expire,
+                served,
+                arrival,
+            )
         if served.config.overflow == "shed":
             try:
                 served.queue.put_nowait(arrival)
             except asyncio.QueueFull:
+                if arrival.expire_handle is not None:
+                    arrival.expire_handle.cancel()
+                    arrival.expire_handle = None
                 served.stats.rejected_queue += 1
                 return self._reject(served, "queue_full", now)
         else:
             await served.queue.put(arrival)
         return await arrival.future
+
+    def _expire(self, served: _Served, arrival: _Arrival) -> None:
+        """Deadline timer callback: reject an arrival still undecided.
+
+        Runs on the event loop between tasks — never mid-admission,
+        because the worker cancels the timer (synchronously, before its
+        first await point after dequeue) before touching the session.
+        """
+        arrival.expire_handle = None
+        if arrival.future.done():
+            return
+        served.stats.rejected_deadline += 1
+        arrival.future.set_result(
+            self._reject(served, "deadline", arrival.submitted_at)
+        )
 
     def remove(
         self, name: str, handles: Union[RequestHandle, int, list]
@@ -289,7 +413,16 @@ class ScheduleServer:
         while True:
             arrival = await served.queue.get()
             try:
-                decision = self._admit(served, arrival)
+                # Cancel the deadline timer before any session mutation:
+                # from here to the decision there is no await point, so
+                # the timer can never observe a half-admitted session.
+                if arrival.expire_handle is not None:
+                    arrival.expire_handle.cancel()
+                    arrival.expire_handle = None
+                if arrival.future.done():
+                    # Expired (or otherwise settled) while queued.
+                    continue
+                decision = self._admit_guarded(served, arrival)
                 if not arrival.future.done():
                     arrival.future.set_result(decision)
                 if served.config.on_admit is not None:
@@ -299,6 +432,51 @@ class ScheduleServer:
                     arrival.future.set_exception(exc)
             finally:
                 served.queue.task_done()
+
+    def _admit_guarded(
+        self, served: _Served, arrival: _Arrival
+    ) -> AdmissionDecision:
+        """Supervised admission: snapshot → admit → roll back on error.
+
+        A failed attempt is healed via :meth:`Session.recover` (bitwise
+        kernel restore, or compacting rebuild when the session was left
+        half-mutated) and retried up to ``admit_retries`` extra times;
+        when the budget is gone the last exception propagates to the
+        producer — with the session already healed, so subsequent
+        arrivals are unaffected.  If recovery *itself* fails the
+        session is marked broken and stops admitting.
+        """
+        if served.stats.broken:
+            return self._reject(served, "degraded", arrival.submitted_at)
+        session = served.session
+        last_exc: Optional[Exception] = None
+        for _ in range(served.config.admit_retries + 1):
+            kernel = session.live_kernel
+            snap = kernel.snapshot() if kernel is not None else None
+            try:
+                decision = self._admit(served, arrival)
+            except Exception as exc:
+                last_exc = exc
+                try:
+                    session.recover(snap)
+                except Exception:
+                    # The session is beyond self-healing: fence it off
+                    # so it cannot serve inconsistent answers.  The
+                    # producer still sees the original admission error
+                    # (the recovery failure rides along as __context__).
+                    served.stats.broken = True
+                    served.stats.degraded = True
+                    raise exc
+                served.stats.recoveries += 1
+                served.stats.degraded = True
+                continue
+            # A successful admission clears the degraded flag: the
+            # session has demonstrably healed.  (A capacity rejection
+            # proves nothing either way, so it leaves the flag alone.)
+            if decision.accepted:
+                served.stats.degraded = False
+            return decision
+        raise last_exc
 
     def _admit(self, served: _Served, arrival: _Arrival) -> AdmissionDecision:
         session = served.session

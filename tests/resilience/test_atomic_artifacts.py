@@ -1,0 +1,169 @@
+"""Atomic artifact/checkpoint writes and artifacts-dir fail-fast.
+
+The durability contract: a reader never observes a truncated or
+half-serialized ``BENCH_*.json`` / checkpoint — every file is either
+the previous complete version or the new complete version, even if the
+writer is SIGKILLed mid-write.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+import repro
+from repro.runner.artifacts import (
+    artifact_path,
+    atomic_write_text,
+    validate_artifacts_dir,
+)
+
+#: Absolute src/ dir, so subprocesses import the same repro tree no
+#: matter what cwd pytest runs from.
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"a": 1}\n')
+        assert target.read_text() == '{"a": 1}\n'
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failed_replace_preserves_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "old")
+
+        def broken_replace(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError, match="disk detached"):
+            atomic_write_text(target, "new")
+        monkeypatch.undo()
+        # The original survives and the temp file was cleaned up.
+        assert target.read_text() == "old"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_no_temp_files_left_on_success(self, tmp_path):
+        target = tmp_path / "out.json"
+        for i in range(5):
+            atomic_write_text(target, f"gen {i}")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestKillMidWrite:
+    def test_sigkill_never_leaves_partial_json(self, tmp_path):
+        """Regression: SIGKILL a process hammering artifact writes and
+        assert every surviving ``*.json`` is complete, parseable JSON.
+
+        Before the atomic-write path, a kill between ``open`` and the
+        final flush left a truncated file that poisoned the next
+        resume.
+        """
+        script = textwrap.dedent(
+            """
+            import json, pathlib, sys
+            from repro.runner.artifacts import atomic_write_text
+
+            out = pathlib.Path(sys.argv[1])
+            # A payload big enough that a non-atomic write would very
+            # likely be caught half-flushed.
+            body = {"rows": [{"i": i, "pad": "x" * 256} for i in range(512)]}
+            generation = 0
+            print("ready", flush=True)
+            while True:
+                generation += 1
+                body["generation"] = generation
+                for k in range(4):
+                    atomic_write_text(
+                        out / f"BENCH_e{k}.json",
+                        json.dumps(body) + "\\n",
+                    )
+            """
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path)],
+            stdout=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": SRC_DIR},
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            # Let it write for a moment, then kill it mid-flight.
+            time.sleep(0.5)
+        finally:
+            proc.kill()
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        written = sorted(tmp_path.glob("BENCH_*.json"))
+        assert written, "the writer never produced an artifact"
+        for path in written:
+            payload = json.loads(path.read_text())  # must not raise
+            assert payload["generation"] >= 1
+        # Stray .tmp files are permitted (the kill may land mid-write);
+        # what matters is that no *final* artifact is ever partial.
+
+
+class TestValidateArtifactsDir:
+    def test_accepts_and_creates_directory(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        assert validate_artifacts_dir(target) == target
+        assert target.is_dir()
+        assert list(target.iterdir()) == []  # probe cleaned up
+
+    def test_rejects_file_path(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("i am a file")
+        with pytest.raises(ValueError, match="not a writable directory"):
+            validate_artifacts_dir(target)
+
+    def test_rejects_unwritable_directory(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores permission bits")
+        target = tmp_path / "readonly"
+        target.mkdir()
+        target.chmod(0o500)
+        try:
+            with pytest.raises(ValueError, match="not a writable directory"):
+                validate_artifacts_dir(target)
+        finally:
+            target.chmod(0o700)
+
+    def test_run_experiments_fails_before_any_shard(self, tmp_path, monkeypatch):
+        """Satellite contract: a bad artifacts_dir aborts before any
+        shard is submitted or executed."""
+        from repro.runner import orchestrator
+
+        bad = tmp_path / "occupied"
+        bad.write_text("file, not dir")
+
+        def exploding_run_shard(*args, **kwargs):
+            raise AssertionError("a shard ran despite a bad artifacts_dir")
+
+        monkeypatch.setattr(orchestrator, "run_shard", exploding_run_shard)
+        with pytest.raises(ValueError, match="not a writable directory"):
+            orchestrator.run_experiments(
+                ["e1"], fast=True, jobs=1, artifacts_dir=str(bad)
+            )
+
+    def test_artifact_written_through_atomic_path(self, tmp_path):
+        from repro.runner import run_experiments, read_artifact
+
+        run_experiments(["e1"], fast=True, jobs=1, artifacts_dir=str(tmp_path))
+        path = artifact_path(tmp_path, "e1")
+        assert path.is_file()
+        assert read_artifact(path).experiment == "e1"
+        assert not list(tmp_path.glob("*.tmp"))

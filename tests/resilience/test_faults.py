@@ -1,0 +1,129 @@
+"""Deterministic fault-injection harness semantics.
+
+The whole resilience suite leans on FaultPlan firing at exactly the
+occurrence it was told to — these tests pin that contract down.
+"""
+
+import pickle
+
+import pytest
+
+from repro.resilience import FaultPlan
+from repro.resilience.faults import (
+    FaultSpec,
+    InjectedFault,
+    fault_points,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(site="shard", kind="explode")
+
+    def test_rejects_negative_occurrence(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSpec(site="shard", at=(-1,))
+
+    def test_delay_requires_duration(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(site="shard", kind="delay")
+
+    def test_matching(self):
+        spec = FaultSpec(site="session", key="a", phase="p", at=(1, 3))
+        assert spec.matches("session", "a", "p", 1)
+        assert spec.matches("session", "a", "p", 3)
+        assert not spec.matches("session", "a", "p", 2)
+        assert not spec.matches("session", "b", "p", 1)
+        assert not spec.matches("session", "a", "q", 1)
+        assert not spec.matches("shard", "a", "p", 1)
+
+    def test_wildcards(self):
+        spec = FaultSpec(site="session", at=(0,))
+        assert spec.matches("session", "anything", "any-phase", 0)
+
+
+class TestFaultPlan:
+    def test_counter_advances_per_point(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="s", key="k", at=(1,)),)
+        )
+        plan.fire("s", key="k")  # occurrence 0: no match
+        with pytest.raises(InjectedFault, match="occurrence=1"):
+            plan.fire("s", key="k")
+        assert plan.fired == 1
+
+    def test_counters_are_independent_per_key(self):
+        plan = FaultPlan(specs=(FaultSpec(site="s", key="b", at=(0,)),))
+        plan.fire("s", key="a")  # other key: counts separately, no fire
+        with pytest.raises(InjectedFault):
+            plan.fire("s", key="b")
+
+    def test_explicit_index_bypasses_counters(self):
+        plan = FaultPlan(specs=(FaultSpec(site="shard", at=(2,)),))
+        plan.fire("shard", key="k", index=0)
+        plan.fire("shard", key="k", index=1)
+        with pytest.raises(InjectedFault):
+            plan.fire("shard", key="k", index=2)
+        # Explicit indices never touched the counter state.
+        assert plan.counts == {}
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(specs=(FaultSpec(site="s", at=(1,)),))
+
+        def run():
+            events = []
+            for _ in range(3):
+                try:
+                    plan.fire("s")
+                    events.append("ok")
+                except InjectedFault:
+                    events.append("fault")
+            return events
+
+        first = run()
+        plan.reset()
+        assert run() == first == ["ok", "fault", "ok"]
+
+    def test_delay_kind_sleeps(self, monkeypatch):
+        import repro.resilience.faults as faults_mod
+
+        slept = []
+        monkeypatch.setattr(faults_mod.time, "sleep", slept.append)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="s", kind="delay", delay_s=1.5),)
+        )
+        plan.fire("s")
+        assert slept == [1.5]
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, "shard", occurrences=3, horizon=16)
+        b = FaultPlan.seeded(7, "shard", occurrences=3, horizon=16)
+        assert a.specs == b.specs
+        at = a.specs[0].at
+        assert len(at) == 3 == len(set(at))
+        assert all(0 <= i < 16 for i in at)
+        assert FaultPlan.seeded(8, "shard", occurrences=3, horizon=16).specs != a.specs
+
+    def test_seeded_validation(self):
+        with pytest.raises(ValueError, match="occurrences"):
+            FaultPlan.seeded(1, "s", occurrences=0)
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan.seeded(1, "s", occurrences=5, horizon=4)
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(specs=(FaultSpec(site="shard", at=(0,)),))
+        plan.fire("other-site")  # populate counter state
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == plan.specs
+        assert clone.counts == plan.counts
+
+    def test_fault_points_summary(self):
+        specs = (
+            FaultSpec(site="shard", key="e1:0", at=(0, 2), kind="kill"),
+            FaultSpec(site="session", phase="add_requests:pre"),
+        )
+        assert fault_points(specs) == [
+            "shard:e1:0:*@0,2->kill",
+            "session:*:add_requests:pre@0->raise",
+        ]

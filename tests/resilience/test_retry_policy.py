@@ -1,0 +1,66 @@
+"""RetryPolicy backoff math, validation, and ShardFailure round-trip."""
+
+import pytest
+
+from repro.resilience import RetryPolicy, ShardFailure
+
+
+class TestRetryPolicy:
+    def test_defaults_are_fail_fast(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.deadline is None
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, backoff=2.0, max_delay=0.5
+        )
+        assert policy.delay_before_retry(1) == pytest.approx(0.1)
+        assert policy.delay_before_retry(2) == pytest.approx(0.2)
+        assert policy.delay_before_retry(3) == pytest.approx(0.4)
+        # 0.8 would exceed the cap.
+        assert policy.delay_before_retry(4) == pytest.approx(0.5)
+        assert policy.delay_before_retry(100) == pytest.approx(0.5)
+
+    def test_zero_base_delay_never_sleeps(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        assert policy.delay_before_retry(1) == 0.0
+        assert policy.delay_before_retry(4) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"max_attempts": 0}, "max_attempts"),
+            ({"base_delay": -0.1}, "base_delay"),
+            ({"deadline": 0.0}, "deadline"),
+            ({"deadline": -1.0}, "deadline"),
+            ({"backoff": 0.5}, "backoff"),
+            ({"max_delay": -1.0}, "max_delay"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+    def test_delay_requires_positive_failures(self):
+        with pytest.raises(ValueError, match="failures"):
+            RetryPolicy().delay_before_retry(0)
+
+
+class TestShardFailure:
+    def test_round_trip(self):
+        failure = ShardFailure(
+            key="n=256",
+            shard_index=3,
+            seed=12345,
+            error_type="InjectedFault",
+            error="boom",
+            attempts=2,
+        )
+        assert ShardFailure.from_dict(failure.to_dict()) == failure
+
+    def test_from_dict_is_lenient(self):
+        failure = ShardFailure.from_dict({"key": "n=4", "shard_index": 0})
+        assert failure.seed is None
+        assert failure.error_type == "Exception"
+        assert failure.attempts == 1
