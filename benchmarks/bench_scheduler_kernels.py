@@ -7,7 +7,15 @@ subset-rebuild engine reference restored by
 :func:`repro.core.kernels.kernels_disabled`.  Outputs are asserted
 identical between the two paths, so the comparison is apples to
 apples.  A batched row compares :meth:`ContextBatch.first_fit_schedules`
-(lockstep over stacked gains) against the per-pair kernel loop.
+(lockstep over stacked gains) against the per-pair kernel loop, and a
+second, gated batched row compares
+:meth:`ContextBatch.local_search_schedules` (the
+``stacked_local_search`` kernel, lockstep over (B,n,n) stacked gains)
+against the per-instance looped ``improve_schedule`` reference path at
+B=32, n=1024 — the PR-9 acceptance gate (>= ``--target``).  Both sides
+of that row report best-of-2 wall time (see ``_time_min``) so the gate
+measures steady-state throughput rather than first-touch page faults
+on the (B, n, n) working set.
 
 Shared engine state (cached gain matrices, signals) is warmed before
 timing — both paths read the same cache, and this benchmark measures
@@ -26,22 +34,25 @@ Run as a script::
 
 The script exits non-zero when the first-fit speedup at the largest
 ``--sizes`` entry falls below ``--target`` (default 5x) — the PR-3
-acceptance gate.  ``--aux-sizes`` bounds the other (ungated, slower)
+acceptance gate — or when the stacked local-search speedup over the
+looped reference does (the PR-9 gate; ``--ls-batch-pairs 0`` disables
+that row).  ``--aux-sizes`` bounds the other (ungated, slower)
 workloads.
 
 Reference results (one run, default sizes)::
 
-    workload            n   reference      kernel   speedup
-    first_fit          64      4.9 ms      3.3 ms      1.5x
-    first_fit         256     53.7 ms     14.8 ms      3.6x
-    first_fit        1024   1182.6 ms    138.6 ms      8.5x
-    peeling            64      8.8 ms      6.9 ms      1.3x
-    peeling           256    188.6 ms     96.1 ms      2.0x
-    local_search       64      5.2 ms      3.3 ms      1.6x
-    local_search      256     81.0 ms     16.3 ms      5.0x
-    sqrt               64      6.3 ms      6.7 ms      0.9x
-    sqrt              256    117.6 ms     67.2 ms      1.7x
-    first_fit_batch4  256     66.1 ms     43.8 ms      1.5x
+    workload               n    reference      kernel   speedup
+    first_fit             64        9.1 ms     14.8 ms      0.6x
+    first_fit            256      104.3 ms     27.1 ms      3.8x
+    first_fit           1024     1407.8 ms    217.1 ms      6.5x
+    peeling               64       56.1 ms     19.2 ms      2.9x
+    peeling              256      237.6 ms     75.4 ms      3.2x
+    local_search          64        5.9 ms      4.4 ms      1.3x
+    local_search         256      139.6 ms     20.8 ms      6.7x
+    sqrt                  64        9.5 ms     12.9 ms      0.7x
+    sqrt                 256      157.6 ms     92.7 ms      1.7x
+    first_fit_batch4     256       74.9 ms     59.3 ms      1.3x
+    local_search_batch32 1024   45687.3 ms   3279.5 ms     13.9x
 """
 
 from __future__ import annotations
@@ -81,6 +92,23 @@ def _time(fn):
     return time.perf_counter() - start, result
 
 
+def _time_min(fn, repeats=2):
+    """Best-of-``repeats`` wall time (both paths are pure functions).
+
+    Used for the batched local-search row, whose working set (a
+    (B, n, n) stacked gain tensor plus lockstep state) is large enough
+    that the first run is dominated by first-touch page faults rather
+    than compute on freshly booted VMs.  The repeat reuses the freed
+    pages, so the minimum reports steady-state throughput; both sides
+    of the comparison are measured the same way.
+    """
+    best, result = _time(fn)
+    for _ in range(repeats - 1):
+        elapsed, result = _time(fn)
+        best = min(best, elapsed)
+    return best, result
+
+
 def _colors(result):
     return result[0].colors if isinstance(result, tuple) else result.colors
 
@@ -109,11 +137,64 @@ def _workloads():
     }
 
 
-def run(sizes, aux_sizes, target, batch_pairs=4, seed=7, artifacts=None):
+def run(
+    sizes, aux_sizes, target, batch_pairs=4, ls_batch_pairs=32, seed=7,
+    artifacts=None,
+):
     run_start = time.perf_counter()
     workloads = _workloads()
     rows = []
     gated_speedup = None
+
+    # Batched local search (gated): stacked lockstep kernel vs the
+    # per-instance looped reference path (kernels_disabled) — the same
+    # reference every per-instance row in this benchmark is measured
+    # against, here paid once per instance in a loop.  This block runs
+    # first (its row is still printed last): it is the largest resident
+    # set in the benchmark (B stacked (n, n) matrices plus B warmed
+    # contexts), and timing it before the other workloads churn the
+    # heap keeps both timers on fresh, fragmentation-free memory.
+    ls_row = None
+    ls_speedup = None
+    if ls_batch_pairs > 1 and sizes:
+        n = sizes[-1]
+        pairs = []
+        for index in range(ls_batch_pairs):
+            instance = random_uniform_instance(n, rng=seed + 200 + index)
+            pairs.append((instance, SquareRootPower()(instance)))
+        clear_context_cache()
+        for instance, powers in pairs:
+            _warm(instance, powers)
+        # The seed schedules are path-independent (batched first-fit is
+        # bit-identical to the per-pair loop); compute them outside both
+        # timers via a throwaway batch so no per-context transpose
+        # caches linger.  The stacked timer pays for its own stack
+        # assembly.
+        seed_batch = ContextBatch(pairs)
+        seeds = seed_batch.first_fit_schedules()
+        del seed_batch
+        batch = ContextBatch(pairs)
+        t_batch, improved = _time_min(
+            lambda: batch.local_search_schedules(seeds)
+        )
+        with kernels_disabled():
+            t_loop, references = _time_min(
+                lambda: [
+                    improve_schedule(inst, s)
+                    for (inst, _), s in zip(pairs, seeds)
+                ]
+            )
+        for schedule, reference in zip(improved, references):
+            assert np.array_equal(schedule.colors, reference.colors), (
+                "batched local search diverged from per-instance schedules"
+            )
+        ls_speedup = t_loop / t_batch if t_batch > 0 else float("inf")
+        ls_row = (
+            f"local_search_batch{ls_batch_pairs}", n, t_loop, t_batch,
+            ls_speedup,
+        )
+        del batch, pairs, seeds, improved, references
+        clear_context_cache()
 
     for name, runner in workloads.items():
         my_sizes = sizes if name == GATED_WORKLOAD else aux_sizes
@@ -161,6 +242,9 @@ def run(sizes, aux_sizes, target, batch_pairs=4, seed=7, artifacts=None):
         speedup = t_loop / t_batch if t_batch > 0 else float("inf")
         rows.append((f"first_fit_batch{batch_pairs}", n, t_loop, t_batch, speedup))
 
+    if ls_row is not None:
+        rows.append(ls_row)
+
     print(f"{'workload':<18} {'n':>5} {'reference':>12} {'kernel':>11} {'speedup':>9}")
     for name, n, reference, kernel, speedup in rows:
         print(
@@ -180,7 +264,10 @@ def run(sizes, aux_sizes, target, batch_pairs=4, seed=7, artifacts=None):
             ],
         )
         table.add_note(
-            f"gate: {GATED_WORKLOAD} >= {target}x at n={sizes[-1]}; "
+            f"gates: {GATED_WORKLOAD} >= {target}x at n={sizes[-1]}; "
+            f"local_search_batch{ls_batch_pairs} (stacked lockstep vs "
+            f"per-instance loop, best-of-2 per side) >= {target}x at "
+            f"n={sizes[-1]}; "
             "reference = PR-1 accumulator/subset-rebuild engine paths "
             "(kernels_disabled); outputs asserted bit-identical"
         )
@@ -215,14 +302,28 @@ def run(sizes, aux_sizes, target, batch_pairs=4, seed=7, artifacts=None):
     if gated_speedup is None:
         print("FAIL: gated workload was not measured")
         return 1
+    status = 0
     if gated_speedup < target:
         print(
             f"FAIL: {GATED_WORKLOAD} speedup {gated_speedup:.1f}x below "
             f"{target}x at n={sizes[-1]}"
         )
-        return 1
-    print(f"OK: {GATED_WORKLOAD} >= {target}x at n={sizes[-1]}")
-    return 0
+        status = 1
+    else:
+        print(f"OK: {GATED_WORKLOAD} >= {target}x at n={sizes[-1]}")
+    if ls_speedup is not None:
+        if ls_speedup < target:
+            print(
+                f"FAIL: stacked local search speedup {ls_speedup:.1f}x "
+                f"below {target}x at B={ls_batch_pairs}, n={sizes[-1]}"
+            )
+            status = 1
+        else:
+            print(
+                f"OK: stacked local search >= {target}x at "
+                f"B={ls_batch_pairs}, n={sizes[-1]}"
+            )
+    return status
 
 
 def main(argv=None) -> int:
@@ -250,6 +351,15 @@ def main(argv=None) -> int:
         help="pairs in the batched first-fit row (0/1 disables it)",
     )
     parser.add_argument(
+        "--ls-batch-pairs",
+        type=int,
+        default=32,
+        help=(
+            "pairs in the gated stacked local-search row "
+            "(0/1 disables the row and its gate)"
+        ),
+    )
+    parser.add_argument(
         "--artifacts",
         metavar="DIR",
         default=None,
@@ -263,6 +373,7 @@ def main(argv=None) -> int:
         aux_sizes,
         args.target,
         batch_pairs=args.batch_pairs,
+        ls_batch_pairs=args.ls_batch_pairs,
         artifacts=args.artifacts,
     )
 

@@ -20,12 +20,54 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.context import maybe_context
+from repro.core.context import InterferenceContext, maybe_context
+from repro.core.gains import DEFAULT_TILE_ROWS
 from repro.core.instance import Direction, Instance
 from repro.core.interference import (
     bidirectional_gain_matrices,
     directed_gain_matrix,
 )
+
+
+def _worst_block(
+    context: InterferenceContext, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Worst-endpoint gain block ``G[np.ix_(rows, cols)]`` through the
+    backend block primitives (no dense materialization)."""
+    backend = context.backend
+    block = backend.cross_block_u(rows, cols)
+    if not backend.directed:
+        block = np.maximum(block, backend.cross_block_v(rows, cols))
+    return block
+
+
+def _blockwise_row_affectance(
+    context: InterferenceContext,
+    idx: np.ndarray,
+    beta: float,
+    capped: bool,
+) -> np.ndarray:
+    """Row sums of the affectance submatrix ``A[np.ix_(idx, idx)]``,
+    tiled in :data:`~repro.core.gains.DEFAULT_TILE_ROWS` full-width row
+    strips.
+
+    Each strip applies the same elementwise formula as
+    :func:`affectance_matrix` to an exact gain block and reduces along
+    the complete trailing axis, so the totals are bit-identical to the
+    dense route — ε-pruned sparse and device-resident backends just
+    never materialize ``(n, n)`` host arrays.
+    """
+    signals = context.signals
+    totals = np.empty(idx.size)
+    for lo in range(0, idx.size, DEFAULT_TILE_ROWS):
+        rows = idx[lo : lo + DEFAULT_TILE_ROWS]
+        block = beta * _worst_block(context, rows, idx) / (
+            signals[rows][:, None]
+        )
+        if capped:
+            block = np.minimum(block, 1.0)
+        totals[lo : lo + rows.size] = block.sum(axis=1)
+    return totals
 
 
 def affectance_matrix(
@@ -72,6 +114,16 @@ def total_affectance(
     the subset; the maximum total affectance of a set is its natural
     "load" measure.
     """
+    powers = np.asarray(powers, dtype=float)
+    context = maybe_context(instance, powers)
+    if context is not None and context.backend_name != "dense":
+        beta_val = instance.beta if beta is None else float(beta)
+        idx = (
+            np.arange(instance.n)
+            if subset is None
+            else np.asarray(subset, dtype=int)
+        )
+        return _blockwise_row_affectance(context, idx, beta_val, capped=False)
     matrix = affectance_matrix(instance, powers, beta=beta)
     if subset is None:
         return matrix.sum(axis=1)
@@ -90,9 +142,17 @@ def max_average_affectance(
     into ``k`` colors forces some class to carry at least a ``1/k``
     fraction of each row's affectance, so ``max_i avg_j A[i, j] * n``
     relates to achievable class sizes."""
-    matrix = affectance_matrix(instance, powers, beta=beta, capped=True)
     if instance.n <= 1:
         return 0.0
+    powers = np.asarray(powers, dtype=float)
+    context = maybe_context(instance, powers)
+    if context is not None and context.backend_name != "dense":
+        beta_val = instance.beta if beta is None else float(beta)
+        totals = _blockwise_row_affectance(
+            context, np.arange(instance.n), beta_val, capped=True
+        )
+        return float(totals.max() / (instance.n - 1))
+    matrix = affectance_matrix(instance, powers, beta=beta, capped=True)
     return float(matrix.sum(axis=1).max() / (instance.n - 1))
 
 
@@ -111,6 +171,11 @@ def fixed_power_conflict_bound(
     :func:`repro.analysis.bounds.clique_lower_bound` is the
     power-agnostic analogue.
     """
+    powers = np.asarray(powers, dtype=float)
+    context = maybe_context(instance, powers)
+    if context is not None and context.backend_name != "dense":
+        beta_val = instance.beta if beta is None else float(beta)
+        return _blockwise_conflict_bound(context, beta_val)
     matrix = affectance_matrix(instance, powers, beta=beta, capped=False)
     conflicts = (matrix >= 1.0) | (matrix.T >= 1.0)
     np.fill_diagonal(conflicts, False)
@@ -123,5 +188,53 @@ def fixed_power_conflict_bound(
             vertex = max(candidates, key=lambda v: degrees[v])
             clique.append(int(vertex))
             candidates &= set(np.flatnonzero(conflicts[vertex]).tolist())
+        best = max(best, len(clique))
+    return best
+
+
+def _conflict_rows(
+    context: InterferenceContext, rows: np.ndarray, beta: float
+) -> np.ndarray:
+    """Boolean conflict-graph rows ``conflicts[rows, :]`` from gain
+    blocks: ``i`` and ``j`` conflict when either direction's affectance
+    reaches 1.  Diagonal entries are cleared."""
+    n = context.n
+    all_idx = np.arange(n)
+    signals = context.signals
+    out_aff = beta * _worst_block(context, rows, all_idx) / (
+        signals[rows][:, None]
+    )
+    in_aff = beta * _worst_block(context, all_idx, rows) / signals[:, None]
+    conflicts = (out_aff >= 1.0) | (in_aff.T >= 1.0)
+    conflicts[np.arange(rows.size), rows] = False
+    return conflicts
+
+
+def _blockwise_conflict_bound(
+    context: InterferenceContext, beta: float
+) -> int:
+    """:func:`fixed_power_conflict_bound` on backend blocks: degrees
+    from full-width row strips, then clique rows fetched on demand —
+    the ``(n, n)`` conflict graph is never materialized at once."""
+    n = context.n
+    all_idx = np.arange(n)
+    degrees = np.empty(n, dtype=np.intp)
+    for lo in range(0, n, DEFAULT_TILE_ROWS):
+        rows = all_idx[lo : lo + DEFAULT_TILE_ROWS]
+        degrees[lo : lo + rows.size] = _conflict_rows(
+            context, rows, beta
+        ).sum(axis=1)
+
+    def row(vertex: int) -> np.ndarray:
+        return _conflict_rows(context, np.asarray([vertex]), beta)[0]
+
+    best = 1
+    for seed in np.argsort(-degrees)[: min(10, n)]:
+        clique = [int(seed)]
+        candidates = set(np.flatnonzero(row(int(seed))).tolist())
+        while candidates:
+            vertex = max(candidates, key=lambda v: degrees[v])
+            clique.append(int(vertex))
+            candidates &= set(np.flatnonzero(row(vertex)).tolist())
         best = max(best, len(clique))
     return best

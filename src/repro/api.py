@@ -61,8 +61,10 @@ from repro.core.context import (
 from repro.core.errors import InvalidInstanceError, InvalidScheduleError
 from repro.core.gains import (
     GainBackend,
+    array_namespace_scope,
     backend_scope,
     default_sparse_epsilon,
+    resolve_array_namespace,
     resolve_backend,
     resolve_sparse_epsilon,
     set_sparse_epsilon,
@@ -271,17 +273,33 @@ class Problem:
         sessions create (``None`` follows the process defaults, see
         :mod:`repro.core.gains`).  Validated eagerly so a typo fails at
         construction, not deep inside ``get_context``.
+    array_namespace, device:
+        Array-API namespace and device for ``backend="array"``
+        (``None`` follows :func:`~repro.core.gains.default_array_namespace`
+        / the namespace's default device).  *device* applies to the
+        contexts the session and batch own; context fetches issued
+        inside algorithm implementations resolve the namespace but use
+        its default device.
     """
 
     instance: Instance
     powers: PowersLike = None
     backend: Optional[str] = None
     sparse_epsilon: Optional[float] = None
+    array_namespace: Optional[str] = None
+    device: Optional[object] = None
 
     def __post_init__(self) -> None:
-        resolve_backend(self.backend)
+        backend_name = resolve_backend(self.backend)
         if self.sparse_epsilon is not None:
             resolve_sparse_epsilon(self.sparse_epsilon)
+        if self.array_namespace is not None:
+            resolve_array_namespace(self.array_namespace)
+        if self.device is not None and backend_name != "array":
+            raise ValueError(
+                "device= requires backend='array' "
+                f"(got backend={backend_name!r})"
+            )
 
     def session(self) -> "Session":
         """A fresh :class:`Session` for this problem."""
@@ -302,12 +320,14 @@ def _resolve_powers(
 
 @contextmanager
 def _preference_scope(
-    backend: Optional[str], sparse_epsilon: Optional[float]
+    backend: Optional[str],
+    sparse_epsilon: Optional[float],
+    array_namespace: Optional[str] = None,
 ) -> Iterator[None]:
     """Make a problem's backend preferences the process defaults for
     the duration of an algorithm run, so every ``get_context`` the
     implementation issues resolves to the session's own context."""
-    with backend_scope(backend):
+    with backend_scope(backend), array_namespace_scope(array_namespace):
         if sparse_epsilon is None:
             yield
         else:
@@ -424,6 +444,8 @@ class Session:
                 self._powers,
                 backend=self.problem.backend,
                 sparse_epsilon=self.problem.sparse_epsilon,
+                array_namespace=self.problem.array_namespace,
+                device=self.problem.device,
             )
         return self._context
 
@@ -919,7 +941,9 @@ class Session:
         fb_before = len(peel_fallback_records())
         start = time.perf_counter()
         with _preference_scope(
-            self.problem.backend, self.problem.sparse_epsilon
+            self.problem.backend,
+            self.problem.sparse_epsilon,
+            self.problem.array_namespace,
         ):
             outcome = spec.run(
                 self.problem.instance,
@@ -984,12 +1008,12 @@ class BatchSession:
     """The facade over many problems at once.
 
     Algorithms with a batched kernel (capability ``supports_batch``,
-    currently ``first_fit``) run in lockstep over a
-    :class:`~repro.core.batch.ContextBatch`; everything else loops the
-    per-problem sessions, which is recorded as a
+    currently ``first_fit`` and ``local_search``) run in lockstep over
+    a :class:`~repro.core.batch.ContextBatch`; everything else loops
+    the per-problem sessions, which is recorded as a
     :class:`~repro.core.batch.BatchFallbackInfo` in each result's
     provenance (as is the batch's own pooled fallback on ragged or
-    sparse-backed batches).
+    lossy-backed batches).
 
     All problems must agree on the backend preferences (one batch, one
     substrate).
@@ -1005,7 +1029,10 @@ class BatchSession:
         normalized = [
             p if isinstance(p, Problem) else Problem(p) for p in problems
         ]
-        prefs = {(p.backend, p.sparse_epsilon) for p in normalized}
+        prefs = {
+            (p.backend, p.sparse_epsilon, p.array_namespace, p.device)
+            for p in normalized
+        }
         if len(prefs) > 1:
             raise ValueError(
                 "all problems of a BatchSession must share backend "
@@ -1030,6 +1057,8 @@ class BatchSession:
                 pool=self.pool,
                 backend=first.backend,
                 sparse_epsilon=first.sparse_epsilon,
+                array_namespace=first.array_namespace,
+                device=first.device,
             )
         return self._batch
 
@@ -1072,7 +1101,30 @@ class BatchSession:
         backends = [ctx.backend for ctx in batch.contexts]
         before = [b.flip_risk_events for b in backends]
         start = time.perf_counter()
-        schedules = batch.first_fit_schedules(**params)
+        if spec.name == "first_fit":
+            schedules = batch.first_fit_schedules(**params)
+        elif spec.name == "local_search":
+            run_params = dict(params)
+            seeds = run_params.pop("schedule", None)
+            if seeds is None:
+                raise TypeError(
+                    "algorithm 'local_search' improves existing schedules; "
+                    "pass schedule= (a sequence of Schedule or "
+                    "ScheduleResult, one per problem)"
+                )
+            if len(seeds) != len(self):
+                raise ValueError(
+                    f"{len(seeds)} schedules for {len(self)} problems"
+                )
+            schedules = batch.local_search_schedules(
+                [getattr(seed, "schedule", seed) for seed in seeds],
+                **run_params,
+            )
+        else:  # pragma: no cover - registry flag without batch wiring
+            raise RuntimeError(
+                f"algorithm {spec.name!r} declares supports_batch but "
+                "BatchSession has no stacked dispatch for it"
+            )
         wall = time.perf_counter() - start
         results = []
         for index, (session, schedule) in enumerate(

@@ -11,19 +11,23 @@ This module closes that gap:
   has the same request count and direction (the common case: trials of
   one experiment cell), the per-pair gain matrices are **stacked** into
   one ``(B, n, n)`` array and margins/feasibility for the whole batch
-  are computed in single vectorized passes.  Ragged batches fall back
-  to a loop over pooled per-pair contexts — still cached, just not
+  are computed in single vectorized passes.  The stack is assembled
+  through the gain backend's block primitives
+  (:meth:`~repro.core.gains.GainBackend.cross_block_u`), so lossless
+  sparse (``epsilon = 0``) and array/device-resident contexts stack
+  too — only ragged batches and ε-pruned (lossy) backends fall back to
+  a loop over pooled per-pair contexts — still cached, just not
   stacked.
 * :class:`ContextPool` — a strong-reference working set of contexts.
   :func:`repro.core.context.get_context` caches through a small global
   LRU; the pool pins a batch's contexts for its lifetime so a sweep
   over hundreds of pairs cannot thrash that LRU.
-* :meth:`ContextBatch.first_fit_schedules` — batched **scheduling**,
+* :meth:`ContextBatch.first_fit_schedules` /
+  :meth:`ContextBatch.local_search_schedules` — batched **scheduling**,
   not just batched validation: the stacked gains feed the vectorized
-  first-fit kernel (:func:`repro.core.kernels.stacked_first_fit`), so
-  one admission pass per order position colors every pair in lockstep,
-  emitting per-pair schedules bit-identical to scheduling each pair
-  alone.
+  lockstep kernels (:func:`repro.core.kernels.stacked_first_fit`,
+  :func:`repro.core.kernels.stacked_local_search`), emitting per-pair
+  schedules identical to scheduling each pair alone.
 
 Numerical contract: the stacked path reproduces the per-context
 results bit-for-bit — gain matrices are the cached per-context arrays
@@ -35,9 +39,10 @@ tests in ``tests/core/test_batch.py`` assert exact equality.
 from __future__ import annotations
 
 import logging
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -48,9 +53,19 @@ from repro.core.context import (
     get_context,
 )
 from repro.core.errors import InvalidScheduleError
-from repro.core.gains import resolve_backend, resolve_sparse_epsilon
+from repro.core.gains import (
+    DEFAULT_TILE_ROWS,
+    resolve_array_namespace,
+    resolve_backend,
+    resolve_sparse_epsilon,
+)
 from repro.core.instance import Instance
-from repro.core.kernels import first_fit_colors, stacked_first_fit
+from repro.core.kernels import (
+    first_fit_colors,
+    kernels_enabled,
+    stacked_first_fit,
+    stacked_local_search,
+)
 from repro.core.schedule import Schedule, build_schedule
 
 PairLike = Tuple[Instance, np.ndarray]
@@ -74,9 +89,10 @@ class BatchFallbackInfo:
     reasons:
         Machine-readable reason tags, any of ``"ragged_n"`` (pairs
         disagree on request count), ``"mixed_direction"`` (directed and
-        bidirectional pairs mixed), ``"sparse_backend"`` (a pair uses a
-        sparse gain backend — stacking would materialize dense
-        ``(B, n, n)`` gains).
+        bidirectional pairs mixed), ``"lossy_backend"`` (a pair uses an
+        ε-pruned sparse backend — the stacked kernels carry no
+        flip-risk certification, so lossy pairs keep the certifying
+        per-pair path).
     pairs:
         Batch size.
     detail:
@@ -88,11 +104,37 @@ class BatchFallbackInfo:
     detail: str
 
 
+# Call sites that already logged a lossy-backend fallback WARNING —
+# keyed like :func:`repro._deprecation.warn_deprecated` so a batch
+# constructed inside a loop warns once, not once per construction.
+_warned_fallback_sites: Set[Tuple[str, int]] = set()
+
+
+def reset_batch_fallback_registry() -> None:
+    """Forget which call sites already logged a fallback ``WARNING``
+    (repeats log at ``DEBUG``).  Mirrors
+    :func:`repro._deprecation.reset_deprecation_registry`; used by
+    tests."""
+    _warned_fallback_sites.clear()
+
+
+def _fallback_call_site() -> Tuple[str, int]:
+    """``(filename, lineno)`` of the first frame outside this module —
+    the user code constructing the batch."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - interpreter-dependent
+        return ("<unknown>", 0)
+    return (frame.f_code.co_filename, frame.f_lineno)
+
+
 def _diagnose_fallback(contexts: List[InterferenceContext]) -> Optional[BatchFallbackInfo]:
     """The :class:`BatchFallbackInfo` for *contexts*, or ``None`` when
-    the batch can stack.  Logged at ``WARNING`` for the sparse-backend
-    reason (the caller asked for batching but gets a per-pair loop) and
-    ``DEBUG`` for shape mismatches (ragged batches are routine)."""
+    the batch can stack.  The lossy-backend reason (the caller asked
+    for batching but gets a per-pair loop) logs at ``WARNING`` once per
+    call site — ``DEBUG`` on repeats — while shape mismatches (ragged
+    batches are routine) always log at ``DEBUG``."""
     first = contexts[0]
     reasons = []
     if any(ctx.n != first.n for ctx in contexts):
@@ -102,8 +144,11 @@ def _diagnose_fallback(contexts: List[InterferenceContext]) -> Optional[BatchFal
         for ctx in contexts
     ):
         reasons.append("mixed_direction")
-    if any(ctx.backend_name != "dense" for ctx in contexts):
-        reasons.append("sparse_backend")
+    if any(
+        ctx.backend_name == "sparse" and ctx.sparse_epsilon > 0
+        for ctx in contexts
+    ):
+        reasons.append("lossy_backend")
     if not reasons:
         return None
     info = BatchFallbackInfo(
@@ -115,7 +160,12 @@ def _diagnose_fallback(contexts: List[InterferenceContext]) -> Optional[BatchFal
             "correct but are not stacked into one (B, n, n) pass"
         ),
     )
-    level = logging.WARNING if "sparse_backend" in reasons else logging.DEBUG
+    level = logging.DEBUG
+    if "lossy_backend" in reasons:
+        site = _fallback_call_site()
+        if site not in _warned_fallback_sites:
+            _warned_fallback_sites.add(site)
+            level = logging.WARNING
     logger.log(level, info.detail)
     return info
 
@@ -155,14 +205,17 @@ class ContextPool:
         noise: Optional[float] = None,
         backend: Optional[str] = None,
         sparse_epsilon: Optional[float] = None,
+        array_namespace: Optional[str] = None,
+        device: Optional[object] = None,
     ) -> InterferenceContext:
         """The pooled context for ``(instance, powers)`` (pinned).
 
-        *backend* and *sparse_epsilon* default to the process-wide gain
-        backend settings; the resolved values are part of the pool key
-        (exactly like :func:`get_context`'s cache key), so a pool
-        filled while one backend configuration was active never serves
-        those contexts to a caller running under another.
+        *backend*, *sparse_epsilon*, *array_namespace* and *device*
+        default to the process-wide gain backend settings; the resolved
+        values are part of the pool key (exactly like
+        :func:`get_context`'s cache key), so a pool filled while one
+        backend configuration was active never serves those contexts to
+        a caller running under another.
         """
         powers_arr = np.asarray(powers, dtype=float)
         backend_name = resolve_backend(backend)
@@ -171,6 +224,13 @@ class ContextPool:
             if backend_name == "sparse"
             else 0.0
         )
+        namespace = (
+            resolve_array_namespace(array_namespace)
+            if backend_name == "array"
+            else ""
+        )
+        if backend_name != "array":
+            device = None
         key = (
             id(instance),
             powers_arr.tobytes(),
@@ -178,6 +238,8 @@ class ContextPool:
             instance.noise if noise is None else float(noise),
             backend_name,
             epsilon,
+            namespace,
+            "" if device is None else str(device),
         )
         context = self._contexts.get(key)
         if context is None:
@@ -188,6 +250,8 @@ class ContextPool:
                 noise=noise,
                 backend=backend_name,
                 sparse_epsilon=epsilon,
+                array_namespace=namespace or None,
+                device=device,
             )
             self._contexts[key] = context
             if (
@@ -224,19 +288,21 @@ class ContextBatch:
     pool:
         Optional :class:`ContextPool` to pin the contexts in; a private
         pool is created when omitted.
-    backend, sparse_epsilon:
+    backend, sparse_epsilon, array_namespace, device:
         Optional gain-backend preference applied to every pair's
         context (``None`` follows the process default, exactly like
         :func:`repro.core.context.get_context`).
 
     Notes
     -----
-    When every pair has the same ``n`` and direction on the dense
+    When every pair has the same ``n`` and direction on a lossless
     backend the batch is *stacked*: queries run on one ``(B, n, n)``
-    gain stack.  Otherwise ``stacked`` is ``False``, :attr:`fallback`
-    carries a :class:`BatchFallbackInfo` naming why, and queries loop
-    over the pooled contexts (list-valued results).  Either way the
-    numbers are identical to querying each pair's own context.
+    gain stack, assembled tile-by-tile through the backend block
+    primitives (no per-context dense materialization).  Otherwise
+    ``stacked`` is ``False``, :attr:`fallback` carries a
+    :class:`BatchFallbackInfo` naming why, and queries loop over the
+    pooled contexts (list-valued results).  Either way the numbers are
+    identical to querying each pair's own context.
     """
 
     def __init__(
@@ -245,21 +311,29 @@ class ContextBatch:
         pool: Optional[ContextPool] = None,
         backend: Optional[str] = None,
         sparse_epsilon: Optional[float] = None,
+        array_namespace: Optional[str] = None,
+        device: Optional[object] = None,
     ):
         if len(pairs) == 0:
             raise ValueError("a ContextBatch needs at least one pair")
         self.pool = ContextPool() if pool is None else pool
         self.contexts: List[InterferenceContext] = [
             self.pool.get(
-                instance, powers, backend=backend, sparse_epsilon=sparse_epsilon
+                instance,
+                powers,
+                backend=backend,
+                sparse_epsilon=sparse_epsilon,
+                array_namespace=array_namespace,
+                device=device,
             )
             for instance, powers in pairs
         ]
-        # Stacking materializes (B, n, n) dense gains, so it requires
-        # same-shape pairs on the dense backend; other batches take the
-        # pooled per-pair fallback (every query and the first-fit
-        # kernel are backend-generic there), recorded as a structured
-        # :class:`BatchFallbackInfo` instead of a silent switch.
+        # Stacking needs same-shape pairs and a lossless backend (the
+        # stacked kernels carry no flip-risk counters); ragged or
+        # ε-pruned batches take the pooled per-pair fallback (every
+        # query and the scheduling kernels are backend-generic there),
+        # recorded as a structured :class:`BatchFallbackInfo` instead
+        # of a silent switch.
         self.fallback = _diagnose_fallback(self.contexts)
         self.stacked = self.fallback is None
         self._signals: Optional[np.ndarray] = None
@@ -313,14 +387,75 @@ class ContextBatch:
             self._signals = np.stack([ctx.signals for ctx in self.contexts])
         return self._signals
 
+    def _assemble_stack(self, transposed: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(B, n, n)`` gain stacks, assembled through backend
+        block primitives.
+
+        All-dense batches stack the cached per-context arrays directly;
+        any other lossless backend (``epsilon = 0`` sparse, array) is
+        tiled into the preallocated stack via
+        :meth:`~repro.core.gains.GainBackend.cross_block_u` /
+        ``cross_block_v`` in :data:`~repro.core.gains.DEFAULT_TILE_ROWS`
+        row strips — the backend never materializes its own full dense
+        copy.  Block reconstruction is bit-identical to the dense
+        arrays (the backend conformance contract), so the stacked
+        queries stay exact.
+        """
+        if all(ctx.backend_name == "dense" for ctx in self.contexts):
+            directed = all(
+                ctx.gains_u is ctx.gains_v for ctx in self.contexts
+            )
+            if transposed:
+                # Transpose straight into the stack instead of stacking
+                # the per-context transpose caches: materializing
+                # ``ctx.gains_ut`` for every pair would leave B extra
+                # (n, n) arrays resident with no later use.  A transpose
+                # is pure element reordering, so the stacked values are
+                # bitwise the cached transposes either way.
+                stack_u = np.empty((len(self), self.n, self.n))
+                for index, ctx in enumerate(self.contexts):
+                    stack_u[index] = ctx.gains_u.T
+                if directed:
+                    return stack_u, stack_u
+                stack_v = np.empty_like(stack_u)
+                for index, ctx in enumerate(self.contexts):
+                    stack_v[index] = ctx.gains_v.T
+                return stack_u, stack_v
+            stack_u = np.stack([ctx.gains_u for ctx in self.contexts])
+            if directed:
+                return stack_u, stack_u
+            return stack_u, np.stack([ctx.gains_v for ctx in self.contexts])
+        n = self.n
+        all_idx = np.arange(n)
+        directed = all(ctx.backend.directed for ctx in self.contexts)
+        stack_u = np.empty((len(self), n, n))
+        stack_v = stack_u if directed else np.empty((len(self), n, n))
+        for index, ctx in enumerate(self.contexts):
+            backend = ctx.backend
+            for lo in range(0, n, DEFAULT_TILE_ROWS):
+                rows = all_idx[lo : lo + DEFAULT_TILE_ROWS]
+                hi = lo + rows.size
+                if transposed:
+                    stack_u[index, lo:hi] = backend.cross_block_u(
+                        all_idx, rows
+                    ).T
+                    if not directed:
+                        stack_v[index, lo:hi] = backend.cross_block_v(
+                            all_idx, rows
+                        ).T
+                else:
+                    stack_u[index, lo:hi] = backend.cross_block_u(
+                        rows, all_idx
+                    )
+                    if not directed:
+                        stack_v[index, lo:hi] = backend.cross_block_v(
+                            rows, all_idx
+                        )
+        return stack_u, stack_v
+
     def _stacked_gains(self) -> Tuple[np.ndarray, np.ndarray]:
         if self._gains is None:
-            gains_u = np.stack([ctx.gains_u for ctx in self.contexts])
-            if all(ctx.gains_u is ctx.gains_v for ctx in self.contexts):
-                gains_v = gains_u
-            else:
-                gains_v = np.stack([ctx.gains_v for ctx in self.contexts])
-            self._gains = (gains_u, gains_v)
+            self._gains = self._assemble_stack(transposed=False)
         return self._gains
 
     def _stacked_gains_t(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -328,12 +463,7 @@ class ContextBatch:
         column-consuming scheduler kernels (see
         :attr:`InterferenceContext.gains_ut`)."""
         if self._gains_t is None:
-            gains_ut = np.stack([ctx.gains_ut for ctx in self.contexts])
-            if all(ctx.gains_ut is ctx.gains_vt for ctx in self.contexts):
-                gains_vt = gains_ut
-            else:
-                gains_vt = np.stack([ctx.gains_vt for ctx in self.contexts])
-            self._gains_t = (gains_ut, gains_vt)
+            self._gains_t = self._assemble_stack(transposed=True)
         return self._gains_t
 
     def _colors_array(self, colors: ColorsLike) -> Optional[np.ndarray]:
@@ -514,6 +644,82 @@ class ContextBatch:
             build_schedule(first_fit_colors(ctx, order, pair_limits), ctx.powers)
             for ctx, order, pair_limits in zip(self.contexts, order_list, limits)
         ]
+
+    def local_search_schedules(
+        self,
+        schedules: Sequence[Schedule],
+        beta: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+    ) -> List[Schedule]:
+        """Local-search improvement of one schedule per pair.
+
+        Stacked batches run
+        :func:`repro.core.kernels.stacked_local_search` over the
+        ``(B, n, n)`` transposed gain stack — the per-pair dissolution
+        attempts advance in lockstep — and each returned schedule is
+        identical to calling
+        :func:`repro.scheduling.local_search.improve_schedule` on that
+        pair alone.  Ragged/lossy batches (or a disabled kernel engine)
+        fall back to a per-pair ``improve_schedule`` loop.
+
+        Parameters
+        ----------
+        schedules:
+            One feasible schedule per pair, built from the pair's own
+            powers (validated before and after, like the per-pair
+            reference).
+        beta, max_rounds:
+            As in ``improve_schedule``.
+        """
+        # Lazy import: scheduling sits above core in the layer order.
+        from repro.scheduling.local_search import improve_schedule
+
+        if len(schedules) != len(self):
+            raise InvalidScheduleError(
+                f"{len(schedules)} schedules for {len(self)} pairs"
+            )
+        for index, (ctx, schedule) in enumerate(
+            zip(self.contexts, schedules)
+        ):
+            if schedule.n != ctx.n:
+                raise InvalidScheduleError(
+                    f"pair {index}: schedule covers {schedule.n} requests, "
+                    f"instance has {ctx.n}"
+                )
+            if not np.array_equal(schedule.powers, ctx.powers):
+                raise InvalidScheduleError(
+                    f"pair {index}: schedule powers differ from the batch "
+                    "pair powers"
+                )
+
+        if not (self.stacked and kernels_enabled()):
+            return [
+                improve_schedule(
+                    ctx.instance, schedule, beta=beta, max_rounds=max_rounds
+                )
+                for ctx, schedule in zip(self.contexts, schedules)
+            ]
+
+        for ctx, schedule in zip(self.contexts, schedules):
+            schedule.validate(ctx.instance, beta=beta)
+        betas, noises = self._defaults(beta, None)
+        gains_ut, gains_vt = self._stacked_gains_t()
+        colors = stacked_local_search(
+            gains_ut,
+            gains_vt,
+            np.stack([schedule.compacted().colors for schedule in schedules]),
+            self._stacked_signals(),
+            betas[:, 0],
+            noises[:, 0],
+            max_rounds=max_rounds,
+            finite=all(not ctx.has_infinite_gains for ctx in self.contexts),
+        )
+        improved = []
+        for index, ctx in enumerate(self.contexts):
+            schedule = build_schedule(colors[index], ctx.powers)
+            schedule.validate(ctx.instance, beta=beta)
+            improved.append(schedule)
+        return improved
 
     def validate_schedules(
         self,

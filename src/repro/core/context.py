@@ -99,6 +99,7 @@ from repro.core.gains import (
     DenseBackend,
     GainBackend,
     build_backend,
+    resolve_array_namespace,
     resolve_backend,
     resolve_sparse_epsilon,
     validate_growth,
@@ -154,6 +155,10 @@ class InterferenceContext:
     sparse_epsilon:
         Pruning budget for the sparse backend (``None`` = the process
         default; ignored by the dense backend).
+    array_namespace, device:
+        Array-API namespace and device for the ``"array"`` backend
+        (``None`` = the process default namespace / the namespace's
+        default device; ignored by the other backends).
 
     Notes
     -----
@@ -172,6 +177,8 @@ class InterferenceContext:
         noise: Optional[float] = None,
         backend: Optional[str] = None,
         sparse_epsilon: Optional[float] = None,
+        array_namespace: Optional[str] = None,
+        device: Optional[object] = None,
     ):
         powers = np.array(powers, dtype=float).reshape(-1)
         if powers.shape != (instance.n,):
@@ -195,6 +202,12 @@ class InterferenceContext:
             if self.backend_name == "sparse"
             else 0.0
         )
+        self.array_namespace = (
+            resolve_array_namespace(array_namespace)
+            if self.backend_name == "array"
+            else ""
+        )
+        self.device = device if self.backend_name == "array" else None
         self._signals: Optional[np.ndarray] = None
         self._backend: Optional[GainBackend] = None
 
@@ -227,6 +240,8 @@ class InterferenceContext:
                 self.powers,
                 backend=self.backend_name,
                 sparse_epsilon=self.sparse_epsilon,
+                array_namespace=self.array_namespace or None,
+                device=self.device,
             )
         return self._backend
 
@@ -1023,6 +1038,8 @@ def get_context(
     noise: Optional[float] = None,
     backend: Optional[str] = None,
     sparse_epsilon: Optional[float] = None,
+    array_namespace: Optional[str] = None,
+    device: Optional[object] = None,
 ) -> InterferenceContext:
     """The shared :class:`InterferenceContext` for ``(instance, powers)``.
 
@@ -1048,12 +1065,21 @@ def get_context(
         if backend_name == "sparse"
         else 0.0
     )
+    namespace = (
+        resolve_array_namespace(array_namespace)
+        if backend_name == "array"
+        else ""
+    )
+    if backend_name != "array":
+        device = None
     key = (
         powers_arr.tobytes(),
         instance.beta if beta is None else float(beta),
         instance.noise if noise is None else float(noise),
         backend_name,
         epsilon,
+        namespace,
+        "" if device is None else str(device),
     )
     with _lock:
         per_instance = getattr(instance, _CACHE_ATTR, None)
@@ -1075,11 +1101,26 @@ def get_context(
             noise=noise,
             backend=backend_name,
             sparse_epsilon=epsilon,
+            array_namespace=namespace or None,
+            device=device,
         )
         per_instance[key] = context
         _lru[lru_key] = weakref.ref(instance)
         _evict_over_limit()
         return context
+
+
+def _context_key(context: InterferenceContext) -> tuple:
+    """The cache key *context* occupies (must match :func:`get_context`)."""
+    return (
+        context.powers.tobytes(),
+        context.beta,
+        context.noise,
+        context.backend_name,
+        context.sparse_epsilon,
+        context.array_namespace,
+        "" if context.device is None else str(context.device),
+    )
 
 
 def repin_context(context: InterferenceContext) -> None:
@@ -1096,13 +1137,7 @@ def repin_context(context: InterferenceContext) -> None:
     every at-risk comparison of the run.
     """
     instance = context.instance
-    key = (
-        context.powers.tobytes(),
-        context.beta,
-        context.noise,
-        context.backend_name,
-        context.sparse_epsilon,
-    )
+    key = _context_key(context)
     with _lock:
         per_instance = getattr(instance, _CACHE_ATTR, None)
         if per_instance is None:
@@ -1131,13 +1166,7 @@ def unpin_context(context: InterferenceContext) -> None:
     legitimately took the slot).
     """
     instance = context.instance
-    key = (
-        context.powers.tobytes(),
-        context.beta,
-        context.noise,
-        context.backend_name,
-        context.sparse_epsilon,
-    )
+    key = _context_key(context)
     with _lock:
         per_instance = getattr(instance, _CACHE_ATTR, None)
         if per_instance is None or per_instance.get(key) is not context:

@@ -90,8 +90,10 @@ from repro.core.interference import (
 )
 
 __all__ = [
+    "ARRAY_NAMESPACES",
     "BACKENDS",
     "GainBackend",
+    "ArrayBackend",
     "DenseBackend",
     "SparseBackend",
     "build_backend",
@@ -102,11 +104,23 @@ __all__ = [
     "default_sparse_epsilon",
     "set_sparse_epsilon",
     "resolve_sparse_epsilon",
+    "default_array_namespace",
+    "set_array_namespace",
+    "array_namespace_scope",
+    "resolve_array_namespace",
     "validate_growth",
 ]
 
 #: Registered backend names.
-BACKENDS = ("dense", "sparse")
+BACKENDS = ("dense", "sparse", "array")
+
+#: Array-API namespaces :class:`ArrayBackend` can host its storage in.
+#: ``numpy`` ships with the library; the others resolve lazily at build
+#: time and raise an :class:`ImportError` naming the install extra when
+#: missing (``pip install 'repro-oblivious-interference-scheduling[array]'``
+#: for the portability namespaces; ``torch``/``cupy`` additionally need
+#: the framework itself).
+ARRAY_NAMESPACES = ("numpy", "array_api_strict", "torch", "cupy")
 
 #: Default number of gain-matrix rows materialized at once while
 #: building (or row-summing) a sparse backend; peak scratch memory is
@@ -143,8 +157,26 @@ def _env_epsilon() -> float:
     return epsilon
 
 
+def _env_array_namespace() -> str:
+    """Validate ``REPRO_ARRAY_NAMESPACE`` at import (load) time, listing
+    the registered namespaces — selecting a namespace whose package is
+    missing still fails *lazily* at backend build, with an error naming
+    the install extra, because validation here must not import heavy
+    frameworks."""
+    raw = os.environ.get("REPRO_ARRAY_NAMESPACE", "numpy")
+    name = raw.strip().lower() or "numpy"
+    if name not in ARRAY_NAMESPACES:
+        raise ValueError(
+            f"REPRO_ARRAY_NAMESPACE must be one of {ARRAY_NAMESPACES} "
+            f"(the array-API namespace hosting ArrayBackend storage), "
+            f"got {raw!r}"
+        )
+    return name
+
+
 _default_backend = _env_backend()
 _default_epsilon = _env_epsilon()
+_default_array_namespace = _env_array_namespace()
 
 
 def default_backend() -> str:
@@ -201,6 +233,79 @@ def resolve_sparse_epsilon(epsilon: Optional[float]) -> float:
     if not 0.0 <= epsilon < 1.0:
         raise ValueError(f"sparse epsilon must be in [0, 1), got {epsilon}")
     return epsilon
+
+
+def default_array_namespace() -> str:
+    """The default array-API namespace of :class:`ArrayBackend`."""
+    return _default_array_namespace
+
+
+def set_array_namespace(name: str) -> None:
+    """Set the default array-API namespace (see :data:`ARRAY_NAMESPACES`)."""
+    global _default_array_namespace
+    _default_array_namespace = resolve_array_namespace(name)
+
+
+def resolve_array_namespace(name: Optional[str]) -> str:
+    """Validate *name*, resolving ``None`` to the current default."""
+    if name is None:
+        return _default_array_namespace
+    name = str(name).strip().lower()
+    if name not in ARRAY_NAMESPACES:
+        raise ValueError(
+            f"array namespace must be one of {ARRAY_NAMESPACES}, got {name!r}"
+        )
+    return name
+
+
+@contextmanager
+def array_namespace_scope(name: Optional[str]) -> Iterator[str]:
+    """Temporarily switch the default array namespace (``None`` = leave
+    as is)."""
+    global _default_array_namespace
+    previous = _default_array_namespace
+    if name is not None:
+        set_array_namespace(name)
+    try:
+        yield _default_array_namespace
+    finally:
+        _default_array_namespace = previous
+
+
+def _import_array_namespace(name: str):
+    """The array-API namespace module backing *name*.
+
+    Imports are deferred to backend build so merely *configuring* a
+    namespace (env var, :func:`set_array_namespace`) never imports a
+    heavy framework — and a missing package fails with an error naming
+    the install extra instead of a bare ``ModuleNotFoundError``.
+    """
+    if name == "numpy":
+        return np
+    if name == "array_api_strict":
+        try:
+            import array_api_strict
+        except ImportError:
+            raise ImportError(
+                "array namespace 'array_api_strict' needs the "
+                "array-api-strict package; install the array extra "
+                "(pip install 'repro-oblivious-interference-scheduling[array]')"
+            ) from None
+        return array_api_strict
+    # torch / cupy expose near-conformant namespaces; array-api-compat
+    # wraps them into fully standard ones so the backend code stays
+    # framework-agnostic.
+    try:
+        import importlib
+
+        return importlib.import_module(f"array_api_compat.{name}")
+    except ImportError:
+        raise ImportError(
+            f"array namespace {name!r} needs {name} plus array-api-compat; "
+            "install the array extra "
+            "(pip install 'repro-oblivious-interference-scheduling[array]') "
+            f"and {name} itself"
+        ) from None
 
 
 def _gain_block(
@@ -310,7 +415,7 @@ class GainBackend(abc.ABC):
     a concrete class documents otherwise.
     """
 
-    #: Backend name (``"dense"`` or ``"sparse"``).
+    #: Backend name (one of :data:`BACKENDS`).
     name: str = "?"
 
     #: Running total of feasibility comparisons that landed inside a
@@ -839,6 +944,376 @@ class DenseBackend(GainBackend):
         return f"DenseBackend(n={self.n}, directed={self.directed})"
 
 
+def _host_gain_targets(instance: Instance):
+    """Endpoint-node arrays to build each gain matrix from, in the same
+    order (and with the same endpoint mapping) as
+    :meth:`DenseBackend.append_requests`."""
+    if instance.direction is Direction.DIRECTED:
+        return (instance.receivers,)
+    return (instance.senders, instance.receivers)
+
+
+class ArrayBackend(GainBackend):
+    """Gain storage living in any array-API namespace.
+
+    The third :class:`GainBackend`: lossless full-matrix storage like
+    :class:`DenseBackend`, but the arrays belong to a standard
+    array-API namespace (numpy by default; ``array_api_strict`` for
+    portability testing, ``torch``/``cupy`` via ``array-api-compat``
+    when installed) and may live on an accelerator device.  The build
+    is tiled through :func:`_gain_block` (host side, exactly the
+    expressions of the full-matrix builders), followed by **one**
+    host→device transfer per endpoint matrix; each primitive computes
+    in-namespace and crosses back with a single device→host transfer of
+    its (small) result.  Under the numpy namespace both transfers are
+    identities and every primitive evaluates to the bitwise
+    :class:`DenseBackend` value — asserted backend-wide by
+    ``tests/core/test_gains_backends.py`` and across every algorithm by
+    the conformance grid.
+
+    Parameters
+    ----------
+    xp:
+        The array-API namespace module.
+    arr_u, arr_v:
+        The namespace-resident gain matrices (``arr_v is arr_u`` in the
+        directed variant).
+    namespace:
+        Registered namespace name (see :data:`ARRAY_NAMESPACES`).
+    device:
+        Optional device passed to the namespace's ``asarray``/creation
+        functions (``None`` = namespace default).
+    """
+
+    name = "array"
+
+    def __init__(self, xp, arr_u, arr_v, namespace: str, device=None):
+        self.flip_risk_events = 0
+        self._xp = xp
+        self.namespace = namespace
+        self.device = device
+        self._arr_u = arr_u
+        self._arr_v = arr_v
+        self._arr_t: Optional[Tuple[object, object]] = None
+        self._has_inf: Optional[bool] = None
+        self._zero_mass: Optional[np.ndarray] = None
+        self._host: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._host_t: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._instance: Optional[Instance] = None
+        self._powers: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(
+        cls,
+        instance: Instance,
+        powers: np.ndarray,
+        namespace: Optional[str] = None,
+        device=None,
+    ) -> "ArrayBackend":
+        """Build tile-by-tile on the host, then upload once.
+
+        Host tiles come from :func:`_gain_block` (bit-identical to the
+        full-matrix builders), so the uploaded matrices equal the
+        :class:`DenseBackend` arrays entry for entry; the single
+        ``asarray`` per endpoint matrix is the only host→device
+        transfer of the build.
+        """
+        name = resolve_array_namespace(namespace)
+        xp = _import_array_namespace(name)
+        powers = np.asarray(powers, dtype=float).reshape(-1)
+        n = instance.n
+        all_idx = np.arange(n)
+        tile = DEFAULT_TILE_ROWS
+        hosts = []
+        for nodes in _host_gain_targets(instance):
+            out = np.empty((n, n))
+            for lo in range(0, n, tile):
+                hi = min(lo + tile, n)
+                out[lo:hi] = _gain_block(
+                    instance, powers, nodes, all_idx[lo:hi], all_idx
+                )
+            hosts.append(out)
+        host_u = hosts[0]
+        host_v = hosts[0] if len(hosts) == 1 else hosts[1]
+        backend = cls(xp, None, None, name, device=device)
+        arr_u = backend._upload(host_u)
+        backend._arr_u = arr_u
+        backend._arr_v = arr_u if host_v is host_u else backend._upload(host_v)
+        backend._instance = instance
+        backend._powers = powers
+        return backend
+
+    # -- transfer boundary ---------------------------------------------
+
+    def _creation_kwargs(self) -> dict:
+        return {} if self.device is None else {"device": self.device}
+
+    def _upload(self, host: np.ndarray):
+        """The single host→namespace transfer (identity under numpy)."""
+        if self._xp is np and self.device is None:
+            host.setflags(write=False)
+            return host
+        return self._xp.asarray(host, **self._creation_kwargs())
+
+    def _download(self, x) -> np.ndarray:
+        """The single namespace→host transfer of a primitive's result
+        (identity under numpy)."""
+        if isinstance(x, np.ndarray):
+            return x
+        try:
+            return np.from_dlpack(x)
+        except (TypeError, RuntimeError, BufferError, AttributeError):
+            return np.asarray(x)
+
+    def _scratch(self, x) -> np.ndarray:
+        """Download as a writable scratch buffer (copying only when the
+        zero-copy download came back read-only)."""
+        out = self._download(x)
+        if not out.flags.writeable:
+            out = out.copy()
+        return out
+
+    def _idx(self, idx) -> object:
+        """Index array in-namespace (int64, on the backend's device)."""
+        return self._xp.asarray(
+            np.asarray(idx, dtype=np.int64), **self._creation_kwargs()
+        )
+
+    # -- growth --------------------------------------------------------
+
+    def append_requests(self, instance: Instance, powers: np.ndarray) -> None:
+        if self._instance is None:
+            raise ValueError(
+                "this ArrayBackend was constructed from raw arrays; only "
+                "backends built via ArrayBackend.build(...) can grow"
+            )
+        validate_growth(self._instance, self._powers, instance, powers)
+        powers = np.asarray(powers, dtype=float).reshape(-1)
+        n_old, n_new = self.n, instance.n
+        if n_new == n_old:
+            self._instance, self._powers = instance, powers
+            return
+        # Growth is a host-side rebuild of only the new strips: one
+        # download of the existing matrix, _gain_block tiles for the
+        # appended rows/columns (the exact entries a cold rebuild would
+        # compute), one upload of the grown matrix.
+        new_idx = np.arange(n_old, n_new)
+        all_idx = np.arange(n_new)
+        tile = DEFAULT_TILE_ROWS
+        new_inf = False
+        hosts = []
+        olds = (
+            (self._arr_u,)
+            if self._arr_v is self._arr_u
+            else (self._arr_u, self._arr_v)
+        )
+        for nodes, old in zip(_host_gain_targets(instance), olds):
+            out = np.empty((n_new, n_new))
+            out[:n_old, :n_old] = self._download(old)
+            for lo in range(0, n_old, tile):
+                hi = min(lo + tile, n_old)
+                block = _gain_block(
+                    instance, powers, nodes, np.arange(lo, hi), new_idx
+                )
+                new_inf = new_inf or not bool(np.all(np.isfinite(block)))
+                out[lo:hi, n_old:] = block
+            for lo in range(n_old, n_new, tile):
+                hi = min(lo + tile, n_new)
+                block = _gain_block(
+                    instance, powers, nodes, np.arange(lo, hi), all_idx
+                )
+                new_inf = new_inf or not bool(np.all(np.isfinite(block)))
+                out[lo:hi] = block
+            hosts.append(out)
+        arr_u = self._upload(hosts[0])
+        self._arr_u = arr_u
+        self._arr_v = arr_u if len(hosts) == 1 else self._upload(hosts[1])
+        self._arr_t = None
+        self._host = None
+        self._host_t = None
+        self._zero_mass = None
+        if new_inf:
+            self._has_inf = True
+        # else: False stays False (old and new entries all finite) and
+        # None stays lazily recomputed over the grown matrix.
+        self._instance, self._powers = instance, powers
+
+    # -- protocol ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return int(self._arr_u.shape[0])
+
+    @property
+    def directed(self) -> bool:
+        return self._arr_v is self._arr_u
+
+    @property
+    def has_infinite_gains(self) -> bool:
+        if self._has_inf is None:
+            xp = self._xp
+            has_inf = bool(xp.any(xp.isinf(self._arr_u)))
+            if not has_inf and self._arr_v is not self._arr_u:
+                has_inf = bool(xp.any(xp.isinf(self._arr_v)))
+            self._has_inf = has_inf
+        return self._has_inf
+
+    @property
+    def pruned_mass_u(self) -> np.ndarray:
+        if self._zero_mass is None:
+            zeros = np.zeros(self.n)
+            zeros.setflags(write=False)
+            self._zero_mass = zeros
+        return self._zero_mass
+
+    pruned_mass_v = pruned_mass_u
+
+    def _transposes(self) -> Tuple[object, object]:
+        if self._arr_t is None:
+            xp = self._xp
+            ut = xp.asarray(xp.matrix_transpose(self._arr_u), copy=True)
+            if self._arr_v is self._arr_u:
+                self._arr_t = (ut, ut)
+            else:
+                vt = xp.asarray(xp.matrix_transpose(self._arr_v), copy=True)
+                self._arr_t = (ut, vt)
+        return self._arr_t
+
+    def col_u(self, j: int) -> np.ndarray:
+        return self._download(self._transposes()[0][int(j), :])
+
+    def col_v(self, j: int) -> np.ndarray:
+        return self._download(self._transposes()[1][int(j), :])
+
+    def row_u(self, i: int) -> np.ndarray:
+        return self._download(self._arr_u[int(i), :])
+
+    def row_v(self, i: int) -> np.ndarray:
+        return self._download(self._arr_v[int(i), :])
+
+    def gather_cols_u(self, members: np.ndarray) -> np.ndarray:
+        xp = self._xp
+        return self._download(xp.take(self._arr_u, self._idx(members), axis=1))
+
+    def gather_cols_v(self, members: np.ndarray) -> np.ndarray:
+        xp = self._xp
+        return self._download(xp.take(self._arr_v, self._idx(members), axis=1))
+
+    def _cross(self, arr, rows, cols):
+        xp = self._xp
+        return xp.take(xp.take(arr, self._idx(rows), axis=0), self._idx(cols), axis=1)
+
+    def block_u(self, idx: np.ndarray) -> np.ndarray:
+        return self._scratch(self._cross(self._arr_u, idx, idx))
+
+    def block_v(self, idx: np.ndarray) -> np.ndarray:
+        return self._scratch(self._cross(self._arr_v, idx, idx))
+
+    def cross_block_u(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._download(self._cross(self._arr_u, rows, cols))
+
+    def cross_block_v(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self._download(self._cross(self._arr_v, rows, cols))
+
+    def _row_sums_xp(self, arr, rows, cols) -> np.ndarray:
+        rows = np.asarray(rows, dtype=int)
+        cols = rows if cols is None else np.asarray(cols, dtype=int)
+        xp = self._xp
+        # Row sums are independent per row, so one in-namespace pass is
+        # bit-identical to the base class's tiled host reduction.
+        return self._download(xp.sum(self._cross(arr, rows, cols), axis=1))
+
+    def row_sums_u(
+        self, rows: np.ndarray, cols: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return self._row_sums_xp(self._arr_u, rows, cols)
+
+    def row_sums_v(
+        self, rows: np.ndarray, cols: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return self._row_sums_xp(self._arr_v, rows, cols)
+
+    def _class_sum_xp(self, arr, colors: Optional[np.ndarray]) -> np.ndarray:
+        xp = self._xp
+        if colors is None:
+            return self._download(xp.sum(arr, axis=1))
+        c = self._idx(colors)
+        same = c[:, None] == c[None, :]
+        i = xp.asarray(
+            np.arange(self.n, dtype=np.int64), **self._creation_kwargs()
+        )
+        same = xp.logical_and(same, i[:, None] != i[None, :])
+        masked = xp.where(same, arr, xp.zeros_like(arr))
+        return self._download(xp.sum(masked, axis=1))
+
+    def class_sum_u(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        return self._class_sum_xp(self._arr_u, colors)
+
+    def class_sum_v(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        return self._class_sum_xp(self._arr_v, colors)
+
+    def _host_readonly(self, x) -> np.ndarray:
+        out = self._download(x)
+        if out.flags.writeable:
+            out.setflags(write=False)
+        return out
+
+    def dense_u(self) -> np.ndarray:
+        if self._host is None:
+            host_u = self._host_readonly(self._arr_u)
+            host_v = (
+                host_u
+                if self._arr_v is self._arr_u
+                else self._host_readonly(self._arr_v)
+            )
+            self._host = (host_u, host_v)
+        return self._host[0]
+
+    def dense_v(self) -> np.ndarray:
+        self.dense_u()
+        return self._host[1]
+
+    def dense_ut(self) -> np.ndarray:
+        if self._host_t is None:
+            ut, vt = self._transposes()
+            host_ut = self._host_readonly(ut)
+            host_vt = host_ut if vt is ut else self._host_readonly(vt)
+            self._host_t = (host_ut, host_vt)
+        return self._host_t[0]
+
+    def dense_vt(self) -> np.ndarray:
+        self.dense_ut()
+        return self._host_t[1]
+
+    @property
+    def nnz(self) -> int:
+        xp = self._xp
+        count = int(xp.sum(xp.astype(self._arr_u != 0, xp.int64)))
+        if self._arr_v is not self._arr_u:
+            count += int(xp.sum(xp.astype(self._arr_v != 0, xp.int64)))
+        return count
+
+    @property
+    def density(self) -> float:
+        return 1.0  # full-matrix storage holds every entry
+
+    @property
+    def nbytes(self) -> int:
+        matrices = 1 if self.directed else 2
+        total = 8 * self.n * self.n * matrices
+        if self._arr_t is not None:
+            total += 8 * self.n * self.n * (
+                1 if self._arr_t[1] is self._arr_t[0] else 2
+            )
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArrayBackend(n={self.n}, directed={self.directed}, "
+            f"namespace={self.namespace!r}, device={self.device!r})"
+        )
+
+
 def _prune_tile(
     tile: np.ndarray, epsilon: float
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -1269,13 +1744,22 @@ def build_backend(
     powers: np.ndarray,
     backend: Optional[str] = None,
     sparse_epsilon: Optional[float] = None,
+    array_namespace: Optional[str] = None,
+    device=None,
 ) -> GainBackend:
     """Construct the gain backend for ``(instance, powers)``.
 
-    *backend* and *sparse_epsilon* default to the process-wide settings
-    (:func:`default_backend` / :func:`default_sparse_epsilon`).
+    *backend*, *sparse_epsilon* and *array_namespace* default to the
+    process-wide settings (:func:`default_backend` /
+    :func:`default_sparse_epsilon` / :func:`default_array_namespace`);
+    *device* applies to the array backend only (``None`` = the
+    namespace's default device).
     """
     name = resolve_backend(backend)
     if name == "sparse":
         return SparseBackend.build(instance, powers, epsilon=sparse_epsilon)
+    if name == "array":
+        return ArrayBackend.build(
+            instance, powers, namespace=array_namespace, device=device
+        )
     return DenseBackend.build(instance, powers)

@@ -20,9 +20,10 @@ from the experiment specs alone and results merge in spec order (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from repro.core.gains import BACKENDS
+from repro.core.gains import ARRAY_NAMESPACES, BACKENDS, set_array_namespace
 from repro.experiments.registry import get_registry
 from repro.resilience.policy import RetryPolicy
 from repro.runner.orchestrator import run_experiments
@@ -69,6 +70,16 @@ def main(argv=None) -> int:
         help=(
             "gain backend for every experiment without its own pin "
             "(default: the process default, see REPRO_BACKEND)"
+        ),
+    )
+    parser.add_argument(
+        "--array-namespace",
+        choices=list(ARRAY_NAMESPACES),
+        default=None,
+        help=(
+            "array-API namespace for the 'array' backend (default: the "
+            "process default, see REPRO_ARRAY_NAMESPACE); exported to "
+            "the environment so --jobs workers inherit it"
         ),
     )
     parser.add_argument(
@@ -133,6 +144,12 @@ def main(argv=None) -> int:
         parser.error("--jobs must be >= 1")
     if args.max_attempts is not None and args.max_attempts < 1:
         parser.error("--max-attempts must be >= 1")
+    if args.array_namespace is not None:
+        # Per-process default plus the environment, so --jobs worker
+        # processes (which re-read REPRO_ARRAY_NAMESPACE on import)
+        # resolve the same namespace as the parent.
+        os.environ["REPRO_ARRAY_NAMESPACE"] = args.array_namespace
+        set_array_namespace(args.array_namespace)
     retry = None
     if args.max_attempts is not None or args.shard_deadline is not None:
         retry = RetryPolicy(

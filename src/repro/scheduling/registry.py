@@ -392,7 +392,7 @@ for _spec in (
         name="local_search",
         summary="Dissolve small color classes of an existing schedule=",
         capabilities=AlgorithmCapabilities(
-            needs_powers=False, deterministic=True
+            needs_powers=False, deterministic=True, supports_batch=True
         ),
         adapter=_adapt_local_search,
     ),

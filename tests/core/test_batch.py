@@ -13,6 +13,7 @@ from repro.core.batch import (
     ContextPool,
     batch_margins,
     batch_validate_schedules,
+    reset_batch_fallback_registry,
 )
 from repro.core.context import get_context
 from repro.core.errors import InvalidScheduleError
@@ -317,16 +318,55 @@ class TestFallbackInfo:
         batch = ContextBatch(pairs)
         assert batch.fallback.reasons == ("mixed_direction",)
 
-    def test_sparse_backend_is_diagnosed_and_logged(self, caplog):
+    def test_lossy_backend_is_diagnosed_and_logged(self, caplog):
         import logging
 
+        reset_batch_fallback_registry()
         with caplog.at_level(logging.WARNING, logger="repro.core.batch"):
-            batch = ContextBatch(_pairs([8, 8]), backend="sparse")
+            batch = ContextBatch(
+                _pairs([8, 8]), backend="sparse", sparse_epsilon=1e-3
+            )
         assert batch.fallback is not None
-        assert batch.fallback.reasons == ("sparse_backend",)
+        assert batch.fallback.reasons == ("lossy_backend",)
         assert any(
-            "sparse_backend" in record.message for record in caplog.records
+            "lossy_backend" in record.message for record in caplog.records
         )
+
+    def test_lossless_sparse_batch_stacks(self):
+        batch = ContextBatch(
+            _pairs([8, 8]), backend="sparse", sparse_epsilon=0.0
+        )
+        assert batch.stacked
+        assert batch.fallback is None
+
+    def test_array_backend_batch_stacks(self):
+        batch = ContextBatch(_pairs([8, 8]), backend="array")
+        assert batch.stacked
+        assert batch.fallback is None
+
+    def test_lossy_warning_fires_once_per_call_site(self, caplog):
+        """Satellite regression: the lossy-backend fallback WARNING is
+        keyed by call site — repeats from the same line drop to DEBUG."""
+        import logging
+
+        reset_batch_fallback_registry()
+        pairs = _pairs([8, 8])
+        with caplog.at_level(logging.DEBUG, logger="repro.core.batch"):
+            for _ in range(3):
+                ContextBatch(pairs, backend="sparse", sparse_epsilon=1e-3)
+        records = [r for r in caplog.records if "lossy_backend" in r.message]
+        assert [r.levelno for r in records] == [
+            logging.WARNING,
+            logging.DEBUG,
+            logging.DEBUG,
+        ]
+        # A different call site warns again.
+        caplog.clear()
+        with caplog.at_level(logging.DEBUG, logger="repro.core.batch"):
+            ContextBatch(pairs, backend="sparse", sparse_epsilon=1e-3)
+        records = [r for r in caplog.records if "lossy_backend" in r.message]
+        assert [r.levelno for r in records] == [logging.WARNING]
+        reset_batch_fallback_registry()
 
     def test_multiple_reasons_compose(self, dense_backend):
         pairs = _pairs([8]) + _pairs([6], direction="directed", seed=9)
@@ -348,3 +388,114 @@ class TestFallbackInfo:
     def test_backend_preference_threads_to_contexts(self):
         batch = ContextBatch(_pairs([8]), backend="sparse", sparse_epsilon=0.0)
         assert batch.contexts[0].backend_name == "sparse"
+
+
+class TestBlockStacking:
+    """The (B, n, n) stack is assembled through backend block
+    primitives, so non-dense lossless backends stack bit-identically to
+    the dense route (tentpole: close the dense-only batching gap)."""
+
+    @pytest.mark.parametrize("direction", ["bidirectional", "directed"])
+    @pytest.mark.parametrize(
+        "backend,epsilon", [("sparse", 0.0), ("array", None)]
+    )
+    def test_stacked_queries_match_dense(self, direction, backend, epsilon):
+        pairs = _pairs([640, 640], direction=direction, seed=80)
+        dense = ContextBatch(pairs)
+        other = ContextBatch(pairs, backend=backend, sparse_epsilon=epsilon)
+        assert dense.stacked and other.stacked
+        np.testing.assert_array_equal(other.margins(), dense.margins())
+        schedules = dense.first_fit_schedules()
+        rerun = other.first_fit_schedules()
+        for a, b in zip(schedules, rerun):
+            np.testing.assert_array_equal(a.colors, b.colors)
+
+    @pytest.mark.parametrize(
+        "backend,epsilon", [("sparse", 0.0), ("array", None)]
+    )
+    def test_stack_assembly_never_densifies(
+        self, backend, epsilon, monkeypatch
+    ):
+        from repro.core import gains as gains_mod
+
+        def boom(self, *args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("stacking materialized a dense matrix")
+
+        cls = (
+            gains_mod.SparseBackend
+            if backend == "sparse"
+            else gains_mod.ArrayBackend
+        )
+        for name in ("dense_u", "dense_v", "dense_ut", "dense_vt"):
+            monkeypatch.setattr(cls, name, boom)
+        batch = ContextBatch(
+            _pairs([12, 12], seed=81),
+            backend=backend,
+            sparse_epsilon=epsilon,
+        )
+        assert batch.stacked
+        batch.margins()
+        batch.first_fit_schedules()
+
+
+class TestLocalSearchSchedules:
+    """Batched local search conforms exactly to the per-pair
+    ``improve_schedule`` reference on every lossless backend and on the
+    ragged fallback."""
+
+    @pytest.mark.parametrize("direction", ["bidirectional", "directed"])
+    @pytest.mark.parametrize(
+        "backend,epsilon",
+        [("dense", None), ("sparse", 0.0), ("array", None)],
+    )
+    def test_matches_improve_schedule(self, direction, backend, epsilon):
+        from repro.scheduling.local_search import improve_schedule
+
+        pairs = _pairs([30, 30, 30], direction=direction, seed=90)
+        batch = ContextBatch(pairs, backend=backend, sparse_epsilon=epsilon)
+        assert batch.stacked
+        seeds = batch.first_fit_schedules()
+        improved = batch.local_search_schedules(seeds)
+        for (instance, powers), seed, result in zip(pairs, seeds, improved):
+            reference = improve_schedule(instance, seed)
+            np.testing.assert_array_equal(result.colors, reference.colors)
+            result.validate(instance)
+
+    def test_ragged_fallback_matches(self):
+        from repro.scheduling.local_search import improve_schedule
+
+        pairs = _pairs([10, 16], seed=91)
+        batch = ContextBatch(pairs)
+        assert not batch.stacked
+        seeds = batch.first_fit_schedules()
+        improved = batch.local_search_schedules(seeds)
+        for (instance, powers), seed, result in zip(pairs, seeds, improved):
+            reference = improve_schedule(instance, seed)
+            np.testing.assert_array_equal(result.colors, reference.colors)
+
+    def test_max_rounds_threads_through(self):
+        pairs = _pairs([20, 20], seed=92)
+        batch = ContextBatch(pairs)
+        seeds = batch.first_fit_schedules()
+        capped = batch.local_search_schedules(seeds, max_rounds=0)
+        for seed, result in zip(seeds, capped):
+            np.testing.assert_array_equal(
+                result.colors, seed.compacted().colors
+            )
+
+    def test_schedule_count_mismatch(self):
+        pairs = _pairs([8, 8], seed=93)
+        batch = ContextBatch(pairs)
+        seeds = batch.first_fit_schedules()
+        with pytest.raises(InvalidScheduleError, match="1 schedules"):
+            batch.local_search_schedules(seeds[:1])
+
+    def test_foreign_powers_rejected(self):
+        pairs = _pairs([8, 8], seed=94)
+        batch = ContextBatch(pairs)
+        seeds = batch.first_fit_schedules()
+        foreign = Schedule(
+            colors=seeds[1].colors.copy(), powers=seeds[1].powers * 2.0
+        )
+        with pytest.raises(InvalidScheduleError, match="powers differ"):
+            batch.local_search_schedules([seeds[0], foreign])

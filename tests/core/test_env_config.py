@@ -1,9 +1,10 @@
 """Environment-variable validation at load time (satellite).
 
 Malformed ``REPRO_BACKEND`` / ``REPRO_CONTEXT_CACHE`` /
-``REPRO_SPARSE_EPSILON`` values must fail with messages naming the
-variable and the accepted values — these parsers run at module import,
-so a typo surfaces immediately instead of deep inside ``get_context``.
+``REPRO_SPARSE_EPSILON`` / ``REPRO_ARRAY_NAMESPACE`` values must fail
+with messages naming the variable and the accepted values — these
+parsers run at module import, so a typo surfaces immediately instead of
+deep inside ``get_context``.
 """
 
 import pytest
@@ -12,7 +13,11 @@ from repro.core.context import (
     DEFAULT_CONTEXT_CACHE_LIMIT,
     _env_cache_limit,
 )
-from repro.core.gains import _env_backend, _env_epsilon
+from repro.core.gains import (
+    _env_array_namespace,
+    _env_backend,
+    _env_epsilon,
+)
 
 
 class TestContextCacheEnv:
@@ -50,11 +55,45 @@ class TestBackendEnv:
         monkeypatch.setenv("REPRO_BACKEND", "  Sparse ")
         assert _env_backend() == "sparse"
 
+    def test_array_backend_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "array")
+        assert _env_backend() == "array"
+
     def test_unknown_backend_lists_allowed_values(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "gpu")
         with pytest.raises(ValueError, match="REPRO_BACKEND") as err:
             _env_backend()
         assert "dense" in str(err.value) and "sparse" in str(err.value)
+        assert "array" in str(err.value)
+
+
+class TestArrayNamespaceEnv:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARRAY_NAMESPACE", raising=False)
+        assert _env_array_namespace() == "numpy"
+
+    def test_blank_is_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_NAMESPACE", "   ")
+        assert _env_array_namespace() == "numpy"
+
+    def test_case_and_whitespace_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_NAMESPACE", "  NumPy ")
+        assert _env_array_namespace() == "numpy"
+
+    def test_known_namespaces_accepted(self, monkeypatch):
+        # Configuration never imports the framework, so names whose
+        # packages are absent still validate.
+        for name in ("array_api_strict", "torch", "cupy"):
+            monkeypatch.setenv("REPRO_ARRAY_NAMESPACE", name)
+            assert _env_array_namespace() == name
+
+    def test_unknown_namespace_names_variable_and_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_NAMESPACE", "jax")
+        with pytest.raises(ValueError, match="REPRO_ARRAY_NAMESPACE") as err:
+            _env_array_namespace()
+        message = str(err.value)
+        assert "numpy" in message and "torch" in message
+        assert "'jax'" in message
 
 
 class TestSparseEpsilonEnv:

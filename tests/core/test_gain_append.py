@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core.gains import (
+    ArrayBackend,
     DenseBackend,
     SparseBackend,
     validate_growth,
@@ -52,6 +53,8 @@ def _base(n, direction, rng_seed, metric_nodes=40):
 def _build(backend_cls, instance, powers):
     if backend_cls is SparseBackend:
         return SparseBackend.build(instance, powers, epsilon=0.0)
+    if backend_cls is ArrayBackend:
+        return ArrayBackend.build(instance, powers, namespace="numpy")
     return DenseBackend.build(instance, powers)
 
 
@@ -87,7 +90,9 @@ def _assert_identical(grown, cold):
 
 
 @pytest.mark.parametrize("direction", ["directed", "bidirectional"])
-@pytest.mark.parametrize("backend_cls", [DenseBackend, SparseBackend])
+@pytest.mark.parametrize(
+    "backend_cls", [DenseBackend, SparseBackend, ArrayBackend]
+)
 class TestAppendBitIdentity:
     def test_single_append_matches_cold_build(self, backend_cls, direction):
         small, rng = _base(6, direction, rng_seed=11)
@@ -149,6 +154,9 @@ class TestAppendBitIdentity:
         if backend_cls is DenseBackend:
             gains = np.zeros((small.n, small.n))
             backend = DenseBackend(gains, gains)
+        elif backend_cls is ArrayBackend:
+            gains = np.zeros((small.n, small.n))
+            backend = ArrayBackend(np, gains, gains, "numpy")
         else:
             import scipy.sparse as sp
 

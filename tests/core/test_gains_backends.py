@@ -24,6 +24,7 @@ import pytest
 from repro.core import gains
 from repro.core.context import clear_context_cache, engine_disabled, get_context
 from repro.core.gains import (
+    ArrayBackend,
     DenseBackend,
     SparseBackend,
     backend_scope,
@@ -468,3 +469,207 @@ class TestBackendSelection:
         assert isinstance(backend, DenseBackend)
         assert ctx.gains_u is backend.gains_u
         assert ctx.gains_ut is backend.gains_ut
+
+
+class TestArrayBackend:
+    """Tentpole: the array-API backend under the numpy namespace is
+    float64 bit-identical to the dense backend on every primitive."""
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_primitives_match_dense(self, name):
+        instance, powers = GRID[name]
+        dense = build_backend(instance, powers, backend="dense")
+        array = build_backend(instance, powers, backend="array")
+        assert isinstance(array, ArrayBackend)
+        assert array.name == "array"
+        assert array.namespace == "numpy"
+        assert array.is_lossless
+        assert np.all(array.pruned_bound == 0.0)
+        assert array.directed == dense.directed
+        assert array.has_infinite_gains == dense.has_infinite_gains
+        n = instance.n
+        idx = np.arange(0, n, 2)
+        members = np.asarray([0, n - 1])
+        colors = np.arange(n) % 3
+        for endpoint in ("u", "v"):
+            def op(backend, method, *args, e=endpoint):
+                return getattr(backend, f"{method}_{e}")(*args)
+
+            for j in (0, n // 2, n - 1):
+                np.testing.assert_array_equal(
+                    op(dense, "col", j), op(array, "col", j)
+                )
+                np.testing.assert_array_equal(
+                    op(dense, "row", j), op(array, "row", j)
+                )
+            np.testing.assert_array_equal(
+                op(dense, "gather_cols", members),
+                op(array, "gather_cols", members),
+            )
+            np.testing.assert_array_equal(
+                op(dense, "block", idx), op(array, "block", idx)
+            )
+            np.testing.assert_array_equal(
+                op(dense, "cross_block", idx, members),
+                op(array, "cross_block", idx, members),
+            )
+            np.testing.assert_array_equal(
+                op(dense, "row_sums", np.arange(n)),
+                op(array, "row_sums", np.arange(n)),
+            )
+            for c in (None, colors):
+                np.testing.assert_array_equal(
+                    op(dense, "class_sum", c), op(array, "class_sum", c)
+                )
+            np.testing.assert_array_equal(
+                op(dense, "dense"), op(array, "dense")
+            )
+
+    def test_numpy_namespace_is_zero_copy(self):
+        """Under the numpy namespace the transfer boundary is the
+        identity: primitives return host float64 arrays without a
+        round-trip copy of the whole matrix."""
+        instance, powers = GRID["euclid-bid"]
+        array = build_backend(instance, powers, backend="array")
+        col = array.col_u(0)
+        assert isinstance(col, np.ndarray)
+        assert col.dtype == np.float64
+
+    def test_schedulers_match_dense_bitwise(self):
+        for direction in ("directed", "bidirectional"):
+            instance = random_uniform_instance(32, rng=78, direction=direction)
+            powers = SquareRootPower()(instance)
+            reference = {
+                "first_fit": first_fit_schedule(instance, powers).colors,
+                "peeling": peeling_schedule(instance, powers).colors,
+                "local_search": improve_schedule(
+                    instance, first_fit_schedule(instance, powers)
+                ).colors,
+            }
+            clear_context_cache()
+            with backend_scope("array"):
+                results = {
+                    "first_fit": first_fit_schedule(instance, powers).colors,
+                    "peeling": peeling_schedule(instance, powers).colors,
+                    "local_search": improve_schedule(
+                        instance, first_fit_schedule(instance, powers)
+                    ).colors,
+                }
+                backend = get_context(instance, powers).backend
+                assert isinstance(backend, ArrayBackend)
+                assert backend.flip_risk_events == 0
+            for key, expected in reference.items():
+                np.testing.assert_array_equal(
+                    results[key], expected, err_msg=f"{direction}:{key}"
+                )
+
+    def test_namespace_validation(self):
+        instance, powers = GRID["euclid-dir"]
+        with pytest.raises(ValueError, match="array namespace"):
+            build_backend(
+                instance, powers, backend="array", array_namespace="jax"
+            )
+        with pytest.raises(ValueError, match="array namespace"):
+            gains.resolve_array_namespace("pandas")
+
+    def test_missing_framework_names_install_extra(self):
+        """Selecting an uninstalled namespace fails at build with an
+        error naming the package and the [array] extra (torch/cupy are
+        not test dependencies)."""
+        instance, powers = GRID["euclid-dir"]
+        missing = []
+        for name in ("torch", "cupy"):
+            try:
+                __import__(name)
+            except ImportError:
+                missing.append(name)
+        if not missing:
+            pytest.skip("torch and cupy both installed")
+        with pytest.raises(ImportError, match=r"\[array\]"):
+            build_backend(
+                instance, powers, backend="array", array_namespace=missing[0]
+            )
+
+    def test_namespace_scope_and_default(self):
+        before = gains.default_array_namespace()
+        with gains.array_namespace_scope("numpy"):
+            assert gains.default_array_namespace() == "numpy"
+            with gains.array_namespace_scope(None):
+                assert gains.default_array_namespace() == "numpy"
+        assert gains.default_array_namespace() == before
+
+    def test_context_cache_keys_on_namespace_and_device(self):
+        instance, powers = GRID["euclid-bid"]
+        dense_ctx = get_context(instance, powers, backend="dense")
+        array_ctx = get_context(instance, powers, backend="array")
+        again = get_context(instance, powers, backend="array")
+        assert dense_ctx is not array_ctx
+        assert array_ctx is again
+        assert array_ctx.array_namespace == "numpy"
+        assert array_ctx.backend_name == "array"
+
+
+class TestArrayApiStrict:
+    """The portability gate: every primitive must survive the strict
+    array-API namespace (run in CI's array-backend job; skipped locally
+    when array-api-strict is absent)."""
+
+    @pytest.fixture(autouse=True)
+    def _strict(self):
+        pytest.importorskip("array_api_strict")
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_primitives_match_dense(self, name):
+        instance, powers = GRID[name]
+        dense = build_backend(instance, powers, backend="dense")
+        strict = build_backend(
+            instance,
+            powers,
+            backend="array",
+            array_namespace="array_api_strict",
+        )
+        assert strict.namespace == "array_api_strict"
+        n = instance.n
+        idx = np.arange(0, n, 2)
+        members = np.asarray([0, n - 1])
+        colors = np.arange(n) % 3
+        for endpoint in ("u", "v"):
+            def op(backend, method, *args, e=endpoint):
+                return getattr(backend, f"{method}_{e}")(*args)
+
+            np.testing.assert_array_equal(
+                op(dense, "col", 0), op(strict, "col", 0)
+            )
+            np.testing.assert_array_equal(
+                op(dense, "gather_cols", members),
+                op(strict, "gather_cols", members),
+            )
+            np.testing.assert_array_equal(
+                op(dense, "block", idx), op(strict, "block", idx)
+            )
+            np.testing.assert_array_equal(
+                op(dense, "cross_block", idx, members),
+                op(strict, "cross_block", idx, members),
+            )
+            np.testing.assert_array_equal(
+                op(dense, "row_sums", np.arange(n)),
+                op(strict, "row_sums", np.arange(n)),
+            )
+            for c in (None, colors):
+                np.testing.assert_array_equal(
+                    op(dense, "class_sum", c), op(strict, "class_sum", c)
+                )
+            np.testing.assert_array_equal(
+                op(dense, "dense"), op(strict, "dense")
+            )
+
+    def test_schedules_match_dense(self):
+        instance = random_uniform_instance(24, rng=79)
+        powers = SquareRootPower()(instance)
+        expected = first_fit_schedule(instance, powers).colors
+        clear_context_cache()
+        with backend_scope("array"), gains.array_namespace_scope(
+            "array_api_strict"
+        ):
+            got = first_fit_schedule(instance, powers).colors
+        np.testing.assert_array_equal(got, expected)

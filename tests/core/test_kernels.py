@@ -33,6 +33,7 @@ from repro.core.kernels import (
     kernels_disabled,
     kernels_enabled,
     peel_max_feasible_subset,
+    stacked_local_search,
 )
 from repro.core.schedule import Schedule, build_schedule
 from repro.geometry.line import LineMetric
@@ -440,6 +441,148 @@ class TestBatchedFirstFit:
         batch = ContextBatch([(instance, np.ones(1))])
         with pytest.raises(InvalidScheduleError, match="pair 0"):
             batch.first_fit_schedules()
+
+
+# ----------------------------------------------------------------------
+# Batched local search
+# ----------------------------------------------------------------------
+
+
+class TestStackedLocalSearch:
+    """Lockstep local search must match per-instance
+    :func:`improve_schedule` schedules exactly (acceptance criterion)."""
+
+    def _stack_inputs(self, pairs):
+        contexts = [get_context(*pair) for pair in pairs]
+        gains_ut = np.stack([ctx.gains_ut for ctx in contexts])
+        if all(ctx.gains_ut is ctx.gains_vt for ctx in contexts):
+            gains_vt = gains_ut
+        else:
+            gains_vt = np.stack([ctx.gains_vt for ctx in contexts])
+        signals = np.stack([ctx.signals for ctx in contexts])
+        betas = np.asarray([ctx.beta for ctx in contexts])
+        noises = np.asarray([ctx.noise for ctx in contexts])
+        return gains_ut, gains_vt, signals, betas, noises
+
+    @pytest.mark.parametrize(
+        "direction", [Direction.DIRECTED, Direction.BIDIRECTIONAL]
+    )
+    def test_matches_improve_schedule(self, direction, dense_backend):
+        pairs = []
+        for b in range(6):
+            instance = random_uniform_instance(
+                40, rng=1000 + b, direction=direction
+            )
+            pairs.append((instance, SquareRootPower()(instance)))
+        seeds = [first_fit_schedule(*pair) for pair in pairs]
+        gains_ut, gains_vt, signals, betas, noises = self._stack_inputs(pairs)
+        colors = stacked_local_search(
+            gains_ut,
+            gains_vt,
+            np.stack([s.compacted().colors for s in seeds]),
+            signals,
+            betas,
+            noises,
+        )
+        for index, ((instance, powers), seed) in enumerate(zip(pairs, seeds)):
+            reference = improve_schedule(instance, seed)
+            np.testing.assert_array_equal(
+                colors[index], reference.colors, err_msg=f"pair {index}"
+            )
+
+    @pytest.mark.parametrize("max_rounds", [None, 1])
+    def test_shared_node_instances(self, max_rounds, dense_backend):
+        """Infinite-gain pairs exercise the masked (non-finite) state
+        variant; decisions must still match the per-pair search."""
+        pairs = [
+            (_shared_node_instance(Direction.BIDIRECTIONAL), np.ones(4)),
+            (_shared_node_instance(Direction.DIRECTED), np.full(4, 2.0)),
+        ]
+        for pair in pairs:
+            seeds = [first_fit_schedule(*pair)]
+            gains_ut, gains_vt, signals, betas, noises = self._stack_inputs(
+                [pair]
+            )
+            colors = stacked_local_search(
+                gains_ut,
+                gains_vt,
+                np.stack([s.compacted().colors for s in seeds]),
+                signals,
+                betas,
+                noises,
+                max_rounds=max_rounds,
+            )
+            reference = improve_schedule(
+                pair[0], seeds[0], max_rounds=max_rounds
+            )
+            np.testing.assert_array_equal(colors[0], reference.colors)
+
+    def test_input_colors_not_mutated(self, dense_backend):
+        instance = random_uniform_instance(20, rng=1100)
+        powers = SquareRootPower()(instance)
+        seed = first_fit_schedule(instance, powers).compacted()
+        gains_ut, gains_vt, signals, betas, noises = self._stack_inputs(
+            [(instance, powers)]
+        )
+        colors_in = np.stack([seed.colors])
+        before = colors_in.copy()
+        stacked_local_search(
+            gains_ut, gains_vt, colors_in, signals, betas, noises
+        )
+        np.testing.assert_array_equal(colors_in, before)
+
+    def test_validation_errors(self, dense_backend):
+        instance = random_uniform_instance(6, rng=1200)
+        powers = SquareRootPower()(instance)
+        gains_ut, gains_vt, signals, betas, noises = self._stack_inputs(
+            [(instance, powers)]
+        )
+        good = np.zeros((1, 6), dtype=int)
+        with pytest.raises(ValueError, match="no -1"):
+            stacked_local_search(
+                gains_ut,
+                gains_vt,
+                np.full((1, 6), -1),
+                signals,
+                betas,
+                noises,
+            )
+        with pytest.raises(ValueError, match=r"\(B, n\)"):
+            stacked_local_search(
+                gains_ut, gains_vt, np.zeros(6, dtype=int), signals,
+                betas, noises,
+            )
+        with pytest.raises(ValueError, match="gains"):
+            stacked_local_search(
+                gains_ut[:, :4, :4], gains_vt[:, :4, :4], good, signals,
+                betas, noises,
+            )
+        with pytest.raises(ValueError, match="signals"):
+            stacked_local_search(
+                gains_ut, gains_vt, good, signals[:, :4], betas, noises
+            )
+        with pytest.raises(ValueError, match="betas/noises"):
+            stacked_local_search(
+                gains_ut, gains_vt, good, signals, np.ones(3), noises
+            )
+
+    def test_max_rounds_zero_is_identity(self, dense_backend):
+        instance = random_uniform_instance(15, rng=1300)
+        powers = SquareRootPower()(instance)
+        seed = first_fit_schedule(instance, powers).compacted()
+        gains_ut, gains_vt, signals, betas, noises = self._stack_inputs(
+            [(instance, powers)]
+        )
+        colors = stacked_local_search(
+            gains_ut,
+            gains_vt,
+            np.stack([seed.colors]),
+            signals,
+            betas,
+            noises,
+            max_rounds=0,
+        )
+        np.testing.assert_array_equal(colors[0], seed.colors)
 
 
 # ----------------------------------------------------------------------

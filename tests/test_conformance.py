@@ -228,8 +228,9 @@ def test_all_toggle_combinations_emit_identical_schedules(
 #: Session.schedule equivalents of the legacy free-function calls
 #: above: ``(algorithm, session params)`` keyed like SCHEDULERS.  The
 #: registry facade must reproduce every legacy schedule bit-for-bit on
-#: both gain backends (epsilon=0 sparse is lossless, so zero
-#: flip-risk events are expected throughout).
+#: every gain backend (epsilon=0 sparse and the numpy-namespace array
+#: backend are lossless, so zero flip-risk events are expected
+#: throughout).
 SESSION_CALLS = {
     "trivial": ("trivial", {}),
     "first_fit": ("first_fit", {}),
@@ -245,7 +246,7 @@ SESSION_CALLS = {
 }
 
 
-@pytest.mark.parametrize("backend", ["dense", "sparse"])
+@pytest.mark.parametrize("backend", ["dense", "sparse", "array"])
 @pytest.mark.parametrize("scheduler_name", sorted(SESSION_CALLS))
 @pytest.mark.parametrize(
     "instance_name",
@@ -260,8 +261,9 @@ def test_session_matches_legacy_free_functions(
 ):
     """Acceptance: every scheduler resolved through the registry and
     called via Session.schedule emits the very schedule the legacy free
-    function emits — on the dense and the (lossless) sparse backend —
-    with zero flip-risk events."""
+    function emits — on the dense, the (lossless) sparse, and the
+    array-API (numpy namespace) backend — with zero flip-risk
+    events."""
     from repro.api import Problem
 
     instance = GRID[instance_name]
