@@ -1,0 +1,253 @@
+"""Micro-benchmark: amortized sparse-backend growth under an arrival stream.
+
+``SparseBackend.append_requests`` used to consolidate (hstack/vstack +
+transpose rebuild) on **every** arrival — O(nnz) per admission, so a
+stream of k arrivals cost O(k · nnz).  Growth is now deferred: arrival
+strips accumulate as pending blocks and fold into the base CSR only
+when a block-structured query (or the doubling rule) demands it, which
+amortizes consolidation to O(log k) folds per stream.
+
+This benchmark replays the same ``--arrivals`` (default 256) arrival
+stream twice on a lossless sparse backend:
+
+* **deferred** — the production path: plain ``append_requests`` calls,
+  pending blocks folded lazily;
+* **eager** — ``flush_growth()`` forced after every arrival, which
+  reproduces the historical consolidate-per-arrival cost profile.
+
+Gates (exit non-zero on violation):
+
+* the deferred stream must finish within ``--max-fraction`` (default
+  0.5) of the eager stream's wall time;
+* after a final ``flush_growth()`` the deferred backend's matrices
+  must be **bit-identical** to a cold rebuild on the grown instance
+  (the lossless-growth contract of ``tests/core/test_gain_append.py``,
+  re-checked here so the fast path cannot drift from the semantics).
+
+The second-half/first-half wall-time ratio of the deferred stream is
+reported (a consolidate-per-arrival regression drives it up) but not
+gated — at micro-bench scale it is too noisy to fail a build on.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_sparse_growth.py
+    PYTHONPATH=src python benchmarks/bench_sparse_growth.py \
+        --base-n 512 --arrivals 128 --artifacts out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _prefix_instances(base_n: int, arrivals: int, seed: int):
+    """The full grown instance plus every prefix the stream visits."""
+    from repro.core.instance import Instance
+    from repro.instances.random_instances import random_uniform_instance
+
+    full = random_uniform_instance(
+        base_n + arrivals, rng=seed, direction="directed"
+    )
+
+    def prefix(k: int) -> Instance:
+        return Instance(
+            full.metric,
+            full.senders[:k],
+            full.receivers[:k],
+            direction=full.direction,
+            alpha=full.alpha,
+        )
+
+    return full, prefix
+
+
+def _replay_stream(prefix, powers_of, base_n, arrivals, eager: bool):
+    """Build at ``base_n`` then append one request at a time; returns
+    (backend, total_seconds, first_half_seconds, second_half_seconds)."""
+    from repro.core.gains import SparseBackend
+
+    backend = SparseBackend.build(
+        prefix(base_n), powers_of(base_n), epsilon=0.0
+    )
+    half = arrivals // 2
+    spans = [0.0, 0.0]
+    start = time.perf_counter()
+    for step in range(arrivals):
+        k = base_n + step + 1
+        tick = time.perf_counter()
+        backend.append_requests(prefix(k), powers_of(k))
+        if eager:
+            backend.flush_growth()
+        spans[step >= half] += time.perf_counter() - tick
+    total = time.perf_counter() - start
+    return backend, total, spans[0], spans[1]
+
+
+def run(args) -> int:
+    from repro.core.gains import SparseBackend
+    from repro.power.oblivious import SquareRootPower
+
+    failures = []
+    run_start = time.perf_counter()
+    full, prefix = _prefix_instances(args.base_n, args.arrivals, args.seed)
+    sqrt_power = SquareRootPower()
+    full_powers = np.asarray(sqrt_power(full), dtype=float)
+
+    def powers_of(k: int) -> np.ndarray:
+        # The sqrt assignment is per-request, hence prefix-stable.
+        return full_powers[:k]
+
+    deferred, deferred_s, first_half, second_half = _replay_stream(
+        prefix, powers_of, args.base_n, args.arrivals, eager=False
+    )
+    eager_backend, eager_s, _, _ = _replay_stream(
+        prefix, powers_of, args.base_n, args.arrivals, eager=True
+    )
+    half_ratio = second_half / first_half if first_half > 0 else float("nan")
+    print(
+        f"deferred stream: {deferred_s:.3f}s "
+        f"(halves {first_half:.3f}s / {second_half:.3f}s, "
+        f"ratio {half_ratio:.2f})"
+    )
+    print(f"eager stream:    {eager_s:.3f}s (flush_growth per arrival)")
+
+    budget = args.max_fraction * eager_s
+    print(
+        f"gate: deferred within {args.max_fraction:.0%} of eager: "
+        f"{deferred_s:.3f}s vs {budget:.3f}s"
+    )
+    if deferred_s > budget:
+        failures.append(
+            f"deferred growth stream took {deferred_s:.3f}s "
+            f"(> {budget:.3f}s = {args.max_fraction:.0%} of the "
+            f"{eager_s:.3f}s consolidate-per-arrival replay)"
+        )
+
+    # Bit-identity: fold everything and compare against a cold rebuild.
+    deferred.flush_growth()
+    n_final = args.base_n + args.arrivals
+    cold = SparseBackend.build(
+        prefix(n_final), powers_of(n_final), epsilon=0.0
+    )
+    if not np.array_equal(deferred.dense_u(), cold.dense_u()) or not (
+        np.array_equal(deferred.dense_v(), cold.dense_v())
+    ):
+        failures.append(
+            "deferred-growth backend diverged from a cold rebuild at "
+            f"n={n_final} (lossless growth must be bit-identical)"
+        )
+
+    if args.artifacts is not None:
+        from repro.runner.artifacts import (
+            BenchReport,
+            ShardResult,
+            write_artifact,
+        )
+        from repro.util.tables import Table
+
+        table = Table(
+            title="Sparse backend growth: deferred vs per-arrival folds",
+            columns=[
+                "mode",
+                "base_n",
+                "arrivals",
+                "seconds",
+                "first_half_seconds",
+                "second_half_seconds",
+            ],
+        )
+        table.add_note(
+            f"gate: deferred stream within {args.max_fraction:.0%} of the "
+            "flush-per-arrival replay; final matrices bit-identical to a "
+            "cold rebuild (epsilon=0)"
+        )
+        table.add_row(
+            mode="deferred",
+            base_n=args.base_n,
+            arrivals=args.arrivals,
+            seconds=deferred_s,
+            first_half_seconds=first_half,
+            second_half_seconds=second_half,
+        )
+        table.add_row(
+            mode="eager",
+            base_n=args.base_n,
+            arrivals=args.arrivals,
+            seconds=eager_s,
+            first_half_seconds=float("nan"),
+            second_half_seconds=float("nan"),
+        )
+        report = BenchReport(
+            experiment="sparse_growth",
+            title="Amortized sparse growth over an arrival stream",
+            mode="smoke" if args.arrivals < 256 else "full",
+            table=table,
+            shards=[
+                ShardResult(
+                    key=f"deferred:{args.arrivals}",
+                    seed=args.seed,
+                    rows=1,
+                    seconds=deferred_s,
+                ),
+                ShardResult(
+                    key=f"eager:{args.arrivals}",
+                    seed=args.seed,
+                    rows=1,
+                    seconds=eager_s,
+                ),
+            ],
+            run_wall_seconds=time.perf_counter() - run_start,
+            metric="seconds",
+            backend="sparse",
+        )
+        write_artifact(args.artifacts, report)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: sparse growth gates passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base-n",
+        type=int,
+        default=1024,
+        help="requests in the cold-built base backend (default 1024)",
+    )
+    parser.add_argument(
+        "--arrivals",
+        type=int,
+        default=256,
+        help="length of the one-request-at-a-time arrival stream "
+        "(default 256)",
+    )
+    parser.add_argument(
+        "--max-fraction",
+        type=float,
+        default=0.5,
+        help="allowed fraction of the flush-per-arrival replay's wall "
+        "time (default 0.5)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_sparse_growth.json under DIR",
+    )
+    args = parser.parse_args(argv)
+    if args.arrivals < 2:
+        parser.error("--arrivals must be >= 2")
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,6 +143,7 @@ from repro.power import (
     UniformPower,
     geometric_power,
 )
+from repro.distributed import ShardedBackend, distributed_protocol
 from repro.scheduling import (
     distributed_coloring,
     exact_minimum_colors,
@@ -228,6 +229,8 @@ __all__ = [
     "sqrt_coloring",
     "protocol_schedule",
     "distributed_coloring",
+    "distributed_protocol",
+    "ShardedBackend",
     "exact_minimum_colors",
     "schedule_dumps",
     "schedule_loads",

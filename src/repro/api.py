@@ -66,8 +66,12 @@ from repro.core.gains import (
     default_sparse_epsilon,
     resolve_array_namespace,
     resolve_backend,
+    resolve_shard_executor,
+    resolve_shard_workers,
     resolve_sparse_epsilon,
     set_sparse_epsilon,
+    shard_executor_scope,
+    shard_workers_scope,
 )
 from repro.core.instance import Instance
 from repro.core.kernels import (
@@ -280,6 +284,11 @@ class Problem:
         contexts the session and batch own; context fetches issued
         inside algorithm implementations resolve the namespace but use
         its default device.
+    workers, shard_executor:
+        Shard worker count and executor name (``"serial"``/
+        ``"process"``) for ``backend="sharded"`` (``None`` follows
+        :func:`~repro.core.gains.default_shard_workers` /
+        :func:`~repro.core.gains.default_shard_executor`).
     """
 
     instance: Instance
@@ -288,6 +297,8 @@ class Problem:
     sparse_epsilon: Optional[float] = None
     array_namespace: Optional[str] = None
     device: Optional[object] = None
+    workers: Optional[int] = None
+    shard_executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         backend_name = resolve_backend(self.backend)
@@ -298,6 +309,17 @@ class Problem:
         if self.device is not None and backend_name != "array":
             raise ValueError(
                 "device= requires backend='array' "
+                f"(got backend={backend_name!r})"
+            )
+        if self.workers is not None:
+            resolve_shard_workers(self.workers)
+        if self.shard_executor is not None:
+            resolve_shard_executor(self.shard_executor)
+        if (
+            self.workers is not None or self.shard_executor is not None
+        ) and backend_name != "sharded":
+            raise ValueError(
+                "workers=/shard_executor= require backend='sharded' "
                 f"(got backend={backend_name!r})"
             )
 
@@ -323,11 +345,17 @@ def _preference_scope(
     backend: Optional[str],
     sparse_epsilon: Optional[float],
     array_namespace: Optional[str] = None,
+    shard_workers: Optional[int] = None,
+    shard_executor: Optional[str] = None,
 ) -> Iterator[None]:
     """Make a problem's backend preferences the process defaults for
     the duration of an algorithm run, so every ``get_context`` the
     implementation issues resolves to the session's own context."""
-    with backend_scope(backend), array_namespace_scope(array_namespace):
+    with backend_scope(backend), array_namespace_scope(
+        array_namespace
+    ), shard_workers_scope(shard_workers), shard_executor_scope(
+        shard_executor
+    ):
         if sparse_epsilon is None:
             yield
         else:
@@ -446,6 +474,8 @@ class Session:
                 sparse_epsilon=self.problem.sparse_epsilon,
                 array_namespace=self.problem.array_namespace,
                 device=self.problem.device,
+                shard_workers=self.problem.workers,
+                shard_executor=self.problem.shard_executor,
             )
         return self._context
 
@@ -944,6 +974,8 @@ class Session:
             self.problem.backend,
             self.problem.sparse_epsilon,
             self.problem.array_namespace,
+            self.problem.workers,
+            self.problem.shard_executor,
         ):
             outcome = spec.run(
                 self.problem.instance,

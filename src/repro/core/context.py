@@ -101,6 +101,8 @@ from repro.core.gains import (
     build_backend,
     resolve_array_namespace,
     resolve_backend,
+    resolve_shard_executor,
+    resolve_shard_workers,
     resolve_sparse_epsilon,
     validate_growth,
 )
@@ -150,15 +152,22 @@ class InterferenceContext:
         Defaults for the per-query overrides; fall back to the
         instance's values.
     backend:
-        Gain-backend name (``"dense"``/``"sparse"``); ``None`` uses the
-        process default (:func:`repro.core.gains.default_backend`).
+        Gain-backend name (``"dense"``/``"sparse"``/``"array"``/
+        ``"sharded"``); ``None`` uses the process default
+        (:func:`repro.core.gains.default_backend`).
     sparse_epsilon:
-        Pruning budget for the sparse backend (``None`` = the process
-        default; ignored by the dense backend).
+        Pruning budget for the sparse and sharded backends (``None`` =
+        the process default; ignored by the dense backend).
     array_namespace, device:
         Array-API namespace and device for the ``"array"`` backend
         (``None`` = the process default namespace / the namespace's
         default device; ignored by the other backends).
+    shard_workers, shard_executor:
+        Worker count and executor name (``"serial"``/``"process"``)
+        for the ``"sharded"`` backend (``None`` = the process defaults,
+        :func:`repro.core.gains.default_shard_workers` /
+        :func:`repro.core.gains.default_shard_executor`; ignored by the
+        other backends).
 
     Notes
     -----
@@ -179,6 +188,8 @@ class InterferenceContext:
         sparse_epsilon: Optional[float] = None,
         array_namespace: Optional[str] = None,
         device: Optional[object] = None,
+        shard_workers: Optional[int] = None,
+        shard_executor: Optional[str] = None,
     ):
         powers = np.array(powers, dtype=float).reshape(-1)
         if powers.shape != (instance.n,):
@@ -199,7 +210,7 @@ class InterferenceContext:
         self.backend_name = resolve_backend(backend)
         self.sparse_epsilon = (
             resolve_sparse_epsilon(sparse_epsilon)
-            if self.backend_name == "sparse"
+            if self.backend_name in ("sparse", "sharded")
             else 0.0
         )
         self.array_namespace = (
@@ -208,6 +219,12 @@ class InterferenceContext:
             else ""
         )
         self.device = device if self.backend_name == "array" else None
+        if self.backend_name == "sharded":
+            self.shard_workers = resolve_shard_workers(shard_workers)
+            self.shard_executor = resolve_shard_executor(shard_executor)
+        else:
+            self.shard_workers = 0
+            self.shard_executor = ""
         self._signals: Optional[np.ndarray] = None
         self._backend: Optional[GainBackend] = None
 
@@ -242,6 +259,8 @@ class InterferenceContext:
                 sparse_epsilon=self.sparse_epsilon,
                 array_namespace=self.array_namespace or None,
                 device=self.device,
+                shard_workers=self.shard_workers or None,
+                shard_executor=self.shard_executor or None,
             )
         return self._backend
 
@@ -1040,6 +1059,8 @@ def get_context(
     sparse_epsilon: Optional[float] = None,
     array_namespace: Optional[str] = None,
     device: Optional[object] = None,
+    shard_workers: Optional[int] = None,
+    shard_executor: Optional[str] = None,
 ) -> InterferenceContext:
     """The shared :class:`InterferenceContext` for ``(instance, powers)``.
 
@@ -1062,7 +1083,7 @@ def get_context(
     backend_name = resolve_backend(backend)
     epsilon = (
         resolve_sparse_epsilon(sparse_epsilon)
-        if backend_name == "sparse"
+        if backend_name in ("sparse", "sharded")
         else 0.0
     )
     namespace = (
@@ -1072,6 +1093,11 @@ def get_context(
     )
     if backend_name != "array":
         device = None
+    if backend_name == "sharded":
+        workers = resolve_shard_workers(shard_workers)
+        executor = resolve_shard_executor(shard_executor)
+    else:
+        workers, executor = 0, ""
     key = (
         powers_arr.tobytes(),
         instance.beta if beta is None else float(beta),
@@ -1080,6 +1106,8 @@ def get_context(
         epsilon,
         namespace,
         "" if device is None else str(device),
+        workers,
+        executor,
     )
     with _lock:
         per_instance = getattr(instance, _CACHE_ATTR, None)
@@ -1103,6 +1131,8 @@ def get_context(
             sparse_epsilon=epsilon,
             array_namespace=namespace or None,
             device=device,
+            shard_workers=workers or None,
+            shard_executor=executor or None,
         )
         per_instance[key] = context
         _lru[lru_key] = weakref.ref(instance)
@@ -1120,6 +1150,8 @@ def _context_key(context: InterferenceContext) -> tuple:
         context.sparse_epsilon,
         context.array_namespace,
         "" if context.device is None else str(context.device),
+        context.shard_workers,
+        context.shard_executor,
     )
 
 

@@ -108,11 +108,22 @@ __all__ = [
     "set_array_namespace",
     "array_namespace_scope",
     "resolve_array_namespace",
+    "default_shard_workers",
+    "set_shard_workers",
+    "shard_workers_scope",
+    "resolve_shard_workers",
+    "default_shard_executor",
+    "set_shard_executor",
+    "shard_executor_scope",
+    "resolve_shard_executor",
     "validate_growth",
 ]
 
-#: Registered backend names.
-BACKENDS = ("dense", "sparse", "array")
+#: Registered backend names.  ``"sharded"`` lives in
+#: :mod:`repro.distributed` (block-row shards over a
+#: :class:`repro.runner.executors.ShardExecutor`) and is resolved
+#: lazily by :func:`build_backend` to keep this module import-light.
+BACKENDS = ("dense", "sparse", "array", "sharded")
 
 #: Array-API namespaces :class:`ArrayBackend` can host its storage in.
 #: ``numpy`` ships with the library; the others resolve lazily at build
@@ -174,9 +185,52 @@ def _env_array_namespace() -> str:
     return name
 
 
+#: Registered shard-executor names (mirrors
+#: :data:`repro.runner.executors.SHARD_EXECUTORS`; duplicated here so
+#: validating a configuration never imports the runner package).
+SHARD_EXECUTORS = ("serial", "process")
+
+#: Hard ceiling on shard workers — W beyond the block-row count only
+#: adds empty shards and per-call fan-out cost.
+MAX_SHARD_WORKERS = 256
+
+
+def _env_shard_workers() -> int:
+    """Validate ``REPRO_SHARD_WORKERS`` at import (load) time."""
+    raw = os.environ.get("REPRO_SHARD_WORKERS", "2")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            "REPRO_SHARD_WORKERS must be an integer in "
+            f"[1, {MAX_SHARD_WORKERS}] (the sharded backend's worker "
+            f"count), got {raw!r}"
+        ) from None
+    if not 1 <= workers <= MAX_SHARD_WORKERS:
+        raise ValueError(
+            f"REPRO_SHARD_WORKERS must be in [1, {MAX_SHARD_WORKERS}], "
+            f"got {raw!r}"
+        )
+    return workers
+
+
+def _env_shard_executor() -> str:
+    """Validate ``REPRO_SHARD_EXECUTOR`` at import (load) time."""
+    raw = os.environ.get("REPRO_SHARD_EXECUTOR", "process")
+    name = raw.strip().lower() or "process"
+    if name not in SHARD_EXECUTORS:
+        raise ValueError(
+            f"REPRO_SHARD_EXECUTOR must be one of {SHARD_EXECUTORS} "
+            f"(how the sharded backend hosts its workers), got {raw!r}"
+        )
+    return name
+
+
 _default_backend = _env_backend()
 _default_epsilon = _env_epsilon()
 _default_array_namespace = _env_array_namespace()
+_default_shard_workers = _env_shard_workers()
+_default_shard_executor = _env_shard_executor()
 
 
 def default_backend() -> str:
@@ -270,6 +324,81 @@ def array_namespace_scope(name: Optional[str]) -> Iterator[str]:
         yield _default_array_namespace
     finally:
         _default_array_namespace = previous
+
+
+def default_shard_workers() -> int:
+    """The default worker count of the ``"sharded"`` backend."""
+    return _default_shard_workers
+
+
+def set_shard_workers(workers: int) -> None:
+    """Set the default shard worker count (block-rows per build)."""
+    global _default_shard_workers
+    _default_shard_workers = resolve_shard_workers(int(workers))
+
+
+def resolve_shard_workers(workers: Optional[int]) -> int:
+    """Validate *workers*, resolving ``None`` to the current default."""
+    if workers is None:
+        return _default_shard_workers
+    workers = int(workers)
+    if not 1 <= workers <= MAX_SHARD_WORKERS:
+        raise ValueError(
+            f"shard workers must be in [1, {MAX_SHARD_WORKERS}], "
+            f"got {workers}"
+        )
+    return workers
+
+
+@contextmanager
+def shard_workers_scope(workers: Optional[int]) -> Iterator[int]:
+    """Temporarily switch the default shard worker count (``None`` =
+    leave as is)."""
+    global _default_shard_workers
+    previous = _default_shard_workers
+    if workers is not None:
+        set_shard_workers(workers)
+    try:
+        yield _default_shard_workers
+    finally:
+        _default_shard_workers = previous
+
+
+def default_shard_executor() -> str:
+    """The default executor name of the ``"sharded"`` backend."""
+    return _default_shard_executor
+
+
+def set_shard_executor(name: str) -> None:
+    """Set the default shard executor (``"serial"``/``"process"``)."""
+    global _default_shard_executor
+    _default_shard_executor = resolve_shard_executor(name)
+
+
+def resolve_shard_executor(name: Optional[str]) -> str:
+    """Validate *name*, resolving ``None`` to the current default."""
+    if name is None:
+        return _default_shard_executor
+    name = str(name).strip().lower()
+    if name not in SHARD_EXECUTORS:
+        raise ValueError(
+            f"shard executor must be one of {SHARD_EXECUTORS}, got {name!r}"
+        )
+    return name
+
+
+@contextmanager
+def shard_executor_scope(name: Optional[str]) -> Iterator[str]:
+    """Temporarily switch the default shard executor (``None`` = leave
+    as is)."""
+    global _default_shard_executor
+    previous = _default_shard_executor
+    if name is not None:
+        set_shard_executor(name)
+    try:
+        yield _default_shard_executor
+    finally:
+        _default_shard_executor = previous
 
 
 def _import_array_namespace(name: str):
@@ -1421,6 +1550,52 @@ def _assemble_csr(
     return csr, pruned, has_inf
 
 
+class _PendingBlock:
+    """One unconsolidated arrival batch of a growing sparse endpoint.
+
+    Appending at size ``start`` contributes exactly two strips: the
+    *right* strip ``G[:start, start:start+k]`` (what the ``k`` arrivals
+    induce at every pre-existing request, kept both row-major and
+    pre-transposed for O(row) column slices) and the *bottom* strip
+    ``G[start:start+k, :start+k]`` (the arrivals' full rows).  Folding
+    the blocks into the base CSR in arrival order reproduces the
+    rebuild-per-arrival storage bit-for-bit, so consolidation can be
+    deferred and amortized (see :meth:`SparseBackend.flush_growth`).
+    """
+
+    __slots__ = ("start", "right", "right_t", "bottom")
+
+    def __init__(self, start: int, right, bottom):
+        self.start = int(start)
+        self.right = right
+        self.right_t = right.T.tocsr()
+        self.bottom = bottom
+
+    @property
+    def k(self) -> int:
+        return self.right.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.right.nnz) + int(self.bottom.nnz)
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for csr in (self.right, self.right_t, self.bottom):
+            total += csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        return total
+
+
+def _csr_cell(csr: "_sp.csr_matrix", row: int, col: int) -> float:
+    """One stored entry of a (sorted) CSR, ``0.0`` when absent."""
+    lo, hi = csr.indptr[row], csr.indptr[row + 1]
+    pos = lo + np.searchsorted(csr.indices[lo:hi], col)
+    if pos < hi and csr.indices[pos] == col:
+        return float(csr.data[pos])
+    return 0.0
+
+
 class SparseBackend(GainBackend):
     """ε-pruned CSR gains with per-request dropped-mass bounds.
 
@@ -1430,6 +1605,16 @@ class SparseBackend(GainBackend):
     gain nor the distance matrix is ever dense in memory.  See the
     module docstring for the pruning rule and the exactness /
     certification contract.
+
+    Growth (``append_requests``) is *deferred*: arrival strips are kept
+    as :class:`_PendingBlock` buffers next to the consolidated base CSR
+    and folded in (one stacking pass plus one transpose rebuild) only
+    when the pending rows reach the base size, when a block-structured
+    query needs them, or on an explicit :meth:`flush_growth` — so a
+    stream of single-request arrivals consolidates ``O(log n)`` times
+    instead of rebuilding ``O(nnz)`` transposes per arrival, while the
+    hot single-row/column queries of live admission read base +
+    pending directly without consolidating at all.
     """
 
     name = "sparse"
@@ -1461,6 +1646,11 @@ class SparseBackend(GainBackend):
         # cannot grow because they do not know their instance).
         self._instance: Optional[Instance] = None
         self._powers: Optional[np.ndarray] = None
+        # Deferred-consolidation buffers: logical size, pending arrival
+        # blocks per endpoint (aliased when directed, like the CSRs).
+        self._n = int(csr_u.shape[0])
+        self._pend_u: list = []
+        self._pend_v: list = self._pend_u if csr_v is csr_u else []
 
     # -- construction --------------------------------------------------
 
@@ -1519,16 +1709,23 @@ class SparseBackend(GainBackend):
         With ``epsilon = 0`` the kept set of each entry is independent
         of its row context (keep positive finite and ``inf``, drop exact
         zeros), so the grown CSR storage — data, indices, indptr and
-        the transposed matrices — is **bit-identical** to a cold
-        :meth:`build` of the grown pair.  With ``epsilon > 0`` the
-        appended block of each existing row is pruned *on its own* (its
-        dropped mass, at most ``epsilon`` times the block's finite mass,
-        is added to the row's recorded bound): a cold rebuild would
-        re-prune whole rows against their grown mass and may keep a
-        different set, so grown and cold storages can differ — but the
-        backend remains a conservative under-estimator with a true
-        per-row pruned-mass upper bound, which is all certification
-        needs.
+        the transposed matrices, after consolidation — is
+        **bit-identical** to a cold :meth:`build` of the grown pair.
+        With ``epsilon > 0`` the appended block of each existing row is
+        pruned *on its own* (its dropped mass, at most ``epsilon``
+        times the block's finite mass, is added to the row's recorded
+        bound): a cold rebuild would re-prune whole rows against their
+        grown mass and may keep a different set, so grown and cold
+        storages can differ — but the backend remains a conservative
+        under-estimator with a true per-row pruned-mass upper bound,
+        which is all certification needs.
+
+        The new strips are buffered as a :class:`_PendingBlock` instead
+        of being stacked into the base CSR immediately; consolidation
+        (including the O(nnz) transposed-CSR rebuild that used to run
+        on *every* arrival) is deferred until the pending rows reach
+        the base size — see :meth:`flush_growth` — so a stream of
+        arrivals pays amortized ``O(n)`` per arrival, not ``O(nnz)``.
         """
         if self._instance is None:
             raise ValueError(
@@ -1547,7 +1744,7 @@ class SparseBackend(GainBackend):
         new_idx = np.arange(n_old, n_new)
         all_idx = np.arange(n_new)
 
-        def extend_endpoint(csr_old, pruned_old, endpoint_nodes):
+        def extend_endpoint(pend, pruned_old, endpoint_nodes):
             right, extra_pruned, inf_right = _assemble_csr(
                 instance, powers, endpoint_nodes, old_idx, new_idx,
                 epsilon, tile,
@@ -1556,41 +1753,76 @@ class SparseBackend(GainBackend):
                 instance, powers, endpoint_nodes, new_idx, all_idx,
                 epsilon, tile,
             )
-            top = _sp.hstack([csr_old, right], format="csr")
-            csr = _sp.vstack([top, bottom], format="csr")
-            csr.sort_indices()
+            pend.append(_PendingBlock(n_old, right, bottom))
             pruned = np.concatenate(
                 [np.asarray(pruned_old) + extra_pruned, pruned_new]
             )
             pruned.setflags(write=False)
-            return csr, pruned, inf_right or inf_bottom
+            return pruned, inf_right or inf_bottom
 
         if instance.direction is Direction.DIRECTED:
-            csr_u, pruned_u, new_inf = extend_endpoint(
-                self._csr_u, self._pruned_u, instance.receivers
+            pruned_u, new_inf = extend_endpoint(
+                self._pend_u, self._pruned_u, instance.receivers
             )
-            csr_v, pruned_v = csr_u, pruned_u
+            pruned_v = pruned_u
         else:
-            csr_u, pruned_u, inf_u = extend_endpoint(
-                self._csr_u, self._pruned_u, instance.senders
+            pruned_u, inf_u = extend_endpoint(
+                self._pend_u, self._pruned_u, instance.senders
             )
-            csr_v, pruned_v, inf_v = extend_endpoint(
-                self._csr_v, self._pruned_v, instance.receivers
+            pruned_v, inf_v = extend_endpoint(
+                self._pend_v, self._pruned_v, instance.receivers
             )
             new_inf = inf_u or inf_v
-        self._csr_u, self._csr_v = csr_u, csr_v
-        self._csr_ut = csr_u.T.tocsr()
-        self._csr_vt = self._csr_ut if csr_v is csr_u else csr_v.T.tocsr()
         self._pruned_u, self._pruned_v = pruned_u, pruned_v
         if new_inf:
             self._has_inf = True
+        self._n = n_new
         self._instance, self._powers = instance, powers
+        # Doubling rule: consolidate once the buffered rows match the
+        # base size, so total consolidation work over any arrival
+        # stream is a geometric series (O(nnz) overall, O(log n)
+        # rebuilds) instead of O(nnz) per arrival.
+        base_n = int(self._csr_u.shape[0])
+        if self._n - base_n >= max(base_n, 1):
+            self.flush_growth()
+
+    def flush_growth(self) -> None:
+        """Fold every pending arrival block into the base CSR (and
+        rebuild the transposed matrices once).
+
+        Folding in arrival order reproduces exactly the storage the
+        historical rebuild-per-arrival path produced, so calling this
+        after any prefix of appends is bit-identical to having
+        consolidated eagerly — block-structured queries simply call it
+        on demand.  Idempotent; a no-op when nothing is pending.
+        """
+        if not self._pend_u:
+            return
+
+        def fold(csr, pend):
+            for blk in pend:
+                top = _sp.hstack([csr, blk.right], format="csr")
+                csr = _sp.vstack([top, blk.bottom], format="csr")
+            csr.sort_indices()
+            return csr
+
+        csr_u = fold(self._csr_u, self._pend_u)
+        if self._csr_v is self._csr_u:
+            csr_v = csr_u
+        else:
+            csr_v = fold(self._csr_v, self._pend_v)
+        self._csr_u, self._csr_v = csr_u, csr_v
+        self._csr_ut = csr_u.T.tocsr()
+        self._csr_vt = self._csr_ut if csr_v is csr_u else csr_v.T.tocsr()
+        self._pend_u.clear()
+        if self._pend_v is not self._pend_u:
+            self._pend_v.clear()
 
     # -- protocol ------------------------------------------------------
 
     @property
     def n(self) -> int:
-        return self._csr_u.shape[0]
+        return self._n
 
     @property
     def directed(self) -> bool:
@@ -1615,35 +1847,116 @@ class SparseBackend(GainBackend):
         out[csr.indices[lo:hi]] = csr.data[lo:hi]
         return out
 
+    def _grown_row(self, base, pend, i: int) -> np.ndarray:
+        """Row ``i`` of base + pending, without consolidating.
+
+        Every stored entry lands at the same value consolidation would
+        place (pure scatter of the identical stored floats), so the hot
+        single-row path of live admission never forces a flush.
+        """
+        out = np.zeros(self._n)
+        base_n = base.shape[0]
+        if i < base_n:
+            lo, hi = base.indptr[i], base.indptr[i + 1]
+            out[base.indices[lo:hi]] = base.data[lo:hi]
+        for blk in pend:
+            if i < blk.start:
+                # The arrivals' columns at a pre-existing row.
+                lo, hi = blk.right.indptr[i], blk.right.indptr[i + 1]
+                out[blk.start + blk.right.indices[lo:hi]] = (
+                    blk.right.data[lo:hi]
+                )
+            elif i < blk.start + blk.k:
+                # The arrival's own full row (covers all earlier cols).
+                r = i - blk.start
+                lo, hi = blk.bottom.indptr[r], blk.bottom.indptr[r + 1]
+                out[blk.bottom.indices[lo:hi]] = blk.bottom.data[lo:hi]
+        return out
+
+    def _grown_col(self, base_t, pend, j: int) -> np.ndarray:
+        """Column ``j`` of base + pending (see :meth:`_grown_row`)."""
+        out = np.zeros(self._n)
+        base_n = base_t.shape[0]
+        if j < base_n:
+            lo, hi = base_t.indptr[j], base_t.indptr[j + 1]
+            out[base_t.indices[lo:hi]] = base_t.data[lo:hi]
+        for blk in pend:
+            if blk.start <= j < blk.start + blk.k:
+                # What arrival j induces at every pre-existing request.
+                r = j - blk.start
+                lo, hi = blk.right_t.indptr[r], blk.right_t.indptr[r + 1]
+                out[blk.right_t.indices[lo:hi]] = blk.right_t.data[lo:hi]
+            if blk.start + blk.k > j:
+                # These arrivals' rows cover column j.
+                for r in range(blk.bottom.shape[0]):
+                    out[blk.start + r] = _csr_cell(blk.bottom, r, j)
+        return out
+
     def col_u(self, j: int) -> np.ndarray:
+        if self._pend_u:
+            return self._grown_col(self._csr_ut, self._pend_u, int(j))
         return self._expand_row(self._csr_ut, int(j))
 
     def col_v(self, j: int) -> np.ndarray:
+        if self._pend_v:
+            return self._grown_col(self._csr_vt, self._pend_v, int(j))
         return self._expand_row(self._csr_vt, int(j))
 
     def row_u(self, i: int) -> np.ndarray:
+        if self._pend_u:
+            return self._grown_row(self._csr_u, self._pend_u, int(i))
         return self._expand_row(self._csr_u, int(i))
 
     def row_v(self, i: int) -> np.ndarray:
+        if self._pend_v:
+            return self._grown_row(self._csr_v, self._pend_v, int(i))
         return self._expand_row(self._csr_v, int(i))
 
     def gather_cols_u(self, members: np.ndarray) -> np.ndarray:
+        self.flush_growth()
         return self._csr_ut[members].toarray().T
 
     def gather_cols_v(self, members: np.ndarray) -> np.ndarray:
+        self.flush_growth()
         return self._csr_vt[members].toarray().T
 
     def block_u(self, idx: np.ndarray) -> np.ndarray:
+        self.flush_growth()
         return self._csr_u[idx][:, idx].toarray()
 
     def block_v(self, idx: np.ndarray) -> np.ndarray:
+        self.flush_growth()
         return self._csr_v[idx][:, idx].toarray()
 
+    def _cross_block(self, which_u: bool, rows, cols) -> np.ndarray:
+        base, pend = (
+            (self._csr_u, self._pend_u)
+            if which_u
+            else (self._csr_v, self._pend_v)
+        )
+        if pend:
+            rows = np.asarray(rows, dtype=int)
+            if rows.size > 64:
+                # Bulk query (peel init, class analysis): consolidate
+                # once instead of scattering thousands of rows.
+                self.flush_growth()
+            else:
+                # Admission-path query (a handful of arrival rows):
+                # assemble from base + pending.  Pure gather of the
+                # same stored values, so bit-identical to flushing.
+                cols = np.asarray(cols, dtype=int)
+                out = np.empty((rows.size, cols.size))
+                for pos, i in enumerate(rows):
+                    out[pos] = self._grown_row(base, pend, int(i))[cols]
+                return out
+        csr = self._csr_u if which_u else self._csr_v
+        return csr[rows][:, cols].toarray()
+
     def cross_block_u(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        return self._csr_u[rows][:, cols].toarray()
+        return self._cross_block(True, rows, cols)
 
     def cross_block_v(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        return self._csr_v[rows][:, cols].toarray()
+        return self._cross_block(False, rows, cols)
 
     def _csr_row_sums(
         self, csr: "_sp.csr_matrix", rows, cols
@@ -1665,11 +1978,13 @@ class SparseBackend(GainBackend):
     def row_sums_u(
         self, rows: np.ndarray, cols: Optional[np.ndarray] = None
     ) -> np.ndarray:
+        self.flush_growth()
         return self._csr_row_sums(self._csr_u, rows, cols)
 
     def row_sums_v(
         self, rows: np.ndarray, cols: Optional[np.ndarray] = None
     ) -> np.ndarray:
+        self.flush_growth()
         return self._csr_row_sums(self._csr_v, rows, cols)
 
     def _class_sum(
@@ -1697,28 +2012,36 @@ class SparseBackend(GainBackend):
         return out
 
     def class_sum_u(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        self.flush_growth()
         return self._class_sum(self._csr_u, colors)
 
     def class_sum_v(self, colors: Optional[np.ndarray]) -> np.ndarray:
+        self.flush_growth()
         return self._class_sum(self._csr_v, colors)
 
     def dense_u(self) -> np.ndarray:
+        self.flush_growth()
         return self._csr_u.toarray()
 
     def dense_v(self) -> np.ndarray:
+        self.flush_growth()
         return self._csr_v.toarray()
 
     def dense_ut(self) -> np.ndarray:
+        self.flush_growth()
         return self._csr_ut.toarray()
 
     def dense_vt(self) -> np.ndarray:
+        self.flush_growth()
         return self._csr_vt.toarray()
 
     @property
     def nnz(self) -> int:
-        count = int(self._csr_u.nnz)
+        count = int(self._csr_u.nnz) + sum(blk.nnz for blk in self._pend_u)
         if self._csr_v is not self._csr_u:
-            count += int(self._csr_v.nnz)
+            count += int(self._csr_v.nnz) + sum(
+                blk.nnz for blk in self._pend_v
+            )
         return count
 
     @property
@@ -1730,6 +2053,11 @@ class SparseBackend(GainBackend):
                 continue
             seen.add(id(csr))
             total += csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        for pend in (self._pend_u, self._pend_v):
+            for blk in pend:
+                total += blk.nbytes
+            if self._pend_v is self._pend_u:
+                break
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -1746,14 +2074,17 @@ def build_backend(
     sparse_epsilon: Optional[float] = None,
     array_namespace: Optional[str] = None,
     device=None,
+    shard_workers: Optional[int] = None,
+    shard_executor: Optional[str] = None,
 ) -> GainBackend:
     """Construct the gain backend for ``(instance, powers)``.
 
-    *backend*, *sparse_epsilon* and *array_namespace* default to the
-    process-wide settings (:func:`default_backend` /
-    :func:`default_sparse_epsilon` / :func:`default_array_namespace`);
-    *device* applies to the array backend only (``None`` = the
-    namespace's default device).
+    *backend*, *sparse_epsilon*, *array_namespace*, *shard_workers*
+    and *shard_executor* default to the process-wide settings
+    (:func:`default_backend` / :func:`default_sparse_epsilon` /
+    :func:`default_array_namespace` / :func:`default_shard_workers` /
+    :func:`default_shard_executor`); *device* applies to the array
+    backend only (``None`` = the namespace's default device).
     """
     name = resolve_backend(backend)
     if name == "sparse":
@@ -1761,5 +2092,18 @@ def build_backend(
     if name == "array":
         return ArrayBackend.build(
             instance, powers, namespace=array_namespace, device=device
+        )
+    if name == "sharded":
+        # Lazy import: repro.distributed consumes this module's
+        # primitives (_assemble_csr and friends), so the dependency
+        # must point that way at import time.
+        from repro.distributed import ShardedBackend
+
+        return ShardedBackend.build(
+            instance,
+            powers,
+            epsilon=sparse_epsilon,
+            workers=shard_workers,
+            executor=shard_executor,
         )
     return DenseBackend.build(instance, powers)

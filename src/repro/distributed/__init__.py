@@ -1,0 +1,28 @@
+"""Distributed data plane: sharded gains + message-passing protocol.
+
+The repo's first multi-process subsystem.  Two halves, both riding the
+:class:`~repro.runner.executors.ShardExecutor` actor abstraction:
+
+* :mod:`repro.distributed.sharded` — :class:`ShardedBackend`, the
+  ``"sharded"`` :class:`~repro.core.gains.GainBackend`: ``W`` workers
+  each own (and locally build) one ε-pruned block row of the gain
+  matrix, which is never materialized globally; queries decompose into
+  per-shard partial reductions plus one merge, bit-identical to the
+  single-process backends at any ``W``.
+* :mod:`repro.distributed.protocol` — :func:`distributed_protocol`,
+  the §6 slotted random-access protocol staged as genuinely
+  distributed node blocks (private RNG streams and state per worker,
+  parent acting only as the channel) instead of the single-process
+  simulation in :mod:`repro.scheduling.distributed`.
+"""
+
+from repro.distributed.protocol import ProtocolNodeBlock, distributed_protocol
+from repro.distributed.sharded import GainShard, ShardedBackend, shard_bounds
+
+__all__ = [
+    "GainShard",
+    "ProtocolNodeBlock",
+    "ShardedBackend",
+    "distributed_protocol",
+    "shard_bounds",
+]

@@ -7,6 +7,9 @@
   (``--jobs 1`` and ``--jobs N`` are bit-identical).
 * :mod:`repro.runner.artifacts` — the ``BENCH_<experiment>.json``
   schema CI uploads and diffs.
+* :mod:`repro.runner.executors` — the :class:`ShardExecutor` protocol
+  for long-lived shard *actors* (serial reference + self-healing
+  process implementation) backing :mod:`repro.distributed`.
 """
 
 from repro.runner.artifacts import (
@@ -24,6 +27,14 @@ from repro.runner.artifacts import (
     validate_artifacts_dir,
     write_artifact,
     write_checkpoint,
+)
+from repro.runner.executors import (
+    SHARD_EXECUTORS,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ShardExecutorError,
+    build_shard_executor,
 )
 from repro.runner.orchestrator import (
     available_experiments,
@@ -57,6 +68,12 @@ __all__ = [
     "read_checkpoint",
     "validate_artifacts_dir",
     "write_checkpoint",
+    "SHARD_EXECUTORS",
+    "ShardExecutor",
+    "ShardExecutorError",
+    "SerialShardExecutor",
+    "ProcessShardExecutor",
+    "build_shard_executor",
     "available_experiments",
     "resolve_specs",
     "run_experiments",

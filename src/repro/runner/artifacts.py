@@ -321,8 +321,15 @@ def write_checkpoint(
     table: Table,
     seconds: float,
     attempts: int = 1,
+    backend: Optional[str] = None,
 ) -> pathlib.Path:
-    """Atomically persist one completed shard's table."""
+    """Atomically persist one completed shard's table.
+
+    *backend* is the resolved execution-backend tag of the run (e.g.
+    ``"sparse"``, ``"array:numpy"``); it becomes part of the staleness
+    key so a resume under a different ``--backend`` re-runs the shard
+    instead of splicing in tables computed on another backend.
+    """
     path = checkpoint_path(directory, experiment, shard_index)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -332,6 +339,7 @@ def write_checkpoint(
         "shard_index": shard_index,
         "key": key,
         "seed": seed,
+        "backend": backend,
         "seconds": seconds,
         "attempts": attempts,
         "table": table_to_dict(table),
@@ -348,14 +356,19 @@ def read_checkpoint(
     shard_index: int,
     key: str,
     seed: Optional[int],
+    backend: Optional[str] = None,
 ) -> Optional[Tuple[Table, float, int]]:
     """Load a shard checkpoint, or ``None`` when absent or stale.
 
     A checkpoint only resumes when its recorded ``(experiment, key,
-    seed)`` matches the current spec's shard — a spec change between
-    runs silently invalidates old checkpoints instead of splicing
-    mismatched rows into the merged table.  Unreadable/corrupt files
-    are likewise treated as absent (the shard simply re-runs).
+    seed, backend)`` matches the current spec's shard — a spec or
+    ``--backend`` change between runs silently invalidates old
+    checkpoints instead of splicing mismatched rows into the merged
+    table (shard tables can legitimately differ across backends, e.g.
+    under sparse pruning).  Checkpoints written before the backend tag
+    existed carry ``backend = null`` and therefore also re-run.
+    Unreadable/corrupt files are likewise treated as absent (the shard
+    simply re-runs).
     """
     path = checkpoint_path(directory, experiment, shard_index)
     try:
@@ -368,6 +381,7 @@ def read_checkpoint(
         or payload.get("experiment") != experiment
         or payload.get("key") != key
         or payload.get("seed") != seed
+        or payload.get("backend") != backend
     ):
         return None
     try:

@@ -61,7 +61,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.gains import backend_scope, resolve_backend
+from repro.core.gains import (
+    backend_scope,
+    default_array_namespace,
+    resolve_backend,
+)
 from repro.resilience.faults import FaultPlan
 from repro.resilience.policy import RetryPolicy, ShardFailure
 from repro.runner.artifacts import (
@@ -444,7 +448,8 @@ def run_experiments(
     resume:
         Load shard checkpoints left by an interrupted run with the
         same *artifacts_dir* (default ``True``).  Stale checkpoints —
-        key or seed no longer matching the spec — are ignored.
+        key, seed or resolved backend no longer matching the spec and
+        run configuration — are ignored.
 
     Returns
     -------
@@ -462,6 +467,15 @@ def run_experiments(
     # backend name explicitly.
     backends: Dict[str, str] = {
         spec.id: resolve_backend(spec.backend or backend) for spec, _ in plan
+    }
+    # Checkpoint staleness tag: the resolved backend, qualified with the
+    # array namespace when it matters — shard tables are only reusable
+    # across runs that execute on the same backend configuration.
+    backend_tags: Dict[str, str] = {
+        spec_id: (
+            f"array:{default_array_namespace()}" if name == "array" else name
+        )
+        for spec_id, name in backends.items()
     }
     policies: Dict[str, Optional[RetryPolicy]] = {
         spec.id: (spec.retry if spec.retry is not None else retry)
@@ -486,7 +500,12 @@ def run_experiments(
                 if key in outcomes:
                     continue
                 loaded = read_checkpoint(
-                    artifacts_dir, spec.id, shard.index, shard.key, shard.seed
+                    artifacts_dir,
+                    spec.id,
+                    shard.index,
+                    shard.key,
+                    shard.seed,
+                    backend=backend_tags[spec.id],
                 )
                 if loaded is not None:
                     table, seconds, attempts = loaded
@@ -525,6 +544,7 @@ def run_experiments(
                             outcome.table,
                             outcome.seconds,
                             attempts=outcome.attempts,
+                            backend=backend_tags[spec.id],
                         )
                         if fault_plan is not None:
                             fault_plan.fire(

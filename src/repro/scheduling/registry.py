@@ -265,6 +265,23 @@ def _adapt_first_fit(instance, powers, rng, params) -> AlgorithmOutcome:
     )
 
 
+def _adapt_first_fit_sharded(instance, powers, rng, params) -> AlgorithmOutcome:
+    from repro.core.gains import (
+        backend_scope,
+        shard_executor_scope,
+        shard_workers_scope,
+    )
+    from repro.scheduling.firstfit import first_fit_schedule
+
+    workers = params.pop("workers", None)
+    executor = params.pop("executor", None)
+    with backend_scope("sharded"), shard_workers_scope(
+        workers
+    ), shard_executor_scope(executor):
+        schedule = first_fit_schedule(instance, powers, **params)
+    return AlgorithmOutcome(schedule, None, {})
+
+
 def _adapt_first_fit_free_power(instance, powers, rng, params) -> AlgorithmOutcome:
     from repro.scheduling.firstfit import first_fit_free_power_schedule
 
@@ -355,6 +372,16 @@ for _spec in (
             certifiable=True,
         ),
         adapter=_adapt_first_fit,
+    ),
+    AlgorithmSpec(
+        name="first_fit_sharded",
+        summary="First-fit over W distributed gain shards (workers=, executor=)",
+        capabilities=AlgorithmCapabilities(
+            needs_powers=True,
+            deterministic=True,
+            certifiable=True,
+        ),
+        adapter=_adapt_first_fit_sharded,
     ),
     AlgorithmSpec(
         name="first_fit_free_power",

@@ -1,0 +1,90 @@
+"""Tests for the multi-worker random-access protocol
+(:func:`repro.distributed.distributed_protocol`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import clear_context_cache
+from repro.distributed import distributed_protocol
+from repro.distributed.protocol import ProtocolNodeBlock
+from repro.instances.random_instances import random_uniform_instance
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+def _instance(n=16, seed=5):
+    return random_uniform_instance(n, rng=seed, direction="directed")
+
+
+class TestProtocolSchedule:
+    def test_valid_complete_schedule(self):
+        instance = _instance()
+        schedule, stats = distributed_protocol(
+            instance, workers=2, executor="serial", seed=7
+        )
+        schedule.validate(instance)
+        assert schedule.colors.size == instance.n
+        assert (schedule.colors >= 0).all()
+        assert stats.slots >= schedule.num_colors
+        assert stats.attempts_per_success >= 1.0
+
+    def test_deterministic_in_seed(self):
+        instance = _instance()
+        a, stats_a = distributed_protocol(
+            instance, workers=2, executor="serial", seed=123
+        )
+        b, stats_b = distributed_protocol(
+            instance, workers=2, executor="serial", seed=123
+        )
+        np.testing.assert_array_equal(a.colors, b.colors)
+        assert stats_a.slots == stats_b.slots
+
+    def test_worker_count_changes_streams_not_validity(self):
+        # Different W means different per-block RNG streams — the
+        # schedule may differ but must stay valid and complete.
+        instance = _instance()
+        for workers in (1, 2, 4):
+            schedule, _ = distributed_protocol(
+                instance, workers=workers, executor="serial", seed=11
+            )
+            schedule.validate(instance)
+
+    def test_parameter_validation(self):
+        instance = _instance(n=6)
+        with pytest.raises(ValueError):
+            distributed_protocol(instance, p0=0.0)
+        with pytest.raises(ValueError):
+            distributed_protocol(instance, backoff=1.5)
+        with pytest.raises(ValueError):
+            distributed_protocol(instance, workers=0)
+
+
+class TestProtocolNodeBlock:
+    def test_draw_and_resolve_stay_in_range(self):
+        block = ProtocolNodeBlock(
+            lo=4, hi=9, p0=1.0, backoff=0.5, p_min=0.01,
+            policy="backoff", seed=3,
+        )
+        drawn = block.draw()
+        assert ((drawn >= 4) & (drawn < 9)).all()
+        remaining = block.resolve(
+            winners=np.array([4, 5]), losers=np.array([6, 7, 8])
+        )
+        assert remaining == 3
+        # Winners never transmit again.
+        assert not np.isin([4, 5], block.draw()).any()
+
+    def test_backoff_respects_floor(self):
+        block = ProtocolNodeBlock(
+            lo=0, hi=3, p0=0.5, backoff=0.5, p_min=0.25,
+            policy="backoff", seed=1,
+        )
+        losers = np.arange(3)
+        for _ in range(8):
+            block.resolve(winners=np.empty(0, dtype=int), losers=losers)
+        assert (block.probability >= 0.25).all()

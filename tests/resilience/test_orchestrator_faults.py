@@ -227,6 +227,68 @@ class TestCheckpointResume:
         assert [s.resumed for s in report.shards] == [False, False]
         assert normalized(report) == normalized(clean_e1)
 
+    def test_backend_tag_mismatch_invalidates_checkpoint(self, tmp_path):
+        from repro.runner import read_checkpoint
+        from repro.util.tables import Table
+
+        # Shard tables can legitimately differ across backends (sparse
+        # pruning, array namespaces), so the resolved backend tag is
+        # part of the staleness key.
+        table = Table(title="t", columns=["x"])
+        table.add_row(x=1)
+        write_checkpoint(
+            tmp_path, "e1", 0, "n=4", seed=7, table=table, seconds=0.1,
+            backend="sparse",
+        )
+        hit = read_checkpoint(tmp_path, "e1", 0, "n=4", seed=7, backend="sparse")
+        assert hit is not None
+        assert read_checkpoint(
+            tmp_path, "e1", 0, "n=4", seed=7, backend="dense"
+        ) is None
+        assert read_checkpoint(
+            tmp_path, "e1", 0, "n=4", seed=7, backend="array:numpy"
+        ) is None
+
+    def test_pre_backend_tag_checkpoint_reruns(self, tmp_path):
+        from repro.runner import read_checkpoint
+        from repro.util.tables import Table
+
+        # Checkpoints written before the backend tag existed carry
+        # backend=null and never resume under a tagged reader.
+        table = Table(title="t", columns=["x"])
+        table.add_row(x=1)
+        write_checkpoint(
+            tmp_path, "e1", 0, "n=4", seed=7, table=table, seconds=0.1
+        )
+        assert read_checkpoint(
+            tmp_path, "e1", 0, "n=4", seed=7, backend="dense"
+        ) is None
+
+    def test_resume_under_different_backend_reruns_shards(self, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="checkpoint", key="e1:0", at=(0,)),)
+        )
+        with pytest.raises(InjectedFault):
+            run_experiments(
+                ["e1"],
+                fast=True,
+                jobs=1,
+                artifacts_dir=str(tmp_path),
+                fault_plan=plan,
+                backend="dense",
+            )
+        assert checkpoint_path(tmp_path, "e1", 0).is_file()
+        # A --backend switch between the interrupted run and the resume
+        # must invalidate the dense-tagged checkpoint.
+        report = run_experiments(
+            ["e1"],
+            fast=True,
+            jobs=1,
+            artifacts_dir=str(tmp_path),
+            backend="sparse",
+        )[0]
+        assert [s.resumed for s in report.shards] == [False, False]
+
     def test_corrupt_checkpoint_is_ignored(self, tmp_path, clean_e1):
         path = checkpoint_path(tmp_path, "e1", 0)
         path.parent.mkdir(parents=True)
